@@ -1,0 +1,18 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks exercise the same experiment entry points that regenerate the
+paper's tables and figures (``repro.experiments``), with pytest-benchmark
+providing the timing statistics.  Workload sizes are kept moderate so the
+whole suite runs in well under a minute; pass ``--benchmark-only`` to skip
+the functional tests and run just these.
+"""
+
+import pytest
+
+from repro.data import TABLE_4_1_SPECS, build_evaluation_setup
+
+
+@pytest.fixture(scope="session")
+def bench_setup():
+    """One DB2-sized evaluation setup shared by the benchmarks."""
+    return build_evaluation_setup(TABLE_4_1_SPECS["DB2"], query_count=20, seed=7)

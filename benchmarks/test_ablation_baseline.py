@@ -1,0 +1,19 @@
+"""Benchmark: tentative application vs the straight-forward baseline (Section 4)."""
+
+from repro.experiments import run_baseline_ablation
+
+
+def test_baseline_ablation_report(benchmark):
+    result = benchmark.pedantic(
+        run_baseline_ablation,
+        kwargs={"query_count": 15, "seed": 7, "orderings": 3},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.as_table())
+    # The tentative approach is order-insensitive by construction and needs
+    # fewer profitability evaluations than the straight-forward approach.
+    assert result.tentative_profitability_checks <= result.baseline_profitability_checks
+    # It is at least as good (small tolerance for cost-model estimates).
+    assert result.tentative_mean_ratio <= result.baseline_mean_ratio + 0.05

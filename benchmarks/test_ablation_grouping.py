@@ -1,0 +1,21 @@
+"""Benchmark: constraint grouping policy ablation (Section 3 enhancement)."""
+
+from repro.experiments import run_grouping_ablation
+
+
+def test_grouping_ablation_report(benchmark):
+    result = benchmark.pedantic(
+        run_grouping_ablation,
+        kwargs={"query_count": 20, "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.as_table())
+    arbitrary = result.measurements["arbitrary"]
+    least_frequent = result.measurements["least_frequent"]
+    # Every policy retrieves all relevant constraints (completeness) ...
+    assert arbitrary.relevant == least_frequent.relevant
+    # ... and the least-frequently-accessed policy never fetches more than
+    # the arbitrary assignment does.
+    assert least_frequent.fetched <= arbitrary.fetched

@@ -1,0 +1,42 @@
+"""Benchmark: the O(m·n) transformation-complexity claim (Section 4)."""
+
+import pytest
+
+from repro.core import TransformationEngine, initialize
+from repro.experiments import (
+    build_chain_constraints,
+    build_chain_query,
+    build_chain_schema,
+    run_complexity,
+)
+
+
+@pytest.mark.parametrize("constraint_count", [16, 64, 256])
+def test_transformation_scaling(benchmark, constraint_count):
+    schema = build_chain_schema(constraint_count + 2)
+    constraints = build_chain_constraints(constraint_count)
+    query = build_chain_query(1)
+
+    def transform():
+        init = initialize(query, constraints)
+        engine = TransformationEngine(init.table, schema)
+        engine.run()
+        return engine.stats.fired
+
+    fired = benchmark(transform)
+    # Every constraint in the chain fires exactly once.
+    assert fired == constraint_count
+
+
+def test_complexity_report(benchmark):
+    result = benchmark.pedantic(
+        run_complexity,
+        kwargs={"constraint_counts": (8, 16, 32, 64), "repeats": 1},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.as_table())
+    per_cell = result.time_per_cell()
+    # O(m*n): per-cell time must stay bounded as the table grows.
+    assert max(per_cell) <= 20 * min(per_cell)

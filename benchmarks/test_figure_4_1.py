@@ -1,0 +1,49 @@
+"""Benchmark: Figure 4.1 — query transformation time.
+
+Times individual optimizer runs grouped by the number of object classes in
+the query (the x-axis of Figure 4.1) and prints the aggregated table the
+figure plots.
+"""
+
+import pytest
+
+from repro.core import OptimizerConfig, SemanticQueryOptimizer
+from repro.experiments import run_figure_4_1
+from repro.query import QueryGenerator
+
+
+@pytest.mark.parametrize("class_count", [1, 2, 3, 4, 5])
+def test_transformation_time_by_class_count(benchmark, bench_setup, class_count):
+    generator = QueryGenerator(
+        bench_setup.schema,
+        value_catalog=bench_setup.database.value_catalog,
+        seed=13,
+    )
+    queries = generator.queries_by_class_count([class_count], per_count=3)[class_count]
+    if not queries:
+        pytest.skip(f"no schema path of length {class_count}")
+    optimizer = SemanticQueryOptimizer(
+        bench_setup.schema,
+        repository=bench_setup.repository,
+        cost_model=bench_setup.cost_model,
+        config=OptimizerConfig(record_access_statistics=False),
+    )
+
+    def optimize_all():
+        return [optimizer.optimize(query) for query in queries]
+
+    results = benchmark(optimize_all)
+    assert all(r.timings.transformation_only < 1.0 for r in results)
+
+
+def test_figure_4_1_report(benchmark):
+    result = benchmark.pedantic(
+        run_figure_4_1,
+        kwargs={"query_count": 20, "seed": 7, "repeats": 1},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.as_table())
+    # The paper's observation: every transformation well under a second.
+    assert result.max_transformation_time() < 1.0

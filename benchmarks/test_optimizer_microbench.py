@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the optimizer's individual phases.
+
+Not tied to a specific table or figure; these keep an eye on the cost of the
+pipeline stages the paper's Figure 4.1 aggregates (constraint retrieval,
+initialization + transformation, formulation) so regressions are visible.
+"""
+
+from repro.core import (
+    OptimizerConfig,
+    SemanticQueryOptimizer,
+    TransformationEngine,
+    initialize,
+)
+
+
+def _longest_query(setup):
+    return max(setup.queries, key=lambda q: q.class_count)
+
+
+def test_constraint_retrieval(benchmark, bench_setup):
+    query = _longest_query(bench_setup)
+    result = benchmark(
+        bench_setup.repository.retrieve_relevant,
+        query.classes,
+        query.relationships,
+        False,
+    )
+    relevant, stats = result
+    assert stats.fetched >= len(relevant)
+
+
+def test_initialization_phase(benchmark, bench_setup):
+    query = _longest_query(bench_setup)
+    relevant, _stats = bench_setup.repository.retrieve_relevant(
+        query.classes, query.relationships, record_access=False
+    )
+    init = benchmark(initialize, query, relevant, True, True)
+    assert init.table.constraint_count() == len(relevant)
+
+
+def test_transformation_phase(benchmark, bench_setup):
+    query = _longest_query(bench_setup)
+    relevant, _stats = bench_setup.repository.retrieve_relevant(
+        query.classes, query.relationships, record_access=False
+    )
+
+    def run():
+        init = initialize(query, relevant, assume_relevant=True)
+        engine = TransformationEngine(init.table, bench_setup.schema)
+        engine.run()
+        return engine
+
+    engine = benchmark(run)
+    assert engine.stats.fired >= 0
+
+
+def test_end_to_end_optimization(benchmark, bench_setup):
+    optimizer = SemanticQueryOptimizer(
+        bench_setup.schema,
+        repository=bench_setup.repository,
+        cost_model=bench_setup.cost_model,
+        config=OptimizerConfig(record_access_statistics=False),
+    )
+    query = _longest_query(bench_setup)
+    result = benchmark(optimizer.optimize, query)
+    assert result.timings.total < 1.0

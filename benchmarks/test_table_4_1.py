@@ -1,0 +1,32 @@
+"""Benchmark: regenerating the Table 4.1 database instances.
+
+Times the synthetic data generator for each of the paper's database shapes
+and prints the measured Table 4.1 row next to the paper's values.
+"""
+
+import pytest
+
+from repro.data import TABLE_4_1_SPECS, DatabaseGenerator
+from repro.experiments import PAPER_TABLE_4_1, run_table_4_1
+
+
+@pytest.mark.parametrize("name", sorted(TABLE_4_1_SPECS))
+def test_generate_database_instance(benchmark, name):
+    generator = DatabaseGenerator(seed=7)
+    database = benchmark(generator.generate, TABLE_4_1_SPECS[name])
+    summary = database.summary()
+    paper = PAPER_TABLE_4_1[name]
+    assert summary["object_classes"] == paper["object_classes"]
+    assert summary["avg_class_cardinality"] == pytest.approx(
+        paper["avg_class_cardinality"]
+    )
+    assert summary["avg_relationship_cardinality"] == pytest.approx(
+        paper["avg_relationship_cardinality"]
+    )
+
+
+def test_table_4_1_report(benchmark):
+    result = benchmark.pedantic(run_table_4_1, kwargs={"seed": 7}, rounds=1, iterations=1)
+    print()
+    print(result.as_table())
+    assert len(result.rows) == 4

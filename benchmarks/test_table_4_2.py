@@ -1,0 +1,70 @@
+"""Benchmark: Table 4.2 — optimized/original cost ratio per database instance.
+
+Runs the full Table 4.2 experiment (smaller workload than the paper's 40
+queries to keep the benchmark fast) and prints the bucket histogram.  The
+assertions encode the paper's qualitative findings: the large database
+benefits at least as much as the small one, and some queries improve
+dramatically while answers never change.
+"""
+
+import pytest
+
+from repro.data import DatabaseSpec
+from repro.experiments import run_table_4_2
+
+BENCH_SPECS = {
+    "DB1": DatabaseSpec("DB1", class_cardinality=52, relationship_cardinality=77),
+    "DB4": DatabaseSpec("DB4", class_cardinality=208, relationship_cardinality=616),
+}
+
+
+def test_table_4_2_report(benchmark):
+    result = benchmark.pedantic(
+        run_table_4_2,
+        kwargs={
+            "specs": BENCH_SPECS,
+            "query_count": 20,
+            "seed": 7,
+            "check_answers": True,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.as_table())
+    db1 = result.rows["DB1"]
+    db4 = result.rows["DB4"]
+    # Semantic optimization never changes an answer.
+    assert db1.all_answers_agree and db4.all_answers_agree
+    # The big database benefits at least as much as the small one.
+    assert db4.faster >= db1.faster
+    assert db4.much_faster >= db1.much_faster
+    # Overhead hurts the small database at least as often as the large one.
+    assert db1.slower >= db4.slower
+
+
+def test_single_query_cost_ratio_measurement(benchmark, bench_setup):
+    """Times one optimize+execute+execute cycle (the Table 4.2 inner loop)."""
+    from repro.core import OptimizerConfig, SemanticQueryOptimizer
+    from repro.engine import QueryExecutor
+
+    optimizer = SemanticQueryOptimizer(
+        bench_setup.schema,
+        repository=bench_setup.repository,
+        cost_model=bench_setup.cost_model,
+        config=OptimizerConfig(record_access_statistics=False),
+    )
+    executor = QueryExecutor(bench_setup.schema, bench_setup.store)
+    query = bench_setup.queries[0]
+
+    def measure():
+        outcome = optimizer.optimize(query)
+        original = executor.execute(query)
+        optimized = executor.execute(outcome.optimized)
+        return (
+            bench_setup.cost_model.measured_cost(optimized.metrics),
+            bench_setup.cost_model.measured_cost(original.metrics),
+        )
+
+    optimized_cost, original_cost = benchmark(measure)
+    assert original_cost >= 0 and optimized_cost >= 0

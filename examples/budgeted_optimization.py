@@ -1,0 +1,67 @@
+"""Extension example: budgeted optimization with the priority queue.
+
+Section 4 of the paper proposes turning the transformation queue into a
+priority queue "when it is necessary to assign a budget and limit the number
+of transformations".  This example optimizes the same workload under a
+one-transformation budget with both queue disciplines and compares which
+kinds of transformations each spends its budget on and how good the
+resulting queries are.
+
+Run with::
+
+    python examples/budgeted_optimization.py
+"""
+
+from collections import Counter
+
+from repro import QueryExecutor, SemanticQueryOptimizer
+from repro.core import OptimizerConfig
+from repro.data import TABLE_4_1_SPECS, build_evaluation_setup
+
+
+def run(setup, use_priority: bool, budget: int):
+    optimizer = SemanticQueryOptimizer(
+        setup.schema,
+        repository=setup.repository,
+        cost_model=setup.cost_model,
+        config=OptimizerConfig(
+            use_priority_queue=use_priority,
+            transformation_budget=budget,
+            record_access_statistics=False,
+        ),
+    )
+    executor = QueryExecutor(setup.schema, setup.store)
+    kinds = Counter()
+    ratios = []
+    for query in setup.queries:
+        result = optimizer.optimize(query)
+        kinds.update(
+            record.kind.value for record in result.trace if record.constraint_name
+        )
+        original = setup.cost_model.measured_cost(executor.execute(query).metrics)
+        optimized = setup.cost_model.measured_cost(
+            executor.execute(result.optimized).metrics
+        )
+        ratios.append(optimized / original if original else 1.0)
+    return kinds, sum(ratios) / len(ratios)
+
+
+def main() -> None:
+    setup = build_evaluation_setup(TABLE_4_1_SPECS["DB2"], query_count=30, seed=7)
+    budget = 1
+    print(f"Workload: {len(setup.queries)} queries, budget: {budget} transformation/query\n")
+    for use_priority in (False, True):
+        name = "priority queue" if use_priority else "FIFO queue"
+        kinds, mean_ratio = run(setup, use_priority, budget)
+        print(f"{name}:")
+        for kind, count in sorted(kinds.items()):
+            print(f"  {kind:28} x{count}")
+        print(f"  mean optimized/original cost ratio: {mean_ratio:.3f}\n")
+    print(
+        "The priority queue spends its single allowed transformation on index "
+        "introductions first, which is where the execution-cost savings are."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Workload study: does semantic optimization pay off on a fleet database?
+
+Generates one of the paper's database instances (Table 4.1), builds a
+40-query workload from schema paths exactly as Section 4 describes, and then
+measures — query by query — the execution cost of the original versus the
+semantically optimized query, including the transformation overhead.  Ends
+with the bucket histogram of Table 4.2 for the chosen instance.
+
+Run with::
+
+    python examples/fleet_workload_study.py [DB1|DB2|DB3|DB4]
+"""
+
+import sys
+
+from repro import SemanticQueryOptimizer, QueryExecutor
+from repro.core import OptimizerConfig
+from repro.data import TABLE_4_1_SPECS, build_evaluation_setup
+from repro.experiments import DEFAULT_OVERHEAD_UNITS_PER_SECOND
+from repro.experiments.reporting import format_histogram
+from repro.query import answers_match
+
+
+def main() -> None:
+    instance = sys.argv[1] if len(sys.argv) > 1 else "DB2"
+    spec = TABLE_4_1_SPECS[instance]
+    print(f"Generating {instance}: {spec.class_cardinality} instances/class, "
+          f"{spec.relationship_cardinality} links/relationship ...")
+    setup = build_evaluation_setup(spec, query_count=40, seed=7)
+    print("Database summary:", setup.database.summary())
+
+    optimizer = SemanticQueryOptimizer(
+        setup.schema,
+        repository=setup.repository,
+        cost_model=setup.cost_model,
+        config=OptimizerConfig(record_access_statistics=False),
+    )
+    executor = QueryExecutor(setup.schema, setup.store, join_strategy="nested_loop")
+    cost_model = setup.cost_model
+
+    ratios = []
+    print(f"\n{'query':8} {'classes':>7} {'original':>10} {'optimized':>10} "
+          f"{'overhead':>9} {'ratio':>6}  transformed  answers")
+    for query in setup.queries:
+        outcome = optimizer.optimize(query)
+        original = cost_model.measured_cost(executor.execute(query).metrics)
+        optimized = cost_model.measured_cost(
+            executor.execute(outcome.optimized).metrics
+        )
+        overhead = (
+            outcome.timings.transformation_only * DEFAULT_OVERHEAD_UNITS_PER_SECOND
+        )
+        ratio = (optimized + overhead) / original if original else 1.0
+        ratios.append(ratio)
+        agree = answers_match(setup.schema, setup.store, query, outcome.optimized)
+        print(
+            f"{query.name:8} {query.class_count:>7} {original:>10.0f} "
+            f"{optimized:>10.0f} {overhead:>9.0f} {ratio:>6.2f}  "
+            f"{'yes' if outcome.was_transformed else 'no ':11} "
+            f"{'ok' if agree else 'MISMATCH'}"
+        )
+
+    buckets = {}
+    for low in range(0, 120, 10):
+        label = f"{low}%"
+        buckets[label] = sum(1 for r in ratios if low <= r * 100 < low + 10)
+    buckets["110%"] += sum(1 for r in ratios if r >= 1.2)
+    print(f"\nCost-ratio histogram for {instance} (cf. Table 4.2):")
+    print(format_histogram(buckets, total=len(ratios)))
+    faster = sum(1 for r in ratios if r < 1.0)
+    print(
+        f"\n{faster}/{len(ratios)} queries executed more cheaply after semantic "
+        f"optimization on {instance}."
+    )
+
+
+if __name__ == "__main__":
+    main()

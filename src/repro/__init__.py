@@ -1,0 +1,168 @@
+"""repro — reproduction of "An Efficient Semantic Query Optimization Algorithm".
+
+Pang, Lu and Ooi (ICDE 1991) describe a polynomial-time semantic query
+optimizer for an object-oriented database: all possible semantic
+transformations are applied *tentatively* by re-classifying predicates
+(imperative / optional / redundant) in a transformation table, and the
+beneficial ones are selected only at the end, when the transformed query is
+formulated.  This package contains a complete implementation of that
+algorithm plus every substrate it needs — schema, constraints, queries, an
+in-memory OODB execution engine, synthetic data generation and the
+experiment harness that regenerates the paper's tables and figures.
+
+Quickstart
+----------
+>>> from repro import (
+...     SemanticQueryOptimizer, ConstraintRepository,
+...     build_example_schema, build_example_constraints, parse_query,
+... )
+>>> schema = build_example_schema()
+>>> repository = ConstraintRepository(schema)
+>>> repository.add_all(build_example_constraints())
+>>> optimizer = SemanticQueryOptimizer(schema, repository=repository)
+>>> query = parse_query(
+...     '(SELECT {vehicle.vehicle_no, cargo.desc, cargo.quantity} { } '
+...     '{vehicle.desc = "refrigerated truck", supplier.name = "SFI"} '
+...     '{collects, supplies} {supplier, cargo, vehicle})'
+... )
+>>> result = optimizer.optimize(query)
+>>> sorted(result.eliminated_classes)
+['supplier']
+"""
+
+from .schema import (
+    AccessStatistics,
+    Attribute,
+    AttributeKind,
+    DomainType,
+    ObjectClass,
+    Relationship,
+    Schema,
+    SchemaError,
+    SchemaPath,
+    build_core_example_schema,
+    build_example_schema,
+    enumerate_paths,
+    pointer_attribute,
+    value_attribute,
+)
+from .constraints import (
+    ComparisonOperator,
+    ConstraintClass,
+    ConstraintError,
+    ConstraintOrigin,
+    ConstraintRepository,
+    GroupingPolicy,
+    Predicate,
+    SemanticConstraint,
+    build_example_constraints,
+    compute_closure,
+    derive_rules,
+    implies,
+    validate_database,
+)
+from .query import (
+    Query,
+    QueryError,
+    QueryGenerator,
+    answers_match,
+    format_query,
+    parse_predicate,
+    parse_query,
+    structurally_equal,
+)
+from .engine import (
+    ConventionalPlanner,
+    CostModel,
+    CostWeights,
+    DatabaseStatistics,
+    ExecutionMetrics,
+    ExecutionResult,
+    ObjectInstance,
+    ObjectStore,
+    QueryExecutor,
+)
+from .core import (
+    CellTag,
+    OptimizationResult,
+    OptimizerConfig,
+    PredicateTag,
+    SemanticQueryOptimizer,
+    StraightforwardOptimizer,
+    TransformationKind,
+    TransformationTable,
+)
+from .data import (
+    TABLE_4_1_SPECS,
+    DatabaseGenerator,
+    DatabaseSpec,
+    EvaluationSetup,
+    build_evaluation_constraints,
+    build_evaluation_schema,
+    build_evaluation_setup,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessStatistics",
+    "Attribute",
+    "AttributeKind",
+    "CellTag",
+    "ComparisonOperator",
+    "ConstraintClass",
+    "ConstraintError",
+    "ConstraintOrigin",
+    "ConstraintRepository",
+    "ConventionalPlanner",
+    "CostModel",
+    "CostWeights",
+    "DatabaseGenerator",
+    "DatabaseSpec",
+    "DatabaseStatistics",
+    "DomainType",
+    "EvaluationSetup",
+    "ExecutionMetrics",
+    "ExecutionResult",
+    "GroupingPolicy",
+    "ObjectClass",
+    "ObjectInstance",
+    "ObjectStore",
+    "OptimizationResult",
+    "OptimizerConfig",
+    "Predicate",
+    "PredicateTag",
+    "Query",
+    "QueryError",
+    "QueryExecutor",
+    "QueryGenerator",
+    "Relationship",
+    "Schema",
+    "SchemaError",
+    "SchemaPath",
+    "SemanticConstraint",
+    "SemanticQueryOptimizer",
+    "StraightforwardOptimizer",
+    "TABLE_4_1_SPECS",
+    "TransformationKind",
+    "TransformationTable",
+    "answers_match",
+    "build_core_example_schema",
+    "build_evaluation_constraints",
+    "build_evaluation_schema",
+    "build_evaluation_setup",
+    "build_example_constraints",
+    "build_example_schema",
+    "compute_closure",
+    "derive_rules",
+    "enumerate_paths",
+    "format_query",
+    "implies",
+    "parse_predicate",
+    "parse_query",
+    "pointer_attribute",
+    "structurally_equal",
+    "validate_database",
+    "value_attribute",
+    "__version__",
+]

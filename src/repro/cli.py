@@ -1,0 +1,150 @@
+"""Command-line interface.
+
+``python -m repro`` optimizes a query written in the paper's five-part
+notation against one of the bundled schemas and prints the transformation
+trace, the predicate classification and the transformed query.  It is a thin
+wrapper over the library — handy for poking at the optimizer without writing
+a script.
+
+Examples
+--------
+Optimize the paper's Figure 2.3 query against the Figure 2.1 schema::
+
+    python -m repro --schema example \
+        '(SELECT {vehicle.vehicle#, cargo.desc, cargo.quantity} { }
+          {vehicle.desc = "refrigerated truck", supplier.name = "SFI"}
+          {collects, supplies} {supplier, cargo, vehicle})'
+
+Run the full experiment suite instead::
+
+    python -m repro --experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .constraints import ConstraintRepository, build_example_constraints
+from .core import OptimizerConfig, SemanticQueryOptimizer
+from .data import build_evaluation_constraints, build_evaluation_schema
+from .query import format_query, parse_query
+from .schema import build_example_schema
+
+#: Named schema/constraint bundles selectable from the command line.
+BUNDLES = {
+    "example": (build_example_schema, build_example_constraints),
+    "evaluation": (build_evaluation_schema, build_evaluation_constraints),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Semantic query optimization (Pang, Lu, Ooi — ICDE 1991): "
+            "optimize a query in the paper's five-part notation."
+        ),
+    )
+    parser.add_argument(
+        "query",
+        nargs="?",
+        help="query text, e.g. '(SELECT {cargo.desc} { } {...} {collects} {cargo, vehicle})'",
+    )
+    parser.add_argument(
+        "--schema",
+        choices=sorted(BUNDLES),
+        default="example",
+        help="which bundled schema + constraint set to optimize against",
+    )
+    parser.add_argument(
+        "--no-class-elimination",
+        action="store_true",
+        help="disable the class elimination rule",
+    )
+    parser.add_argument(
+        "--priority-queue",
+        action="store_true",
+        help="use the Section 4 priority queue",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="maximum number of transformations to apply",
+    )
+    parser.add_argument(
+        "--experiments",
+        action="store_true",
+        help="run the full experiment suite instead of optimizing a query",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="with --experiments: use small workloads",
+    )
+    return parser
+
+
+def run_query(args: argparse.Namespace) -> int:
+    """Optimize one query and print the outcome."""
+    build_schema, build_constraints = BUNDLES[args.schema]
+    schema = build_schema()
+    repository = ConstraintRepository(schema)
+    repository.add_all(build_constraints())
+
+    try:
+        query = parse_query(args.query, name="cli")
+        query.validate(schema)
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    optimizer = SemanticQueryOptimizer(
+        schema,
+        repository=repository,
+        config=OptimizerConfig(
+            enable_class_elimination=not args.no_class_elimination,
+            use_priority_queue=args.priority_queue,
+            transformation_budget=args.budget,
+        ),
+    )
+    result = optimizer.optimize(query)
+
+    print("Original query:")
+    print(format_query(result.original, multiline=True, indent="  "))
+    print("\nTransformations:")
+    print("  " + result.trace.describe().replace("\n", "\n  "))
+    print("\nPredicate classification:")
+    for predicate, tag in result.predicate_tags.items():
+        print(f"  [{tag.value:10}] {predicate}")
+    if result.eliminated_classes:
+        print(f"\nEliminated classes: {', '.join(result.eliminated_classes)}")
+    print("\nOptimized query:")
+    print(format_query(result.optimized, multiline=True, indent="  "))
+    print(f"\n{result.summary()}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.experiments:
+        from .experiments import run_all
+
+        report = run_all(quick=args.quick)
+        print(report.render())
+        return 0
+
+    if not args.query:
+        parser.print_help()
+        return 1
+    return run_query(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

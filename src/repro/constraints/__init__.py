@@ -1,0 +1,102 @@
+"""Semantic constraint substrate.
+
+Predicates, Horn-clause semantic constraints, predicate implication
+reasoning, transitive-closure materialization, constraint grouping, the
+constraint repository used by the optimizer, the Figure 2.2 example
+constraints, integrity validation of database contents, and Siegel-style
+dynamic rule derivation.
+"""
+
+from .predicate import (
+    AttributeOperand,
+    ComparisonOperator,
+    Predicate,
+    attribute_operand,
+    parse_operator,
+)
+from .implication import conflicts, implies, is_subsumed_by_any, strongest
+from .horn_clause import (
+    ConstraintClass,
+    ConstraintError,
+    ConstraintOrigin,
+    SemanticConstraint,
+    fresh_name,
+    unique_constraints,
+)
+from .closure import ClosureResult, PredicateStore, closure_reaches, compute_closure
+from .groups import (
+    ConstraintGroup,
+    ConstraintGrouping,
+    GroupingPolicy,
+    RetrievalStats,
+    build_grouping,
+)
+from .repository import ConstraintRepository, RepositoryStats
+from .dynamic import DerivationConfig, DynamicRuleDeriver, derive_rules
+from .validation import ValidationReport, Violation, assert_valid, validate_database
+from .example import (
+    DEVELOPMENT,
+    FROZEN_FOOD,
+    REFRIGERATED_TRUCK,
+    RESEARCH_STAFF,
+    SFI,
+    TOP_SECRET,
+    build_example_constraints,
+    constraint_c1,
+    constraint_c2,
+    constraint_c3,
+    constraint_c4,
+    constraint_c5,
+    core_example_constraints,
+    example_constraints_by_name,
+)
+
+__all__ = [
+    "AttributeOperand",
+    "ClosureResult",
+    "ComparisonOperator",
+    "ConstraintClass",
+    "ConstraintError",
+    "ConstraintGroup",
+    "ConstraintGrouping",
+    "ConstraintOrigin",
+    "ConstraintRepository",
+    "DerivationConfig",
+    "DynamicRuleDeriver",
+    "GroupingPolicy",
+    "Predicate",
+    "PredicateStore",
+    "RepositoryStats",
+    "RetrievalStats",
+    "SemanticConstraint",
+    "ValidationReport",
+    "Violation",
+    "assert_valid",
+    "attribute_operand",
+    "build_example_constraints",
+    "build_grouping",
+    "closure_reaches",
+    "compute_closure",
+    "conflicts",
+    "constraint_c1",
+    "constraint_c2",
+    "constraint_c3",
+    "constraint_c4",
+    "constraint_c5",
+    "core_example_constraints",
+    "derive_rules",
+    "example_constraints_by_name",
+    "fresh_name",
+    "implies",
+    "is_subsumed_by_any",
+    "parse_operator",
+    "strongest",
+    "unique_constraints",
+    "validate_database",
+    "DEVELOPMENT",
+    "FROZEN_FOOD",
+    "REFRIGERATED_TRUCK",
+    "RESEARCH_STAFF",
+    "SFI",
+    "TOP_SECRET",
+]

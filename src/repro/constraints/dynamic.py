@@ -1,0 +1,230 @@
+"""State-derived ("dynamic") semantic rules.
+
+Siegel [Sie88] and Yu & Sun [YuS89] extend semantic optimization with rules
+that are not declared integrity constraints but are *deduced from the current
+database state* — e.g. "every cargo currently in the database has quantity
+<= 500" — and therefore only guarantee equivalence in the current state.
+Section 2 of the paper notes that such rules "can easily be accommodated" by
+the same transformation algorithm; this module provides a small rule-derivation
+pass so that the accommodation can actually be exercised in tests, examples
+and the extension experiments.
+
+Two families of rules are derived:
+
+* **Range rules** — for each numeric attribute of each class, unconditional
+  bounds ``attr >= observed_min`` and ``attr <= observed_max``.
+* **Functional rules** — for a pair of attributes (A, B) of the same class,
+  if every instance with ``A = a`` also has ``B = b`` for a single ``b``
+  (and ``a`` occurs at least ``min_support`` times), derive
+  ``A = a -> B = b``.
+
+Derived rules carry ``ConstraintOrigin.DERIVED`` so the repository, traces
+and experiments can tell them apart from declared integrity constraints.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..engine.storage import ObjectStore
+from ..schema.attribute import DomainType
+from ..schema.schema import Schema
+from .horn_clause import ConstraintOrigin, SemanticConstraint, fresh_name
+from .predicate import ComparisonOperator, Predicate
+
+
+@dataclass
+class DerivationConfig:
+    """Tuning knobs for dynamic rule derivation.
+
+    Parameters
+    ----------
+    derive_ranges:
+        Derive min/max range rules for numeric attributes.
+    derive_functional:
+        Derive ``A = a -> B = b`` rules for co-varying attribute pairs.
+    min_support:
+        Minimum number of instances a value must appear in before a
+        functional rule conditioned on it is derived (guards against rules
+        that reflect a single row rather than a pattern).
+    max_distinct:
+        Functional rules are only derived when the conditioning attribute has
+        at most this many distinct values — high-cardinality attributes (keys,
+        free text) would generate a flood of single-row rules.
+    """
+
+    derive_ranges: bool = True
+    derive_functional: bool = True
+    min_support: int = 2
+    max_distinct: int = 16
+
+
+class DynamicRuleDeriver:
+    """Derives state-dependent semantic rules from an object store."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        config: Optional[DerivationConfig] = None,
+    ) -> None:
+        self.schema = schema
+        self.config = config or DerivationConfig()
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def derive(
+        self,
+        store: ObjectStore,
+        class_names: Optional[Iterable[str]] = None,
+        existing_names: Iterable[str] = (),
+    ) -> List[SemanticConstraint]:
+        """Derive rules from the current contents of ``store``.
+
+        Parameters
+        ----------
+        store:
+            The database instance to learn from.
+        class_names:
+            Restrict derivation to these classes (default: all classes with
+            a non-empty extent).
+        existing_names:
+            Constraint names already taken, so freshly derived rules never
+            collide with declared constraints.
+        """
+        taken: Set[str] = set(existing_names)
+        targets = list(class_names) if class_names is not None else [
+            name for name in self.schema.class_names() if store.count(name) > 0
+        ]
+        rules: List[SemanticConstraint] = []
+        for class_name in targets:
+            if not store.has_class(class_name) or store.count(class_name) == 0:
+                continue
+            if self.config.derive_ranges:
+                rules.extend(self._range_rules(store, class_name, taken))
+            if self.config.derive_functional:
+                rules.extend(self._functional_rules(store, class_name, taken))
+        return rules
+
+    # ------------------------------------------------------------------
+    # Range rules
+    # ------------------------------------------------------------------
+    def _range_rules(
+        self, store: ObjectStore, class_name: str, taken: Set[str]
+    ) -> List[SemanticConstraint]:
+        rules: List[SemanticConstraint] = []
+        cls = self.schema.object_class(class_name)
+        for attribute in cls.value_attributes:
+            if not attribute.domain.is_numeric:
+                continue
+            values = [
+                instance.values.get(attribute.name)
+                for instance in store.instances(class_name)
+            ]
+            numeric = [v for v in values if isinstance(v, (int, float))]
+            if not numeric or len(numeric) != len(values):
+                continue
+            low, high = min(numeric), max(numeric)
+            qualified = f"{class_name}.{attribute.name}"
+            for operator, bound in (
+                (ComparisonOperator.GE, low),
+                (ComparisonOperator.LE, high),
+            ):
+                name = fresh_name("d", taken)
+                taken.add(name)
+                rules.append(
+                    SemanticConstraint.build(
+                        name=name,
+                        antecedents=[],
+                        consequent=Predicate.selection(qualified, operator, bound),
+                        anchor_classes={class_name},
+                        origin=ConstraintOrigin.DERIVED,
+                        description=(
+                            f"observed range bound on {qualified} in the "
+                            "current database state"
+                        ),
+                    )
+                )
+        return rules
+
+    # ------------------------------------------------------------------
+    # Functional rules
+    # ------------------------------------------------------------------
+    def _functional_rules(
+        self, store: ObjectStore, class_name: str, taken: Set[str]
+    ) -> List[SemanticConstraint]:
+        rules: List[SemanticConstraint] = []
+        cls = self.schema.object_class(class_name)
+        candidates = [
+            a
+            for a in cls.value_attributes
+            if a.domain in (DomainType.STRING, DomainType.INTEGER)
+        ]
+        instances = store.instances(class_name)
+        for source in candidates:
+            # value of source attribute -> set of values seen for each other
+            # attribute, plus a support count.
+            support: Dict[object, int] = defaultdict(int)
+            observed: Dict[Tuple[str, object], Set[object]] = defaultdict(set)
+            for instance in instances:
+                source_value = instance.values.get(source.name)
+                if source_value is None:
+                    continue
+                support[source_value] += 1
+                for target in candidates:
+                    if target.name == source.name:
+                        continue
+                    observed[(target.name, source_value)].add(
+                        instance.values.get(target.name)
+                    )
+            if len(support) > self.config.max_distinct:
+                continue
+            for target in candidates:
+                if target.name == source.name:
+                    continue
+                for source_value, count in support.items():
+                    if count < self.config.min_support:
+                        continue
+                    values = observed[(target.name, source_value)]
+                    if len(values) != 1:
+                        continue
+                    (target_value,) = values
+                    if target_value is None:
+                        continue
+                    name = fresh_name("d", taken)
+                    taken.add(name)
+                    rules.append(
+                        SemanticConstraint.build(
+                            name=name,
+                            antecedents=[
+                                Predicate.equals(
+                                    f"{class_name}.{source.name}", source_value
+                                )
+                            ],
+                            consequent=Predicate.equals(
+                                f"{class_name}.{target.name}", target_value
+                            ),
+                            anchor_classes={class_name},
+                            origin=ConstraintOrigin.DERIVED,
+                            description=(
+                                f"functional dependency observed in the current "
+                                f"state: {source.name}={source_value!r} always "
+                                f"implies {target.name}={target_value!r}"
+                            ),
+                        )
+                    )
+        return rules
+
+
+def derive_rules(
+    schema: Schema,
+    store: ObjectStore,
+    config: Optional[DerivationConfig] = None,
+    existing_names: Iterable[str] = (),
+) -> List[SemanticConstraint]:
+    """Convenience wrapper around :class:`DynamicRuleDeriver`."""
+    return DynamicRuleDeriver(schema, config).derive(
+        store, existing_names=existing_names
+    )

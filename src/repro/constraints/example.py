@@ -1,0 +1,137 @@
+"""The paper's example semantic constraints (Figure 2.2).
+
+The five constraints of the worked example, expressed over the Figure 2.1
+schema built by :func:`repro.schema.example.build_example_schema`:
+
+c1  Refrigerated trucks can only be used to carry frozen food.
+    ``vehicle.desc = "refrigerated truck" -> cargo.desc = "frozen food"``
+    (anchored on cargo & vehicle, related through ``collects``)
+
+c2  We get frozen food only from the Singapore Food Industries (SFI).
+    ``cargo.desc = "frozen food" -> supplier.name = "SFI"``
+    (anchored on supplier & cargo, related through ``supplies``)
+
+c3  A driver can only drive vehicles whose classification is not higher
+    than his license classification.
+    ``-> driver.licenseClass >= vehicle.class``
+    (anchored on driver & vehicle, related through ``drives``; the
+    consequent is an inter-class comparison with no antecedent beyond class
+    membership)
+
+c4  Only research staff members can be appointed as managers.
+    ``-> manager.rank = "research staff member"``  (intra-class)
+
+c5  Only employees whose security clearance is top secret can belong to the
+    development department.
+    ``department.name = "development" -> employee.clearance = "top secret"``
+    (anchored on employee & department, related through ``belongsTo``)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .horn_clause import SemanticConstraint
+from .predicate import Predicate
+
+# Constants used throughout the example, exported so that data generation,
+# tests and examples all agree on spelling.
+REFRIGERATED_TRUCK = "refrigerated truck"
+FROZEN_FOOD = "frozen food"
+SFI = "SFI"
+RESEARCH_STAFF = "research staff member"
+DEVELOPMENT = "development"
+TOP_SECRET = "top secret"
+
+
+def constraint_c1() -> SemanticConstraint:
+    """c1: refrigerated trucks only carry frozen food."""
+    return SemanticConstraint.build(
+        name="c1",
+        antecedents=[Predicate.equals("vehicle.desc", REFRIGERATED_TRUCK)],
+        consequent=Predicate.equals("cargo.desc", FROZEN_FOOD),
+        anchor_classes={"cargo", "vehicle"},
+        anchor_relationships={"collects"},
+        description="Refrigerated trucks can only be used to carry frozen food.",
+    )
+
+
+def constraint_c2() -> SemanticConstraint:
+    """c2: frozen food comes only from SFI."""
+    return SemanticConstraint.build(
+        name="c2",
+        antecedents=[Predicate.equals("cargo.desc", FROZEN_FOOD)],
+        consequent=Predicate.equals("supplier.name", SFI),
+        anchor_classes={"supplier", "cargo"},
+        anchor_relationships={"supplies"},
+        description="We get frozen food only from the Singapore Food Industries.",
+    )
+
+
+def constraint_c3() -> SemanticConstraint:
+    """c3: a driver's license class bounds the vehicle class they drive."""
+    return SemanticConstraint.build(
+        name="c3",
+        antecedents=[],
+        consequent=Predicate.comparison(
+            "driver.licenseClass", ">=", "vehicle.class"
+        ),
+        anchor_classes={"driver", "vehicle"},
+        anchor_relationships={"drives"},
+        description=(
+            "A driver can only drive vehicles whose classification is not "
+            "higher than his license classification."
+        ),
+    )
+
+
+def constraint_c4() -> SemanticConstraint:
+    """c4: only research staff members can be appointed as managers."""
+    return SemanticConstraint.build(
+        name="c4",
+        antecedents=[],
+        consequent=Predicate.equals("manager.rank", RESEARCH_STAFF),
+        anchor_classes={"manager"},
+        description="Only research staff members can be appointed as managers.",
+    )
+
+
+def constraint_c5() -> SemanticConstraint:
+    """c5: development-department employees have top-secret clearance."""
+    return SemanticConstraint.build(
+        name="c5",
+        antecedents=[Predicate.equals("department.name", DEVELOPMENT)],
+        consequent=Predicate.equals("employee.clearance", TOP_SECRET),
+        anchor_classes={"employee", "department"},
+        anchor_relationships={"belongsTo"},
+        description=(
+            "Only employees whose security clearance is top secret can "
+            "belong to the development department."
+        ),
+    )
+
+
+def build_example_constraints() -> List[SemanticConstraint]:
+    """All five Figure 2.2 constraints, in paper order."""
+    return [
+        constraint_c1(),
+        constraint_c2(),
+        constraint_c3(),
+        constraint_c4(),
+        constraint_c5(),
+    ]
+
+
+def example_constraints_by_name() -> Dict[str, SemanticConstraint]:
+    """Map constraint name (``"c1"`` ... ``"c5"``) to the constraint."""
+    return {c.name: c for c in build_example_constraints()}
+
+
+def core_example_constraints() -> List[SemanticConstraint]:
+    """The subset of Figure 2.2 constraints expressible on the 5-class core schema.
+
+    The core schema (:func:`repro.schema.example.build_core_example_schema`)
+    drops the manager/supervisor/employee/department classes, so c4 and c5
+    are out of scope; c1, c2 and c3 remain.
+    """
+    return [constraint_c1(), constraint_c2(), constraint_c3()]

@@ -1,0 +1,262 @@
+"""Constraint grouping schemes.
+
+The paper reduces the overhead of constraint retrieval by grouping
+constraints by object class: *"A constraint is arbitrarily assigned to a
+group g_k, which is attached to object class o_k and o_k is one of the
+object classes referenced in the constraint.  To optimize a query, only those
+groups of constraints attached to object classes that appear in the query
+need to be considered."*
+
+Section 3 then refines the assignment: attach each constraint to the *least
+frequently accessed* class it references, so that constraints over rarely
+queried classes are rarely fetched; and mentions an alternative that
+distributes constraints evenly across groups.  All three assignment policies
+are implemented here so the grouping ablation experiment can compare them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..schema.statistics import AccessStatistics
+from .horn_clause import ConstraintError, SemanticConstraint
+
+
+class GroupingPolicy(enum.Enum):
+    """How a constraint is assigned to one of its referenced classes."""
+
+    #: Attach to the alphabetically first referenced class (a deterministic
+    #: stand-in for the paper's "arbitrarily assigned").
+    ARBITRARY = "arbitrary"
+    #: Attach to the least frequently accessed referenced class (the paper's
+    #: recommended enhancement).
+    LEAST_FREQUENT = "least_frequent"
+    #: Attach to whichever referenced class currently has the smallest group
+    #: (the paper's "distribute constraints as evenly as possible"
+    #: alternative).
+    BALANCED = "balanced"
+
+
+@dataclass
+class ConstraintGroup:
+    """The group of constraints attached to a single object class."""
+
+    class_name: str
+    constraints: List[SemanticConstraint] = field(default_factory=list)
+
+    def add(self, constraint: SemanticConstraint) -> None:
+        """Append a constraint to the group."""
+        self.constraints.append(constraint)
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def __iter__(self):
+        return iter(self.constraints)
+
+
+@dataclass
+class RetrievalStats:
+    """Bookkeeping for one retrieval, used by the grouping ablation.
+
+    ``fetched`` counts every constraint pulled out of the touched groups;
+    ``relevant`` counts the subset that passed the relevance test.  The
+    difference is the wasted work the grouping policy failed to avoid.
+    """
+
+    groups_touched: int = 0
+    fetched: int = 0
+    relevant: int = 0
+
+    @property
+    def irrelevant(self) -> int:
+        """Constraints fetched but found irrelevant to the query."""
+        return self.fetched - self.relevant
+
+    @property
+    def precision(self) -> float:
+        """Fraction of fetched constraints that were relevant (1.0 if none fetched)."""
+        if self.fetched == 0:
+            return 1.0
+        return self.relevant / self.fetched
+
+
+class ConstraintGrouping:
+    """Assignment of constraints to per-class groups.
+
+    Parameters
+    ----------
+    class_names:
+        All object classes of the schema; a (possibly empty) group is
+        maintained for each so that retrieval never has to special-case
+        missing groups.
+    policy:
+        The :class:`GroupingPolicy` used by :meth:`assign`.
+    statistics:
+        Access-frequency statistics; required by the ``LEAST_FREQUENT``
+        policy and ignored by the others.
+    """
+
+    def __init__(
+        self,
+        class_names: Iterable[str],
+        policy: GroupingPolicy = GroupingPolicy.LEAST_FREQUENT,
+        statistics: Optional[AccessStatistics] = None,
+    ) -> None:
+        self.policy = policy
+        self.statistics = statistics or AccessStatistics()
+        self._groups: Dict[str, ConstraintGroup] = {
+            name: ConstraintGroup(name) for name in class_names
+        }
+        if not self._groups:
+            raise ConstraintError("a grouping needs at least one object class")
+
+    # ------------------------------------------------------------------
+    # Assignment
+    # ------------------------------------------------------------------
+    def _choose_class(self, constraint: SemanticConstraint) -> str:
+        referenced = sorted(constraint.referenced_classes())
+        known = [name for name in referenced if name in self._groups]
+        if not known:
+            raise ConstraintError(
+                f"constraint {constraint.name!r} references no known object "
+                f"class (referenced: {referenced})"
+            )
+        if self.policy is GroupingPolicy.ARBITRARY:
+            return known[0]
+        if self.policy is GroupingPolicy.LEAST_FREQUENT:
+            return self.statistics.least_frequent(known)
+        # BALANCED: smallest group wins, ties alphabetically.
+        return min(known, key=lambda name: (len(self._groups[name]), name))
+
+    def assign(self, constraint: SemanticConstraint) -> str:
+        """Assign ``constraint`` to a group and return the chosen class name."""
+        class_name = self._choose_class(constraint)
+        self._groups[class_name].add(constraint)
+        return class_name
+
+    def assign_all(
+        self, constraints: Iterable[SemanticConstraint]
+    ) -> Dict[str, List[str]]:
+        """Assign every constraint; returns class -> list of constraint names."""
+        placement: Dict[str, List[str]] = {}
+        for constraint in constraints:
+            class_name = self.assign(constraint)
+            placement.setdefault(class_name, []).append(constraint.name)
+        return placement
+
+    def rebuild(
+        self,
+        constraints: Sequence[SemanticConstraint],
+        statistics: Optional[AccessStatistics] = None,
+    ) -> None:
+        """Re-assign all constraints from scratch.
+
+        The paper notes that the least-frequent enhancement requires the
+        grouping to be "updated as database access pattern changes"; this is
+        that update.
+        """
+        if statistics is not None:
+            self.statistics = statistics
+        for group in self._groups.values():
+            group.constraints.clear()
+        for constraint in constraints:
+            self.assign(constraint)
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def group(self, class_name: str) -> ConstraintGroup:
+        """The group attached to ``class_name``."""
+        try:
+            return self._groups[class_name]
+        except KeyError:
+            raise ConstraintError(f"unknown object class {class_name!r}") from None
+
+    def groups(self) -> List[ConstraintGroup]:
+        """All groups (including empty ones)."""
+        return list(self._groups.values())
+
+    def group_sizes(self) -> Dict[str, int]:
+        """Class name -> number of constraints attached."""
+        return {name: len(group) for name, group in self._groups.items()}
+
+    def fetch(self, query_classes: Iterable[str]) -> List[SemanticConstraint]:
+        """All constraints attached to any class in ``query_classes``.
+
+        This is the raw group fetch; relevance filtering is a separate step
+        (see :meth:`retrieve_relevant`), matching the two-stage procedure in
+        the paper's initialization algorithm.
+        """
+        fetched: List[SemanticConstraint] = []
+        seen: Set[str] = set()
+        for class_name in query_classes:
+            group = self._groups.get(class_name)
+            if group is None:
+                continue
+            for constraint in group:
+                if constraint.name not in seen:
+                    seen.add(constraint.name)
+                    fetched.append(constraint)
+        return fetched
+
+    def retrieve_relevant(
+        self,
+        query_classes: Iterable[str],
+        query_relationships: Optional[Iterable[str]] = None,
+    ) -> Tuple[List[SemanticConstraint], RetrievalStats]:
+        """Fetch groups for ``query_classes`` and filter to relevant constraints.
+
+        Returns the relevant constraints plus :class:`RetrievalStats`
+        describing how much irrelevant work the fetch incurred.
+        """
+        classes = set(query_classes)
+        relationships = (
+            set(query_relationships) if query_relationships is not None else None
+        )
+        stats = RetrievalStats()
+        stats.groups_touched = sum(1 for name in classes if name in self._groups)
+        fetched = self.fetch(classes)
+        stats.fetched = len(fetched)
+        relevant = [c for c in fetched if c.is_relevant_to(classes, relationships)]
+        stats.relevant = len(relevant)
+        return relevant, stats
+
+    # ------------------------------------------------------------------
+    # Correctness check
+    # ------------------------------------------------------------------
+    def verify_complete(
+        self,
+        constraints: Sequence[SemanticConstraint],
+        query_classes: Iterable[str],
+    ) -> bool:
+        """Check the paper's correctness argument for the grouping scheme.
+
+        Every constraint relevant to ``query_classes`` must be among the
+        constraints fetched for those classes (the scheme may over-fetch but
+        must never miss a relevant constraint).
+        """
+        classes = set(query_classes)
+        fetched_names = {c.name for c in self.fetch(classes)}
+        for constraint in constraints:
+            if constraint.is_relevant_to(classes) and constraint.name not in fetched_names:
+                return False
+        return True
+
+
+def build_grouping(
+    class_names: Iterable[str],
+    constraints: Sequence[SemanticConstraint],
+    policy: GroupingPolicy = GroupingPolicy.LEAST_FREQUENT,
+    statistics: Optional[AccessStatistics] = None,
+    frequencies: Optional[Mapping[str, int]] = None,
+) -> ConstraintGrouping:
+    """Convenience builder: create a grouping and assign all constraints."""
+    stats = statistics
+    if stats is None and frequencies is not None:
+        stats = AccessStatistics(frequencies)
+    grouping = ConstraintGrouping(class_names, policy=policy, statistics=stats)
+    grouping.assign_all(constraints)
+    return grouping

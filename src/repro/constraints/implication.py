@@ -1,0 +1,193 @@
+"""Domain-knowledge implication between predicates.
+
+The paper materializes the transitive closure of the constraint set at
+precompilation time, *"computing the closure of existing predicates using
+domain knowledge, eg. if (A = a) --> (B > 20) and (B > 10) --> (C = c) then
+deduce (A = a) --> (C = c)"*.  Chaining constraint ``c1: X -> p`` with
+``c2: q -> r`` is valid whenever ``p`` *implies* ``q``; this module provides
+that implication test (and the companion conflict test used by the query
+generator and by integrity validation).
+
+Only selective predicates (attribute compared to a constant) participate in
+value-level implication reasoning; attribute-to-attribute predicates imply
+each other only when they are syntactically identical after normalization.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .predicate import AttributeOperand, ComparisonOperator, Constant, Predicate
+
+_NUMERIC_TYPES = (int, float)
+
+
+def _is_numeric(value: Constant) -> bool:
+    return isinstance(value, _NUMERIC_TYPES) and not isinstance(value, bool)
+
+
+def _same_attribute(p: Predicate, q: Predicate) -> bool:
+    return p.left == q.left
+
+
+def _as_interval(
+    predicate: Predicate,
+) -> Optional[Tuple[Optional[float], bool, Optional[float], bool]]:
+    """Express a numeric selective predicate as an interval.
+
+    Returns ``(low, low_inclusive, high, high_inclusive)`` with ``None``
+    standing for an unbounded end, or ``None`` if the predicate is not a
+    numeric range predicate (``EQ``/``LT``/``LE``/``GT``/``GE``).
+    """
+    value = predicate.constant
+    if value is None or not _is_numeric(value):
+        return None
+    v = float(value)
+    op = predicate.operator
+    if op is ComparisonOperator.EQ:
+        return (v, True, v, True)
+    if op is ComparisonOperator.LT:
+        return (None, False, v, False)
+    if op is ComparisonOperator.LE:
+        return (None, False, v, True)
+    if op is ComparisonOperator.GT:
+        return (v, False, None, False)
+    if op is ComparisonOperator.GE:
+        return (v, True, None, False)
+    return None
+
+
+def _interval_subsumes(
+    outer: Tuple[Optional[float], bool, Optional[float], bool],
+    inner: Tuple[Optional[float], bool, Optional[float], bool],
+) -> bool:
+    """Whether interval ``outer`` contains interval ``inner``."""
+    outer_low, outer_low_inc, outer_high, outer_high_inc = outer
+    inner_low, inner_low_inc, inner_high, inner_high_inc = inner
+
+    if outer_low is not None:
+        if inner_low is None:
+            return False
+        if inner_low < outer_low:
+            return False
+        if inner_low == outer_low and inner_low_inc and not outer_low_inc:
+            return False
+    if outer_high is not None:
+        if inner_high is None:
+            return False
+        if inner_high > outer_high:
+            return False
+        if inner_high == outer_high and inner_high_inc and not outer_high_inc:
+            return False
+    return True
+
+
+def implies(premise: Predicate, conclusion: Predicate) -> bool:
+    """Whether ``premise`` logically implies ``conclusion``.
+
+    The test is sound but deliberately incomplete: it covers the forms of
+    domain knowledge the paper uses for closure computation — identical
+    predicates, equality implying range membership, and range subsumption
+    over numeric constants — plus inequality entailment from equality on
+    the same attribute.
+    """
+    p = premise.normalized()
+    q = conclusion.normalized()
+    if p == q:
+        return True
+
+    # Attribute-to-attribute predicates: only syntactic identity (handled
+    # above).  Mixed forms never imply each other.
+    if not p.is_selection or not q.is_selection:
+        return False
+    if not _same_attribute(p, q):
+        return False
+
+    p_value = p.constant
+    q_value = q.constant
+    assert p_value is not None and q_value is not None
+
+    # Equality premises.
+    if p.operator is ComparisonOperator.EQ:
+        return q.operator.apply(p_value, q_value)
+
+    # NE premises only imply the identical predicate (handled above) or a
+    # weaker NE is impossible to strengthen; nothing more to do.
+    if p.operator is ComparisonOperator.NE:
+        return False
+
+    # NE conclusions from a range premise: a range that excludes the value.
+    if q.operator is ComparisonOperator.NE:
+        if not _is_numeric(p_value) or not _is_numeric(q_value):
+            return False
+        p_interval = _as_interval(p)
+        if p_interval is None:
+            return False
+        # q says attr != q_value; p implies it iff q_value lies outside p's
+        # interval.
+        low, low_inc, high, high_inc = p_interval
+        value = float(q_value)
+        below = low is not None and (value < low or (value == low and not low_inc))
+        above = high is not None and (
+            value > high or (value == high and not high_inc)
+        )
+        return below or above
+
+    # Range-vs-range subsumption on numeric constants.
+    p_interval = _as_interval(p)
+    q_interval = _as_interval(q)
+    if p_interval is None or q_interval is None:
+        return False
+    return _interval_subsumes(q_interval, p_interval)
+
+
+def conflicts(p: Predicate, q: Predicate) -> bool:
+    """Whether ``p`` and ``q`` can never hold simultaneously.
+
+    Only selective predicates over the same attribute are analysed; anything
+    else conservatively returns ``False`` (i.e. "no conflict detected").
+    """
+    a = p.normalized()
+    b = q.normalized()
+    if not a.is_selection or not b.is_selection or not _same_attribute(a, b):
+        return False
+    # p conflicts with q iff p implies NOT q or q implies NOT p.
+    return implies(a, b.negated()) or implies(b, a.negated())
+
+
+def is_subsumed_by_any(predicate: Predicate, others) -> bool:
+    """Whether any predicate in ``others`` implies ``predicate``."""
+    return any(implies(other, predicate) for other in others)
+
+
+def strongest(predicates) -> list:
+    """Remove predicates implied by another predicate in the collection.
+
+    Useful for presenting minimal predicate sets; the survivor of a pair of
+    mutually implying (i.e. equivalent) predicates is the one appearing
+    first.
+    """
+    result = []
+    items = list(predicates)
+    for i, candidate in enumerate(items):
+        dominated = False
+        for j, other in enumerate(items):
+            if i == j:
+                continue
+            if implies(other, candidate) and not (
+                implies(candidate, other) and i < j
+            ):
+                dominated = True
+                break
+        if not dominated:
+            result.append(candidate)
+    return result
+
+
+__all__ = [
+    "AttributeOperand",
+    "conflicts",
+    "implies",
+    "is_subsumed_by_any",
+    "strongest",
+]

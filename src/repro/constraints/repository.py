@@ -1,0 +1,269 @@
+"""The constraint repository.
+
+The repository is the precompilation-time home of all semantic constraints.
+On :meth:`ConstraintRepository.precompile` it
+
+1. validates constraints against the schema (every referenced
+   ``class.attribute`` must exist),
+2. materializes the transitive closure of the constraint set
+   (:mod:`repro.constraints.closure`),
+3. classifies each constraint intra-/inter-class (stored on the constraint),
+4. groups the closed constraint set by object class
+   (:mod:`repro.constraints.groups`).
+
+At optimization time :meth:`retrieve_relevant` performs the paper's two-step
+retrieval: fetch the groups attached to the classes in the query, then keep
+only the constraints whose referenced classes all appear in the query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..schema.schema import Schema
+from ..schema.statistics import AccessStatistics
+from .closure import ClosureResult, PredicateStore, compute_closure
+from .groups import ConstraintGrouping, GroupingPolicy, RetrievalStats
+from .horn_clause import ConstraintError, SemanticConstraint, unique_constraints
+from .predicate import AttributeOperand, Predicate
+
+
+@dataclass
+class RepositoryStats:
+    """Summary statistics about a precompiled repository."""
+
+    declared: int
+    closed: int
+    derived: int
+    intra_class: int
+    inter_class: int
+    distinct_predicates: int
+    closure_iterations: int
+
+
+class ConstraintRepository:
+    """Stores, precompiles and retrieves semantic constraints.
+
+    Parameters
+    ----------
+    schema:
+        The database schema constraints are declared against.
+    policy:
+        The grouping policy used at precompilation.
+    statistics:
+        Access-frequency statistics driving the ``LEAST_FREQUENT`` policy;
+        a fresh (empty) tracker is used when omitted.
+    compute_transitive_closure:
+        When ``True`` (the paper's design) the closure is materialized at
+        precompilation; turning it off is only useful for ablation
+        experiments that quantify what the closure buys.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        policy: GroupingPolicy = GroupingPolicy.LEAST_FREQUENT,
+        statistics: Optional[AccessStatistics] = None,
+        compute_transitive_closure: bool = True,
+    ) -> None:
+        self.schema = schema
+        self.policy = policy
+        self.statistics = statistics or AccessStatistics()
+        self.compute_transitive_closure = compute_transitive_closure
+        self._declared: List[SemanticConstraint] = []
+        self._closed: Tuple[SemanticConstraint, ...] = ()
+        self._closure: Optional[ClosureResult] = None
+        self._grouping: Optional[ConstraintGrouping] = None
+        self._store = PredicateStore()
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # Declaration
+    # ------------------------------------------------------------------
+    def add(self, constraint: SemanticConstraint) -> None:
+        """Declare a constraint (validated against the schema immediately)."""
+        self._validate(constraint)
+        if any(c.name == constraint.name for c in self._declared):
+            raise ConstraintError(
+                f"a constraint named {constraint.name!r} is already declared"
+            )
+        self._declared.append(constraint)
+        self._dirty = True
+
+    def add_all(self, constraints: Iterable[SemanticConstraint]) -> None:
+        """Declare several constraints."""
+        for constraint in constraints:
+            self.add(constraint)
+
+    def remove(self, name: str) -> None:
+        """Remove a declared constraint by name.
+
+        The paper notes constraint updates force closure recomputation; we
+        simply mark the repository dirty so the next precompile rebuilds it.
+        """
+        before = len(self._declared)
+        self._declared = [c for c in self._declared if c.name != name]
+        if len(self._declared) == before:
+            raise ConstraintError(f"no constraint named {name!r} is declared")
+        self._dirty = True
+
+    def declared(self) -> List[SemanticConstraint]:
+        """The declared (pre-closure) constraints."""
+        return list(self._declared)
+
+    def _validate(self, constraint: SemanticConstraint) -> None:
+        """Check every attribute reference in ``constraint`` against the schema."""
+        for predicate in constraint.predicates():
+            for operand in predicate.referenced_attributes():
+                self._resolve_operand(operand)
+        for class_name in constraint.anchor_classes:
+            if not self.schema.has_class(class_name):
+                raise ConstraintError(
+                    f"constraint {constraint.name!r} anchors unknown class "
+                    f"{class_name!r}"
+                )
+
+    def _resolve_operand(self, operand: AttributeOperand) -> None:
+        if not self.schema.has_class(operand.class_name):
+            raise ConstraintError(
+                f"predicate references unknown class {operand.class_name!r}"
+            )
+        cls = self.schema.object_class(operand.class_name)
+        if not cls.has_attribute(operand.attribute_name):
+            raise ConstraintError(
+                f"predicate references unknown attribute "
+                f"{operand.qualified_name}"
+            )
+
+    # ------------------------------------------------------------------
+    # Precompilation
+    # ------------------------------------------------------------------
+    def precompile(self) -> RepositoryStats:
+        """Materialize the closure and (re)build the constraint grouping."""
+        declared = unique_constraints(tuple(self._declared))
+        if self.compute_transitive_closure:
+            self._closure = compute_closure(declared, store=PredicateStore())
+            self._closed = self._closure.constraints
+            self._store = self._closure.store
+        else:
+            self._closure = None
+            self._store = PredicateStore()
+            interned = []
+            for constraint in declared:
+                interned.append(
+                    SemanticConstraint.build(
+                        name=constraint.name,
+                        antecedents=self._store.intern_all(constraint.antecedents),
+                        consequent=self._store.intern(constraint.consequent),
+                        anchor_classes=constraint.anchor_classes,
+                        origin=constraint.origin,
+                        derived_from=constraint.derived_from,
+                        description=constraint.description,
+                    )
+                )
+            self._closed = tuple(interned)
+
+        self._grouping = ConstraintGrouping(
+            self.schema.class_names(),
+            policy=self.policy,
+            statistics=self.statistics,
+        )
+        self._grouping.assign_all(self._closed)
+        self._dirty = False
+        return self.stats()
+
+    def _ensure_compiled(self) -> None:
+        if self._dirty or self._grouping is None:
+            self.precompile()
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def constraints(self) -> Tuple[SemanticConstraint, ...]:
+        """The closed constraint set (precompiles on demand)."""
+        self._ensure_compiled()
+        return self._closed
+
+    def grouping(self) -> ConstraintGrouping:
+        """The current constraint grouping (precompiles on demand)."""
+        self._ensure_compiled()
+        assert self._grouping is not None
+        return self._grouping
+
+    def predicate_store(self) -> PredicateStore:
+        """The shared predicate store (precompiles on demand)."""
+        self._ensure_compiled()
+        return self._store
+
+    def intern(self, predicate: Predicate) -> Predicate:
+        """Intern a predicate into the shared store."""
+        self._ensure_compiled()
+        return self._store.intern(predicate)
+
+    def retrieve_relevant(
+        self,
+        query_classes: Iterable[str],
+        query_relationships: Optional[Iterable[str]] = None,
+        record_access: bool = True,
+    ) -> Tuple[List[SemanticConstraint], RetrievalStats]:
+        """Retrieve the constraints relevant to a query over ``query_classes``.
+
+        Parameters
+        ----------
+        query_classes:
+            Object classes referenced by the query.
+        query_relationships:
+            Relationships traversed by the query; inter-class constraints
+            anchored on other relationships are filtered out.
+        record_access:
+            When ``True`` the access-frequency statistics are updated, which
+            is what gradually steers the ``LEAST_FREQUENT`` grouping policy.
+        """
+        self._ensure_compiled()
+        classes = list(query_classes)
+        if record_access:
+            self.statistics.record_query(classes)
+        assert self._grouping is not None
+        return self._grouping.retrieve_relevant(classes, query_relationships)
+
+    def regroup(self, policy: Optional[GroupingPolicy] = None) -> None:
+        """Rebuild the grouping (optionally switching policy).
+
+        Called when access patterns have drifted enough that the
+        least-frequently-accessed assignment is stale.
+        """
+        self._ensure_compiled()
+        if policy is not None:
+            self.policy = policy
+        assert self._grouping is not None
+        self._grouping = ConstraintGrouping(
+            self.schema.class_names(),
+            policy=self.policy,
+            statistics=self.statistics,
+        )
+        self._grouping.assign_all(self._closed)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def stats(self) -> RepositoryStats:
+        """Summary statistics (precompiles on demand)."""
+        self._ensure_compiled()
+        intra = sum(1 for c in self._closed if c.is_intra_class)
+        return RepositoryStats(
+            declared=len(self._declared),
+            closed=len(self._closed),
+            derived=len(self._closure.derived) if self._closure else 0,
+            intra_class=intra,
+            inter_class=len(self._closed) - intra,
+            distinct_predicates=len(self._store),
+            closure_iterations=self._closure.iterations if self._closure else 0,
+        )
+
+    def group_sizes(self) -> Dict[str, int]:
+        """Constraint count per object-class group."""
+        return self.grouping().group_sizes()
+
+    def __len__(self) -> int:
+        return len(self.constraints())

@@ -1,0 +1,74 @@
+"""The paper's contribution: the efficient semantic query optimization algorithm.
+
+Predicate/constraint/cell tags, the transformation table, the FIFO and
+priority transformation queues, the four pipeline phases (initialization,
+queue update + transformation, query formulation), profitability analysis,
+the end-to-end :class:`SemanticQueryOptimizer`, and the straight-forward
+immediate-application baseline used for comparison.
+"""
+
+from .tags import CellTag, PredicateTag, can_lower, lower_of
+from .rules import (
+    DEFAULT_PRIORITIES,
+    RetentionAction,
+    TransformationKind,
+    classify_transformation,
+    priority_for,
+    retention_action,
+    target_tag,
+)
+from .table import TransformationTable
+from .queue import PriorityTransformationQueue, QueueEntry, TransformationQueue
+from .trace import OptimizationTrace, TransformationRecord
+from .initialization import (
+    InitializationResult,
+    collect_predicates,
+    filter_relevant,
+    initialize,
+)
+from .transformation import TransformationEngine, TransformationStats
+from .profitability import ProfitabilityAnalyzer, ProfitabilityDecision
+from .formulation import FormulationResult, QueryFormulator
+from .optimizer import (
+    OptimizationResult,
+    OptimizerConfig,
+    PhaseTimings,
+    SemanticQueryOptimizer,
+)
+from .baseline import BaselineResult, StraightforwardOptimizer
+
+__all__ = [
+    "BaselineResult",
+    "CellTag",
+    "DEFAULT_PRIORITIES",
+    "FormulationResult",
+    "InitializationResult",
+    "OptimizationResult",
+    "OptimizationTrace",
+    "OptimizerConfig",
+    "PhaseTimings",
+    "PredicateTag",
+    "PriorityTransformationQueue",
+    "ProfitabilityAnalyzer",
+    "ProfitabilityDecision",
+    "QueryFormulator",
+    "QueueEntry",
+    "RetentionAction",
+    "SemanticQueryOptimizer",
+    "StraightforwardOptimizer",
+    "TransformationEngine",
+    "TransformationKind",
+    "TransformationQueue",
+    "TransformationRecord",
+    "TransformationStats",
+    "TransformationTable",
+    "can_lower",
+    "classify_transformation",
+    "collect_predicates",
+    "filter_relevant",
+    "initialize",
+    "lower_of",
+    "priority_for",
+    "retention_action",
+    "target_tag",
+]

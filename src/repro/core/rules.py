@@ -1,0 +1,116 @@
+"""The transformation rules of Tables 3.1, 3.2 and 3.3.
+
+Three decisions are table-driven in the paper and reproduced here verbatim:
+
+* **Table 3.1** — when *restriction elimination* fires a constraint whose
+  consequent predicate is already in the query, what does the predicate's
+  tag become?
+* **Table 3.2** — when *index / restriction introduction* fires a constraint
+  whose consequent predicate is *not* in the query, what tag does the newly
+  introduced predicate get?
+* **Table 3.3** — at query-formulation time, is a predicate retained,
+  discarded, or subjected to cost-benefit analysis, based on its final tag?
+
+Both 3.1 and 3.2 reduce to the same mapping (the paper's prose spells out the
+reasoning): an intra-class constraint whose consequent is **not** on an
+indexed attribute yields ``redundant``; an intra-class constraint whose
+consequent **is** indexed yields ``optional``; an inter-class constraint
+always yields ``optional``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..constraints.horn_clause import ConstraintClass
+from .tags import PredicateTag
+
+
+class TransformationKind(enum.Enum):
+    """Which transformation rule a queue entry will perform."""
+
+    #: The consequent predicate is already in the query; firing lowers its tag.
+    RESTRICTION_ELIMINATION = "restriction_elimination"
+    #: The consequent predicate is absent and on an indexed attribute; firing
+    #: introduces it as an (optional) indexed predicate.
+    INDEX_INTRODUCTION = "index_introduction"
+    #: The consequent predicate is absent and not indexed; firing introduces it.
+    RESTRICTION_INTRODUCTION = "restriction_introduction"
+    #: Performed at query-formulation time rather than through the queue.
+    CLASS_ELIMINATION = "class_elimination"
+
+
+#: Default priorities for the Section 4 priority-queue enhancement: "index
+#: introduction is likely to be more profitable than predicate elimination,
+#: and predicate elimination is preferred over predicate introduction".
+#: Lower numbers are served first.
+DEFAULT_PRIORITIES = {
+    TransformationKind.INDEX_INTRODUCTION: 0,
+    TransformationKind.RESTRICTION_ELIMINATION: 1,
+    TransformationKind.RESTRICTION_INTRODUCTION: 2,
+    TransformationKind.CLASS_ELIMINATION: 3,
+}
+
+
+def target_tag(
+    constraint_class: ConstraintClass, consequent_indexed: bool
+) -> PredicateTag:
+    """The tag a fired constraint assigns to its consequent predicate.
+
+    Implements the shared mapping of Tables 3.1 and 3.2:
+
+    ========== ================= ==========
+    constraint consequent indexed new tag
+    ========== ================= ==========
+    intra      no                 redundant
+    intra      yes                optional
+    inter      (don't care)       optional
+    ========== ================= ==========
+    """
+    if constraint_class is ConstraintClass.INTRA:
+        return PredicateTag.OPTIONAL if consequent_indexed else PredicateTag.REDUNDANT
+    return PredicateTag.OPTIONAL
+
+
+def classify_transformation(
+    present_in_query: bool, consequent_indexed: bool
+) -> TransformationKind:
+    """Which transformation a fireable constraint will perform.
+
+    A constraint whose consequent is already present performs restriction
+    elimination; otherwise it introduces the predicate — as an index
+    introduction when the consequent attribute is indexed, as a plain
+    restriction introduction when it is not.
+    """
+    if present_in_query:
+        return TransformationKind.RESTRICTION_ELIMINATION
+    if consequent_indexed:
+        return TransformationKind.INDEX_INTRODUCTION
+    return TransformationKind.RESTRICTION_INTRODUCTION
+
+
+class RetentionAction(enum.Enum):
+    """Table 3.3: what to do with a predicate given its final tag."""
+
+    RETAIN = "retain"
+    COST_BENEFIT = "cost-benefit analysis"
+    DISCARD = "discard"
+
+
+def retention_action(tag: PredicateTag) -> RetentionAction:
+    """Table 3.3 lookup."""
+    if tag is PredicateTag.IMPERATIVE:
+        return RetentionAction.RETAIN
+    if tag is PredicateTag.OPTIONAL:
+        return RetentionAction.COST_BENEFIT
+    return RetentionAction.DISCARD
+
+
+def priority_for(
+    kind: TransformationKind, overrides: Optional[dict] = None
+) -> int:
+    """Priority of a transformation kind (lower is served earlier)."""
+    if overrides and kind in overrides:
+        return overrides[kind]
+    return DEFAULT_PRIORITIES[kind]

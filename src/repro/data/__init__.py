@@ -1,0 +1,66 @@
+"""Synthetic data substrate.
+
+The evaluation schema and constraint set, value distributions, the
+constraint-consistent database generator reproducing the Table 4.1 database
+instances, and the workload/setup builders used by every experiment.
+"""
+
+from .distributions import (
+    identifier,
+    sample_names,
+    skewed_choice,
+    uniform_int,
+    zipf_weights,
+)
+from .evaluation import (
+    CARGO_CATEGORIES,
+    CARGO_DESCS,
+    DRIVER_CLEARANCES,
+    DRIVER_RANKS,
+    ENGINE_FUELS,
+    SUPPLIER_NAMES,
+    SUPPLIER_REGIONS,
+    VEHICLE_DESCS,
+    build_evaluation_constraints,
+    build_evaluation_schema,
+    evaluation_constraints_by_name,
+)
+from .generator import (
+    TABLE_4_1_SPECS,
+    DatabaseGenerator,
+    DatabaseSpec,
+    GeneratedDatabase,
+)
+from .workload import (
+    EvaluationSetup,
+    build_all_setups,
+    build_evaluation_setup,
+    build_workload,
+)
+
+__all__ = [
+    "CARGO_CATEGORIES",
+    "CARGO_DESCS",
+    "DRIVER_CLEARANCES",
+    "DRIVER_RANKS",
+    "DatabaseGenerator",
+    "DatabaseSpec",
+    "ENGINE_FUELS",
+    "EvaluationSetup",
+    "GeneratedDatabase",
+    "SUPPLIER_NAMES",
+    "SUPPLIER_REGIONS",
+    "TABLE_4_1_SPECS",
+    "VEHICLE_DESCS",
+    "build_all_setups",
+    "build_evaluation_constraints",
+    "build_evaluation_schema",
+    "build_evaluation_setup",
+    "build_workload",
+    "evaluation_constraints_by_name",
+    "identifier",
+    "sample_names",
+    "skewed_choice",
+    "uniform_int",
+    "zipf_weights",
+]

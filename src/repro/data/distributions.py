@@ -1,0 +1,63 @@
+"""Value distributions used by the synthetic data generator.
+
+Small, dependency-free helpers around :class:`random.Random` so that the
+generator's choices are reproducible from a single seed and mildly skewed
+(real attribute values are rarely uniform, and skew is what makes indexed
+equality predicates selective).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def zipf_weights(count: int, skew: float = 1.0) -> List[float]:
+    """Zipf-like weights ``1/rank**skew`` for ``count`` categories."""
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    weights = [1.0 / ((rank + 1) ** skew) for rank in range(count)]
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+def skewed_choice(
+    rng: random.Random, values: Sequence[T], skew: float = 1.0
+) -> T:
+    """Pick a value with Zipf-like skew toward the front of ``values``."""
+    if not values:
+        raise ValueError("values must be non-empty")
+    weights = zipf_weights(len(values), skew)
+    return rng.choices(list(values), weights=weights, k=1)[0]
+
+
+def uniform_int(rng: random.Random, low: int, high: int) -> int:
+    """A uniform integer in ``[low, high]``."""
+    if low > high:
+        raise ValueError("low must be <= high")
+    return rng.randint(low, high)
+
+
+def identifier(rng: random.Random, prefix: str, width: int = 5) -> str:
+    """A synthetic identifier such as ``VH01234``."""
+    return f"{prefix}{rng.randrange(10 ** width):0{width}d}"
+
+
+def sample_names(rng: random.Random, base_names: Sequence[str], count: int) -> List[str]:
+    """``count`` names drawn from ``base_names`` with numeric suffixes when needed.
+
+    The first ``len(base_names)`` results are the base names themselves (so
+    that constraint constants such as ``"SFI"`` are guaranteed to exist in
+    the data); further names get a numeric suffix.
+    """
+    names: List[str] = []
+    for index in range(count):
+        base = base_names[index % len(base_names)]
+        if index < len(base_names):
+            names.append(base)
+        else:
+            names.append(f"{base}-{index}")
+    rng.shuffle(names)
+    return names

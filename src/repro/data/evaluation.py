@@ -1,0 +1,254 @@
+"""The evaluation schema and constraint set used for the paper's experiments.
+
+Table 4.1 of the paper describes the evaluation databases as having **5
+object classes** and **6 relationships**; each object class carried "an
+average of 3 semantic constraints".  The paper does not print that exact
+schema, so we use the connected 5-class core of the Figure 2.1 logistics
+domain (supplier, cargo, vehicle, engine, driver) and add two further
+relationships (``maintains`` and ``orders``) to reach the 6 relationships of
+Table 4.1 — the extra links also give the schema graph cycles, which is what
+produces enough distinct paths for a 40-query workload.
+
+The physical design indexes the key-like attributes plus the attributes
+that commonly appear as constraint consequents (cargo.desc, cargo.category,
+vehicle.class, engine.capacity, driver.clearance) — index introduction, one
+of the paper's three transformations, presupposes indexes on the attributes
+the semantic rules talk about.
+
+The 15 evaluation constraints (3 per class on average) are in the same
+spirit as Figure 2.2: intra-class functional facts and inter-class rules
+along the relationships.  They are co-designed with
+:mod:`repro.data.generator`, which *enforces* them on the synthetic data so
+that the optimizer's knowledge is actually true of the database (otherwise
+the optimized queries could return different answers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..constraints.horn_clause import SemanticConstraint
+from ..constraints.predicate import Predicate
+from ..schema.attribute import DomainType, pointer_attribute, value_attribute
+from ..schema.object_class import ObjectClass
+from ..schema.relationship import Relationship
+from ..schema.schema import Schema
+
+# Categorical value pools shared by the schema, the generator and the
+# constraints, so that constraint antecedents actually select real data.
+VEHICLE_DESCS = ["refrigerated truck", "tanker", "flatbed", "van", "lorry"]
+CARGO_DESCS = ["frozen food", "machinery", "textiles", "chemicals", "produce"]
+CARGO_CATEGORIES = ["perishable", "bulk", "liquid", "hazardous", "general"]
+SUPPLIER_REGIONS = ["north", "south", "east", "west", "central"]
+SUPPLIER_NAMES = ["SFI", "Acme", "Globex", "Initech", "Umbrella", "Wayne"]
+DRIVER_RANKS = ["senior", "junior", "trainee"]
+DRIVER_CLEARANCES = ["top secret", "secret", "confidential", "open"]
+ENGINE_FUELS = ["diesel", "petrol", "electric", "hybrid"]
+
+
+def build_evaluation_schema(name: str = "evaluation") -> Schema:
+    """The 5-class / 6-relationship evaluation schema."""
+    supplier = ObjectClass(
+        name="supplier",
+        attributes=(
+            value_attribute("name", DomainType.STRING, indexed=True),
+            value_attribute("address", DomainType.STRING),
+            value_attribute("region", DomainType.STRING),
+            value_attribute("rating", DomainType.INTEGER),
+            pointer_attribute("supplies", target_class="cargo"),
+            pointer_attribute("orders", target_class="vehicle"),
+        ),
+        description="Companies supplying cargoes and ordering deliveries.",
+    )
+    cargo = ObjectClass(
+        name="cargo",
+        attributes=(
+            value_attribute("code", DomainType.STRING, indexed=True),
+            value_attribute("desc", DomainType.STRING, indexed=True),
+            value_attribute("quantity", DomainType.INTEGER),
+            value_attribute("category", DomainType.STRING, indexed=True),
+            pointer_attribute("supplies", target_class="supplier"),
+            pointer_attribute("collects", target_class="vehicle"),
+        ),
+        description="Goods supplied by suppliers and collected by vehicles.",
+    )
+    vehicle = ObjectClass(
+        name="vehicle",
+        attributes=(
+            value_attribute("vehicle_no", DomainType.STRING, indexed=True),
+            value_attribute("desc", DomainType.STRING, indexed=True),
+            value_attribute("class", DomainType.INTEGER, indexed=True),
+            value_attribute("capacity", DomainType.INTEGER),
+            pointer_attribute("engComp", target_class="engine"),
+            pointer_attribute("collects", target_class="cargo"),
+            pointer_attribute("drives", target_class="driver"),
+            pointer_attribute("orders", target_class="supplier"),
+        ),
+        description="Fleet vehicles classified 1 (light) to 5 (heavy).",
+    )
+    engine = ObjectClass(
+        name="engine",
+        attributes=(
+            value_attribute("engine_no", DomainType.STRING, indexed=True),
+            value_attribute("capacity", DomainType.INTEGER, indexed=True),
+            value_attribute("fuel", DomainType.STRING),
+            pointer_attribute("engComp", target_class="vehicle"),
+            pointer_attribute("maintains", target_class="driver"),
+        ),
+        description="Engines installed in vehicles.",
+    )
+    driver = ObjectClass(
+        name="driver",
+        attributes=(
+            value_attribute("name", DomainType.STRING, indexed=True),
+            value_attribute("clearance", DomainType.STRING, indexed=True),
+            value_attribute("rank", DomainType.STRING),
+            value_attribute("licenseClass", DomainType.INTEGER),
+            pointer_attribute("drives", target_class="vehicle"),
+            pointer_attribute("maintains", target_class="engine"),
+        ),
+        description="Licensed drivers of the fleet.",
+    )
+
+    relationships = (
+        Relationship("supplies", "supplier", "cargo", "supplies", "supplies"),
+        Relationship("collects", "cargo", "vehicle", "collects", "collects"),
+        Relationship("engComp", "vehicle", "engine", "engComp", "engComp"),
+        Relationship("drives", "driver", "vehicle", "drives", "drives"),
+        Relationship("maintains", "driver", "engine", "maintains", "maintains"),
+        Relationship("orders", "supplier", "vehicle", "orders", "orders"),
+    )
+    return Schema(
+        classes=[supplier, cargo, vehicle, engine, driver],
+        relationships=relationships,
+        name=name,
+    )
+
+
+def build_evaluation_constraints() -> List[SemanticConstraint]:
+    """The 15 evaluation constraints (about 3 per object class)."""
+    constraints = [
+        # --- intra-class constraints -------------------------------------
+        SemanticConstraint.build(
+            "ec1",
+            [Predicate.equals("cargo.category", "perishable")],
+            Predicate.equals("cargo.desc", "frozen food"),
+            anchor_classes={"cargo"},
+            description="Perishable cargo is always frozen food.",
+        ),
+        SemanticConstraint.build(
+            "ec2",
+            [Predicate.equals("vehicle.desc", "tanker")],
+            Predicate.selection("vehicle.capacity", ">=", 5000),
+            anchor_classes={"vehicle"},
+            description="Tankers carry at least 5000 units.",
+        ),
+        SemanticConstraint.build(
+            "ec3",
+            [Predicate.equals("driver.rank", "senior")],
+            Predicate.equals("driver.clearance", "top secret"),
+            anchor_classes={"driver"},
+            description="Senior drivers hold top-secret clearance.",
+        ),
+        SemanticConstraint.build(
+            "ec4",
+            [Predicate.equals("engine.fuel", "diesel")],
+            Predicate.selection("engine.capacity", ">=", 2000),
+            anchor_classes={"engine"},
+            description="Diesel engines displace at least 2000 cc.",
+        ),
+        SemanticConstraint.build(
+            "ec5",
+            [Predicate.equals("supplier.region", "west")],
+            Predicate.selection("supplier.rating", ">=", 3),
+            anchor_classes={"supplier"},
+            description="Western suppliers are rated 3 or better.",
+        ),
+        # --- inter-class constraints -------------------------------------
+        SemanticConstraint.build(
+            "ec6",
+            [Predicate.equals("vehicle.desc", "refrigerated truck")],
+            Predicate.equals("cargo.desc", "frozen food"),
+            anchor_classes={"cargo", "vehicle"},
+            anchor_relationships={"collects"},
+            description="Refrigerated trucks only collect frozen food.",
+        ),
+        SemanticConstraint.build(
+            "ec7",
+            [Predicate.equals("cargo.desc", "frozen food")],
+            Predicate.equals("supplier.name", "SFI"),
+            anchor_classes={"supplier", "cargo"},
+            anchor_relationships={"supplies"},
+            description="Frozen food comes only from SFI.",
+        ),
+        SemanticConstraint.build(
+            "ec8",
+            [Predicate.equals("cargo.category", "hazardous")],
+            Predicate.equals("driver.clearance", "top secret"),
+            anchor_classes={"cargo", "vehicle", "driver"},
+            anchor_relationships={"collects", "drives"},
+            description="Hazardous cargo is moved only by cleared drivers.",
+        ),
+        SemanticConstraint.build(
+            "ec9",
+            [Predicate.selection("vehicle.class", ">=", 4)],
+            Predicate.selection("engine.capacity", ">=", 3000),
+            anchor_classes={"vehicle", "engine"},
+            anchor_relationships={"engComp"},
+            description="Heavy vehicles have large engines.",
+        ),
+        SemanticConstraint.build(
+            "ec10",
+            [],
+            Predicate.comparison("driver.licenseClass", ">=", "vehicle.class"),
+            anchor_classes={"driver", "vehicle"},
+            anchor_relationships={"drives"},
+            description="Drivers only drive vehicles within their license class.",
+        ),
+        SemanticConstraint.build(
+            "ec11",
+            [Predicate.equals("engine.fuel", "electric")],
+            Predicate.selection("vehicle.class", "<=", 2),
+            anchor_classes={"vehicle", "engine"},
+            anchor_relationships={"engComp"},
+            description="Electric engines power only light vehicles.",
+        ),
+        SemanticConstraint.build(
+            "ec12",
+            [Predicate.equals("supplier.region", "north")],
+            Predicate.selection("cargo.quantity", ">=", 50),
+            anchor_classes={"supplier", "cargo"},
+            anchor_relationships={"supplies"},
+            description="Northern suppliers ship in lots of at least 50.",
+        ),
+        SemanticConstraint.build(
+            "ec13",
+            [Predicate.equals("vehicle.desc", "tanker")],
+            Predicate.equals("cargo.category", "liquid"),
+            anchor_classes={"cargo", "vehicle"},
+            anchor_relationships={"collects"},
+            description="Tankers only collect liquid cargo.",
+        ),
+        SemanticConstraint.build(
+            "ec14",
+            [Predicate.equals("driver.rank", "trainee")],
+            Predicate.selection("vehicle.class", "<=", 2),
+            anchor_classes={"driver", "vehicle"},
+            anchor_relationships={"drives"},
+            description="Trainees only drive light vehicles.",
+        ),
+        SemanticConstraint.build(
+            "ec15",
+            [Predicate.selection("supplier.rating", "<=", 2)],
+            Predicate.selection("cargo.quantity", "<=", 100),
+            anchor_classes={"supplier", "cargo"},
+            anchor_relationships={"supplies"},
+            description="Low-rated suppliers ship only small lots.",
+        ),
+    ]
+    return constraints
+
+
+def evaluation_constraints_by_name() -> Dict[str, SemanticConstraint]:
+    """Map constraint name to constraint for the evaluation set."""
+    return {c.name: c for c in build_evaluation_constraints()}

@@ -1,0 +1,52 @@
+"""Execution-engine substrate.
+
+An in-memory object store with secondary indexes, database statistics, a
+conventional cost model, a simple physical planner and an executor that
+measures the primitive operations a query performs.  Together they play the
+role the paper's relational DBMS played in its experiments: providing the
+cost of executing the original and the semantically optimized query so the
+two can be compared.
+"""
+
+from .instance import ObjectInstance
+from .indexes import HashIndex, IndexManager, SortedIndex
+from .storage import ObjectStore, StorageError
+from .statistics import AttributeStatistics, DatabaseStatistics
+from .plan import (
+    FilterNode,
+    PlanNode,
+    ProjectNode,
+    QueryPlan,
+    ScanNode,
+    TraverseNode,
+    plan_predicates,
+)
+from .cost_model import CostEstimate, CostModel, CostWeights
+from .planner import ConventionalPlanner, PlanningError
+from .executor import ExecutionMetrics, ExecutionResult, QueryExecutor
+
+__all__ = [
+    "AttributeStatistics",
+    "ConventionalPlanner",
+    "CostEstimate",
+    "CostModel",
+    "CostWeights",
+    "DatabaseStatistics",
+    "ExecutionMetrics",
+    "ExecutionResult",
+    "FilterNode",
+    "HashIndex",
+    "IndexManager",
+    "ObjectInstance",
+    "ObjectStore",
+    "PlanNode",
+    "PlanningError",
+    "ProjectNode",
+    "QueryExecutor",
+    "QueryPlan",
+    "ScanNode",
+    "SortedIndex",
+    "StorageError",
+    "TraverseNode",
+    "plan_predicates",
+]

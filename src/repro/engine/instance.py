@@ -1,0 +1,91 @@
+"""Object instances stored in the database.
+
+An :class:`ObjectInstance` is one object of an object class: an OID plus a
+mapping from attribute name to value.  Pointer attributes hold the OID of the
+referenced instance (or ``None``), mirroring how the paper's OODB implements
+relationships through pointer attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+
+@dataclass
+class ObjectInstance:
+    """A single stored object.
+
+    Parameters
+    ----------
+    class_name:
+        The object class this instance belongs to.
+    oid:
+        Object identifier, unique within the class extent.
+    values:
+        Attribute name -> value.  Pointer attributes store the target OID.
+    """
+
+    class_name: str
+    oid: int
+    values: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, attribute_name: str, default: Any = None) -> Any:
+        """Value of ``attribute_name`` (or ``default`` when absent)."""
+        return self.values.get(attribute_name, default)
+
+    def pointer(self, attribute_name: str) -> Optional[int]:
+        """The OID stored in a single-valued pointer attribute.
+
+        Returns ``None`` when the pointer is unset; for multi-valued
+        pointers the first OID is returned (use :meth:`pointer_oids` to get
+        them all).
+        """
+        oids = self.pointer_oids(attribute_name)
+        return oids[0] if oids else None
+
+    def pointer_oids(self, attribute_name: str) -> List[int]:
+        """All OIDs stored in a pointer attribute.
+
+        Pointer attributes may hold a single OID (one-to-one links) or a
+        list/tuple of OIDs (one-to-many links); both forms are normalized to
+        a list here.
+        """
+        value = self.values.get(attribute_name)
+        if value is None:
+            return []
+        if isinstance(value, int):
+            return [value]
+        if isinstance(value, (list, tuple)):
+            result = []
+            for item in value:
+                if not isinstance(item, int):
+                    raise TypeError(
+                        f"pointer attribute {self.class_name}.{attribute_name} "
+                        f"holds a non-OID value {item!r}"
+                    )
+                result.append(item)
+            return result
+        raise TypeError(
+            f"pointer attribute {self.class_name}.{attribute_name} holds a "
+            f"non-OID value {value!r}"
+        )
+
+    def matches(self, attribute_values: Mapping[str, Any]) -> bool:
+        """Whether every (attribute, value) pair in the mapping is satisfied."""
+        return all(
+            self.values.get(name) == value for name, value in attribute_values.items()
+        )
+
+    def qualified_values(self) -> Dict[str, Any]:
+        """Values keyed by ``class.attribute`` notation, used for result rows."""
+        return {
+            f"{self.class_name}.{name}": value for name, value in self.values.items()
+        }
+
+    def copy(self) -> "ObjectInstance":
+        """A shallow copy with an independent values dictionary."""
+        return ObjectInstance(self.class_name, self.oid, dict(self.values))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.class_name}#{self.oid}"

@@ -1,0 +1,168 @@
+"""Physical plan trees.
+
+The conventional optimizer of the substrate produces small left-deep plans
+made of four node types:
+
+* :class:`ScanNode` — read an object-class extent, optionally through an
+  index on one of its selective predicates, applying the remaining
+  single-class predicates as filters.
+* :class:`TraverseNode` — follow a relationship from the instances produced
+  by the child plan to the instances of a neighbouring class (a pointer
+  join), applying that class's single-class predicates on the way.
+* :class:`FilterNode` — apply cross-class predicates (joins introduced by
+  constraints, or explicit join predicates) once both sides are bound.
+* :class:`ProjectNode` — keep only the projected attributes.
+
+Plans are pure descriptions; evaluation lives in
+:mod:`repro.engine.executor` and cost prediction in
+:mod:`repro.engine.cost_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..constraints.predicate import Predicate
+
+
+@dataclass
+class PlanNode:
+    """Base class for plan nodes."""
+
+    def children(self) -> Tuple["PlanNode", ...]:
+        """Child nodes (empty for leaves)."""
+        return ()
+
+    def explain(self, indent: int = 0) -> str:
+        """A human-readable, indented description of the plan subtree."""
+        raise NotImplementedError
+
+    def walk(self):
+        """Yield this node and, recursively, every descendant."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass
+class ScanNode(PlanNode):
+    """Scan one object class, optionally via an index."""
+
+    class_name: str
+    predicates: Tuple[Predicate, ...] = ()
+    index_predicate: Optional[Predicate] = None
+
+    def explain(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        access = (
+            f"IndexScan({self.index_predicate})"
+            if self.index_predicate is not None
+            else "Scan"
+        )
+        filters = ", ".join(str(p) for p in self.predicates) or "-"
+        return f"{pad}{access} {self.class_name} [filters: {filters}]"
+
+
+@dataclass
+class TraverseNode(PlanNode):
+    """Traverse a relationship from the child plan's bound class."""
+
+    child: PlanNode
+    relationship: str
+    source_class: str
+    target_class: str
+    pointer_attribute: str
+    forward: bool
+    predicates: Tuple[Predicate, ...] = ()
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def explain(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        direction = "->" if self.forward else "<-"
+        filters = ", ".join(str(p) for p in self.predicates) or "-"
+        lines = [
+            f"{pad}Traverse {self.relationship} {self.source_class} {direction} "
+            f"{self.target_class} [filters: {filters}]",
+            self.child.explain(indent + 1),
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class FilterNode(PlanNode):
+    """Apply predicates that span more than one bound class."""
+
+    child: PlanNode
+    predicates: Tuple[Predicate, ...] = ()
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def explain(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        filters = ", ".join(str(p) for p in self.predicates) or "-"
+        return "\n".join(
+            [f"{pad}Filter [{filters}]", self.child.explain(indent + 1)]
+        )
+
+
+@dataclass
+class ProjectNode(PlanNode):
+    """Project result rows onto the requested attributes."""
+
+    child: PlanNode
+    projections: Tuple[str, ...] = ()
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def explain(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        attrs = ", ".join(self.projections) or "*"
+        return "\n".join(
+            [f"{pad}Project [{attrs}]", self.child.explain(indent + 1)]
+        )
+
+
+@dataclass
+class QueryPlan:
+    """A complete plan: the root node plus bookkeeping for explain output."""
+
+    root: PlanNode
+    class_order: Tuple[str, ...] = ()
+    notes: List[str] = field(default_factory=list)
+
+    def explain(self) -> str:
+        """Multi-line explain output."""
+        lines = [self.root.explain()]
+        if self.notes:
+            lines.append("notes: " + "; ".join(self.notes))
+        return "\n".join(lines)
+
+    def scan_nodes(self) -> List[ScanNode]:
+        """All scan leaves of the plan."""
+        return [node for node in self.root.walk() if isinstance(node, ScanNode)]
+
+    def traverse_nodes(self) -> List[TraverseNode]:
+        """All traversal nodes of the plan."""
+        return [node for node in self.root.walk() if isinstance(node, TraverseNode)]
+
+    def uses_index(self) -> bool:
+        """Whether any scan in the plan goes through an index."""
+        return any(node.index_predicate is not None for node in self.scan_nodes())
+
+
+def plan_predicates(plan: QueryPlan) -> List[Predicate]:
+    """All predicates applied anywhere in ``plan`` (for tests and traces)."""
+    predicates: List[Predicate] = []
+    for node in plan.root.walk():
+        if isinstance(node, ScanNode):
+            predicates.extend(node.predicates)
+            if node.index_predicate is not None:
+                predicates.append(node.index_predicate)
+        elif isinstance(node, (TraverseNode, FilterNode)):
+            predicates.extend(node.predicates)
+    return predicates

@@ -1,0 +1,171 @@
+"""The conventional (physical) query planner.
+
+The semantic optimizer of the paper sits *in front of* a conventional
+optimizer: once the transformed query is formulated, a conventional planner
+decides access methods and traversal order.  This module is that planner for
+our substrate.  It is deliberately simple — the point of the reproduction is
+the semantic optimizer, not a state-of-the-art physical optimizer — but it
+makes the decisions that give semantic transformations their payoff:
+
+* pick the *driver class* with the fewest estimated matching instances,
+* use an index scan when a selective predicate falls on an indexed
+  attribute (this is what makes *index introduction* profitable),
+* bind the remaining classes by traversing the query's relationships from
+  already-bound classes (pointer joins),
+* evaluate single-class predicates as early as possible and cross-class
+  predicates once both sides are bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..constraints.predicate import Predicate
+from ..query.query import Query, QueryError
+from ..schema.schema import Schema
+from .cost_model import CostModel
+from .plan import FilterNode, PlanNode, ProjectNode, QueryPlan, ScanNode, TraverseNode
+from .statistics import DatabaseStatistics
+
+
+class PlanningError(QueryError):
+    """Raised when no valid plan can be produced for a query."""
+
+
+class ConventionalPlanner:
+    """Builds a :class:`~repro.engine.plan.QueryPlan` for a five-part query."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        statistics: DatabaseStatistics,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.schema = schema
+        self.statistics = statistics
+        self.cost_model = cost_model or CostModel(schema, statistics)
+
+    # ------------------------------------------------------------------
+    # Predicate partitioning
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _partition_predicates(
+        query: Query,
+    ) -> Tuple[Dict[str, List[Predicate]], List[Predicate]]:
+        """Split predicates into per-class lists and cross-class leftovers."""
+        local: Dict[str, List[Predicate]] = {name: [] for name in query.classes}
+        cross: List[Predicate] = []
+        for predicate in query.predicates():
+            classes = predicate.referenced_classes()
+            if len(classes) == 1:
+                (class_name,) = classes
+                if class_name in local:
+                    local[class_name].append(predicate)
+                else:
+                    cross.append(predicate)
+            else:
+                cross.append(predicate)
+        return local, cross
+
+    def _index_predicate(
+        self, class_name: str, predicates: Sequence[Predicate]
+    ) -> Optional[Predicate]:
+        """Pick the most selective indexed predicate for an index scan."""
+        candidates = [
+            p
+            for p in predicates
+            if p.is_selection
+            and self.schema.is_indexed(class_name, p.left.attribute_name)
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=self.statistics.selectivity)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(self, query: Query) -> QueryPlan:
+        """Produce a plan for ``query``.
+
+        Raises
+        ------
+        PlanningError
+            When the query's classes cannot all be connected through the
+            query's relationships (the executor does not implement cartesian
+            products because path queries never need them).
+        """
+        query.validate(self.schema)
+        local, cross = self._partition_predicates(query)
+        notes: List[str] = []
+
+        driver = self.cost_model.driver_class(query)
+        driver_predicates = list(local[driver])
+        index_predicate = self._index_predicate(driver, driver_predicates)
+        if index_predicate is not None:
+            driver_predicates = [
+                p for p in driver_predicates if p is not index_predicate
+            ]
+            notes.append(f"index scan on {driver} via {index_predicate}")
+
+        node: PlanNode = ScanNode(
+            class_name=driver,
+            predicates=tuple(driver_predicates),
+            index_predicate=index_predicate,
+        )
+        bound: Set[str] = {driver}
+        order: List[str] = [driver]
+        remaining = [name for name in query.classes if name != driver]
+        relationships = [self.schema.relationship(r) for r in query.relationships]
+
+        progress = True
+        while remaining and progress:
+            progress = False
+            # Prefer the reachable class with the fewest matching instances so
+            # intermediate results shrink as early as possible.
+            reachable: List[Tuple[float, str]] = []
+            for class_name in remaining:
+                connecting = [
+                    rel
+                    for rel in relationships
+                    if rel.involves(class_name) and rel.other(class_name) in bound
+                ]
+                if connecting:
+                    estimate = self.cost_model.matching_instances(
+                        class_name, local[class_name]
+                    )
+                    reachable.append((estimate, class_name))
+            if not reachable:
+                break
+            reachable.sort()
+            _, class_name = reachable[0]
+            rel = next(
+                rel
+                for rel in relationships
+                if rel.involves(class_name) and rel.other(class_name) in bound
+            )
+            source_class = rel.other(class_name)
+            forward = rel.attribute_for(source_class) is not None
+            node = TraverseNode(
+                child=node,
+                relationship=rel.name,
+                source_class=source_class,
+                target_class=class_name,
+                pointer_attribute=rel.attribute_for(source_class),
+                forward=True,
+                predicates=tuple(local[class_name]),
+            )
+            bound.add(class_name)
+            order.append(class_name)
+            remaining.remove(class_name)
+            progress = True
+
+        if remaining:
+            raise PlanningError(
+                f"classes {remaining!r} cannot be reached through the query's "
+                f"relationships {list(query.relationships)!r}"
+            )
+
+        if cross:
+            node = FilterNode(child=node, predicates=tuple(cross))
+        node = ProjectNode(child=node, projections=tuple(query.projections))
+        return QueryPlan(root=node, class_order=tuple(order), notes=notes)

@@ -1,0 +1,149 @@
+"""The in-memory object store.
+
+The store keeps one extent (list of instances) per object class and
+maintains the secondary indexes declared by the schema.  It is the
+"database" side of our substrate: the data generator fills it, the executor
+reads from it, the validator checks it against the semantic constraints, and
+the dynamic-rule deriver learns from it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from ..schema.schema import Schema
+from .indexes import IndexManager
+from .instance import ObjectInstance
+
+
+class StorageError(Exception):
+    """Raised on inconsistent store operations."""
+
+
+class ObjectStore:
+    """Extents of object instances plus their secondary indexes."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._extents: Dict[str, List[ObjectInstance]] = {
+            name: [] for name in schema.class_names()
+        }
+        self._by_oid: Dict[str, Dict[int, ObjectInstance]] = {
+            name: {} for name in schema.class_names()
+        }
+        self._next_oid: Dict[str, int] = {name: 1 for name in schema.class_names()}
+        self.indexes = IndexManager(schema)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, class_name: str, values: Mapping[str, Any]) -> ObjectInstance:
+        """Insert a new instance of ``class_name`` and return it.
+
+        Attribute names are validated against the schema; unknown attributes
+        raise :class:`StorageError` so data-generation bugs surface early.
+        """
+        if class_name not in self._extents:
+            raise StorageError(f"unknown object class {class_name!r}")
+        cls = self.schema.object_class(class_name)
+        for attribute_name in values:
+            if not cls.has_attribute(attribute_name):
+                raise StorageError(
+                    f"class {class_name!r} has no attribute {attribute_name!r}"
+                )
+        oid = self._next_oid[class_name]
+        self._next_oid[class_name] += 1
+        instance = ObjectInstance(class_name, oid, dict(values))
+        self._extents[class_name].append(instance)
+        self._by_oid[class_name][oid] = instance
+        self.indexes.on_insert(class_name, oid, instance.values)
+        return instance
+
+    def insert_many(
+        self, class_name: str, rows: Iterable[Mapping[str, Any]]
+    ) -> List[ObjectInstance]:
+        """Insert several instances of ``class_name``."""
+        return [self.insert(class_name, row) for row in rows]
+
+    def delete(self, class_name: str, oid: int) -> None:
+        """Remove an instance (used by failure-injection tests)."""
+        instance = self._by_oid.get(class_name, {}).pop(oid, None)
+        if instance is None:
+            raise StorageError(f"no instance {class_name}#{oid}")
+        self._extents[class_name].remove(instance)
+        self.indexes.on_delete(class_name, oid, instance.values)
+
+    def update(
+        self, class_name: str, oid: int, values: Mapping[str, Any]
+    ) -> ObjectInstance:
+        """Update attribute values of an existing instance."""
+        instance = self.get(class_name, oid)
+        if instance is None:
+            raise StorageError(f"no instance {class_name}#{oid}")
+        self.indexes.on_delete(class_name, oid, instance.values)
+        instance.values.update(values)
+        self.indexes.on_insert(class_name, oid, instance.values)
+        return instance
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def has_class(self, class_name: str) -> bool:
+        """Whether the store has an extent for ``class_name``."""
+        return class_name in self._extents
+
+    def instances(self, class_name: str) -> List[ObjectInstance]:
+        """The full extent of ``class_name`` (a copy of the list)."""
+        if class_name not in self._extents:
+            raise StorageError(f"unknown object class {class_name!r}")
+        return list(self._extents[class_name])
+
+    def get(self, class_name: str, oid: int) -> Optional[ObjectInstance]:
+        """The instance ``class_name#oid`` or ``None``."""
+        return self._by_oid.get(class_name, {}).get(oid)
+
+    def count(self, class_name: str) -> int:
+        """Cardinality of the class extent."""
+        if class_name not in self._extents:
+            raise StorageError(f"unknown object class {class_name!r}")
+        return len(self._extents[class_name])
+
+    def counts(self) -> Dict[str, int]:
+        """Cardinality of every class extent."""
+        return {name: len(extent) for name, extent in self._extents.items()}
+
+    def total_instances(self) -> int:
+        """Total number of instances across all extents."""
+        return sum(len(extent) for extent in self._extents.values())
+
+    # ------------------------------------------------------------------
+    # Relationship traversal
+    # ------------------------------------------------------------------
+    def dereference(
+        self, instance: ObjectInstance, pointer_attribute: str, target_class: str
+    ) -> Optional[ObjectInstance]:
+        """Follow a pointer attribute to its target instance."""
+        oid = instance.pointer(pointer_attribute)
+        if oid is None:
+            return None
+        return self.get(target_class, oid)
+
+    def referrers(
+        self, target: ObjectInstance, source_class: str, pointer_attribute: str
+    ) -> List[ObjectInstance]:
+        """All instances of ``source_class`` whose pointer references ``target``.
+
+        This is the reverse traversal of a relationship and requires a scan
+        of the source extent; the executor accounts for that cost.
+        """
+        return [
+            instance
+            for instance in self._extents.get(source_class, [])
+            if instance.values.get(pointer_attribute) == target.oid
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        summary = ", ".join(
+            f"{name}:{len(extent)}" for name, extent in self._extents.items()
+        )
+        return f"ObjectStore({summary})"

@@ -1,0 +1,75 @@
+"""Experiment harness regenerating the paper's tables and figures.
+
+One module per experiment (Table 4.1, Figure 4.1, Table 4.2, the O(m·n)
+complexity claim) plus the three ablations called out in DESIGN.md
+(constraint grouping policies, priority queue under a budget, tentative vs
+straight-forward baseline) and a runner that produces the consolidated
+report recorded in EXPERIMENTS.md.
+"""
+
+from .table_4_1 import PAPER_TABLE_4_1, Table41Result, run_table_4_1
+from .figure_4_1 import Figure41Point, Figure41Result, run_figure_4_1
+from .table_4_2 import (
+    BUCKET_LABELS,
+    DEFAULT_OVERHEAD_UNITS_PER_SECOND,
+    QueryCostRecord,
+    Table42Result,
+    Table42Row,
+    run_table_4_2,
+)
+from .complexity import (
+    ComplexityPoint,
+    ComplexityResult,
+    build_chain_constraints,
+    build_chain_query,
+    build_chain_schema,
+    run_complexity,
+)
+from .ablation_grouping import (
+    GroupingAblationResult,
+    GroupingMeasurement,
+    run_grouping_ablation,
+)
+from .ablation_priority import (
+    PriorityAblationResult,
+    PriorityMeasurement,
+    run_priority_ablation,
+)
+from .ablation_baseline import BaselineComparison, run_baseline_ablation
+from .runner import ExperimentReport, run_all
+from .reporting import format_histogram, format_table, percentage, summarize_series
+
+__all__ = [
+    "BUCKET_LABELS",
+    "BaselineComparison",
+    "ComplexityPoint",
+    "ComplexityResult",
+    "DEFAULT_OVERHEAD_UNITS_PER_SECOND",
+    "ExperimentReport",
+    "Figure41Point",
+    "Figure41Result",
+    "GroupingAblationResult",
+    "GroupingMeasurement",
+    "PAPER_TABLE_4_1",
+    "PriorityAblationResult",
+    "PriorityMeasurement",
+    "QueryCostRecord",
+    "Table41Result",
+    "Table42Result",
+    "Table42Row",
+    "build_chain_constraints",
+    "build_chain_query",
+    "build_chain_schema",
+    "format_histogram",
+    "format_table",
+    "percentage",
+    "run_all",
+    "run_baseline_ablation",
+    "run_complexity",
+    "run_figure_4_1",
+    "run_grouping_ablation",
+    "run_priority_ablation",
+    "run_table_4_1",
+    "run_table_4_2",
+    "summarize_series",
+]

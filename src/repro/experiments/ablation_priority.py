@@ -1,0 +1,126 @@
+"""Ablation: priority queue under a transformation budget (Section 4).
+
+Section 4 of the paper suggests turning the transformation queue into a
+priority queue when transformations must be rationed: *"priorities can be
+assigned to different transformation rules and Q becomes a priority queue.
+This enhancement is very useful when it is necessary to assign a budget and
+limit the number of transformations."*
+
+This ablation gives both queue disciplines the same small transformation
+budget and measures how much of the available benefit each realises: the
+number of index introductions performed (the most profitable rule, served
+first by the priority queue) and the resulting execution-cost ratio of the
+optimized queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.optimizer import OptimizerConfig, SemanticQueryOptimizer
+from ..core.rules import TransformationKind
+from ..data.generator import TABLE_4_1_SPECS, DatabaseSpec
+from ..data.workload import build_evaluation_setup
+from ..engine.executor import QueryExecutor
+from ..query.query import Query
+from .reporting import format_table
+
+
+@dataclass
+class PriorityMeasurement:
+    """Aggregate outcome of one queue discipline under a budget."""
+
+    discipline: str
+    budget: int
+    index_introductions: int = 0
+    eliminations: int = 0
+    restriction_introductions: int = 0
+    total_fired: int = 0
+    mean_cost_ratio: float = 1.0
+
+
+@dataclass
+class PriorityAblationResult:
+    """Measurements for both disciplines."""
+
+    measurements: Dict[str, PriorityMeasurement] = field(default_factory=dict)
+
+    def as_table(self) -> str:
+        """Aligned comparison table."""
+        rows = []
+        for name in sorted(self.measurements):
+            m = self.measurements[name]
+            rows.append(
+                [
+                    name,
+                    m.budget,
+                    m.index_introductions,
+                    m.eliminations,
+                    m.restriction_introductions,
+                    m.total_fired,
+                    m.mean_cost_ratio,
+                ]
+            )
+        return format_table(
+            [
+                "queue",
+                "budget",
+                "index introductions",
+                "eliminations",
+                "restriction introductions",
+                "fired",
+                "mean cost ratio",
+            ],
+            rows,
+        )
+
+
+def run_priority_ablation(
+    spec: DatabaseSpec = TABLE_4_1_SPECS["DB2"],
+    query_count: int = 40,
+    seed: int = 7,
+    budget: int = 1,
+    queries: Optional[Sequence[Query]] = None,
+) -> PriorityAblationResult:
+    """Compare FIFO and priority queues under a per-query transformation budget."""
+    setup = build_evaluation_setup(spec, query_count=query_count, seed=seed)
+    workload = list(queries) if queries is not None else setup.queries
+    executor = QueryExecutor(setup.schema, setup.store)
+    cost_model = setup.cost_model
+
+    result = PriorityAblationResult()
+    for use_priority in (False, True):
+        name = "priority" if use_priority else "fifo"
+        optimizer = SemanticQueryOptimizer(
+            setup.schema,
+            repository=setup.repository,
+            cost_model=cost_model,
+            config=OptimizerConfig(
+                use_priority_queue=use_priority,
+                transformation_budget=budget,
+                record_access_statistics=False,
+            ),
+        )
+        measurement = PriorityMeasurement(discipline=name, budget=budget)
+        ratios: List[float] = []
+        for query in workload:
+            outcome = optimizer.optimize(query)
+            measurement.total_fired += len(
+                [r for r in outcome.trace if r.constraint_name]
+            )
+            measurement.index_introductions += len(
+                outcome.trace.of_kind(TransformationKind.INDEX_INTRODUCTION)
+            )
+            measurement.eliminations += len(outcome.trace.eliminations())
+            measurement.restriction_introductions += len(
+                outcome.trace.of_kind(TransformationKind.RESTRICTION_INTRODUCTION)
+            )
+            original = cost_model.measured_cost(executor.execute(query).metrics)
+            optimized = cost_model.measured_cost(
+                executor.execute(outcome.optimized).metrics
+            )
+            ratios.append(optimized / original if original > 0 else 1.0)
+        measurement.mean_cost_ratio = sum(ratios) / len(ratios) if ratios else 1.0
+        result.measurements[name] = measurement
+    return result

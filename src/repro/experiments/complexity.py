@@ -1,0 +1,159 @@
+"""Experiment: the O(m·n) complexity claim (Section 4).
+
+The paper argues that, because transformations are tentative and never
+preclude one another, the transformation step is bounded by ``O(m·n)`` where
+``m`` is the number of distinct predicates and ``n`` the number of relevant
+constraints.  This harness measures that claim directly on synthetic
+constraint chains: it builds families of queries and constraint sets whose
+``m·n`` product grows, runs the transformation step (initialization +
+queue + transformation, no retrieval, no execution) and records the time and
+the number of transformations fired.  The expectation is near-linear growth
+of time with ``m·n`` — and, as a sanity check, the number of fired
+transformations never exceeds the number of constraints.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..constraints.horn_clause import SemanticConstraint
+from ..constraints.predicate import Predicate
+from ..core.initialization import initialize
+from ..core.transformation import TransformationEngine
+from ..query.query import Query
+from ..schema.attribute import DomainType, value_attribute
+from ..schema.object_class import ObjectClass
+from ..schema.schema import Schema
+from .reporting import format_table
+
+
+def build_chain_schema(attribute_count: int) -> Schema:
+    """A single-class schema with ``attribute_count`` integer attributes."""
+    attributes = tuple(
+        value_attribute(f"a{i}", DomainType.INTEGER, indexed=(i % 4 == 0))
+        for i in range(attribute_count)
+    )
+    return Schema([ObjectClass(name="item", attributes=attributes)], (), name="chain")
+
+
+def build_chain_constraints(count: int) -> List[SemanticConstraint]:
+    """A chain ``a0=1 -> a1=1 -> ... -> a<count>=1`` of intra-class constraints.
+
+    Every constraint's consequent is the next constraint's antecedent, so a
+    single query predicate ``a0 = 1`` eventually fires the whole chain — the
+    worst case for the transformation loop.
+    """
+    constraints = []
+    for index in range(count):
+        constraints.append(
+            SemanticConstraint.build(
+                name=f"chain{index}",
+                antecedents=[Predicate.equals(f"item.a{index}", 1)],
+                consequent=Predicate.equals(f"item.a{index + 1}", 1),
+                anchor_classes={"item"},
+            )
+        )
+    return constraints
+
+
+def build_chain_query(predicate_count: int) -> Query:
+    """A single-class query with ``predicate_count`` seed predicates."""
+    predicates = tuple(
+        Predicate.equals(f"item.a{i}", 1) for i in range(predicate_count)
+    )
+    return Query(
+        projections=("item.a0",),
+        selective_predicates=predicates,
+        classes=("item",),
+        name=f"chain_query_{predicate_count}",
+    )
+
+
+@dataclass
+class ComplexityPoint:
+    """One measured (m, n) configuration."""
+
+    predicates: int
+    constraints: int
+    product: int
+    transformation_time: float
+    fired: int
+
+
+@dataclass
+class ComplexityResult:
+    """All measured configurations."""
+
+    points: List[ComplexityPoint] = field(default_factory=list)
+
+    def as_table(self) -> str:
+        """Aligned table of the scaling measurements."""
+        rows = [
+            [
+                p.predicates,
+                p.constraints,
+                p.product,
+                p.transformation_time * 1000.0,
+                p.fired,
+                (p.transformation_time * 1e6 / p.product) if p.product else 0.0,
+            ]
+            for p in self.points
+        ]
+        return format_table(
+            [
+                "predicates (m)",
+                "constraints (n)",
+                "m*n",
+                "time (ms)",
+                "fired",
+                "us per cell",
+            ],
+            rows,
+        )
+
+    def time_per_cell(self) -> List[float]:
+        """Seconds of transformation time per table cell, per configuration.
+
+        For an O(m·n) algorithm this series stays roughly flat as m·n grows.
+        """
+        return [
+            p.transformation_time / p.product for p in self.points if p.product > 0
+        ]
+
+
+def run_complexity(
+    constraint_counts: Tuple[int, ...] = (8, 16, 32, 64, 128),
+    seed_predicates: int = 1,
+    repeats: int = 3,
+) -> ComplexityResult:
+    """Measure transformation time as the constraint chain grows."""
+    result = ComplexityResult()
+    for count in constraint_counts:
+        schema = build_chain_schema(count + 2)
+        constraints = build_chain_constraints(count)
+        query = build_chain_query(seed_predicates)
+        best_time: Optional[float] = None
+        fired = 0
+        for _ in range(max(1, repeats)):
+            init = initialize(query, constraints, assume_relevant=False)
+            engine = TransformationEngine(init.table, schema)
+            start = time.perf_counter()
+            engine.run()
+            elapsed = time.perf_counter() - start
+            fired = engine.stats.fired
+            if best_time is None or elapsed < best_time:
+                best_time = elapsed
+        assert best_time is not None
+        predicates = count + seed_predicates
+        result.points.append(
+            ComplexityPoint(
+                predicates=predicates,
+                constraints=count,
+                product=predicates * count,
+                transformation_time=best_time,
+                fired=fired,
+            )
+        )
+    return result

@@ -1,0 +1,168 @@
+"""Experiment: Figure 4.1 — query transformation time.
+
+Figure 4.1 of the paper plots the query transformation time of the 40 test
+queries against the number of object classes in the query, with one series
+per number of relevant constraints (roughly 1, 5 and 9 in the paper's plot).
+The conclusion drawn is that *"query transformation time is clearly
+proportional to both the number of object classes in the query and, to a
+lesser extent, the number of relevant constraints"*, with every
+transformation finishing well under a second.
+
+This harness reproduces the measurement: it optimizes a workload of path
+queries, records the transformation time (all optimizer phases except
+constraint retrieval, as in the paper) together with the query's class count
+and the number of relevant constraints, and aggregates mean times per
+(class count, constraint bucket) cell.  Absolute values are hardware
+dependent — the shape (monotone growth along both axes) is the reproduction
+target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.optimizer import OptimizerConfig, SemanticQueryOptimizer
+from ..data.generator import TABLE_4_1_SPECS, DatabaseSpec
+from ..data.workload import build_evaluation_setup
+from ..query.query import Query
+from .reporting import format_table, summarize_series
+
+
+@dataclass
+class Figure41Point:
+    """One measured query."""
+
+    query_name: str
+    class_count: int
+    relevant_constraints: int
+    transformation_time: float
+    retrieval_time: float
+    transformations_applied: int
+
+
+@dataclass
+class Figure41Result:
+    """All measurements plus the aggregated series of Figure 4.1."""
+
+    points: List[Figure41Point] = field(default_factory=list)
+    repeats: int = 1
+
+    def series(
+        self, constraint_buckets: Sequence[Tuple[int, int]] = ((0, 2), (3, 5), (6, 99))
+    ) -> Dict[str, Dict[int, float]]:
+        """Mean transformation time per class count, per constraint bucket.
+
+        Buckets are (low, high) inclusive ranges over the number of relevant
+        constraints, standing in for the paper's per-constraint-count series.
+        """
+        result: Dict[str, Dict[int, float]] = {}
+        for low, high in constraint_buckets:
+            label = f"{low}-{high} constraints"
+            per_class: Dict[int, List[float]] = {}
+            for point in self.points:
+                if low <= point.relevant_constraints <= high:
+                    per_class.setdefault(point.class_count, []).append(
+                        point.transformation_time
+                    )
+            result[label] = {
+                classes: sum(times) / len(times)
+                for classes, times in sorted(per_class.items())
+            }
+        return result
+
+    def max_transformation_time(self) -> float:
+        """The slowest observed transformation, in seconds."""
+        return max((p.transformation_time for p in self.points), default=0.0)
+
+    def as_table(self) -> str:
+        """Aligned table: class count vs mean transformation time (ms)."""
+        per_class: Dict[int, List[float]] = {}
+        per_class_constraints: Dict[int, List[int]] = {}
+        for point in self.points:
+            per_class.setdefault(point.class_count, []).append(
+                point.transformation_time
+            )
+            per_class_constraints.setdefault(point.class_count, []).append(
+                point.relevant_constraints
+            )
+        rows = []
+        for classes in sorted(per_class):
+            stats = summarize_series(per_class[classes])
+            constraints = per_class_constraints[classes]
+            rows.append(
+                [
+                    classes,
+                    len(per_class[classes]),
+                    sum(constraints) / len(constraints),
+                    stats["mean"] * 1000.0,
+                    stats["max"] * 1000.0,
+                ]
+            )
+        return format_table(
+            [
+                "classes in query",
+                "queries",
+                "avg relevant constraints",
+                "mean transform time (ms)",
+                "max transform time (ms)",
+            ],
+            rows,
+        )
+
+
+def run_figure_4_1(
+    spec: DatabaseSpec = TABLE_4_1_SPECS["DB1"],
+    query_count: int = 40,
+    seed: int = 7,
+    repeats: int = 3,
+    queries: Optional[Sequence[Query]] = None,
+) -> Figure41Result:
+    """Measure transformation times for the workload.
+
+    Parameters
+    ----------
+    spec:
+        Database instance used to build the value catalog and repository
+        (transformation time does not depend on database size, so DB1 is the
+        default, as cheap to build as any).
+    query_count:
+        Workload size (the paper uses 40).
+    seed:
+        Workload seed.
+    repeats:
+        Each query is optimized this many times and the fastest run is kept,
+        reducing timer noise on fast machines.
+    queries:
+        Optional explicit workload (overrides the generated one).
+    """
+    setup = build_evaluation_setup(spec, query_count=query_count, seed=seed)
+    optimizer = SemanticQueryOptimizer(
+        setup.schema,
+        repository=setup.repository,
+        cost_model=setup.cost_model,
+        config=OptimizerConfig(record_access_statistics=False),
+    )
+    workload = list(queries) if queries is not None else setup.queries
+    result = Figure41Result(repeats=repeats)
+    for query in workload:
+        best = None
+        for _ in range(max(1, repeats)):
+            outcome = optimizer.optimize(query)
+            if best is None or (
+                outcome.timings.transformation_only
+                < best.timings.transformation_only
+            ):
+                best = outcome
+        assert best is not None
+        result.points.append(
+            Figure41Point(
+                query_name=query.name or "",
+                class_count=query.class_count,
+                relevant_constraints=best.relevant_constraints,
+                transformation_time=best.timings.transformation_only,
+                retrieval_time=best.timings.retrieval,
+                transformations_applied=best.transformations_applied,
+            )
+        )
+    return result

@@ -1,0 +1,70 @@
+"""Lightweight reporting helpers shared by the experiment harnesses.
+
+Experiments return plain data structures; these helpers turn them into the
+aligned text tables printed by the benchmark harness and the examples, in a
+layout close to the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render an aligned text table."""
+    def render(value: Any) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_histogram(
+    buckets: Mapping[str, int], total: int, bar_width: int = 30
+) -> str:
+    """Render a bucket histogram with proportional bars."""
+    lines = []
+    peak = max(buckets.values()) if buckets else 1
+    for label, count in buckets.items():
+        bar = "#" * (0 if peak == 0 else int(round(bar_width * count / peak)))
+        share = 0.0 if total == 0 else 100.0 * count / total
+        lines.append(f"{label:>8}  {count:4d}  {share:5.1f}%  {bar}")
+    return "\n".join(lines)
+
+
+def percentage(part: int, whole: int) -> float:
+    """``part`` as a percentage of ``whole`` (0.0 when ``whole`` is 0)."""
+    return 0.0 if whole == 0 else 100.0 * part / whole
+
+
+def summarize_series(values: Iterable[float]) -> Dict[str, float]:
+    """Minimum / mean / median / maximum of a numeric series."""
+    data: List[float] = sorted(values)
+    if not data:
+        return {"min": 0.0, "mean": 0.0, "median": 0.0, "max": 0.0}
+    mid = len(data) // 2
+    median = (
+        data[mid] if len(data) % 2 == 1 else 0.5 * (data[mid - 1] + data[mid])
+    )
+    return {
+        "min": data[0],
+        "mean": sum(data) / len(data),
+        "median": median,
+        "max": data[-1],
+    }

@@ -1,0 +1,39 @@
+"""Query substrate.
+
+The five-part query representation from the paper, a parser and formatter
+for the paper's textual notation, the path-based workload generator used in
+the evaluation, and semantic-equivalence checks between original and
+optimized queries.
+"""
+
+from .query import Query, QueryError
+from .formatter import (
+    describe_query,
+    format_name_list,
+    format_predicate,
+    format_predicate_list,
+    format_query,
+)
+from .parser import QueryParseError, parse_constant, parse_predicate, parse_query
+from .generator import GeneratorConfig, QueryGenerator, ValueCatalog
+from .equivalence import answers_match, results_equal, structurally_equal
+
+__all__ = [
+    "GeneratorConfig",
+    "Query",
+    "QueryError",
+    "QueryGenerator",
+    "QueryParseError",
+    "ValueCatalog",
+    "answers_match",
+    "describe_query",
+    "format_name_list",
+    "format_predicate",
+    "format_predicate_list",
+    "format_query",
+    "parse_constant",
+    "parse_predicate",
+    "parse_query",
+    "results_equal",
+    "structurally_equal",
+]

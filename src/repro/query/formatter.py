@@ -1,0 +1,77 @@
+"""Rendering queries in the paper's textual notation.
+
+The paper writes queries as::
+
+    (SELECT {vehicle.vehicle#, cargo.desc, cargo.quantity} { }
+            {vehicle.desc = "refrigerated truck", supplier.name = "SFI"}
+            {collects, supplies}
+            {supplier, cargo, vehicle})
+
+:func:`format_query` reproduces that layout (useful in examples, traces and
+experiment reports); :func:`format_predicate_list` and friends are the
+building blocks, shared with the parser's round-trip tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..constraints.predicate import Predicate
+from .query import Query
+
+
+def format_predicate(predicate: Predicate) -> str:
+    """Render a single predicate as ``class.attr <op> operand``."""
+    return str(predicate)
+
+
+def format_predicate_list(predicates: Sequence[Predicate]) -> str:
+    """Render a predicate list as ``{p1, p2, ...}`` (``{ }`` when empty)."""
+    if not predicates:
+        return "{ }"
+    return "{" + ", ".join(format_predicate(p) for p in predicates) + "}"
+
+
+def format_name_list(names: Iterable[str]) -> str:
+    """Render a list of names as ``{a, b, c}`` (``{ }`` when empty)."""
+    names = list(names)
+    if not names:
+        return "{ }"
+    return "{" + ", ".join(names) + "}"
+
+
+def format_query(query: Query, indent: str = "", multiline: bool = False) -> str:
+    """Render ``query`` in the paper's 5-part SELECT notation.
+
+    Parameters
+    ----------
+    query:
+        The query to render.
+    indent:
+        Prefix applied to continuation lines in multiline mode.
+    multiline:
+        When ``True`` each of the five parts goes on its own line, matching
+        the layout of Figure 2.3 in the paper.
+    """
+    parts = [
+        format_name_list(query.projections),
+        format_predicate_list(query.join_predicates),
+        format_predicate_list(query.selective_predicates),
+        format_name_list(query.relationships),
+        format_name_list(query.classes),
+    ]
+    if multiline:
+        separator = "\n" + indent + "        "
+        return indent + "(SELECT " + separator.join(parts) + ")"
+    return "(SELECT " + " ".join(parts) + ")"
+
+
+def describe_query(query: Query) -> str:
+    """A short human-readable description used in logs and reports."""
+    label = query.name or "query"
+    return (
+        f"{label}: {len(query.classes)} classes, "
+        f"{len(query.selective_predicates)} selections, "
+        f"{len(query.join_predicates)} joins, "
+        f"{len(query.relationships)} relationships"
+    )

@@ -1,0 +1,270 @@
+"""Path-based query workload generation.
+
+Section 4 of the paper builds its test workload as follows: *"All possible
+paths in this schema were identified ... A query was formulated for each such
+path and thus a set of queries was generated.  From this set of queries, 40
+test queries were randomly chosen and sent to the optimizer."*
+
+:class:`QueryGenerator` reproduces that procedure:
+
+1. enumerate the simple paths of the schema graph
+   (:func:`repro.schema.paths.enumerate_paths`);
+2. formulate one query per path — the query accesses every class on the
+   path, traverses every relationship on the path, projects a couple of
+   value attributes from the end-point classes, and draws selective
+   predicates from a *value catalog* so that predicates refer to values that
+   actually occur in (or are near) the database;
+3. randomly sample the requested number of queries.
+
+A deterministic ``random.Random`` seeded by the caller keeps workloads
+reproducible across runs, which the experiments rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..constraints.predicate import ComparisonOperator, Constant, Predicate
+from ..schema.attribute import Attribute
+from ..schema.paths import SchemaPath, enumerate_paths
+from ..schema.schema import Schema
+from .query import Query
+
+
+#: Maps a qualified attribute name to sample constants that selective
+#: predicates may compare against.  Built by the data generator from the
+#: values it actually inserts so the workload predicates are selective but
+#: satisfiable.
+ValueCatalog = Mapping[str, Sequence[Constant]]
+
+
+@dataclass
+class GeneratorConfig:
+    """Tuning knobs for workload generation.
+
+    Parameters
+    ----------
+    selection_probability:
+        Probability that a class on the path contributes one selective
+        predicate.
+    max_projections_per_class:
+        How many value attributes of each end-point class are projected.
+    min_path_length / max_path_length:
+        Bounds on the number of classes in the underlying schema path.
+    equality_bias:
+        Probability that a generated numeric selective predicate uses ``=``
+        rather than a range operator; string attributes always use ``=``.
+    preferred_bias:
+        When the generator was given *preferred predicates* for a class
+        (typically the antecedent selections of the semantic constraints,
+        see :class:`QueryGenerator`), probability that the class's selective
+        predicate is drawn from that pool rather than from the value
+        catalog.  This models the fact that real application queries tend to
+        select on the same domain values the integrity constraints talk
+        about.
+    endpoint_projection_probability:
+        Probability that each end-point class of the path contributes
+        projections.  Values below 1.0 produce queries that touch a class
+        without returning any of its attributes — the situation in which the
+        paper's class elimination rule can apply (at least one class always
+        keeps its projections so the query stays meaningful).
+    """
+
+    selection_probability: float = 0.75
+    max_projections_per_class: int = 2
+    min_path_length: int = 1
+    max_path_length: Optional[int] = None
+    equality_bias: float = 0.6
+    preferred_bias: float = 0.5
+    endpoint_projection_probability: float = 0.7
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.selection_probability <= 1.0:
+            raise ValueError("selection_probability must be within [0, 1]")
+        if not 0.0 <= self.equality_bias <= 1.0:
+            raise ValueError("equality_bias must be within [0, 1]")
+        if not 0.0 <= self.preferred_bias <= 1.0:
+            raise ValueError("preferred_bias must be within [0, 1]")
+        if not 0.0 <= self.endpoint_projection_probability <= 1.0:
+            raise ValueError(
+                "endpoint_projection_probability must be within [0, 1]"
+            )
+        if self.max_projections_per_class < 1:
+            raise ValueError("max_projections_per_class must be >= 1")
+
+
+class QueryGenerator:
+    """Formulates queries from schema paths, following the paper's procedure."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        value_catalog: Optional[ValueCatalog] = None,
+        config: Optional[GeneratorConfig] = None,
+        seed: int = 0,
+        preferred_predicates: Optional[Mapping[str, Sequence[Predicate]]] = None,
+    ) -> None:
+        self.schema = schema
+        self.value_catalog: Dict[str, List[Constant]] = {
+            key: list(values) for key, values in (value_catalog or {}).items()
+        }
+        self.config = config or GeneratorConfig()
+        self._random = random.Random(seed)
+        self.preferred_predicates: Dict[str, List[Predicate]] = {
+            class_name: list(predicates)
+            for class_name, predicates in (preferred_predicates or {}).items()
+            if predicates
+        }
+
+    # ------------------------------------------------------------------
+    # Path enumeration
+    # ------------------------------------------------------------------
+    def paths(self) -> List[SchemaPath]:
+        """All schema paths eligible for query formulation."""
+        return enumerate_paths(
+            self.schema,
+            min_length=self.config.min_path_length,
+            max_length=self.config.max_path_length,
+        )
+
+    # ------------------------------------------------------------------
+    # Query formulation
+    # ------------------------------------------------------------------
+    def _projections_for(self, class_name: str) -> List[str]:
+        cls = self.schema.object_class(class_name)
+        value_attributes = cls.value_attributes
+        if not value_attributes:
+            return []
+        count = min(self.config.max_projections_per_class, len(value_attributes))
+        chosen = self._random.sample(value_attributes, count)
+        return [f"{class_name}.{attribute.name}" for attribute in chosen]
+
+    def _selective_predicate_for(self, class_name: str) -> Optional[Predicate]:
+        preferred = self.preferred_predicates.get(class_name)
+        if preferred and self._random.random() < self.config.preferred_bias:
+            return self._random.choice(preferred)
+        cls = self.schema.object_class(class_name)
+        candidates: List[Tuple[str, Attribute]] = [
+            (f"{class_name}.{attribute.name}", attribute)
+            for attribute in cls.value_attributes
+            if self.value_catalog.get(f"{class_name}.{attribute.name}")
+        ]
+        if not candidates:
+            return None
+        qualified, attribute = self._random.choice(candidates)
+        value = self._random.choice(self.value_catalog[qualified])
+        if attribute.domain.is_numeric and isinstance(value, (int, float)):
+            if self._random.random() >= self.config.equality_bias:
+                operator = self._random.choice(
+                    [
+                        ComparisonOperator.LE,
+                        ComparisonOperator.GE,
+                        ComparisonOperator.LT,
+                        ComparisonOperator.GT,
+                    ]
+                )
+                return Predicate.selection(qualified, operator, value)
+        return Predicate.equals(qualified, value)
+
+    def query_for_path(self, path: SchemaPath, name: Optional[str] = None) -> Query:
+        """Formulate one query for ``path``.
+
+        The query accesses every class on the path, lists every relationship
+        traversed, projects value attributes of the two end-point classes
+        (or the single class for length-1 paths) and adds selective
+        predicates drawn from the value catalog.
+        """
+        endpoint_classes = {path.start, path.end}
+        projections: List[str] = []
+        for class_name in path.classes:
+            if class_name not in endpoint_classes:
+                continue
+            if (
+                self._random.random()
+                < self.config.endpoint_projection_probability
+            ):
+                projections.extend(self._projections_for(class_name))
+        if not projections:
+            projections.extend(self._projections_for(path.start))
+
+        selections: List[Predicate] = []
+        for class_name in path.classes:
+            if self._random.random() < self.config.selection_probability:
+                predicate = self._selective_predicate_for(class_name)
+                if predicate is not None:
+                    selections.append(predicate)
+
+        query = Query(
+            projections=tuple(dict.fromkeys(projections)),
+            join_predicates=(),
+            selective_predicates=tuple(selections),
+            relationships=path.relationships,
+            classes=path.classes,
+            name=name,
+        )
+        query.validate(self.schema)
+        return query
+
+    # ------------------------------------------------------------------
+    # Workload construction
+    # ------------------------------------------------------------------
+    def generate_workload(
+        self,
+        count: int = 40,
+        allow_repeats: bool = True,
+    ) -> List[Query]:
+        """Randomly choose ``count`` path queries, as in the paper.
+
+        When the schema has fewer distinct paths than ``count`` and
+        ``allow_repeats`` is true, paths are re-used with fresh random
+        projections/selections so the workload still reaches the requested
+        size (the sample database of the paper has few classes, so its "40
+        randomly chosen" queries necessarily repeat path shapes too).
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        paths = self.paths()
+        if not paths:
+            raise ValueError("the schema has no paths to formulate queries from")
+
+        chosen: List[SchemaPath] = []
+        if len(paths) >= count:
+            chosen = self._random.sample(paths, count)
+        else:
+            if not allow_repeats:
+                chosen = list(paths)
+            else:
+                chosen = [self._random.choice(paths) for _ in range(count)]
+
+        return [
+            self.query_for_path(path, name=f"q{index + 1}")
+            for index, path in enumerate(chosen)
+        ]
+
+    def queries_by_class_count(
+        self, counts: Sequence[int], per_count: int = 5
+    ) -> Dict[int, List[Query]]:
+        """Generate ``per_count`` queries for each requested class count.
+
+        Used by the Figure 4.1 experiment, which plots transformation time
+        against the number of object classes in the query.
+        """
+        by_length: Dict[int, List[SchemaPath]] = {}
+        for path in self.paths():
+            by_length.setdefault(path.length, []).append(path)
+        result: Dict[int, List[Query]] = {}
+        for count in counts:
+            available = by_length.get(count, [])
+            if not available:
+                result[count] = []
+                continue
+            queries = []
+            for index in range(per_count):
+                path = available[index % len(available)]
+                queries.append(
+                    self.query_for_path(path, name=f"len{count}_q{index + 1}")
+                )
+            result[count] = queries
+        return result

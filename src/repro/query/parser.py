@@ -1,0 +1,193 @@
+"""Parsing the paper's textual query notation.
+
+The parser accepts the five-part form used throughout the paper::
+
+    (SELECT {projections} {join predicates} {selective predicates}
+            {relationships} {classes})
+
+with predicates written either in infix form (``vehicle.desc = "refrigerated
+truck"``, ``driver.licenseClass >= vehicle.class``) or in the functional form
+the paper uses inside constraints (``equal(cargo.desc, "frozen food")``,
+``greaterThanOrEqualTo(driver.licenseClass, vehicle.class)``).
+
+The parser exists so that examples and tests can state queries exactly as
+the paper prints them; programmatic construction through :class:`Query` and
+:class:`Predicate` is equally supported and used by the generator.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple, Union
+
+from ..constraints.predicate import (
+    ComparisonOperator,
+    Constant,
+    Predicate,
+    parse_operator,
+)
+from .query import Query, QueryError
+
+_BRACED = re.compile(r"\{([^{}]*)\}")
+_INFIX = re.compile(
+    r"^\s*(?P<left>[\w#]+\.[\w#]+)\s*"
+    r"(?P<op><=|>=|!=|<>|==|=|<|>)\s*"
+    r"(?P<right>.+?)\s*$"
+)
+_FUNCTIONAL = re.compile(
+    r"^\s*(?P<fn>\w+)\s*\(\s*(?P<left>[^,]+?)\s*,\s*(?P<right>.+?)\s*\)\s*$"
+)
+_ATTRIBUTE = re.compile(r"^[\w#]+\.[\w#]+$")
+
+# The paper names some attributes with '#'; our schema uses '_no' suffixes.
+_HASH_ALIASES = {
+    "vehicle#": "vehicle_no",
+    "engine#": "engine_no",
+    "license#": "license_no",
+}
+
+
+class QueryParseError(QueryError):
+    """Raised when the textual query form cannot be parsed."""
+
+
+def _normalize_attribute(token: str) -> str:
+    class_name, _, attribute = token.partition(".")
+    attribute = _HASH_ALIASES.get(attribute, attribute.replace("#", "_no"))
+    return f"{class_name}.{attribute}"
+
+
+def parse_constant(token: str) -> Constant:
+    """Parse a constant literal: quoted string, integer, float or boolean."""
+    token = token.strip()
+    if len(token) >= 2 and token[0] == token[-1] and token[0] in ("'", '"'):
+        return token[1:-1]
+    lowered = token.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    raise QueryParseError(f"cannot parse constant literal {token!r}")
+
+
+def _parse_operand(token: str) -> Union[str, Constant]:
+    token = token.strip()
+    if _ATTRIBUTE.match(token):
+        return _normalize_attribute(token)
+    return parse_constant(token)
+
+
+def parse_predicate(text: str) -> Predicate:
+    """Parse one predicate in infix or functional notation."""
+    text = text.strip()
+    if not text:
+        raise QueryParseError("empty predicate")
+
+    functional = _FUNCTIONAL.match(text)
+    if functional and not _INFIX.match(text):
+        operator = parse_operator(functional.group("fn"))
+        left = _parse_operand(functional.group("left"))
+        right = _parse_operand(functional.group("right"))
+        if not isinstance(left, str):
+            raise QueryParseError(
+                f"left operand of {text!r} must be an attribute reference"
+            )
+        return _build_predicate(left, operator, right)
+
+    infix = _INFIX.match(text)
+    if infix:
+        operator = parse_operator(infix.group("op"))
+        left = _normalize_attribute(infix.group("left"))
+        right = _parse_operand(infix.group("right"))
+        return _build_predicate(left, operator, right)
+
+    raise QueryParseError(f"cannot parse predicate {text!r}")
+
+
+def _build_predicate(
+    left: str, operator: ComparisonOperator, right: Union[str, Constant]
+) -> Predicate:
+    if isinstance(right, str) and _ATTRIBUTE.match(right):
+        return Predicate.comparison(left, operator, right)
+    return Predicate.selection(left, operator, right)
+
+
+def _split_items(body: str) -> List[str]:
+    """Split a braced body on commas that are not inside quotes or parens."""
+    items: List[str] = []
+    current: List[str] = []
+    depth = 0
+    quote: Optional[str] = None
+    for char in body:
+        if quote:
+            current.append(char)
+            if char == quote:
+                quote = None
+            continue
+        if char in ("'", '"'):
+            quote = char
+            current.append(char)
+            continue
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth = max(0, depth - 1)
+        if char == "," and depth == 0:
+            items.append("".join(current).strip())
+            current = []
+            continue
+        current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        items.append(tail)
+    return [item for item in items if item]
+
+
+def parse_query(text: str, name: Optional[str] = None) -> Query:
+    """Parse a query in the paper's five-part SELECT notation."""
+    stripped = text.strip()
+    if stripped.startswith("(") and stripped.endswith(")"):
+        stripped = stripped[1:-1].strip()
+    if not stripped.upper().startswith("SELECT"):
+        raise QueryParseError("query must start with SELECT")
+    body = stripped[len("SELECT"):]
+
+    groups = _BRACED.findall(body)
+    if len(groups) != 5:
+        raise QueryParseError(
+            f"expected 5 braced parts (projections, joins, selections, "
+            f"relationships, classes), found {len(groups)}"
+        )
+    projections_raw, joins_raw, selections_raw, relationships_raw, classes_raw = groups
+
+    projections = []
+    for item in _split_items(projections_raw):
+        # The paper sometimes annotates a projection with the value implied
+        # by a constraint (e.g. cargo.desc="frozen food"); keep only the
+        # attribute part.
+        attribute = item.split("=", 1)[0].strip()
+        projections.append(_normalize_attribute(attribute))
+
+    join_predicates = tuple(parse_predicate(item) for item in _split_items(joins_raw))
+    selective_predicates = tuple(
+        parse_predicate(item) for item in _split_items(selections_raw)
+    )
+    relationships = tuple(_split_items(relationships_raw))
+    classes = tuple(_split_items(classes_raw))
+
+    return Query(
+        projections=tuple(projections),
+        join_predicates=join_predicates,
+        selective_predicates=selective_predicates,
+        relationships=relationships,
+        classes=classes,
+        name=name,
+    )

@@ -1,0 +1,51 @@
+"""Object-oriented database schema substrate.
+
+This package models the schema layer of the OODB the paper's prototype was
+built for: object classes with value and pointer attributes, binary
+relationships implemented through those pointers, class inheritance,
+access-frequency statistics, and enumeration of simple paths through the
+schema graph (used by the workload generator).
+"""
+
+from .attribute import (
+    Attribute,
+    AttributeKind,
+    DomainType,
+    pointer_attribute,
+    value_attribute,
+)
+from .object_class import ObjectClass, SchemaError
+from .relationship import Relationship
+from .schema import AttributeRef, Schema
+from .paths import SchemaPath, enumerate_paths, longest_paths, paths_through
+from .statistics import AccessStatistics
+from .example import (
+    ENGINE_NUMBER,
+    LICENSE_NUMBER,
+    VEHICLE_NUMBER,
+    build_core_example_schema,
+    build_example_schema,
+)
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "AttributeRef",
+    "AccessStatistics",
+    "DomainType",
+    "ObjectClass",
+    "Relationship",
+    "Schema",
+    "SchemaError",
+    "SchemaPath",
+    "ENGINE_NUMBER",
+    "LICENSE_NUMBER",
+    "VEHICLE_NUMBER",
+    "build_core_example_schema",
+    "build_example_schema",
+    "enumerate_paths",
+    "longest_paths",
+    "paths_through",
+    "pointer_attribute",
+    "value_attribute",
+]

@@ -1,0 +1,153 @@
+"""Attribute definitions for object classes.
+
+An attribute belongs to an object class and is either a *value attribute*
+(holding a string, integer or float) or a *pointer attribute* used to
+implement a relationship between object classes, exactly as in Figure 2.1 of
+the paper where "attributes in italic are pointers used to implement
+relationships between object classes".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class AttributeKind(enum.Enum):
+    """Distinguishes plain value attributes from relationship pointers."""
+
+    VALUE = "value"
+    POINTER = "pointer"
+
+
+class DomainType(enum.Enum):
+    """The value domain of an attribute.
+
+    The domain type drives predicate implication reasoning: numeric domains
+    support range subsumption (``x > 20`` implies ``x > 10``) while string
+    domains only support equality reasoning.
+    """
+
+    STRING = "string"
+    INTEGER = "integer"
+    FLOAT = "float"
+    OID = "oid"
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values of this domain are ordered numbers."""
+        return self in (DomainType.INTEGER, DomainType.FLOAT)
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single attribute of an object class.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, unique within its owning class.
+    domain:
+        The value domain (:class:`DomainType`).
+    kind:
+        Whether this is a plain value attribute or a relationship pointer.
+    indexed:
+        ``True`` when the physical design maintains an index on this
+        attribute.  Indexed-ness matters to the optimizer: consequent
+        predicates on indexed attributes become *optional* rather than
+        *redundant* (Table 3.1 / 3.2 of the paper).
+    target_class:
+        For pointer attributes, the name of the object class the pointer
+        refers to.  ``None`` for value attributes.
+    description:
+        Optional human-readable documentation.
+    """
+
+    name: str
+    domain: DomainType = DomainType.STRING
+    kind: AttributeKind = AttributeKind.VALUE
+    indexed: bool = False
+    target_class: Optional[str] = None
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute name must be non-empty")
+        if self.kind is AttributeKind.POINTER and self.target_class is None:
+            raise ValueError(
+                f"pointer attribute {self.name!r} must declare a target_class"
+            )
+        if self.kind is AttributeKind.VALUE and self.target_class is not None:
+            raise ValueError(
+                f"value attribute {self.name!r} must not declare a target_class"
+            )
+
+    @property
+    def is_pointer(self) -> bool:
+        """Whether this attribute implements a relationship."""
+        return self.kind is AttributeKind.POINTER
+
+    def renamed(self, new_name: str) -> "Attribute":
+        """Return a copy of this attribute with a different name.
+
+        Used when sub-classes inherit attributes but need local overrides.
+        """
+        return Attribute(
+            name=new_name,
+            domain=self.domain,
+            kind=self.kind,
+            indexed=self.indexed,
+            target_class=self.target_class,
+            description=self.description,
+        )
+
+    def with_index(self, indexed: bool = True) -> "Attribute":
+        """Return a copy of this attribute with ``indexed`` toggled."""
+        return Attribute(
+            name=self.name,
+            domain=self.domain,
+            kind=self.kind,
+            indexed=indexed,
+            target_class=self.target_class,
+            description=self.description,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        marker = "*" if self.indexed else ""
+        if self.is_pointer:
+            return f"{self.name}{marker} -> {self.target_class}"
+        return f"{self.name}{marker}: {self.domain.value}"
+
+
+def value_attribute(
+    name: str,
+    domain: DomainType = DomainType.STRING,
+    indexed: bool = False,
+    description: str = "",
+) -> Attribute:
+    """Convenience constructor for a plain value attribute."""
+    return Attribute(
+        name=name,
+        domain=domain,
+        kind=AttributeKind.VALUE,
+        indexed=indexed,
+        description=description,
+    )
+
+
+def pointer_attribute(
+    name: str,
+    target_class: str,
+    indexed: bool = False,
+    description: str = "",
+) -> Attribute:
+    """Convenience constructor for a relationship pointer attribute."""
+    return Attribute(
+        name=name,
+        domain=DomainType.OID,
+        kind=AttributeKind.POINTER,
+        indexed=indexed,
+        target_class=target_class,
+        description=description,
+    )

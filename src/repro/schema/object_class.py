@@ -1,0 +1,130 @@
+"""Object class definitions.
+
+An :class:`ObjectClass` corresponds to one row of Figure 2.1 in the paper,
+e.g. ``vehicle(vehicle#, desc, class, engComp, collects, drives)``.  Classes
+may inherit from a parent class (``driver`` and ``supervisor`` extend
+``employee`` in the example schema); inherited attributes are merged into the
+subclass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .attribute import Attribute
+
+
+class SchemaError(Exception):
+    """Raised when a schema definition is inconsistent."""
+
+
+@dataclass
+class ObjectClass:
+    """A class of objects in the object-oriented database.
+
+    Parameters
+    ----------
+    name:
+        Class name, unique within the schema.
+    attributes:
+        The attributes declared directly on this class (not inherited).
+    parent:
+        Optional name of the parent class; inherited attributes are resolved
+        by :class:`repro.schema.schema.Schema`.
+    description:
+        Optional human readable documentation.
+    """
+
+    name: str
+    attributes: Tuple[Attribute, ...] = ()
+    parent: Optional[str] = None
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("object class name must be non-empty")
+        self.attributes = tuple(self.attributes)
+        seen = set()
+        for attr in self.attributes:
+            if attr.name in seen:
+                raise SchemaError(
+                    f"duplicate attribute {attr.name!r} in class {self.name!r}"
+                )
+            seen.add(attr.name)
+        self._by_name: Dict[str, Attribute] = {a.name: a for a in self.attributes}
+
+    # ------------------------------------------------------------------
+    # Attribute access
+    # ------------------------------------------------------------------
+    def has_attribute(self, name: str) -> bool:
+        """Whether the class *directly* declares an attribute ``name``."""
+        return name in self._by_name
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the directly declared attribute ``name``.
+
+        Raises
+        ------
+        SchemaError
+            If the attribute does not exist on this class.
+        """
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"class {self.name!r} has no attribute {name!r}"
+            ) from None
+
+    def attribute_names(self) -> List[str]:
+        """Names of directly declared attributes, in declaration order."""
+        return [a.name for a in self.attributes]
+
+    @property
+    def value_attributes(self) -> List[Attribute]:
+        """Directly declared non-pointer attributes."""
+        return [a for a in self.attributes if not a.is_pointer]
+
+    @property
+    def pointer_attributes(self) -> List[Attribute]:
+        """Directly declared pointer attributes."""
+        return [a for a in self.attributes if a.is_pointer]
+
+    @property
+    def indexed_attributes(self) -> List[Attribute]:
+        """Directly declared attributes that carry an index."""
+        return [a for a in self.attributes if a.indexed]
+
+    # ------------------------------------------------------------------
+    # Derivation helpers
+    # ------------------------------------------------------------------
+    def with_attributes(self, extra: Iterable[Attribute]) -> "ObjectClass":
+        """Return a copy of this class with additional attributes appended.
+
+        Used by the schema to materialize inherited attributes; attributes
+        already present by name are *not* overridden (the subclass wins).
+        """
+        merged: List[Attribute] = list(self.attributes)
+        names = {a.name for a in merged}
+        for attr in extra:
+            if attr.name not in names:
+                merged.append(attr)
+                names.add(attr.name)
+        return ObjectClass(
+            name=self.name,
+            attributes=tuple(merged),
+            parent=self.parent,
+            description=self.description,
+        )
+
+    def qualified(self, attribute_name: str) -> str:
+        """Return the ``class.attribute`` qualified name used in predicates."""
+        if attribute_name not in self._by_name:
+            raise SchemaError(
+                f"class {self.name!r} has no attribute {attribute_name!r}"
+            )
+        return f"{self.name}.{attribute_name}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        attrs = ", ".join(a.name for a in self.attributes)
+        return f"{self.name}({attrs})"

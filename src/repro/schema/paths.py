@@ -1,0 +1,164 @@
+"""Schema path enumeration.
+
+Section 4 of the paper generates its query workload by identifying *"all
+possible paths in this schema ... where a path consists of a series of
+interconnecting object classes and relationships, and no object class or
+relationship appears more than once"*, and then formulating one query per
+path.  :func:`enumerate_paths` implements exactly that definition as a simple
+DFS over the schema graph; :class:`SchemaPath` is the resulting value object
+consumed by :mod:`repro.query.generator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .schema import Schema
+
+
+@dataclass(frozen=True)
+class SchemaPath:
+    """A simple path through the schema graph.
+
+    ``classes`` holds the sequence of object-class names visited and
+    ``relationships`` the names of the relationships traversed between
+    consecutive classes; ``len(relationships) == len(classes) - 1``.
+    """
+
+    classes: Tuple[str, ...]
+    relationships: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ValueError("a schema path must contain at least one class")
+        if len(self.relationships) != len(self.classes) - 1:
+            raise ValueError(
+                "a path over k classes must traverse exactly k-1 relationships"
+            )
+
+    @property
+    def length(self) -> int:
+        """Number of classes on the path."""
+        return len(self.classes)
+
+    @property
+    def start(self) -> str:
+        """First class on the path."""
+        return self.classes[0]
+
+    @property
+    def end(self) -> str:
+        """Last class on the path."""
+        return self.classes[-1]
+
+    def reversed(self) -> "SchemaPath":
+        """The same path walked in the opposite direction."""
+        return SchemaPath(
+            classes=tuple(reversed(self.classes)),
+            relationships=tuple(reversed(self.relationships)),
+        )
+
+    def canonical(self) -> "SchemaPath":
+        """A direction-independent representative of this path.
+
+        The paper treats a path and its reverse as the same path; the
+        canonical form is whichever direction is lexicographically smaller,
+        so de-duplication is a simple set membership test.
+        """
+        forward = (self.classes, self.relationships)
+        rev = self.reversed()
+        backward = (rev.classes, rev.relationships)
+        return self if forward <= backward else rev
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [self.classes[0]]
+        for rel, cls in zip(self.relationships, self.classes[1:]):
+            parts.append(f"-[{rel}]-")
+            parts.append(cls)
+        return " ".join(parts)
+
+
+def _extend(
+    schema: Schema,
+    classes: List[str],
+    relationships: List[str],
+    max_length: Optional[int],
+) -> Iterator[SchemaPath]:
+    """DFS helper yielding every extension of the current partial path."""
+    yield SchemaPath(tuple(classes), tuple(relationships))
+    if max_length is not None and len(classes) >= max_length:
+        return
+    current = classes[-1]
+    for rel in schema.relationships_of(current):
+        nxt = rel.other(current)
+        if nxt in classes or rel.name in relationships:
+            continue
+        classes.append(nxt)
+        relationships.append(rel.name)
+        yield from _extend(schema, classes, relationships, max_length)
+        classes.pop()
+        relationships.pop()
+
+
+def enumerate_paths(
+    schema: Schema,
+    min_length: int = 1,
+    max_length: Optional[int] = None,
+    deduplicate: bool = True,
+) -> List[SchemaPath]:
+    """Enumerate all simple paths of the schema graph.
+
+    Parameters
+    ----------
+    schema:
+        The schema whose relationship graph is walked.
+    min_length:
+        Minimum number of classes in a path (1 returns single-class paths
+        too, which correspond to single-class queries).
+    max_length:
+        Optional cap on the number of classes per path.
+    deduplicate:
+        When ``True`` (the default, matching the paper), a path and its
+        reverse count as one path and only the canonical direction is
+        returned.
+
+    Returns
+    -------
+    list of :class:`SchemaPath`
+        Sorted by (length, class sequence) for reproducibility.
+    """
+    if min_length < 1:
+        raise ValueError("min_length must be >= 1")
+    if max_length is not None and max_length < min_length:
+        raise ValueError("max_length must be >= min_length")
+
+    seen = set()
+    results: List[SchemaPath] = []
+    for start in schema.class_names():
+        for path in _extend(schema, [start], [], max_length):
+            if path.length < min_length:
+                continue
+            candidate = path.canonical() if deduplicate else path
+            key = (candidate.classes, candidate.relationships)
+            if key in seen:
+                continue
+            seen.add(key)
+            results.append(candidate)
+    results.sort(key=lambda p: (p.length, p.classes, p.relationships))
+    return results
+
+
+def paths_through(
+    paths: Sequence[SchemaPath], class_name: str
+) -> List[SchemaPath]:
+    """Filter ``paths`` down to those visiting ``class_name``."""
+    return [p for p in paths if class_name in p.classes]
+
+
+def longest_paths(paths: Sequence[SchemaPath]) -> List[SchemaPath]:
+    """Return the subset of ``paths`` with maximal length."""
+    if not paths:
+        return []
+    best = max(p.length for p in paths)
+    return [p for p in paths if p.length == best]

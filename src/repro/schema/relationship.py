@@ -1,0 +1,101 @@
+"""Relationships between object classes.
+
+In the paper's schema (Figure 2.1) relationships such as ``collects`` and
+``supplies`` are implemented by pointer attributes shared between the two
+participating classes.  A :class:`Relationship` names the link, identifies the
+two classes and the pointer attribute each side uses, so that the query
+executor can traverse it in either direction and the query generator can
+enumerate schema paths over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from .object_class import SchemaError
+
+
+@dataclass(frozen=True)
+class Relationship:
+    """A named, binary relationship between two object classes.
+
+    Parameters
+    ----------
+    name:
+        Relationship name (e.g. ``collects``), unique within the schema.
+    source:
+        Name of the class on the "owning" side of the relationship.
+    target:
+        Name of the class on the other side.
+    source_attribute:
+        Pointer attribute on ``source`` implementing the link.
+    target_attribute:
+        Pointer attribute on ``target`` implementing the link.  The paper's
+        example stores the same relationship pointer on both sides (e.g.
+        ``collects`` appears on both ``cargo`` and ``vehicle``); storing both
+        attribute names lets the executor traverse either direction without
+        scanning.
+    cardinality:
+        Approximate number of link instances; only used as a default by the
+        data generator and cost model when no statistics are available.
+    """
+
+    name: str
+    source: str
+    target: str
+    source_attribute: str
+    target_attribute: str
+    cardinality: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relationship name must be non-empty")
+        if self.source == self.target:
+            raise SchemaError(
+                f"relationship {self.name!r} must connect two distinct classes"
+            )
+
+    @property
+    def classes(self) -> Tuple[str, str]:
+        """The pair of class names this relationship connects."""
+        return (self.source, self.target)
+
+    def connects(self, class_a: str, class_b: str) -> bool:
+        """Whether this relationship links ``class_a`` and ``class_b``."""
+        return {class_a, class_b} == {self.source, self.target}
+
+    def involves(self, class_name: str) -> bool:
+        """Whether ``class_name`` participates in this relationship."""
+        return class_name in (self.source, self.target)
+
+    def other(self, class_name: str) -> str:
+        """Return the class on the opposite side of ``class_name``.
+
+        Raises
+        ------
+        SchemaError
+            If ``class_name`` does not participate in the relationship.
+        """
+        if class_name == self.source:
+            return self.target
+        if class_name == self.target:
+            return self.source
+        raise SchemaError(
+            f"class {class_name!r} does not participate in relationship "
+            f"{self.name!r}"
+        )
+
+    def attribute_for(self, class_name: str) -> str:
+        """Return the pointer attribute used by ``class_name`` for this link."""
+        if class_name == self.source:
+            return self.source_attribute
+        if class_name == self.target:
+            return self.target_attribute
+        raise SchemaError(
+            f"class {class_name!r} does not participate in relationship "
+            f"{self.name!r}"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}: {self.source} <-> {self.target}"

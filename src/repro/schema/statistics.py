@@ -1,0 +1,108 @@
+"""Access-frequency statistics over object classes.
+
+Section 3 of the paper refines the constraint grouping scheme by assigning
+each constraint to *"the group attached to the less frequently accessed
+classes that appear in the constraint"*.  That requires the system to track
+how often each object class is touched by queries.  :class:`AccessStatistics`
+is that tracker; it is deliberately tiny but supports the three grouping
+strategies implemented in :mod:`repro.constraints.groups`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Mapping, Optional
+
+
+class AccessStatistics:
+    """Counts how frequently each object class is referenced by queries.
+
+    The counter can be seeded with an initial frequency map (useful for
+    experiments that want a fixed, skewed access pattern) and is updated by
+    calling :meth:`record_query` with the classes a query touches.
+    """
+
+    def __init__(self, initial: Optional[Mapping[str, int]] = None) -> None:
+        self._counts: Counter = Counter()
+        self._queries_seen = 0
+        if initial:
+            for class_name, count in initial.items():
+                if count < 0:
+                    raise ValueError(
+                        f"access count for {class_name!r} must be >= 0"
+                    )
+                self._counts[class_name] = int(count)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_query(self, class_names: Iterable[str]) -> None:
+        """Record one query touching each class in ``class_names`` once."""
+        touched = set(class_names)
+        for name in touched:
+            self._counts[name] += 1
+        self._queries_seen += 1
+
+    def record_access(self, class_name: str, count: int = 1) -> None:
+        """Record ``count`` additional accesses to a single class."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self._counts[class_name] += count
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def queries_seen(self) -> int:
+        """Number of queries recorded via :meth:`record_query`."""
+        return self._queries_seen
+
+    def frequency(self, class_name: str) -> int:
+        """Access count for ``class_name`` (0 if never seen)."""
+        return self._counts.get(class_name, 0)
+
+    def frequencies(self) -> Dict[str, int]:
+        """A copy of the full frequency map."""
+        return dict(self._counts)
+
+    def least_frequent(self, class_names: Iterable[str]) -> str:
+        """Return the least frequently accessed class among ``class_names``.
+
+        Ties are broken alphabetically so that grouping is deterministic.
+
+        Raises
+        ------
+        ValueError
+            If ``class_names`` is empty.
+        """
+        names = sorted(set(class_names))
+        if not names:
+            raise ValueError("least_frequent() requires at least one class")
+        return min(names, key=lambda name: (self.frequency(name), name))
+
+    def most_frequent(self, class_names: Iterable[str]) -> str:
+        """Return the most frequently accessed class among ``class_names``."""
+        names = sorted(set(class_names))
+        if not names:
+            raise ValueError("most_frequent() requires at least one class")
+        return max(names, key=lambda name: (self.frequency(name), name))
+
+    def ranked(self) -> List[str]:
+        """All known classes ordered from most to least frequently accessed."""
+        return [
+            name
+            for name, _count in sorted(
+                self._counts.items(), key=lambda item: (-item[1], item[0])
+            )
+        ]
+
+    def merge(self, other: "AccessStatistics") -> "AccessStatistics":
+        """Return a new statistics object combining both counters."""
+        merged = AccessStatistics(self._counts)
+        for name, count in other.frequencies().items():
+            merged.record_access(name, count)
+        merged._queries_seen = self._queries_seen + other._queries_seen
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AccessStatistics({dict(self._counts)!r})"

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.constraints import ConstraintRepository, build_example_constraints
+from repro.data import TABLE_4_1_SPECS, build_evaluation_setup
+from repro.query import parse_query
+from repro.schema import build_example_schema
+
+
+@pytest.fixture(scope="session")
+def example_schema():
+    """The Figure 2.1 logistics schema."""
+    return build_example_schema()
+
+
+@pytest.fixture(scope="session")
+def example_constraints():
+    """The Figure 2.2 constraints c1..c5."""
+    return build_example_constraints()
+
+
+@pytest.fixture()
+def example_repository(example_schema, example_constraints):
+    """A precompiled repository over the Figure 2.1/2.2 example."""
+    repository = ConstraintRepository(example_schema)
+    repository.add_all(example_constraints)
+    repository.precompile()
+    return repository
+
+
+@pytest.fixture(scope="session")
+def paper_query():
+    """The sample query of Figure 2.3 (refrigerated trucks sent to SFI)."""
+    return parse_query(
+        '(SELECT {vehicle.vehicle#, cargo.desc, cargo.quantity} { } '
+        '{vehicle.desc = "refrigerated truck", supplier.name = "SFI"} '
+        '{collects, supplies} {supplier, cargo, vehicle})',
+        name="figure_2_3",
+    )
+
+
+@pytest.fixture(scope="session")
+def small_setup():
+    """A small evaluation setup (DB1-sized) shared across integration tests."""
+    return build_evaluation_setup(
+        TABLE_4_1_SPECS["DB1"], query_count=12, seed=11
+    )

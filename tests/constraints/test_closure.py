@@ -1,0 +1,104 @@
+"""Unit tests for transitive-closure materialization."""
+
+from repro.constraints import (
+    ConstraintOrigin,
+    Predicate,
+    PredicateStore,
+    SemanticConstraint,
+    build_example_constraints,
+    closure_reaches,
+    compute_closure,
+    implies,
+)
+
+
+def chain(name, antecedent, consequent):
+    return SemanticConstraint.build(
+        name,
+        [antecedent],
+        consequent,
+        anchor_classes={"cargo"},
+    )
+
+
+def test_paper_closure_example():
+    """(A = a) -> (B > 20) and (B > 10) -> (C = c) gives (A = a) -> (C = c)."""
+    a = Predicate.equals("cargo.code", "a")
+    b_strong = Predicate.selection("cargo.quantity", ">", 20)
+    b_weak = Predicate.selection("cargo.quantity", ">", 10)
+    c = Predicate.equals("cargo.desc", "c")
+    result = compute_closure([chain("r1", a, b_strong), chain("r2", b_weak, c)])
+    assert len(result.derived) == 1
+    derived = result.derived[0]
+    assert derived.origin is ConstraintOrigin.CLOSURE
+    assert derived.antecedents == (a.normalized(),) or derived.antecedents == (a,)
+    assert derived.consequent.normalized() == c.normalized()
+    assert closure_reaches(result, a, c)
+
+
+def test_closure_of_example_constraints_adds_c1_c2_chain():
+    result = compute_closure(build_example_constraints())
+    # c1: vehicle.desc=refrigerated -> cargo.desc=frozen; c2: cargo.desc=frozen
+    # -> supplier.name=SFI; the chain introduces refrigerated -> SFI.
+    assert closure_reaches(
+        result,
+        Predicate.equals("vehicle.desc", "refrigerated truck"),
+        Predicate.equals("supplier.name", "SFI"),
+    )
+    chained = [c for c in result.derived if set(c.derived_from) == {"c1", "c2"}]
+    assert chained
+    assert chained[0].anchor_relationships == frozenset({"collects", "supplies"})
+
+
+def test_closure_terminates_on_cycles():
+    a = Predicate.equals("cargo.code", "a")
+    b = Predicate.equals("cargo.desc", "b")
+    result = compute_closure([chain("r1", a, b), chain("r2", b, a)])
+    # The cycle adds no admissible constraint (each candidate is trivial).
+    assert len(result.constraints) == 2
+
+
+def test_closure_is_idempotent():
+    once = compute_closure(build_example_constraints())
+    twice = compute_closure(once.constraints)
+    assert {c.signature() for c in twice.constraints} == {
+        c.signature() for c in once.constraints
+    }
+
+
+def test_closure_respects_max_derived():
+    constraints = [
+        chain(
+            f"r{i}",
+            Predicate.selection("cargo.quantity", ">", 100 - i),
+            Predicate.selection("cargo.quantity", ">", 100 - i - 1),
+        )
+        for i in range(10)
+    ]
+    result = compute_closure(constraints, max_derived=3)
+    assert len(result.derived) == 3
+
+
+def test_predicate_store_interns_equal_predicates():
+    store = PredicateStore()
+    first = store.intern(Predicate.equals("cargo.desc", "frozen food"))
+    second = store.intern(Predicate.equals("cargo.desc", "frozen food"))
+    assert first is second
+    assert len(store) == 1
+    assert store.predicates() == [first]
+
+
+def test_derived_constraints_are_sound():
+    """Every derived rule must follow from the originals on total bindings."""
+    originals = build_example_constraints()
+    result = compute_closure(originals)
+    for derived in result.derived:
+        # The derivation chains two rules; check the implication structure:
+        # the producer's consequent implies an antecedent of the consumer.
+        producer_name, consumer_name = derived.derived_from
+        producer = next(c for c in result.constraints if c.name == producer_name)
+        consumer = next(c for c in result.constraints if c.name == consumer_name)
+        assert any(
+            implies(producer.consequent, antecedent)
+            for antecedent in consumer.antecedents
+        )

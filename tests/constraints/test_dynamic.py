@@ -1,0 +1,90 @@
+"""Unit tests for dynamic (state-derived) rule derivation."""
+
+from repro.constraints import (
+    ConstraintOrigin,
+    DerivationConfig,
+    DynamicRuleDeriver,
+    derive_rules,
+    validate_database,
+)
+from repro.data import build_evaluation_schema
+from repro.engine import ObjectStore
+
+
+def build_store():
+    schema = build_evaluation_schema()
+    store = ObjectStore(schema)
+    for index in range(6):
+        store.insert(
+            "cargo",
+            {
+                "code": f"C{index}",
+                "desc": "frozen food" if index < 3 else "textiles",
+                "category": "perishable" if index < 3 else "general",
+                "quantity": 50 + index * 10,
+            },
+        )
+    return schema, store
+
+
+def test_range_rules_derived():
+    schema, store = build_store()
+    rules = derive_rules(schema, store, DerivationConfig(derive_functional=False))
+    quantity_rules = [
+        r for r in rules if r.consequent.left.qualified_name == "cargo.quantity"
+    ]
+    assert len(quantity_rules) == 2
+    bounds = {r.consequent.operator.value: r.consequent.constant for r in quantity_rules}
+    assert bounds[">="] == 50 and bounds["<="] == 100
+    assert all(r.origin is ConstraintOrigin.DERIVED for r in rules)
+
+
+def test_functional_rules_derived():
+    schema, store = build_store()
+    rules = derive_rules(schema, store, DerivationConfig(derive_ranges=False))
+    found = [
+        r
+        for r in rules
+        if r.antecedents
+        and r.antecedents[0].references_attribute("cargo.category")
+        and r.consequent.references_attribute("cargo.desc")
+        and r.antecedents[0].constant == "perishable"
+    ]
+    assert found
+    assert found[0].consequent.constant == "frozen food"
+
+
+def test_min_support_filters_singletons():
+    schema, store = build_store()
+    store.insert(
+        "cargo",
+        {"code": "C9", "desc": "unique", "category": "rare", "quantity": 10},
+    )
+    rules = derive_rules(
+        schema, store, DerivationConfig(derive_ranges=False, min_support=2)
+    )
+    assert not any(
+        r.antecedents and r.antecedents[0].constant == "rare" for r in rules
+    )
+
+
+def test_derived_rules_hold_in_current_state():
+    schema, store = build_store()
+    rules = derive_rules(schema, store)
+    report = validate_database(schema, store, rules)
+    assert report.is_valid
+
+
+def test_existing_names_are_avoided():
+    schema, store = build_store()
+    deriver = DynamicRuleDeriver(schema)
+    rules = deriver.derive(store, existing_names={"d1", "d2"})
+    names = {r.name for r in rules}
+    assert "d1" not in names and "d2" not in names
+
+
+def test_restricting_classes():
+    schema, store = build_store()
+    deriver = DynamicRuleDeriver(schema)
+    rules = deriver.derive(store, class_names=["vehicle"])
+    assert rules == []

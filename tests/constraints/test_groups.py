@@ -1,0 +1,121 @@
+"""Unit tests for constraint grouping."""
+
+import pytest
+
+from repro.constraints import (
+    ConstraintError,
+    ConstraintGrouping,
+    GroupingPolicy,
+    build_example_constraints,
+    build_grouping,
+)
+from repro.schema import AccessStatistics
+
+
+CLASSES = [
+    "supplier",
+    "cargo",
+    "vehicle",
+    "engine",
+    "employee",
+    "manager",
+    "driver",
+    "supervisor",
+    "department",
+]
+
+
+def test_arbitrary_policy_is_deterministic():
+    constraints = build_example_constraints()
+    grouping = build_grouping(CLASSES, constraints, policy=GroupingPolicy.ARBITRARY)
+    again = build_grouping(CLASSES, constraints, policy=GroupingPolicy.ARBITRARY)
+    assert grouping.group_sizes() == again.group_sizes()
+    # c1 references cargo & vehicle -> alphabetically first is cargo.
+    assert any(c.name == "c1" for c in grouping.group("cargo"))
+
+
+def test_least_frequent_policy_prefers_cold_classes():
+    constraints = build_example_constraints()
+    stats = AccessStatistics({"cargo": 100, "vehicle": 1, "supplier": 50})
+    grouping = build_grouping(
+        CLASSES,
+        constraints,
+        policy=GroupingPolicy.LEAST_FREQUENT,
+        statistics=stats,
+    )
+    # c1 (cargo, vehicle) goes to the rarely accessed vehicle group.
+    assert any(c.name == "c1" for c in grouping.group("vehicle"))
+
+
+def test_balanced_policy_spreads_constraints():
+    constraints = build_example_constraints()
+    grouping = build_grouping(CLASSES, constraints, policy=GroupingPolicy.BALANCED)
+    assert max(grouping.group_sizes().values()) <= 2
+
+
+def test_fetch_only_touches_query_classes():
+    constraints = build_example_constraints()
+    grouping = build_grouping(CLASSES, constraints, policy=GroupingPolicy.ARBITRARY)
+    fetched = grouping.fetch({"manager"})
+    assert {c.name for c in fetched} == {"c4"}
+
+
+def test_retrieval_is_complete_for_any_query():
+    """The paper's correctness argument: relevant constraints are never missed."""
+    constraints = build_example_constraints()
+    for policy in GroupingPolicy:
+        grouping = build_grouping(CLASSES, constraints, policy=policy)
+        for classes in (
+            {"cargo", "vehicle"},
+            {"supplier", "cargo", "vehicle"},
+            {"employee", "department"},
+            {"manager"},
+            {"engine"},
+        ):
+            assert grouping.verify_complete(constraints, classes)
+
+
+def test_retrieve_relevant_filters_and_reports_stats():
+    constraints = build_example_constraints()
+    grouping = build_grouping(CLASSES, constraints, policy=GroupingPolicy.ARBITRARY)
+    relevant, stats = grouping.retrieve_relevant({"cargo", "vehicle"})
+    assert {c.name for c in relevant} == {"c1"}
+    assert stats.relevant == 1
+    assert stats.fetched >= stats.relevant
+    assert 0.0 <= stats.precision <= 1.0
+    assert stats.irrelevant == stats.fetched - stats.relevant
+
+
+def test_retrieve_relevant_respects_relationships():
+    constraints = build_example_constraints()
+    grouping = build_grouping(CLASSES, constraints, policy=GroupingPolicy.ARBITRARY)
+    relevant, _stats = grouping.retrieve_relevant(
+        {"cargo", "vehicle"}, query_relationships={"engComp"}
+    )
+    assert relevant == []
+
+
+def test_rebuild_regroups_after_statistics_change():
+    constraints = build_example_constraints()
+    grouping = build_grouping(
+        CLASSES, constraints, policy=GroupingPolicy.LEAST_FREQUENT
+    )
+    hot = AccessStatistics({"vehicle": 100, "cargo": 1})
+    grouping.rebuild(constraints, statistics=hot)
+    assert any(c.name == "c1" for c in grouping.group("cargo"))
+
+
+def test_unknown_class_raises():
+    constraints = build_example_constraints()
+    grouping = build_grouping(CLASSES, constraints)
+    with pytest.raises(ConstraintError):
+        grouping.group("warehouse")
+    with pytest.raises(ConstraintError):
+        ConstraintGrouping([])
+
+
+def test_unplaceable_constraint_raises():
+    constraints = build_example_constraints()
+    grouping = ConstraintGrouping(["warehouse"])
+    with pytest.raises(ConstraintError):
+        grouping.assign(constraints[0])

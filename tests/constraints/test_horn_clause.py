@@ -1,0 +1,101 @@
+"""Unit tests for Horn-clause semantic constraints."""
+
+import pytest
+
+from repro.constraints import (
+    ConstraintClass,
+    ConstraintError,
+    Predicate,
+    SemanticConstraint,
+    build_example_constraints,
+    example_constraints_by_name,
+    fresh_name,
+    unique_constraints,
+)
+
+
+def test_example_constraint_classification():
+    constraints = example_constraints_by_name()
+    assert constraints["c4"].classification is ConstraintClass.INTRA
+    for name in ("c1", "c2", "c3", "c5"):
+        assert constraints[name].classification is ConstraintClass.INTER
+
+
+def test_referenced_classes_include_anchors():
+    c3 = example_constraints_by_name()["c3"]
+    assert c3.referenced_classes() == frozenset({"driver", "vehicle"})
+    assert c3.anchor_relationships == frozenset({"drives"})
+
+
+def test_relevance_requires_all_classes():
+    c1 = example_constraints_by_name()["c1"]
+    assert c1.is_relevant_to({"cargo", "vehicle", "supplier"})
+    assert not c1.is_relevant_to({"cargo", "supplier"})
+
+
+def test_relevance_requires_anchor_relationships_when_given():
+    c1 = example_constraints_by_name()["c1"]
+    assert c1.is_relevant_to({"cargo", "vehicle"}, {"collects"})
+    assert not c1.is_relevant_to({"cargo", "vehicle"}, {"drives"})
+    # Without a relationship list the class test alone decides.
+    assert c1.is_relevant_to({"cargo", "vehicle"})
+
+
+def test_trivial_constraint_rejected():
+    p = Predicate.equals("cargo.desc", "frozen food")
+    with pytest.raises(ConstraintError):
+        SemanticConstraint.build("broken", [p], p)
+
+
+def test_empty_name_rejected():
+    with pytest.raises(ConstraintError):
+        SemanticConstraint.build(
+            "", [], Predicate.equals("cargo.desc", "frozen food")
+        )
+
+
+def test_holds_for_material_implication():
+    c1 = example_constraints_by_name()["c1"]
+    satisfied = {
+        "vehicle": {"desc": "refrigerated truck"},
+        "cargo": {"desc": "frozen food"},
+    }
+    violated = {
+        "vehicle": {"desc": "refrigerated truck"},
+        "cargo": {"desc": "textiles"},
+    }
+    antecedent_false = {
+        "vehicle": {"desc": "van"},
+        "cargo": {"desc": "textiles"},
+    }
+    assert c1.holds_for(satisfied)
+    assert not c1.holds_for(violated)
+    assert c1.holds_for(antecedent_false)
+
+
+def test_predicates_and_membership():
+    c1 = example_constraints_by_name()["c1"]
+    assert len(c1.predicates()) == 2
+    assert c1.has_antecedent(Predicate.equals("vehicle.desc", "refrigerated truck"))
+    assert c1.is_consequent(Predicate.equals("cargo.desc", "frozen food"))
+    assert not c1.has_antecedent(Predicate.equals("cargo.desc", "frozen food"))
+
+
+def test_unique_constraints_drops_duplicates():
+    constraints = build_example_constraints()
+    duplicated = constraints + [constraints[0].renamed("c1_copy")]
+    assert len(unique_constraints(tuple(duplicated))) == len(constraints)
+
+
+def test_fresh_name_avoids_collisions():
+    name = fresh_name("c", {"c1", "c2"})
+    assert name == "c3"
+    assert fresh_name("x", set()) == "x1"
+
+
+def test_signature_ignores_name():
+    constraints = build_example_constraints()
+    assert (
+        constraints[0].signature() == constraints[0].renamed("other").signature()
+    )
+    assert constraints[0].signature() != constraints[1].signature()

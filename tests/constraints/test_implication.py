@@ -1,0 +1,102 @@
+"""Unit and property-based tests for predicate implication."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import Predicate, conflicts, implies, is_subsumed_by_any, strongest
+from repro.constraints.predicate import ComparisonOperator
+
+
+def pred(op, value, attr="cargo.quantity"):
+    return Predicate.selection(attr, op, value)
+
+
+def test_identical_predicates_imply_each_other():
+    p = Predicate.equals("cargo.desc", "frozen food")
+    assert implies(p, p)
+
+
+def test_equality_implies_ranges():
+    assert implies(pred("=", 25), pred(">", 10))
+    assert implies(pred("=", 25), pred("<=", 25))
+    assert not implies(pred("=", 25), pred(">", 30))
+    assert implies(pred("=", 25), pred("!=", 30))
+    assert not implies(pred("=", 25), pred("!=", 25))
+
+
+def test_range_subsumption():
+    assert implies(pred(">", 20), pred(">", 10))
+    assert implies(pred(">=", 20), pred(">", 10))
+    assert not implies(pred(">", 10), pred(">", 20))
+    assert implies(pred("<", 5), pred("<=", 5))
+    assert not implies(pred("<=", 5), pred("<", 5))
+
+
+def test_range_implies_not_equal_outside():
+    assert implies(pred(">", 10), pred("!=", 5))
+    assert not implies(pred(">", 10), pred("!=", 20))
+
+
+def test_different_attributes_never_imply():
+    assert not implies(pred("=", 5), pred("=", 5, attr="cargo.code"))
+
+
+def test_join_predicates_only_imply_identical():
+    join = Predicate.comparison("driver.licenseClass", ">=", "vehicle.class")
+    same = Predicate.comparison("vehicle.class", "<=", "driver.licenseClass")
+    other = Predicate.comparison("driver.licenseClass", ">", "vehicle.class")
+    assert implies(join, same)
+    assert not implies(join, other)
+
+
+def test_conflicts():
+    assert conflicts(pred("=", 5), pred("=", 6))
+    assert conflicts(pred("<", 5), pred(">", 10))
+    assert not conflicts(pred(">", 5), pred("<", 10))
+    assert not conflicts(pred("=", 5), pred("=", 5, attr="cargo.code"))
+
+
+def test_is_subsumed_by_any_and_strongest():
+    weak = pred(">", 10)
+    strong = pred(">", 20)
+    assert is_subsumed_by_any(weak, [strong])
+    assert not is_subsumed_by_any(strong, [weak])
+    survivors = strongest([weak, strong])
+    assert survivors == [strong]
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+operators = st.sampled_from(["=", "<", "<=", ">", ">="])
+values = st.integers(min_value=-50, max_value=50)
+
+
+@settings(max_examples=60, deadline=None)
+@given(op_a=operators, a=values, op_b=operators, b=values, witness=values)
+def test_implication_is_sound_on_witnesses(op_a, a, op_b, b, witness):
+    """If p implies q then every witness satisfying p satisfies q."""
+    p = pred(op_a, a)
+    q = pred(op_b, b)
+    if implies(p, q):
+        binding = {"cargo": {"quantity": witness}}
+        if p.evaluate(binding):
+            assert q.evaluate(binding)
+
+
+@settings(max_examples=40, deadline=None)
+@given(op_a=operators, a=values, op_b=operators, b=values, witness=values)
+def test_conflict_is_sound_on_witnesses(op_a, a, op_b, b, witness):
+    """If p and q conflict, no witness satisfies both."""
+    p = pred(op_a, a)
+    q = pred(op_b, b)
+    if conflicts(p, q):
+        binding = {"cargo": {"quantity": witness}}
+        assert not (p.evaluate(binding) and q.evaluate(binding))
+
+
+@settings(max_examples=40, deadline=None)
+@given(op=operators, value=values)
+def test_implication_is_reflexive(op, value):
+    predicate = pred(op, value)
+    assert implies(predicate, predicate)

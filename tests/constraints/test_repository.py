@@ -1,0 +1,103 @@
+"""Unit tests for the constraint repository."""
+
+import pytest
+
+from repro.constraints import (
+    ConstraintError,
+    ConstraintRepository,
+    GroupingPolicy,
+    Predicate,
+    SemanticConstraint,
+    build_example_constraints,
+)
+
+
+def test_precompile_builds_closure_and_groups(example_repository):
+    stats = example_repository.stats()
+    assert stats.declared == 5
+    assert stats.closed >= 5
+    assert stats.derived >= 1
+    assert stats.intra_class >= 1
+    assert stats.distinct_predicates > 0
+    assert sum(example_repository.group_sizes().values()) == stats.closed
+
+
+def test_validation_rejects_unknown_attributes(example_schema):
+    repository = ConstraintRepository(example_schema)
+    bad = SemanticConstraint.build(
+        "bad", [], Predicate.equals("cargo.colour", "red"), anchor_classes={"cargo"}
+    )
+    with pytest.raises(ConstraintError):
+        repository.add(bad)
+
+
+def test_validation_rejects_unknown_anchor_class(example_schema):
+    repository = ConstraintRepository(example_schema)
+    bad = SemanticConstraint.build(
+        "bad",
+        [],
+        Predicate.equals("cargo.desc", "x"),
+        anchor_classes={"warehouse"},
+    )
+    with pytest.raises(ConstraintError):
+        repository.add(bad)
+
+
+def test_duplicate_names_rejected(example_schema, example_constraints):
+    repository = ConstraintRepository(example_schema)
+    repository.add(example_constraints[0])
+    with pytest.raises(ConstraintError):
+        repository.add(example_constraints[0])
+
+
+def test_remove_marks_dirty(example_schema, example_constraints):
+    repository = ConstraintRepository(example_schema)
+    repository.add_all(example_constraints)
+    repository.precompile()
+    before = len(repository)
+    repository.remove("c4")
+    assert len(repository) < before
+    with pytest.raises(ConstraintError):
+        repository.remove("c4")
+
+
+def test_retrieve_relevant_for_paper_query(example_repository, paper_query):
+    relevant, stats = example_repository.retrieve_relevant(
+        paper_query.classes, query_relationships=paper_query.relationships
+    )
+    names = {c.name for c in relevant}
+    # c1, c2 and the closure-derived chain are relevant; c3/c4/c5 are not.
+    assert "c1" in names and "c2" in names
+    assert "c3" not in names and "c4" not in names and "c5" not in names
+    assert stats.relevant == len(relevant)
+
+
+def test_retrieval_without_closure_misses_chained_rule(example_schema, example_constraints):
+    repository = ConstraintRepository(
+        example_schema, compute_transitive_closure=False
+    )
+    repository.add_all(example_constraints)
+    repository.precompile()
+    assert repository.stats().derived == 0
+    assert len(repository) == 5
+
+
+def test_access_statistics_recorded(example_repository):
+    before = example_repository.statistics.queries_seen
+    example_repository.retrieve_relevant(["cargo", "vehicle"])
+    assert example_repository.statistics.queries_seen == before + 1
+    example_repository.retrieve_relevant(["cargo"], record_access=False)
+    assert example_repository.statistics.queries_seen == before + 1
+
+
+def test_regroup_switches_policy(example_repository):
+    example_repository.regroup(policy=GroupingPolicy.BALANCED)
+    assert example_repository.policy is GroupingPolicy.BALANCED
+    assert sum(example_repository.group_sizes().values()) == len(example_repository)
+
+
+def test_requires_constraints_or_repository(example_schema):
+    repository = ConstraintRepository(example_schema)
+    # Precompiling an empty repository is allowed and yields no constraints.
+    stats = repository.precompile()
+    assert stats.closed == 0

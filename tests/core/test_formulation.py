@@ -1,0 +1,168 @@
+"""Unit tests for query formulation, profitability and class elimination."""
+
+import pytest
+
+from repro.constraints import Predicate
+from repro.core import (
+    ProfitabilityAnalyzer,
+    QueryFormulator,
+    SemanticQueryOptimizer,
+    initialize,
+    TransformationEngine,
+)
+from repro.data import build_evaluation_schema
+from repro.engine import CostModel, DatabaseStatistics
+from repro.query import Query
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return build_evaluation_schema()
+
+
+def test_heuristic_profitability_prefers_indexed_predicates(schema):
+    analyzer = ProfitabilityAnalyzer(schema)
+    query = Query(
+        projections=("cargo.code",),
+        selective_predicates=(Predicate.equals("cargo.desc", "frozen food"),),
+        classes=("cargo",),
+    )
+    indexed = analyzer.predicate_is_profitable(
+        query, Predicate.equals("cargo.desc", "frozen food")
+    )
+    assert indexed.profitable
+
+    crowded = query.add_selective_predicates(
+        [Predicate.selection("cargo.quantity", ">=", 10)]
+    )
+    non_indexed = analyzer.predicate_is_profitable(
+        crowded, Predicate.selection("cargo.quantity", ">=", 10)
+    )
+    assert not non_indexed.profitable
+
+    join = analyzer.predicate_is_profitable(
+        query, Predicate.comparison("driver.licenseClass", ">=", "vehicle.class")
+    )
+    assert not join.profitable
+
+
+def test_heuristic_class_elimination_always_profitable(schema):
+    analyzer = ProfitabilityAnalyzer(schema)
+    query = Query(
+        projections=("cargo.code",),
+        relationships=("supplies",),
+        classes=("cargo", "supplier"),
+    )
+    decision = analyzer.class_elimination_is_profitable(query, "supplier")
+    assert decision.profitable
+
+
+def test_cost_model_profitability_reports_costs(schema, small_setup):
+    analyzer = ProfitabilityAnalyzer(schema, cost_model=small_setup.cost_model)
+    query = small_setup.queries[0]
+    predicate = Predicate.equals("cargo.desc", "frozen food")
+    if "cargo" not in query.classes:
+        query = Query(
+            projections=("cargo.code",),
+            classes=("cargo",),
+        )
+    decision = analyzer.predicate_is_profitable(query, predicate)
+    assert decision.cost_with is not None and decision.cost_without is not None
+    assert decision.saving == pytest.approx(
+        decision.cost_without - decision.cost_with
+    )
+
+
+def test_formulator_drops_redundant_and_keeps_imperative(schema):
+    query = Query(
+        projections=("cargo.code",),
+        selective_predicates=(
+            Predicate.equals("cargo.category", "perishable"),
+            Predicate.selection("cargo.quantity", "<=", 100),
+        ),
+        classes=("cargo",),
+    )
+    from repro.constraints import SemanticConstraint
+
+    constraint = SemanticConstraint.build(
+        "r1",
+        [Predicate.equals("cargo.category", "perishable")],
+        Predicate.selection("cargo.quantity", "<=", 100),
+        anchor_classes={"cargo"},
+    )
+    init = initialize(query, [constraint])
+    TransformationEngine(init.table, schema).run()
+    result = QueryFormulator(schema).formulate(query, init.table)
+    assert result.query.has_predicate(Predicate.equals("cargo.category", "perishable"))
+    assert not result.query.has_predicate(
+        Predicate.selection("cargo.quantity", "<=", 100)
+    )
+    assert result.discarded_redundant
+
+
+def test_formulator_does_not_eliminate_projected_class(schema):
+    query = Query(
+        projections=("cargo.code", "supplier.name"),
+        relationships=("supplies",),
+        classes=("cargo", "supplier"),
+    )
+    init = initialize(query, [])
+    result = QueryFormulator(schema).formulate(query, init.table)
+    assert set(result.query.classes) == {"cargo", "supplier"}
+    assert result.eliminated_classes == []
+
+
+def test_formulator_does_not_eliminate_class_with_imperative_predicate(schema):
+    query = Query(
+        projections=("cargo.code",),
+        selective_predicates=(Predicate.equals("supplier.region", "west"),),
+        relationships=("supplies",),
+        classes=("cargo", "supplier"),
+    )
+    init = initialize(query, [])
+    result = QueryFormulator(schema).formulate(query, init.table)
+    assert "supplier" in result.query.classes
+
+
+def test_formulator_eliminates_dangling_class(schema):
+    query = Query(
+        projections=("cargo.code",),
+        relationships=("supplies",),
+        classes=("cargo", "supplier"),
+    )
+    init = initialize(query, [])
+    result = QueryFormulator(schema).formulate(query, init.table)
+    assert result.eliminated_classes == ["supplier"]
+    assert result.query.classes == ("cargo",)
+    assert result.query.relationships == ()
+
+
+def test_formulator_cascading_elimination(schema):
+    """Dropping an end class can make its neighbour dangling in turn."""
+    query = Query(
+        projections=("cargo.code",),
+        relationships=("collects", "engComp"),
+        classes=("cargo", "vehicle", "engine"),
+    )
+    init = initialize(query, [])
+    result = QueryFormulator(schema).formulate(query, init.table)
+    assert set(result.eliminated_classes) == {"engine", "vehicle"}
+    assert result.query.classes == ("cargo",)
+
+
+def test_class_elimination_can_be_disabled(schema):
+    query = Query(
+        projections=("cargo.code",),
+        relationships=("supplies",),
+        classes=("cargo", "supplier"),
+    )
+    init = initialize(query, [])
+    result = QueryFormulator(schema, enable_class_elimination=False).formulate(
+        query, init.table
+    )
+    assert result.eliminated_classes == []
+
+
+def test_optimizer_requires_constraints_or_repository(schema):
+    with pytest.raises(ValueError):
+        SemanticQueryOptimizer(schema)

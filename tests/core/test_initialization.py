@@ -1,0 +1,69 @@
+"""Unit tests for the initialization phase (Section 3.1)."""
+
+from repro.constraints import Predicate, build_example_constraints
+from repro.core import CellTag, collect_predicates, filter_relevant, initialize
+from repro.query import Query
+
+
+def test_paper_example_initial_table(paper_query, example_repository):
+    relevant, _stats = example_repository.retrieve_relevant(
+        paper_query.classes, query_relationships=paper_query.relationships
+    )
+    init = initialize(paper_query, relevant, assume_relevant=True)
+    table = init.table
+
+    p1 = Predicate.equals("vehicle.desc", "refrigerated truck")
+    p2 = Predicate.equals("supplier.name", "SFI")
+    p3 = Predicate.equals("cargo.desc", "frozen food")
+
+    # Section 3.5, step 1: the initial table for c1 and c2.
+    assert table.get("c1", p1) is CellTag.PRESENT_ANTECEDENT
+    assert table.get("c1", p3) is CellTag.ABSENT_CONSEQUENT
+    assert table.get("c1", p2) is CellTag.NOT_PRESENT
+    assert table.get("c2", p3) is CellTag.ABSENT_ANTECEDENT
+    assert table.get("c2", p2) is CellTag.IMPERATIVE
+    assert table.get("c2", p1) is CellTag.NOT_PRESENT
+
+
+def test_filter_relevant_uses_classes_and_relationships(paper_query):
+    constraints = build_example_constraints()
+    relevant = filter_relevant(constraints, paper_query)
+    assert {c.name for c in relevant} == {"c1", "c2"}
+
+
+def test_collect_predicates_deduplicates(paper_query):
+    constraints = build_example_constraints()[:2]
+    predicates = collect_predicates(paper_query, constraints)
+    keys = [p.key() for p in predicates]
+    assert len(keys) == len(set(keys))
+    assert len(predicates) == 3
+
+
+def test_implication_based_antecedent_presence():
+    constraints = [
+        c
+        for c in build_example_constraints()
+        if c.name == "c2"
+    ]
+    query = Query(
+        projections=("supplier.name",),
+        selective_predicates=(Predicate.equals("cargo.desc", "frozen food"),),
+        relationships=("supplies",),
+        classes=("supplier", "cargo"),
+    )
+    init = initialize(query, constraints)
+    assert init.table.get("c2", constraints[0].antecedents[0]) is CellTag.PRESENT_ANTECEDENT
+
+    # Without implication matching the literal match still works here.
+    strict = initialize(query, constraints, use_implication=False)
+    assert strict.table.get("c2", constraints[0].antecedents[0]) is CellTag.PRESENT_ANTECEDENT
+
+
+def test_initialize_filters_irrelevant_constraints(paper_query):
+    constraints = build_example_constraints()
+    init = initialize(paper_query, constraints)
+    assert {c.name for c in init.constraints} == {"c1", "c2"}
+    assert init.table.constraint_count() == 2
+    assert set(init.query_predicates) == {
+        p.normalized() for p in paper_query.predicates()
+    }

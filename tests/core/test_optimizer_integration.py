@@ -1,0 +1,106 @@
+"""Integration tests: the full optimizer over the generated evaluation setup."""
+
+from repro.core import OptimizerConfig, SemanticQueryOptimizer, StraightforwardOptimizer
+from repro.engine import QueryExecutor
+from repro.query import answers_match, structurally_equal
+
+
+def build_optimizer(setup, **config):
+    return SemanticQueryOptimizer(
+        setup.schema,
+        repository=setup.repository,
+        cost_model=setup.cost_model,
+        config=OptimizerConfig(record_access_statistics=False, **config),
+    )
+
+
+def test_optimized_queries_preserve_answers(small_setup):
+    optimizer = build_optimizer(small_setup)
+    for query in small_setup.queries:
+        result = optimizer.optimize(query)
+        assert answers_match(
+            small_setup.schema, small_setup.store, query, result.optimized
+        ), f"answers changed for {query.name}"
+
+
+def test_optimizer_is_deterministic(small_setup):
+    optimizer = build_optimizer(small_setup)
+    for query in small_setup.queries[:5]:
+        first = optimizer.optimize(query)
+        second = optimizer.optimize(query)
+        assert structurally_equal(first.optimized, second.optimized)
+
+
+def test_optimizer_never_invents_unknown_classes(small_setup):
+    optimizer = build_optimizer(small_setup)
+    for query in small_setup.queries:
+        result = optimizer.optimize(query)
+        assert set(result.optimized.classes) <= set(query.classes)
+        assert set(result.optimized.relationships) <= set(query.relationships)
+        assert set(result.optimized.projections) <= set(query.projections)
+
+
+def test_eliminated_classes_never_projected(small_setup):
+    optimizer = build_optimizer(small_setup)
+    for query in small_setup.queries:
+        result = optimizer.optimize(query)
+        projected = {p.split(".", 1)[0] for p in query.projections}
+        assert not (set(result.eliminated_classes) & projected)
+
+
+def test_optimize_all_returns_one_result_per_query(small_setup):
+    optimizer = build_optimizer(small_setup)
+    results = optimizer.optimize_all(small_setup.queries[:4])
+    assert len(results) == 4
+
+
+def test_priority_and_fifo_agree_without_budget(small_setup):
+    fifo = build_optimizer(small_setup)
+    priority = build_optimizer(small_setup, use_priority_queue=True)
+    for query in small_setup.queries[:6]:
+        assert structurally_equal(
+            fifo.optimize(query).optimized, priority.optimize(query).optimized
+        )
+
+
+def test_explicit_constraint_list_matches_repository(small_setup):
+    from_repository = build_optimizer(small_setup)
+    explicit = SemanticQueryOptimizer(
+        small_setup.schema,
+        constraints=list(small_setup.repository.constraints()),
+        cost_model=small_setup.cost_model,
+        config=OptimizerConfig(record_access_statistics=False),
+    )
+    for query in small_setup.queries[:6]:
+        assert structurally_equal(
+            from_repository.optimize(query).optimized,
+            explicit.optimize(query).optimized,
+        )
+
+
+def test_baseline_preserves_answers_and_reports_checks(small_setup):
+    baseline = StraightforwardOptimizer(
+        small_setup.schema,
+        list(small_setup.repository.constraints()),
+        cost_model=small_setup.cost_model,
+    )
+    checks = 0
+    for query in small_setup.queries[:8]:
+        result = baseline.optimize(query)
+        checks += result.profitability_checks
+        assert answers_match(
+            small_setup.schema, small_setup.store, query, result.optimized
+        )
+        assert result.elapsed >= 0.0
+    assert checks > 0
+
+
+def test_transformation_stats_are_reported(small_setup):
+    optimizer = build_optimizer(small_setup)
+    result = optimizer.optimize(small_setup.queries[0])
+    assert result.transformation_stats is not None
+    assert result.transformation_stats.fired == len(
+        [r for r in result.trace if r.constraint_name]
+    )
+    assert result.retrieval_stats is not None
+    assert result.retrieval_stats.fetched >= result.retrieval_stats.relevant

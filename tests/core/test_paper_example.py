@@ -1,0 +1,124 @@
+"""Integration test: the paper's worked example (Figure 2.3 / Section 3.5).
+
+The sample query lists the vehicle# of refrigerated trucks sent to SFI, plus
+the description and quantity of the collected cargoes.  The paper's
+optimizer:
+
+#1 introduces ``cargo.desc = "frozen food"`` using c1 (restriction/index
+   introduction) — the predicate becomes *optional*;
+#2 eliminates ``supplier.name = "SFI"`` using c2 — it becomes *optional*;
+#3 eliminates the now-dangling ``supplier`` class.
+
+The final query keeps only ``vehicle.desc = "refrigerated truck"``
+(imperative) and ``cargo.desc = "frozen food"`` (optional, retained because
+``cargo.desc`` is indexed), over {cargo, vehicle} and the ``collects``
+relationship.
+"""
+
+from repro.constraints import Predicate
+from repro.core import (
+    OptimizerConfig,
+    PredicateTag,
+    SemanticQueryOptimizer,
+    TransformationKind,
+)
+from repro.query import parse_query, structurally_equal
+
+P1 = Predicate.equals("vehicle.desc", "refrigerated truck")
+P2 = Predicate.equals("supplier.name", "SFI")
+P3 = Predicate.equals("cargo.desc", "frozen food")
+
+
+def optimize(example_schema, example_repository, paper_query, **config):
+    optimizer = SemanticQueryOptimizer(
+        example_schema,
+        repository=example_repository,
+        config=OptimizerConfig(**config) if config else None,
+    )
+    return optimizer.optimize(paper_query)
+
+
+def test_final_predicate_classification(example_schema, example_repository, paper_query):
+    result = optimize(example_schema, example_repository, paper_query)
+    tags = {p.normalized(): tag for p, tag in result.predicate_tags.items()}
+    assert tags[P1.normalized()] is PredicateTag.IMPERATIVE
+    assert tags[P2.normalized()] is PredicateTag.OPTIONAL
+    assert tags[P3.normalized()] is PredicateTag.OPTIONAL
+
+
+def test_supplier_class_is_eliminated(example_schema, example_repository, paper_query):
+    result = optimize(example_schema, example_repository, paper_query)
+    assert result.eliminated_classes == ["supplier"]
+    assert set(result.optimized.classes) == {"cargo", "vehicle"}
+    assert result.optimized.relationships == ("collects",)
+
+
+def test_transformed_query_matches_figure_2_3(
+    example_schema, example_repository, paper_query
+):
+    result = optimize(example_schema, example_repository, paper_query)
+    expected = parse_query(
+        '(SELECT {vehicle.vehicle#, cargo.desc, cargo.quantity} { } '
+        '{vehicle.desc = "refrigerated truck", cargo.desc = "frozen food"} '
+        '{collects} {cargo, vehicle})'
+    )
+    assert structurally_equal(result.optimized, expected)
+    assert result.was_transformed
+
+
+def test_trace_contains_all_three_transformations(
+    example_schema, example_repository, paper_query
+):
+    result = optimize(example_schema, example_repository, paper_query)
+    kinds = [record.kind for record in result.trace]
+    assert TransformationKind.CLASS_ELIMINATION in kinds
+    assert any(
+        record.kind
+        in (
+            TransformationKind.INDEX_INTRODUCTION,
+            TransformationKind.RESTRICTION_INTRODUCTION,
+        )
+        and record.predicate.normalized() == P3.normalized()
+        for record in result.trace
+    )
+    assert any(
+        record.predicate is not None
+        and record.predicate.normalized() == P2.normalized()
+        and record.new_tag is PredicateTag.OPTIONAL
+        for record in result.trace
+        if record.kind is not TransformationKind.CLASS_ELIMINATION
+    )
+    assert result.trace.describe().count("#") >= 3
+
+
+def test_example_works_without_class_elimination(
+    example_schema, example_repository, paper_query
+):
+    result = optimize(
+        example_schema,
+        example_repository,
+        paper_query,
+        enable_class_elimination=False,
+    )
+    assert result.eliminated_classes == []
+    assert set(result.optimized.classes) == {"supplier", "cargo", "vehicle"}
+    # The SFI predicate survives as a retained or discarded optional, and the
+    # introduced frozen-food predicate is present.
+    assert result.optimized.has_predicate(P3)
+
+
+def test_priority_queue_reaches_same_final_query(
+    example_schema, example_repository, paper_query
+):
+    fifo = optimize(example_schema, example_repository, paper_query)
+    priority = optimize(
+        example_schema, example_repository, paper_query, use_priority_queue=True
+    )
+    assert structurally_equal(fifo.optimized, priority.optimized)
+
+
+def test_summary_and_timings(example_schema, example_repository, paper_query):
+    result = optimize(example_schema, example_repository, paper_query)
+    assert result.timings.total >= result.timings.transformation_only
+    assert result.relevant_constraints >= 2
+    assert "transformation" in result.summary()

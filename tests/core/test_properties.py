@@ -1,0 +1,121 @@
+"""Property-based tests for the core algorithm's invariants.
+
+Three properties the paper claims (or relies on) are checked with hypothesis:
+
+* **Order insensitivity** — presenting the relevant constraints in any order
+  produces the same transformed query (the central claim of the paper).
+* **Monotone lowering** — a predicate's final classification is never
+  *above* its original classification (imperative for query predicates).
+* **Answer preservation** — on a constraint-consistent database, the
+  optimized query returns the same answer as the original for randomly
+  chosen workload queries.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    OptimizerConfig,
+    PredicateTag,
+    SemanticQueryOptimizer,
+    initialize,
+    TransformationEngine,
+)
+from repro.data import (
+    TABLE_4_1_SPECS,
+    build_evaluation_constraints,
+    build_evaluation_schema,
+    build_evaluation_setup,
+)
+from repro.query import answers_match, structurally_equal
+
+SCHEMA = build_evaluation_schema()
+CONSTRAINTS = build_evaluation_constraints()
+SETUP = build_evaluation_setup(TABLE_4_1_SPECS["DB1"], query_count=16, seed=23)
+CLOSED = list(SETUP.repository.constraints())
+
+
+def optimizer_with(constraints):
+    return SemanticQueryOptimizer(
+        SETUP.schema,
+        constraints=constraints,
+        cost_model=SETUP.cost_model,
+        config=OptimizerConfig(record_access_statistics=False),
+    )
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    query_index=st.integers(min_value=0, max_value=len(SETUP.queries) - 1),
+    order=st.permutations(range(len(CLOSED))),
+)
+def test_constraint_order_does_not_change_the_result(query_index, order):
+    query = SETUP.queries[query_index]
+    reference = optimizer_with(CLOSED).optimize(query).optimized
+    shuffled = [CLOSED[i] for i in order]
+    permuted = optimizer_with(shuffled).optimize(query).optimized
+    assert structurally_equal(reference, permuted)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(query_index=st.integers(min_value=0, max_value=len(SETUP.queries) - 1))
+def test_final_tags_never_exceed_imperative(query_index):
+    query = SETUP.queries[query_index]
+    init = initialize(query, CLOSED)
+    engine = TransformationEngine(init.table, SETUP.schema)
+    engine.run()
+    tags = engine.final_tags()
+    original_keys = {p.normalized().key() for p in query.predicates()}
+    for predicate, tag in tags.items():
+        assert tag in (
+            PredicateTag.IMPERATIVE,
+            PredicateTag.OPTIONAL,
+            PredicateTag.REDUNDANT,
+        )
+        if predicate.normalized().key() not in original_keys:
+            # Introduced predicates can never be imperative.
+            assert tag is not PredicateTag.IMPERATIVE
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(query_index=st.integers(min_value=0, max_value=len(SETUP.queries) - 1))
+def test_optimized_queries_preserve_answers_property(query_index):
+    query = SETUP.queries[query_index]
+    result = optimizer_with(CLOSED).optimize(query)
+    assert answers_match(SETUP.schema, SETUP.store, query, result.optimized)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    query_index=st.integers(min_value=0, max_value=len(SETUP.queries) - 1),
+    budget=st.integers(min_value=0, max_value=4),
+)
+def test_budgeted_runs_stay_sound(query_index, budget):
+    """Any transformation budget still yields an answer-preserving query."""
+    query = SETUP.queries[query_index]
+    optimizer = SemanticQueryOptimizer(
+        SETUP.schema,
+        constraints=CLOSED,
+        cost_model=SETUP.cost_model,
+        config=OptimizerConfig(
+            transformation_budget=budget, record_access_statistics=False
+        ),
+    )
+    result = optimizer.optimize(query)
+    assert answers_match(SETUP.schema, SETUP.store, query, result.optimized)

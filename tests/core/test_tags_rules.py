@@ -1,0 +1,88 @@
+"""Unit tests for tags and the Table 3.1/3.2/3.3 rules."""
+
+import pytest
+
+from repro.constraints import ConstraintClass
+from repro.core import (
+    CellTag,
+    PredicateTag,
+    RetentionAction,
+    TransformationKind,
+    can_lower,
+    classify_transformation,
+    lower_of,
+    priority_for,
+    retention_action,
+    target_tag,
+)
+
+
+def test_predicate_tag_ordering():
+    assert PredicateTag.REDUNDANT.is_lower_than(PredicateTag.OPTIONAL)
+    assert PredicateTag.OPTIONAL.is_lower_than(PredicateTag.IMPERATIVE)
+    assert not PredicateTag.IMPERATIVE.is_lower_than(PredicateTag.OPTIONAL)
+    assert lower_of(PredicateTag.IMPERATIVE, PredicateTag.REDUNDANT) is PredicateTag.REDUNDANT
+
+
+def test_can_lower():
+    assert can_lower(PredicateTag.IMPERATIVE, PredicateTag.OPTIONAL)
+    assert can_lower(PredicateTag.OPTIONAL, PredicateTag.REDUNDANT)
+    assert not can_lower(PredicateTag.REDUNDANT, PredicateTag.OPTIONAL)
+    assert not can_lower(PredicateTag.OPTIONAL, PredicateTag.OPTIONAL)
+    assert can_lower(None, PredicateTag.REDUNDANT)
+
+
+def test_cell_tag_conversions():
+    assert CellTag.IMPERATIVE.as_predicate_tag() is PredicateTag.IMPERATIVE
+    assert CellTag.PRESENT_OPTIONAL.as_predicate_tag() is PredicateTag.OPTIONAL
+    assert CellTag.ABSENT_ANTECEDENT.as_predicate_tag() is None
+    assert CellTag.from_predicate_tag(PredicateTag.REDUNDANT) is CellTag.PRESENT_REDUNDANT
+    assert CellTag.PRESENT_ANTECEDENT.is_antecedent
+    assert CellTag.ABSENT_CONSEQUENT.is_consequent
+    assert CellTag.IMPERATIVE.is_classification
+    assert not CellTag.NOT_PRESENT.is_classification
+
+
+def test_table_3_1_and_3_2_mapping():
+    """Intra & not indexed -> redundant; intra & indexed -> optional; inter -> optional."""
+    assert target_tag(ConstraintClass.INTRA, consequent_indexed=False) is PredicateTag.REDUNDANT
+    assert target_tag(ConstraintClass.INTRA, consequent_indexed=True) is PredicateTag.OPTIONAL
+    assert target_tag(ConstraintClass.INTER, consequent_indexed=False) is PredicateTag.OPTIONAL
+    assert target_tag(ConstraintClass.INTER, consequent_indexed=True) is PredicateTag.OPTIONAL
+
+
+def test_classify_transformation():
+    assert (
+        classify_transformation(present_in_query=True, consequent_indexed=True)
+        is TransformationKind.RESTRICTION_ELIMINATION
+    )
+    assert (
+        classify_transformation(present_in_query=False, consequent_indexed=True)
+        is TransformationKind.INDEX_INTRODUCTION
+    )
+    assert (
+        classify_transformation(present_in_query=False, consequent_indexed=False)
+        is TransformationKind.RESTRICTION_INTRODUCTION
+    )
+
+
+def test_table_3_3_retention_actions():
+    assert retention_action(PredicateTag.IMPERATIVE) is RetentionAction.RETAIN
+    assert retention_action(PredicateTag.OPTIONAL) is RetentionAction.COST_BENEFIT
+    assert retention_action(PredicateTag.REDUNDANT) is RetentionAction.DISCARD
+
+
+def test_default_priorities():
+    assert priority_for(TransformationKind.INDEX_INTRODUCTION) < priority_for(
+        TransformationKind.RESTRICTION_ELIMINATION
+    )
+    assert priority_for(TransformationKind.RESTRICTION_ELIMINATION) < priority_for(
+        TransformationKind.RESTRICTION_INTRODUCTION
+    )
+    assert (
+        priority_for(
+            TransformationKind.INDEX_INTRODUCTION,
+            {TransformationKind.INDEX_INTRODUCTION: 9},
+        )
+        == 9
+    )

@@ -1,0 +1,53 @@
+"""Unit tests for workload / evaluation setup construction."""
+
+from repro.constraints import GroupingPolicy, Predicate
+from repro.data import TABLE_4_1_SPECS, build_evaluation_setup, build_workload
+from repro.data.workload import constraint_selection_pool
+from repro.data import build_evaluation_constraints, build_evaluation_schema
+from repro.query import GeneratorConfig
+
+
+def test_constraint_selection_pool_groups_by_class():
+    pool = constraint_selection_pool(build_evaluation_constraints())
+    assert "vehicle" in pool and "cargo" in pool
+    assert Predicate.equals("vehicle.desc", "refrigerated truck") in pool["vehicle"]
+    assert all(p.is_selection for predicates in pool.values() for p in predicates)
+
+
+def test_build_workload_respects_count_and_constraints(small_setup):
+    schema = build_evaluation_schema()
+    queries = build_workload(
+        schema,
+        small_setup.database.value_catalog,
+        count=10,
+        seed=3,
+        constraints=build_evaluation_constraints(),
+        config=GeneratorConfig(preferred_bias=1.0, selection_probability=1.0),
+    )
+    assert len(queries) == 10
+    for query in queries:
+        query.validate(schema)
+
+
+def test_evaluation_setup_wiring(small_setup):
+    assert small_setup.store is small_setup.database.store
+    assert len(small_setup.queries) == 12
+    assert len(small_setup.constraints) == 15
+    assert small_setup.statistics.cardinality("cargo") == 52
+    assert small_setup.repository.stats().declared == 15
+    # The repository's access statistics were warmed with the workload.
+    assert small_setup.repository.statistics.queries_seen >= len(small_setup.queries)
+
+
+def test_setup_with_alternative_policy_and_constraints():
+    constraints = build_evaluation_constraints()[:5]
+    setup = build_evaluation_setup(
+        TABLE_4_1_SPECS["DB1"],
+        query_count=5,
+        seed=2,
+        grouping_policy=GroupingPolicy.BALANCED,
+        constraints=constraints,
+    )
+    assert setup.repository.policy is GroupingPolicy.BALANCED
+    assert len(setup.constraints) == 5
+    assert len(setup.queries) == 5

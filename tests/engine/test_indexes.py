@@ -1,0 +1,82 @@
+"""Unit tests for secondary indexes."""
+
+from repro.constraints import Predicate
+from repro.data import build_evaluation_schema
+from repro.engine import HashIndex, IndexManager, SortedIndex
+
+
+def test_hash_index_insert_lookup_remove():
+    index = HashIndex()
+    index.insert("frozen food", 1)
+    index.insert("frozen food", 2)
+    index.insert("textiles", 3)
+    assert sorted(index.lookup("frozen food")) == [1, 2]
+    assert index.lookup("missing") == []
+    assert index.distinct_values() == 2
+    assert len(index) == 3
+    index.remove("frozen food", 1)
+    assert index.lookup("frozen food") == [2]
+    index.remove("frozen food", 99)  # no-op
+    assert len(index) == 2
+
+
+def test_sorted_index_range_queries():
+    index = SortedIndex()
+    for value, oid in [(10, 1), (20, 2), (30, 3), (20, 4)]:
+        index.insert(value, oid)
+    assert sorted(index.range(low=20)) == [2, 3, 4]
+    assert sorted(index.range(low=20, low_inclusive=False)) == [3]
+    assert sorted(index.range(high=20)) == [1, 2, 4]
+    assert sorted(index.range(high=20, high_inclusive=False)) == [1]
+    assert sorted(index.range(low=15, high=25)) == [2, 4]
+    index.remove(20, 2)
+    assert sorted(index.range(low=20)) == [3, 4]
+    assert SortedIndex().range(low=1) == []
+
+
+def test_index_manager_builds_declared_indexes():
+    schema = build_evaluation_schema()
+    manager = IndexManager(schema)
+    assert manager.is_indexed("cargo", "desc")
+    assert not manager.is_indexed("cargo", "quantity")
+    assert ("supplier", "name") in manager.indexed_attributes()
+
+
+def test_index_manager_lookup_by_predicate():
+    schema = build_evaluation_schema()
+    manager = IndexManager(schema)
+    manager.on_insert("cargo", 1, {"desc": "frozen food", "quantity": 10})
+    manager.on_insert("cargo", 2, {"desc": "textiles", "quantity": 20})
+
+    equality = Predicate.equals("cargo.desc", "frozen food")
+    assert manager.lookup(equality) == [1]
+
+    not_indexed = Predicate.equals("cargo.quantity", 10)
+    assert manager.lookup(not_indexed) is None
+
+    join = Predicate.comparison("driver.licenseClass", ">=", "vehicle.class")
+    assert manager.lookup(join) is None
+
+    not_equal = Predicate.selection("cargo.desc", "!=", "textiles")
+    assert manager.lookup(not_equal) is None
+
+
+def test_index_manager_range_lookup():
+    schema = build_evaluation_schema()
+    manager = IndexManager(schema)
+    for oid, capacity in enumerate([1000, 2000, 3000], start=1):
+        manager.on_insert("engine", oid, {"capacity": capacity})
+    at_least = Predicate.selection("engine.capacity", ">=", 2000)
+    assert sorted(manager.lookup(at_least)) == [2, 3]
+    below = Predicate.selection("engine.capacity", "<", 2000)
+    assert manager.lookup(below) == [1]
+    assert manager.distinct_count("engine", "capacity") == 3
+    assert manager.distinct_count("engine", "fuel") is None
+
+
+def test_index_manager_delete_updates_indexes():
+    schema = build_evaluation_schema()
+    manager = IndexManager(schema)
+    manager.on_insert("cargo", 1, {"desc": "frozen food"})
+    manager.on_delete("cargo", 1, {"desc": "frozen food"})
+    assert manager.lookup(Predicate.equals("cargo.desc", "frozen food")) == []

@@ -1,0 +1,178 @@
+"""Integration tests for the planner, executor and cost model."""
+
+import pytest
+
+from repro.constraints import Predicate
+from repro.data import build_evaluation_schema
+from repro.engine import (
+    ConventionalPlanner,
+    CostModel,
+    DatabaseStatistics,
+    ObjectStore,
+    PlanningError,
+    QueryExecutor,
+)
+from repro.query import Query
+
+
+@pytest.fixture(scope="module")
+def database():
+    schema = build_evaluation_schema()
+    store = ObjectStore(schema)
+    suppliers = [
+        store.insert("supplier", {"name": name, "region": "west", "rating": 3})
+        for name in ("SFI", "Acme", "Globex")
+    ]
+    vehicles = [
+        store.insert(
+            "vehicle",
+            {"vehicle_no": f"V{i}", "desc": desc, "class": 2 + (i % 3), "capacity": 4000},
+        )
+        for i, desc in enumerate(["refrigerated truck", "van", "tanker", "van"])
+    ]
+    for i in range(8):
+        supplier = suppliers[i % len(suppliers)]
+        vehicle = vehicles[i % len(vehicles)]
+        cargo = store.insert(
+            "cargo",
+            {
+                "code": f"C{i}",
+                "desc": "frozen food" if i % 4 == 0 else "textiles",
+                "quantity": 50 + i,
+                "category": "general",
+                "supplies": supplier.oid,
+                "collects": vehicle.oid,
+            },
+        )
+        store.update("supplier", supplier.oid, {"supplies": [cargo.oid]})
+        store.update("vehicle", vehicle.oid, {"collects": [cargo.oid]})
+    statistics = DatabaseStatistics.collect(schema, store)
+    return schema, store, statistics
+
+
+def two_class_query():
+    return Query(
+        projections=("cargo.code", "vehicle.vehicle_no"),
+        selective_predicates=(Predicate.equals("cargo.desc", "frozen food"),),
+        relationships=("collects",),
+        classes=("cargo", "vehicle"),
+    )
+
+
+def test_single_class_plan_and_execution(database):
+    schema, store, statistics = database
+    query = Query(
+        projections=("cargo.code",),
+        selective_predicates=(Predicate.equals("cargo.desc", "frozen food"),),
+        classes=("cargo",),
+    )
+    planner = ConventionalPlanner(schema, statistics)
+    plan = planner.plan(query)
+    assert plan.uses_index()
+    result = QueryExecutor(schema, store).execute_plan(plan)
+    assert result.row_count == 2
+    assert result.metrics.index_lookups == 1
+    assert result.metrics.instances_retrieved == 2
+
+
+def test_two_class_traversal_execution(database):
+    schema, store, statistics = database
+    query = two_class_query()
+    executor = QueryExecutor(schema, store)
+    result = executor.execute(query)
+    assert result.row_count == 2
+    for row in result.rows:
+        assert row["cargo.desc"] == "frozen food"
+        assert "vehicle.vehicle_no" in row
+    projected = result.projected_rows()
+    assert set(projected[0]) == {"cargo.code", "vehicle.vehicle_no"}
+
+
+def test_nested_loop_strategy_matches_hash_results(database):
+    schema, store, _statistics = database
+    query = two_class_query()
+    hash_result = QueryExecutor(schema, store, join_strategy="hash").execute(query)
+    nested = QueryExecutor(schema, store, join_strategy="nested_loop").execute(query)
+    key = lambda row: (row["cargo.code"], row["vehicle.vehicle_no"])
+    assert sorted(map(key, hash_result.rows)) == sorted(map(key, nested.rows))
+    # The nested-loop strategy retrieves strictly more instances.
+    assert (
+        nested.metrics.instances_retrieved
+        >= hash_result.metrics.instances_retrieved
+    )
+    with pytest.raises(ValueError):
+        QueryExecutor(schema, store, join_strategy="merge")
+
+
+def test_cross_class_filter(database):
+    schema, store, _statistics = database
+    query = Query(
+        projections=("driver.name",),
+        join_predicates=(
+            Predicate.comparison("driver.licenseClass", ">=", "vehicle.class"),
+        ),
+        relationships=("drives",),
+        classes=("driver", "vehicle"),
+    )
+    result = QueryExecutor(schema, store).execute(query)
+    assert result.row_count == 0  # no drivers inserted -> empty, but no crash
+
+
+def test_plan_explain_mentions_nodes(database):
+    schema, _store, statistics = database
+    planner = ConventionalPlanner(schema, statistics)
+    plan = planner.plan(two_class_query())
+    text = plan.explain()
+    assert "Project" in text and "Traverse" in text
+    assert plan.class_order[0] in ("cargo", "vehicle")
+
+
+def test_disconnected_query_raises(database):
+    schema, _store, statistics = database
+    planner = ConventionalPlanner(schema, statistics)
+    query = Query(
+        projections=("cargo.code", "driver.name"),
+        classes=("cargo", "driver"),
+    )
+    with pytest.raises(PlanningError):
+        planner.plan(query)
+
+
+def test_cost_model_estimates_and_measured_costs(database):
+    schema, store, statistics = database
+    cost_model = CostModel(schema, statistics)
+    query = two_class_query()
+    estimate = cost_model.estimate_query(query)
+    assert estimate.total > 0
+    assert cost_model.estimate_query_cost(query) == pytest.approx(estimate.total)
+    metrics = QueryExecutor(schema, store).execute(query).metrics
+    assert cost_model.measured_cost(metrics) > 0
+
+
+def test_index_scan_is_estimated_cheaper(database):
+    schema, _store, statistics = database
+    cost_model = CostModel(schema, statistics)
+    indexed = cost_model.scan_estimate(
+        "cargo", [Predicate.equals("cargo.desc", "frozen food")]
+    )
+    unindexed = cost_model.scan_estimate(
+        "cargo", [Predicate.equals("cargo.category", "general")]
+    )
+    assert indexed.total < unindexed.total
+
+
+def test_driver_class_prefers_selective_class(database):
+    schema, _store, statistics = database
+    cost_model = CostModel(schema, statistics)
+    assert cost_model.driver_class(two_class_query()) == "cargo"
+
+
+def test_execution_metrics_merge():
+    from repro.engine import ExecutionMetrics
+
+    left = ExecutionMetrics(instances_retrieved=1, predicate_evaluations=2)
+    right = ExecutionMetrics(instances_retrieved=3, rows_output=4)
+    merged = left.merge(right)
+    assert merged.instances_retrieved == 4
+    assert merged.rows_output == 4
+    assert merged.as_dict()["predicate_evaluations"] == 2

@@ -1,0 +1,84 @@
+"""Unit tests for database statistics and selectivity estimation."""
+
+import pytest
+
+from repro.constraints import Predicate
+from repro.data import build_evaluation_schema
+from repro.engine import DatabaseStatistics, ObjectStore
+from repro.engine.statistics import (
+    DEFAULT_EQUALITY_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+)
+
+
+@pytest.fixture()
+def stats():
+    schema = build_evaluation_schema()
+    store = ObjectStore(schema)
+    for index in range(10):
+        store.insert(
+            "cargo",
+            {
+                "code": f"C{index}",
+                "desc": "frozen food" if index < 2 else "textiles",
+                "quantity": 10 * (index + 1),
+                "category": "general",
+            },
+        )
+    return DatabaseStatistics.collect(schema, store)
+
+
+def test_cardinalities(stats):
+    assert stats.cardinality("cargo") == 10
+    assert stats.cardinality("vehicle") == 0
+
+
+def test_attribute_statistics(stats):
+    desc = stats.attribute_statistics("cargo", "desc")
+    assert desc.distinct_values == 2
+    quantity = stats.attribute_statistics("cargo", "quantity")
+    assert quantity.minimum == 10 and quantity.maximum == 100
+    assert stats.distinct("cargo", "desc") == 2
+    assert stats.distinct("vehicle", "desc") is None
+
+
+def test_equality_selectivity_uses_distinct_counts(stats):
+    predicate = Predicate.equals("cargo.desc", "frozen food")
+    assert stats.selectivity(predicate) == pytest.approx(0.5)
+    unknown = Predicate.equals("vehicle.desc", "van")
+    assert stats.selectivity(unknown) == DEFAULT_EQUALITY_SELECTIVITY
+
+
+def test_range_selectivity_interpolates(stats):
+    low = Predicate.selection("cargo.quantity", "<=", 10)
+    high = Predicate.selection("cargo.quantity", ">=", 100)
+    middle = Predicate.selection("cargo.quantity", ">=", 55)
+    assert stats.selectivity(low) == pytest.approx(0.0)
+    assert stats.selectivity(high) == pytest.approx(0.0)
+    assert 0.4 <= stats.selectivity(middle) <= 0.6
+    unknown = Predicate.selection("vehicle.class", ">=", 3)
+    assert stats.selectivity(unknown) == DEFAULT_RANGE_SELECTIVITY
+
+
+def test_inequality_selectivity(stats):
+    predicate = Predicate.selection("cargo.desc", "!=", "frozen food")
+    assert stats.selectivity(predicate) == pytest.approx(0.5)
+
+
+def test_join_selectivity(stats):
+    join = Predicate.comparison("cargo.quantity", "=", "cargo.code")
+    value = stats.selectivity(join)
+    assert 0.0 < value <= 1.0
+
+
+def test_combined_selectivity_and_matching(stats):
+    predicates = [
+        Predicate.equals("cargo.desc", "frozen food"),
+        Predicate.equals("cargo.category", "general"),
+    ]
+    combined = stats.combined_selectivity(predicates)
+    assert combined == pytest.approx(0.5 * 1.0)
+    assert stats.estimated_matching("cargo", predicates) == pytest.approx(5.0)
+    # Cross-class predicates are ignored at class level.
+    cross = [Predicate.comparison("driver.licenseClass", ">=", "vehicle.class")]
+    assert stats.estimated_matching("cargo", cross) == pytest.approx(10.0)

@@ -1,0 +1,97 @@
+"""Unit tests for the object store."""
+
+import pytest
+
+from repro.data import build_evaluation_schema
+from repro.engine import ObjectStore, StorageError
+
+
+@pytest.fixture()
+def store():
+    return ObjectStore(build_evaluation_schema())
+
+
+def test_insert_assigns_oids_and_counts(store):
+    first = store.insert("cargo", {"desc": "frozen food"})
+    second = store.insert("cargo", {"desc": "textiles"})
+    assert first.oid == 1 and second.oid == 2
+    assert store.count("cargo") == 2
+    assert store.total_instances() == 2
+    assert store.counts()["cargo"] == 2
+    assert store.has_class("cargo") and not store.has_class("warehouse")
+
+
+def test_insert_validates_class_and_attributes(store):
+    with pytest.raises(StorageError):
+        store.insert("warehouse", {})
+    with pytest.raises(StorageError):
+        store.insert("cargo", {"colour": "red"})
+
+
+def test_get_update_delete(store):
+    instance = store.insert("cargo", {"desc": "frozen food", "quantity": 10})
+    assert store.get("cargo", instance.oid) is instance
+    store.update("cargo", instance.oid, {"quantity": 20})
+    assert store.get("cargo", instance.oid).values["quantity"] == 20
+    store.delete("cargo", instance.oid)
+    assert store.get("cargo", instance.oid) is None
+    with pytest.raises(StorageError):
+        store.delete("cargo", instance.oid)
+    with pytest.raises(StorageError):
+        store.update("cargo", instance.oid, {"quantity": 1})
+
+
+def test_update_maintains_indexes(store):
+    instance = store.insert("cargo", {"desc": "frozen food"})
+    from repro.constraints import Predicate
+
+    assert store.indexes.lookup(Predicate.equals("cargo.desc", "frozen food")) == [
+        instance.oid
+    ]
+    store.update("cargo", instance.oid, {"desc": "textiles"})
+    assert store.indexes.lookup(Predicate.equals("cargo.desc", "frozen food")) == []
+    assert store.indexes.lookup(Predicate.equals("cargo.desc", "textiles")) == [
+        instance.oid
+    ]
+
+
+def test_insert_many(store):
+    rows = [{"desc": f"cargo {i}"} for i in range(5)]
+    instances = store.insert_many("cargo", rows)
+    assert len(instances) == 5
+    assert store.count("cargo") == 5
+
+
+def test_dereference_and_referrers(store):
+    vehicle = store.insert("vehicle", {"desc": "van"})
+    cargo = store.insert("cargo", {"desc": "frozen food", "collects": vehicle.oid})
+    assert store.dereference(cargo, "collects", "vehicle") is vehicle
+    referrers = store.referrers(vehicle, "cargo", "collects")
+    assert referrers == [cargo]
+
+
+def test_pointer_oids_handles_lists(store):
+    vehicle_a = store.insert("vehicle", {"desc": "van"})
+    vehicle_b = store.insert("vehicle", {"desc": "lorry"})
+    cargo = store.insert(
+        "cargo", {"desc": "bulk", "collects": [vehicle_a.oid, vehicle_b.oid]}
+    )
+    assert cargo.pointer_oids("collects") == [vehicle_a.oid, vehicle_b.oid]
+    assert cargo.pointer("collects") == vehicle_a.oid
+    assert cargo.pointer_oids("supplies") == []
+
+
+def test_pointer_type_errors(store):
+    cargo = store.insert("cargo", {"desc": "bulk", "collects": "not an oid"})
+    with pytest.raises(TypeError):
+        cargo.pointer_oids("collects")
+
+
+def test_qualified_values_and_copy(store):
+    cargo = store.insert("cargo", {"desc": "bulk", "quantity": 4})
+    qualified = cargo.qualified_values()
+    assert qualified["cargo.desc"] == "bulk"
+    clone = cargo.copy()
+    clone.values["desc"] = "other"
+    assert cargo.values["desc"] == "bulk"
+    assert cargo.matches({"desc": "bulk"}) and not cargo.matches({"desc": "x"})

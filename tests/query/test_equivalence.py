@@ -1,0 +1,49 @@
+"""Unit tests for structural and answer equivalence."""
+
+from repro.constraints import Predicate
+from repro.query import Query, answers_match, results_equal, structurally_equal
+
+
+def test_structural_equality_ignores_order():
+    left = Query(
+        projections=("cargo.desc", "vehicle.vehicle_no"),
+        selective_predicates=(
+            Predicate.equals("cargo.desc", "frozen food"),
+            Predicate.equals("vehicle.desc", "van"),
+        ),
+        relationships=("collects",),
+        classes=("cargo", "vehicle"),
+    )
+    right = Query(
+        projections=("vehicle.vehicle_no", "cargo.desc"),
+        selective_predicates=(
+            Predicate.equals("vehicle.desc", "van"),
+            Predicate.equals("cargo.desc", "frozen food"),
+        ),
+        relationships=("collects",),
+        classes=("vehicle", "cargo"),
+    )
+    assert structurally_equal(left, right)
+
+
+def test_structural_inequality_on_predicates():
+    base = Query(
+        classes=("cargo",),
+        selective_predicates=(Predicate.equals("cargo.desc", "frozen food"),),
+    )
+    other = base.with_selective_predicates(
+        [Predicate.equals("cargo.desc", "textiles")]
+    )
+    assert not structurally_equal(base, other)
+
+
+def test_results_equal_is_set_based():
+    rows_a = [{"cargo.desc": "frozen food"}, {"cargo.desc": "frozen food"}]
+    rows_b = [{"cargo.desc": "frozen food"}]
+    assert results_equal(rows_a, rows_b, ["cargo.desc"])
+    assert not results_equal(rows_a, [{"cargo.desc": "textiles"}], ["cargo.desc"])
+
+
+def test_answers_match_on_generated_database(small_setup):
+    query = small_setup.queries[0]
+    assert answers_match(small_setup.schema, small_setup.store, query, query)

@@ -1,0 +1,106 @@
+"""Unit tests for the path-based workload generator."""
+
+import pytest
+
+from repro.constraints import Predicate
+from repro.data import build_evaluation_schema
+from repro.query import GeneratorConfig, QueryGenerator
+
+
+CATALOG = {
+    "cargo.desc": ["frozen food", "textiles"],
+    "cargo.quantity": [10, 200],
+    "vehicle.desc": ["refrigerated truck", "van"],
+    "supplier.name": ["SFI", "Acme"],
+    "driver.rank": ["senior"],
+    "engine.fuel": ["diesel"],
+}
+
+
+@pytest.fixture()
+def generator():
+    return QueryGenerator(
+        build_evaluation_schema(), value_catalog=CATALOG, seed=3
+    )
+
+
+def test_workload_size_and_validity(generator):
+    schema = build_evaluation_schema()
+    queries = generator.generate_workload(count=40)
+    assert len(queries) == 40
+    for query in queries:
+        query.validate(schema)
+        assert query.name
+
+
+def test_workload_is_reproducible():
+    schema = build_evaluation_schema()
+    first = QueryGenerator(schema, CATALOG, seed=5).generate_workload(10)
+    second = QueryGenerator(schema, CATALOG, seed=5).generate_workload(10)
+    assert [str(q) for q in first] == [str(q) for q in second]
+    different = QueryGenerator(schema, CATALOG, seed=6).generate_workload(10)
+    assert [str(q) for q in first] != [str(q) for q in different]
+
+
+def test_queries_follow_paths(generator):
+    schema = build_evaluation_schema()
+    for query in generator.generate_workload(count=20):
+        # Each consecutive pair of classes must be connected by a listed
+        # relationship: verify every relationship connects classes in query.
+        for name in query.relationships:
+            relationship = schema.relationship(name)
+            assert relationship.source in query.classes
+            assert relationship.target in query.classes
+
+
+def test_selective_predicates_use_catalog_values(generator):
+    for query in generator.generate_workload(count=20):
+        for predicate in query.selective_predicates:
+            qualified = predicate.left.qualified_name
+            assert qualified in CATALOG
+            assert predicate.constant in CATALOG[qualified]
+
+
+def test_preferred_predicates_bias():
+    schema = build_evaluation_schema()
+    preferred = {"vehicle": [Predicate.equals("vehicle.desc", "refrigerated truck")]}
+    generator = QueryGenerator(
+        schema,
+        value_catalog=CATALOG,
+        config=GeneratorConfig(preferred_bias=1.0, selection_probability=1.0),
+        seed=1,
+        preferred_predicates=preferred,
+    )
+    queries = generator.generate_workload(count=10)
+    vehicle_predicates = [
+        p
+        for q in queries
+        for p in q.selective_predicates
+        if p.left.class_name == "vehicle"
+    ]
+    assert vehicle_predicates
+    assert all(p.constant == "refrigerated truck" for p in vehicle_predicates)
+
+
+def test_queries_by_class_count(generator):
+    by_count = generator.queries_by_class_count([1, 2, 3], per_count=4)
+    assert set(by_count) == {1, 2, 3}
+    for count, queries in by_count.items():
+        assert len(queries) == 4
+        assert all(q.class_count == count for q in queries)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        GeneratorConfig(selection_probability=1.5)
+    with pytest.raises(ValueError):
+        GeneratorConfig(preferred_bias=-0.1)
+    with pytest.raises(ValueError):
+        GeneratorConfig(max_projections_per_class=0)
+    with pytest.raises(ValueError):
+        GeneratorConfig(endpoint_projection_probability=2.0)
+
+
+def test_count_must_be_positive(generator):
+    with pytest.raises(ValueError):
+        generator.generate_workload(count=0)

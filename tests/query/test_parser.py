@@ -1,0 +1,109 @@
+"""Unit tests for the query/predicate parser and formatter."""
+
+import pytest
+
+from repro.constraints import ComparisonOperator
+from repro.query import (
+    QueryParseError,
+    format_query,
+    parse_constant,
+    parse_predicate,
+    parse_query,
+)
+from repro.query.formatter import describe_query, format_predicate_list
+
+
+def test_parse_infix_string_predicate():
+    predicate = parse_predicate('vehicle.desc = "refrigerated truck"')
+    assert predicate.left.qualified_name == "vehicle.desc"
+    assert predicate.constant == "refrigerated truck"
+
+
+def test_parse_infix_numeric_predicate():
+    predicate = parse_predicate("cargo.quantity >= 50")
+    assert predicate.operator is ComparisonOperator.GE
+    assert predicate.constant == 50
+
+
+def test_parse_functional_notation():
+    predicate = parse_predicate('equal(cargo.desc, "frozen food")')
+    assert predicate.operator is ComparisonOperator.EQ
+    assert predicate.constant == "frozen food"
+    join = parse_predicate(
+        "greaterThanOrEqualTo(driver.licenseClass, vehicle.class)"
+    )
+    assert join.is_join
+
+
+def test_parse_hash_attribute_aliases():
+    predicate = parse_predicate('vehicle.vehicle# = "V1"')
+    assert predicate.left.qualified_name == "vehicle.vehicle_no"
+
+
+def test_parse_constants():
+    assert parse_constant('"quoted"') == "quoted"
+    assert parse_constant("42") == 42
+    assert parse_constant("4.5") == 4.5
+    assert parse_constant("true") is True
+    assert parse_constant("False") is False
+    with pytest.raises(QueryParseError):
+        parse_constant("unquoted words")
+
+
+def test_parse_bad_predicate():
+    with pytest.raises(QueryParseError):
+        parse_predicate("")
+    with pytest.raises(QueryParseError):
+        parse_predicate("no operator here")
+
+
+def test_parse_paper_query(paper_query):
+    assert paper_query.classes == ("supplier", "cargo", "vehicle")
+    assert paper_query.relationships == ("collects", "supplies")
+    assert paper_query.projections == (
+        "vehicle.vehicle_no",
+        "cargo.desc",
+        "cargo.quantity",
+    )
+    assert len(paper_query.selective_predicates) == 2
+
+
+def test_parse_query_with_annotated_projection():
+    query = parse_query(
+        '(SELECT {cargo.desc="frozen food", cargo.quantity} { } '
+        '{vehicle.desc = "refrigerated truck"} {collects} {cargo, vehicle})'
+    )
+    assert query.projections == ("cargo.desc", "cargo.quantity")
+
+
+def test_parse_query_requires_five_parts():
+    with pytest.raises(QueryParseError):
+        parse_query("(SELECT {a.b} { } {c, d})")
+    with pytest.raises(QueryParseError):
+        parse_query("{a.b} { } { } { } {x}")
+
+
+def test_round_trip_through_formatter(paper_query):
+    text = format_query(paper_query)
+    reparsed = parse_query(text)
+    assert reparsed.classes == paper_query.classes
+    assert reparsed.relationships == paper_query.relationships
+    assert {p.key() for p in reparsed.predicates()} == {
+        p.key() for p in paper_query.predicates()
+    }
+
+
+def test_multiline_format(paper_query):
+    rendered = format_query(paper_query, multiline=True)
+    assert rendered.count("\n") == 4
+    assert rendered.startswith("(SELECT")
+
+
+def test_format_empty_lists():
+    assert format_predicate_list(()) == "{ }"
+
+
+def test_describe_query(paper_query):
+    description = describe_query(paper_query)
+    assert "3 classes" in description
+    assert "2 selections" in description

@@ -1,0 +1,59 @@
+"""Unit tests for attribute definitions."""
+
+import pytest
+
+from repro.schema import (
+    Attribute,
+    AttributeKind,
+    DomainType,
+    pointer_attribute,
+    value_attribute,
+)
+
+
+def test_value_attribute_defaults():
+    attribute = value_attribute("desc")
+    assert attribute.domain is DomainType.STRING
+    assert not attribute.is_pointer
+    assert not attribute.indexed
+    assert attribute.target_class is None
+
+
+def test_pointer_attribute_requires_target():
+    attribute = pointer_attribute("collects", target_class="vehicle")
+    assert attribute.is_pointer
+    assert attribute.target_class == "vehicle"
+    with pytest.raises(ValueError):
+        Attribute(name="broken", kind=AttributeKind.POINTER)
+
+
+def test_value_attribute_rejects_target_class():
+    with pytest.raises(ValueError):
+        Attribute(name="broken", kind=AttributeKind.VALUE, target_class="vehicle")
+
+
+def test_empty_name_rejected():
+    with pytest.raises(ValueError):
+        value_attribute("")
+
+
+def test_with_index_returns_new_attribute():
+    attribute = value_attribute("desc")
+    indexed = attribute.with_index()
+    assert indexed.indexed and not attribute.indexed
+    assert indexed.name == attribute.name
+
+
+def test_renamed_preserves_everything_else():
+    attribute = value_attribute("desc", DomainType.INTEGER, indexed=True)
+    renamed = attribute.renamed("quantity")
+    assert renamed.name == "quantity"
+    assert renamed.domain is DomainType.INTEGER
+    assert renamed.indexed
+
+
+def test_numeric_domains():
+    assert DomainType.INTEGER.is_numeric
+    assert DomainType.FLOAT.is_numeric
+    assert not DomainType.STRING.is_numeric
+    assert not DomainType.OID.is_numeric

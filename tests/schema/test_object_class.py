@@ -1,0 +1,63 @@
+"""Unit tests for object classes."""
+
+import pytest
+
+from repro.schema import ObjectClass, SchemaError, pointer_attribute, value_attribute
+
+
+def make_class():
+    return ObjectClass(
+        name="cargo",
+        attributes=(
+            value_attribute("code", indexed=True),
+            value_attribute("desc"),
+            pointer_attribute("collects", target_class="vehicle"),
+        ),
+    )
+
+
+def test_attribute_lookup():
+    cls = make_class()
+    assert cls.has_attribute("code")
+    assert cls.attribute("desc").name == "desc"
+    assert cls.attribute_names() == ["code", "desc", "collects"]
+
+
+def test_missing_attribute_raises():
+    cls = make_class()
+    with pytest.raises(SchemaError):
+        cls.attribute("quantity")
+    assert not cls.has_attribute("quantity")
+
+
+def test_duplicate_attribute_rejected():
+    with pytest.raises(SchemaError):
+        ObjectClass(
+            name="broken",
+            attributes=(value_attribute("a"), value_attribute("a")),
+        )
+
+
+def test_attribute_partitions():
+    cls = make_class()
+    assert [a.name for a in cls.value_attributes] == ["code", "desc"]
+    assert [a.name for a in cls.pointer_attributes] == ["collects"]
+    assert [a.name for a in cls.indexed_attributes] == ["code"]
+
+
+def test_with_attributes_does_not_override():
+    cls = make_class()
+    merged = cls.with_attributes([value_attribute("desc"), value_attribute("extra")])
+    assert merged.attribute_names() == ["code", "desc", "collects", "extra"]
+
+
+def test_qualified_name():
+    cls = make_class()
+    assert cls.qualified("code") == "cargo.code"
+    with pytest.raises(SchemaError):
+        cls.qualified("missing")
+
+
+def test_empty_name_rejected():
+    with pytest.raises(SchemaError):
+        ObjectClass(name="", attributes=())

@@ -1,0 +1,71 @@
+"""Unit tests for schema path enumeration."""
+
+import pytest
+
+from repro.schema import SchemaPath, enumerate_paths, longest_paths, paths_through
+from repro.data import build_evaluation_schema
+
+
+def test_paths_have_matching_lengths():
+    with pytest.raises(ValueError):
+        SchemaPath(("a", "b"), ())
+    path = SchemaPath(("a", "b"), ("r",))
+    assert path.length == 2
+    assert path.start == "a" and path.end == "b"
+
+
+def test_single_class_paths_included(example_schema):
+    paths = enumerate_paths(example_schema, min_length=1, max_length=1)
+    assert {p.classes[0] for p in paths} == set(example_schema.class_names())
+
+
+def test_no_repeated_classes_or_relationships(example_schema):
+    for path in enumerate_paths(example_schema):
+        assert len(set(path.classes)) == len(path.classes)
+        assert len(set(path.relationships)) == len(path.relationships)
+
+
+def test_paths_are_connected(example_schema):
+    for path in enumerate_paths(example_schema, min_length=2):
+        for left, rel_name, right in zip(
+            path.classes, path.relationships, path.classes[1:]
+        ):
+            relationship = example_schema.relationship(rel_name)
+            assert relationship.connects(left, right)
+
+
+def test_deduplication_removes_reverses(example_schema):
+    deduplicated = enumerate_paths(example_schema, min_length=2)
+    all_paths = enumerate_paths(example_schema, min_length=2, deduplicate=False)
+    assert len(all_paths) == 2 * len(deduplicated)
+
+
+def test_reversed_and_canonical():
+    path = SchemaPath(("b", "a"), ("r",))
+    assert path.reversed().classes == ("a", "b")
+    assert path.canonical().classes == ("a", "b")
+
+
+def test_evaluation_schema_has_enough_paths_for_workload():
+    # 33 distinct (deduplicated) paths; the 40-query workload re-uses path
+    # shapes with fresh predicates, as the paper's small schema must too.
+    schema = build_evaluation_schema()
+    paths = enumerate_paths(schema)
+    assert len(paths) >= 30
+    assert len(enumerate_paths(schema, deduplicate=False)) >= 40
+
+
+def test_paths_through_and_longest(example_schema):
+    paths = enumerate_paths(example_schema, min_length=2)
+    through_cargo = paths_through(paths, "cargo")
+    assert through_cargo and all("cargo" in p.classes for p in through_cargo)
+    longest = longest_paths(paths)
+    assert longest and len({p.length for p in longest}) == 1
+    assert longest_paths([]) == []
+
+
+def test_max_length_respected(example_schema):
+    paths = enumerate_paths(example_schema, max_length=3)
+    assert all(p.length <= 3 for p in paths)
+    with pytest.raises(ValueError):
+        enumerate_paths(example_schema, min_length=3, max_length=2)

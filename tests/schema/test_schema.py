@@ -1,0 +1,118 @@
+"""Unit tests for the schema container (Figure 2.1 example)."""
+
+import pytest
+
+from repro.schema import (
+    ObjectClass,
+    Relationship,
+    Schema,
+    SchemaError,
+    build_core_example_schema,
+    build_example_schema,
+    value_attribute,
+)
+
+
+def test_example_schema_classes(example_schema):
+    expected = {
+        "supplier",
+        "cargo",
+        "vehicle",
+        "engine",
+        "employee",
+        "manager",
+        "driver",
+        "supervisor",
+        "department",
+    }
+    assert set(example_schema.class_names()) == expected
+
+
+def test_example_schema_relationships(example_schema):
+    assert set(example_schema.relationship_names()) == {
+        "supplies",
+        "collects",
+        "engComp",
+        "drives",
+        "belongsTo",
+    }
+
+
+def test_inheritance_resolution(example_schema):
+    driver = example_schema.object_class("driver")
+    # Inherited from employee.
+    assert driver.has_attribute("clearance")
+    assert driver.has_attribute("rank")
+    # Own attributes.
+    assert driver.has_attribute("licenseClass")
+    supervisor = example_schema.object_class("supervisor")
+    assert supervisor.has_attribute("license_no")
+    assert supervisor.has_attribute("name")
+
+
+def test_subclasses_of(example_schema):
+    assert example_schema.subclasses_of("employee") == [
+        "driver",
+        "manager",
+        "supervisor",
+    ]
+
+
+def test_resolve_qualified_names(example_schema):
+    ref = example_schema.resolve("cargo.desc")
+    assert ref.class_name == "cargo"
+    assert ref.attribute.name == "desc"
+    with pytest.raises(SchemaError):
+        example_schema.resolve("cargo.nope")
+    with pytest.raises(SchemaError):
+        example_schema.resolve("nodots")
+
+
+def test_is_indexed(example_schema):
+    assert example_schema.is_indexed("cargo", "desc")
+    assert not example_schema.is_indexed("cargo", "quantity")
+
+
+def test_relationship_lookups(example_schema):
+    rel = example_schema.relationship_between("cargo", "vehicle")
+    assert rel is not None and rel.name == "collects"
+    assert example_schema.relationship_between("cargo", "engine") is None
+    assert "vehicle" in example_schema.neighbours("cargo")
+
+
+def test_unknown_class_raises(example_schema):
+    with pytest.raises(SchemaError):
+        example_schema.object_class("warehouse")
+
+
+def test_relationship_requires_pointer_attributes():
+    left = ObjectClass("a", (value_attribute("x"),))
+    right = ObjectClass("b", (value_attribute("y"),))
+    with pytest.raises(SchemaError):
+        Schema([left, right], [Relationship("r", "a", "b", "x", "y")])
+
+
+def test_duplicate_class_rejected():
+    cls = ObjectClass("a", (value_attribute("x"),))
+    with pytest.raises(SchemaError):
+        Schema([cls, cls])
+
+
+def test_inheritance_from_unknown_parent_rejected():
+    orphan = ObjectClass("child", (), parent="ghost")
+    with pytest.raises(SchemaError):
+        Schema([orphan])
+
+
+def test_core_schema_is_connected():
+    core = build_core_example_schema()
+    assert len(core.class_names()) == 5
+    adjacency = core.adjacency()
+    assert all(neighbours for neighbours in adjacency.values())
+
+
+def test_adjacency_symmetry(example_schema):
+    adjacency = example_schema.adjacency()
+    for class_name, entries in adjacency.items():
+        for rel_name, other in entries:
+            assert (rel_name, class_name) in adjacency[other]

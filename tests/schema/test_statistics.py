@@ -1,0 +1,51 @@
+"""Unit tests for access-frequency statistics."""
+
+import pytest
+
+from repro.schema import AccessStatistics
+
+
+def test_record_query_counts_each_class_once():
+    stats = AccessStatistics()
+    stats.record_query(["cargo", "vehicle", "cargo"])
+    assert stats.frequency("cargo") == 1
+    assert stats.frequency("vehicle") == 1
+    assert stats.queries_seen == 1
+
+
+def test_least_and_most_frequent():
+    stats = AccessStatistics({"cargo": 10, "supplier": 2, "vehicle": 5})
+    assert stats.least_frequent(["cargo", "supplier", "vehicle"]) == "supplier"
+    assert stats.most_frequent(["cargo", "supplier", "vehicle"]) == "cargo"
+
+
+def test_least_frequent_breaks_ties_alphabetically():
+    stats = AccessStatistics()
+    assert stats.least_frequent(["vehicle", "cargo"]) == "cargo"
+
+
+def test_least_frequent_requires_classes():
+    with pytest.raises(ValueError):
+        AccessStatistics().least_frequent([])
+
+
+def test_negative_counts_rejected():
+    with pytest.raises(ValueError):
+        AccessStatistics({"cargo": -1})
+    with pytest.raises(ValueError):
+        AccessStatistics().record_access("cargo", -2)
+
+
+def test_ranked_ordering():
+    stats = AccessStatistics({"a": 1, "b": 3, "c": 2})
+    assert stats.ranked() == ["b", "c", "a"]
+
+
+def test_merge_combines_counts():
+    left = AccessStatistics({"a": 1})
+    right = AccessStatistics({"a": 2, "b": 1})
+    merged = left.merge(right)
+    assert merged.frequency("a") == 3
+    assert merged.frequency("b") == 1
+    # Originals untouched.
+    assert left.frequency("a") == 1

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+PAPER_QUERY = (
+    '(SELECT {vehicle.vehicle#, cargo.desc, cargo.quantity} { } '
+    '{vehicle.desc = "refrigerated truck", supplier.name = "SFI"} '
+    '{collects, supplies} {supplier, cargo, vehicle})'
+)
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args([PAPER_QUERY])
+    assert args.schema == "example"
+    assert not args.priority_queue
+    assert args.budget is None
+
+
+def test_cli_optimizes_paper_query(capsys):
+    exit_code = main([PAPER_QUERY])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "Eliminated classes: supplier" in captured.out
+    assert 'cargo.desc = "frozen food"' in captured.out
+    assert "Optimized query:" in captured.out
+
+
+def test_cli_with_options(capsys):
+    exit_code = main(
+        [PAPER_QUERY, "--no-class-elimination", "--priority-queue", "--budget", "5"]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "Eliminated classes" not in captured.out
+
+
+def test_cli_evaluation_schema(capsys):
+    query = (
+        '(SELECT {cargo.code} { } {vehicle.desc = "refrigerated truck"} '
+        "{collects} {cargo, vehicle})"
+    )
+    exit_code = main(["--schema", "evaluation", query])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "Predicate classification" in captured.out
+
+
+def test_cli_rejects_bad_query(capsys):
+    exit_code = main(["(SELECT {nothing})"])
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert "error" in captured.err
+
+
+def test_cli_without_query_prints_help(capsys):
+    exit_code = main([])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert "usage" in captured.out.lower()
+
+
+def test_cli_experiments_quick(capsys):
+    exit_code = main(["--experiments", "--quick"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "Table 4.1" in captured.out
+    assert "Table 4.2" in captured.out

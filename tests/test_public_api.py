@@ -1,0 +1,25 @@
+"""Smoke tests for the public package API."""
+
+import repro
+
+
+def test_version_and_all_exports():
+    assert repro.__version__
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.{name} missing"
+
+
+def test_quickstart_flow_from_docstring():
+    """The flow shown in the package docstring must work as written."""
+    schema = repro.build_example_schema()
+    repository = repro.ConstraintRepository(schema)
+    repository.add_all(repro.build_example_constraints())
+    optimizer = repro.SemanticQueryOptimizer(schema, repository=repository)
+    query = repro.parse_query(
+        '(SELECT {vehicle.vehicle_no, cargo.desc, cargo.quantity} { } '
+        '{vehicle.desc = "refrigerated truck", supplier.name = "SFI"} '
+        '{collects, supplies} {supplier, cargo, vehicle})'
+    )
+    result = optimizer.optimize(query)
+    assert sorted(result.eliminated_classes) == ["supplier"]
+    assert result.was_transformed
