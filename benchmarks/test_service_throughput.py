@@ -1,0 +1,111 @@
+"""Microbenchmark: OptimizationService repeated-workload throughput.
+
+A server optimizing production traffic sees the same (or structurally
+equal) queries over and over.  This benchmark optimizes one workload twice
+through the same :class:`~repro.service.OptimizationService`: the cold pass
+runs the full pipeline for every unique query, the warm pass must be served
+from the result cache — skipping constraint retrieval, closure work and all
+four optimizer phases — and is therefore required to be at least 2x faster
+per query on average.
+"""
+
+import time
+
+from repro.core import OptimizerConfig
+from repro.query import structurally_equal
+from repro.service import OptimizationService, ResultSource
+
+
+def _timed_batch(service, queries, **kwargs):
+    start = time.perf_counter()
+    batch = service.optimize_many(queries, **kwargs)
+    return time.perf_counter() - start, batch
+
+
+def test_repeated_workload_throughput(bench_setup):
+    # Duplicate the workload inside the batch too, so batch-level
+    # deduplication is exercised alongside the cross-batch result cache.
+    workload = list(bench_setup.queries) + [
+        q.renamed(f"{q.name}_dup") for q in bench_setup.queries
+    ]
+    service = OptimizationService(
+        bench_setup.schema,
+        repository=bench_setup.repository,
+        cost_model=bench_setup.cost_model,
+        config=OptimizerConfig(record_access_statistics=False),
+    )
+
+    cold_time, cold = _timed_batch(service, workload)
+    warm_time, warm = _timed_batch(service, workload)
+    # Re-time the warm pass twice more and keep the fastest run: the real
+    # margin is >10x, so this only guards the assertion against a GC pause
+    # or scheduler hiccup on a loaded CI runner.
+    for _ in range(2):
+        retime, _unused = _timed_batch(service, workload)
+        warm_time = min(warm_time, retime)
+
+    cold_mean = cold_time / len(workload)
+    warm_mean = warm_time / len(workload)
+    speedup = cold_mean / warm_mean if warm_mean > 0 else float("inf")
+    print()
+    print(
+        f"cold: {cold_time * 1000:.2f} ms, warm: {warm_time * 1000:.2f} ms, "
+        f"speedup {speedup:.1f}x over {len(workload)} queries"
+    )
+    print(f"cold batch: {cold.summary()}")
+    print(f"warm batch: {warm.summary()}")
+
+    # The cold pass computed every unique query exactly once; the in-batch
+    # duplicates were answered by deduplication.
+    assert cold.stats.unique == len(bench_setup.queries)
+    assert cold.stats.computed == cold.stats.unique
+    assert cold.stats.duplicates == len(bench_setup.queries)
+
+    # The warm pass hit the result cache for every unique query.
+    assert warm.stats.result_cache_hits == warm.stats.unique
+    assert warm.stats.computed == 0
+    assert warm.cache.result_hits > 0
+
+    # Even when the result cache is bypassed (a pipeline re-run), the
+    # repository serves constraint retrieval from its keyed cache.
+    rerun = service.optimize(workload[0], use_cache=False)
+    assert rerun.result.retrieval_stats is not None
+    assert rerun.result.retrieval_stats.cache_hit
+    assert service.cache_stats().retrieval_hits > 0
+
+    # Cached results are the same results.
+    for cold_envelope, warm_envelope in zip(cold.results, warm.results):
+        assert warm_envelope.source in (
+            ResultSource.RESULT_CACHE,
+            ResultSource.BATCH_DEDUP,
+        )
+        assert structurally_equal(cold_envelope.optimized, warm_envelope.optimized)
+
+    # The acceptance bar: serving from cache beats recomputation >= 2x.
+    assert warm_mean * 2.0 <= cold_mean, (
+        f"warm pass only {speedup:.2f}x faster "
+        f"(cold {cold_mean * 1e6:.0f} us/q, warm {warm_mean * 1e6:.0f} us/q)"
+    )
+
+
+def test_parallel_batch_matches_sequential(bench_setup):
+    """Thread fan-out returns the same optimized queries as a serial pass."""
+    workload = list(bench_setup.queries)
+    sequential_service = OptimizationService(
+        bench_setup.schema,
+        repository=bench_setup.repository,
+        cost_model=bench_setup.cost_model,
+        config=OptimizerConfig(record_access_statistics=False),
+    )
+    parallel_service = OptimizationService(
+        bench_setup.schema,
+        repository=bench_setup.repository,
+        cost_model=bench_setup.cost_model,
+        config=OptimizerConfig(record_access_statistics=False),
+        max_workers=4,
+    )
+    sequential = sequential_service.optimize_many(workload, use_cache=False)
+    parallel = parallel_service.optimize_many(workload, use_cache=False)
+    assert parallel.stats.workers > 1
+    for left, right in zip(sequential.results, parallel.results):
+        assert structurally_equal(left.optimized, right.optimized)

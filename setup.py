@@ -1,10 +1,11 @@
 """Setuptools shim.
 
-The project is fully described by ``pyproject.toml``; this file exists so
-that the package can be installed editable on machines without the ``wheel``
-package (offline environments), via::
+The project is fully described by ``pyproject.toml``; with network access a
+plain ``pip install -e .`` works.  This file exists so the package can also
+be installed editable on machines without the ``wheel`` package (offline
+environments), via::
 
-    pip install -e . --no-build-isolation --no-use-pep517
+    python setup.py develop
 """
 
 from setuptools import setup

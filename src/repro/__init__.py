@@ -101,6 +101,14 @@ from .data import (
     build_evaluation_schema,
     build_evaluation_setup,
 )
+from .service import (
+    BatchResult,
+    BatchStats,
+    OptimizationService,
+    ResultSource,
+    ServiceCacheSnapshot,
+    ServiceResult,
+)
 
 __version__ = "1.0.0"
 
@@ -108,6 +116,8 @@ __all__ = [
     "AccessStatistics",
     "Attribute",
     "AttributeKind",
+    "BatchResult",
+    "BatchStats",
     "CellTag",
     "ComparisonOperator",
     "ConstraintClass",
@@ -129,6 +139,7 @@ __all__ = [
     "ObjectInstance",
     "ObjectStore",
     "OptimizationResult",
+    "OptimizationService",
     "OptimizerConfig",
     "Predicate",
     "PredicateTag",
@@ -137,11 +148,14 @@ __all__ = [
     "QueryExecutor",
     "QueryGenerator",
     "Relationship",
+    "ResultSource",
     "Schema",
     "SchemaError",
     "SchemaPath",
     "SemanticConstraint",
     "SemanticQueryOptimizer",
+    "ServiceCacheSnapshot",
+    "ServiceResult",
     "StraightforwardOptimizer",
     "TABLE_4_1_SPECS",
     "TransformationKind",

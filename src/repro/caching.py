@@ -1,0 +1,82 @@
+"""A small thread-safe LRU cache shared by the caching layers.
+
+Three caches in the system follow the same pattern — the repository's
+constraint-retrieval and closure caches and the service's result cache:
+keyed lookups, least-recently-used eviction at a size bound, and hit /
+miss / eviction counters for reporting.  :class:`LruCache` implements that
+pattern once, behind its own lock so callers on different threads can
+share an instance without coordination.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Generic, Optional, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class LruCache(Generic[K, V]):
+    """Thread-safe LRU mapping with hit/miss/eviction accounting.
+
+    A ``maxsize`` of ``0`` disables the cache: lookups return ``None``
+    without counting and stores are dropped, so callers need no separate
+    enabled/disabled branch.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = max(0, maxsize)
+        self._entries: "OrderedDict[K, V]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: K) -> Optional[V]:
+        """The cached value for ``key`` (marked most recently used), or ``None``."""
+        if self.maxsize == 0:
+            return None
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: K, value: V) -> None:
+        """Store ``key`` as most recently used, evicting the oldest past the bound."""
+        if self.maxsize == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hits(self) -> int:
+        """Lookups answered from the cache."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that found nothing."""
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        """Entries dropped by the size bound."""
+        return self._evictions
+
+    def __len__(self) -> int:
+        return len(self._entries)

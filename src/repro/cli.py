@@ -27,10 +27,11 @@ import sys
 from typing import List, Optional
 
 from .constraints import ConstraintRepository, build_example_constraints
-from .core import OptimizerConfig, SemanticQueryOptimizer
+from .core import OptimizerConfig
 from .data import build_evaluation_constraints, build_evaluation_schema
 from .query import format_query, parse_query
 from .schema import build_example_schema
+from .service import OptimizationService
 
 #: Named schema/constraint bundles selectable from the command line.
 BUNDLES = {
@@ -102,7 +103,7 @@ def run_query(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    optimizer = SemanticQueryOptimizer(
+    service = OptimizationService(
         schema,
         repository=repository,
         config=OptimizerConfig(
@@ -111,7 +112,8 @@ def run_query(args: argparse.Namespace) -> int:
             transformation_budget=args.budget,
         ),
     )
-    result = optimizer.optimize(query)
+    envelope = service.optimize(query)
+    result = envelope.result
 
     print("Original query:")
     print(format_query(result.original, multiline=True, indent="  "))
@@ -125,6 +127,7 @@ def run_query(args: argparse.Namespace) -> int:
     print("\nOptimized query:")
     print(format_query(result.optimized, multiline=True, indent="  "))
     print(f"\n{result.summary()}")
+    print(f"Service: {envelope.source.value}, {service.cache_stats().describe()}")
     return 0
 
 

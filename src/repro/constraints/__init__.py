@@ -31,7 +31,7 @@ from .groups import (
     RetrievalStats,
     build_grouping,
 )
-from .repository import ConstraintRepository, RepositoryStats
+from .repository import ConstraintRepository, RepositoryCacheStats, RepositoryStats
 from .dynamic import DerivationConfig, DynamicRuleDeriver, derive_rules
 from .validation import ValidationReport, Violation, assert_valid, validate_database
 from .example import (
@@ -66,6 +66,7 @@ __all__ = [
     "GroupingPolicy",
     "Predicate",
     "PredicateStore",
+    "RepositoryCacheStats",
     "RepositoryStats",
     "RetrievalStats",
     "SemanticConstraint",

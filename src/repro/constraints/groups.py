@@ -64,11 +64,15 @@ class RetrievalStats:
     ``fetched`` counts every constraint pulled out of the touched groups;
     ``relevant`` counts the subset that passed the relevance test.  The
     difference is the wasted work the grouping policy failed to avoid.
+    ``cache_hit`` is set when the repository answered the retrieval from its
+    keyed cache instead of walking the groups (the counts then describe the
+    original, cached retrieval).
     """
 
     groups_touched: int = 0
     fetched: int = 0
     relevant: int = 0
+    cache_hit: bool = False
 
     @property
     def irrelevant(self) -> int:

@@ -18,9 +18,11 @@ only the constraints whose referenced classes all appear in the query.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..caching import LruCache
 from ..schema.schema import Schema
 from ..schema.statistics import AccessStatistics
 from .closure import ClosureResult, PredicateStore, compute_closure
@@ -42,6 +44,36 @@ class RepositoryStats:
     closure_iterations: int
 
 
+@dataclass
+class RepositoryCacheStats:
+    """Hit/miss accounting for the repository's caches.
+
+    ``retrieval_*`` counts lookups in the keyed constraint-retrieval cache
+    (one entry per distinct query class/relationship set per repository
+    generation); ``closure_*`` counts reuse of materialized closures across
+    precompilations of an identical declared constraint set.
+    """
+
+    retrieval_hits: int = 0
+    retrieval_misses: int = 0
+    retrieval_evictions: int = 0
+    retrieval_entries: int = 0
+    retrieval_maxsize: int = 0
+    closure_hits: int = 0
+    closure_misses: int = 0
+
+    @property
+    def retrieval_lookups(self) -> int:
+        """Total retrieval-cache lookups."""
+        return self.retrieval_hits + self.retrieval_misses
+
+    @property
+    def retrieval_hit_rate(self) -> float:
+        """Fraction of retrieval lookups served from cache (0.0 if none)."""
+        lookups = self.retrieval_lookups
+        return self.retrieval_hits / lookups if lookups else 0.0
+
+
 class ConstraintRepository:
     """Stores, precompiles and retrieves semantic constraints.
 
@@ -58,6 +90,13 @@ class ConstraintRepository:
         When ``True`` (the paper's design) the closure is materialized at
         precompilation; turning it off is only useful for ablation
         experiments that quantify what the closure buys.
+    retrieval_cache_size:
+        Maximum number of keyed retrieval results kept (LRU).  ``0``
+        disables the retrieval cache entirely.
+    closure_cache_size:
+        Maximum number of materialized closures remembered across
+        precompilations (LRU); lets an add/remove cycle that restores a
+        previous declared set skip the fixpoint computation.
     """
 
     def __init__(
@@ -66,6 +105,8 @@ class ConstraintRepository:
         policy: GroupingPolicy = GroupingPolicy.LEAST_FREQUENT,
         statistics: Optional[AccessStatistics] = None,
         compute_transitive_closure: bool = True,
+        retrieval_cache_size: int = 256,
+        closure_cache_size: int = 4,
     ) -> None:
         self.schema = schema
         self.policy = policy
@@ -77,6 +118,47 @@ class ConstraintRepository:
         self._grouping: Optional[ConstraintGrouping] = None
         self._store = PredicateStore()
         self._dirty = True
+        self._generation = 0
+        # Guards generation bumps, access statistics and (re)compilation;
+        # each LruCache carries its own lock.
+        self._lock = threading.RLock()
+        self._retrieval_cache: LruCache = LruCache(retrieval_cache_size)
+        self._closure_cache: LruCache = LruCache(closure_cache_size)
+
+    # ------------------------------------------------------------------
+    # Generation / cache management
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Monotonic counter bumped by every semantic mutation.
+
+        Callers that cache anything derived from this repository (e.g. the
+        service layer's optimization-result cache) key their entries on the
+        generation so a constraint add/remove transparently invalidates them.
+        """
+        return self._generation
+
+    def _invalidate_caches(self) -> None:
+        """Bump the generation and drop every cached retrieval."""
+        with self._lock:
+            self._generation += 1
+            self._retrieval_cache.clear()
+
+    def clear_retrieval_cache(self) -> None:
+        """Drop cached retrievals without changing the generation."""
+        self._retrieval_cache.clear()
+
+    def cache_stats(self) -> RepositoryCacheStats:
+        """Hit/miss accounting for the retrieval and closure caches."""
+        return RepositoryCacheStats(
+            retrieval_hits=self._retrieval_cache.hits,
+            retrieval_misses=self._retrieval_cache.misses,
+            retrieval_evictions=self._retrieval_cache.evictions,
+            retrieval_entries=len(self._retrieval_cache),
+            retrieval_maxsize=self._retrieval_cache.maxsize,
+            closure_hits=self._closure_cache.hits,
+            closure_misses=self._closure_cache.misses,
+        )
 
     # ------------------------------------------------------------------
     # Declaration
@@ -90,6 +172,7 @@ class ConstraintRepository:
             )
         self._declared.append(constraint)
         self._dirty = True
+        self._invalidate_caches()
 
     def add_all(self, constraints: Iterable[SemanticConstraint]) -> None:
         """Declare several constraints."""
@@ -107,6 +190,7 @@ class ConstraintRepository:
         if len(self._declared) == before:
             raise ConstraintError(f"no constraint named {name!r} is declared")
         self._dirty = True
+        self._invalidate_caches()
 
     def declared(self) -> List[SemanticConstraint]:
         """The declared (pre-closure) constraints."""
@@ -140,42 +224,89 @@ class ConstraintRepository:
     # Precompilation
     # ------------------------------------------------------------------
     def precompile(self) -> RepositoryStats:
-        """Materialize the closure and (re)build the constraint grouping."""
-        declared = unique_constraints(tuple(self._declared))
-        if self.compute_transitive_closure:
-            self._closure = compute_closure(declared, store=PredicateStore())
-            self._closed = self._closure.constraints
-            self._store = self._closure.store
-        else:
-            self._closure = None
-            self._store = PredicateStore()
-            interned = []
-            for constraint in declared:
-                interned.append(
-                    SemanticConstraint.build(
-                        name=constraint.name,
-                        antecedents=self._store.intern_all(constraint.antecedents),
-                        consequent=self._store.intern(constraint.consequent),
-                        anchor_classes=constraint.anchor_classes,
-                        origin=constraint.origin,
-                        derived_from=constraint.derived_from,
-                        description=constraint.description,
-                    )
-                )
-            self._closed = tuple(interned)
+        """Materialize the closure and (re)build the constraint grouping.
 
-        self._grouping = ConstraintGrouping(
-            self.schema.class_names(),
-            policy=self.policy,
-            statistics=self.statistics,
+        Compilation runs under the repository lock, and the grouping is
+        fully populated before being published, so readers on other threads
+        either see the previous compiled state or the complete new one —
+        never a half-built grouping.
+        """
+        with self._lock:
+            declared = unique_constraints(tuple(self._declared))
+            if self.compute_transitive_closure:
+                self._closure = self._materialize_closure(declared)
+                self._closed = self._closure.constraints
+                self._store = self._closure.store
+            else:
+                self._closure = None
+                self._store = PredicateStore()
+                interned = []
+                for constraint in declared:
+                    interned.append(
+                        SemanticConstraint.build(
+                            name=constraint.name,
+                            antecedents=self._store.intern_all(constraint.antecedents),
+                            consequent=self._store.intern(constraint.consequent),
+                            anchor_classes=constraint.anchor_classes,
+                            origin=constraint.origin,
+                            derived_from=constraint.derived_from,
+                            description=constraint.description,
+                        )
+                    )
+                self._closed = tuple(interned)
+
+            grouping = ConstraintGrouping(
+                self.schema.class_names(),
+                policy=self.policy,
+                statistics=self.statistics,
+            )
+            grouping.assign_all(self._closed)
+            self._grouping = grouping
+            # Cached RetrievalStats describe the grouping they were fetched
+            # from; a rebuilt grouping makes them stale (same reason
+            # regroup() invalidates).
+            self._retrieval_cache.clear()
+            self._dirty = False
+            return self.stats()
+
+    def _materialize_closure(self, declared: Tuple[SemanticConstraint, ...]) -> ClosureResult:
+        """Compute (or reuse) the closure of ``declared``.
+
+        Closures only depend on the declared constraint set, so an LRU keyed
+        on the constraint signatures lets a mutation cycle that restores a
+        previously-seen set skip the fixpoint recomputation entirely.
+        """
+        # signature() deliberately covers only predicates and anchors, but
+        # the cached ClosureResult carries full constraint identity, so
+        # name, description, origin and lineage must all be part of the key
+        # or a logically-identical re-declaration would resurrect the
+        # removed constraint's stale identity/provenance.
+        key = tuple(
+            (c.name, c.signature(), c.description, c.origin, c.derived_from)
+            for c in sorted(declared, key=lambda c: c.name)
         )
-        self._grouping.assign_all(self._closed)
-        self._dirty = False
-        return self.stats()
+        cached = self._closure_cache.get(key)
+        if cached is not None:
+            return cached
+        closure = compute_closure(declared, store=PredicateStore())
+        self._closure_cache.put(key, closure)
+        return closure
 
     def _ensure_compiled(self) -> None:
         if self._dirty or self._grouping is None:
-            self.precompile()
+            with self._lock:
+                # Double-checked under the lock: another thread may have
+                # finished compiling while this one waited.
+                if self._dirty or self._grouping is None:
+                    self.precompile()
+
+    def ensure_precompiled(self) -> None:
+        """Precompile now if any mutation happened since the last compile.
+
+        Batch callers (the service layer) invoke this once before fanning a
+        workload out across threads so no worker races the lazy compile.
+        """
+        self._ensure_compiled()
 
     # ------------------------------------------------------------------
     # Retrieval
@@ -219,13 +350,47 @@ class ConstraintRepository:
         record_access:
             When ``True`` the access-frequency statistics are updated, which
             is what gradually steers the ``LEAST_FREQUENT`` grouping policy.
+
+        Retrievals are served from a keyed LRU cache when possible: the key
+        is the frozenset of query classes (plus the relationship set, which
+        the relevance filter also depends on) under the current repository
+        generation.  Any constraint add/remove bumps the generation and
+        drops the cache, so a hit can never return stale constraints.
         """
+        # Snapshot the generation before compiling: if a mutation races this
+        # retrieval, the result lands under the dead pre-mutation key (never
+        # served to post-mutation lookups) instead of poisoning the new one.
+        generation = self._generation
         self._ensure_compiled()
         classes = list(query_classes)
         if record_access:
-            self.statistics.record_query(classes)
+            self.record_access(classes)
         assert self._grouping is not None
-        return self._grouping.retrieve_relevant(classes, query_relationships)
+
+        relationships = (
+            frozenset(query_relationships)
+            if query_relationships is not None
+            else None
+        )
+        key = (frozenset(classes), relationships, generation)
+        cached = self._retrieval_cache.get(key)
+        if cached is not None:
+            constraints, stats = cached
+            return list(constraints), replace(stats, cache_hit=True)
+        relevant, stats = self._grouping.retrieve_relevant(classes, relationships)
+        self._retrieval_cache.put(key, (tuple(relevant), replace(stats)))
+        return relevant, stats
+
+    def record_access(self, query_classes: Iterable[str]) -> None:
+        """Record one query's class accesses in the frequency statistics.
+
+        Callers that answer a query without retrieving (the service layer's
+        result-cache hits) use this so the ``LEAST_FREQUENT`` policy keeps
+        seeing true access frequencies.  The counters are plain dict
+        increments; the lock keeps threaded batches from losing updates.
+        """
+        with self._lock:
+            self.statistics.record_query(list(query_classes))
 
     def regroup(self, policy: Optional[GroupingPolicy] = None) -> None:
         """Rebuild the grouping (optionally switching policy).
@@ -234,15 +399,20 @@ class ConstraintRepository:
         least-frequently-accessed assignment is stale.
         """
         self._ensure_compiled()
-        if policy is not None:
-            self.policy = policy
-        assert self._grouping is not None
-        self._grouping = ConstraintGrouping(
-            self.schema.class_names(),
-            policy=self.policy,
-            statistics=self.statistics,
-        )
-        self._grouping.assign_all(self._closed)
+        with self._lock:
+            if policy is not None:
+                self.policy = policy
+            grouping = ConstraintGrouping(
+                self.schema.class_names(),
+                policy=self.policy,
+                statistics=self.statistics,
+            )
+            grouping.assign_all(self._closed)
+            self._grouping = grouping
+        # The relevant set is grouping-independent but the per-retrieval
+        # stats (groups touched, fetched) are not, so cached entries are
+        # stale for reporting purposes.
+        self._invalidate_caches()
 
     # ------------------------------------------------------------------
     # Reporting

@@ -22,10 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.optimizer import OptimizerConfig, SemanticQueryOptimizer
+from ..core.optimizer import OptimizerConfig
 from ..data.generator import TABLE_4_1_SPECS, DatabaseSpec
 from ..data.workload import build_evaluation_setup
 from ..query.query import Query
+from ..service import OptimizationService, ServiceCacheSnapshot
 from .reporting import format_table, summarize_series
 
 
@@ -47,6 +48,7 @@ class Figure41Result:
 
     points: List[Figure41Point] = field(default_factory=list)
     repeats: int = 1
+    cache: Optional[ServiceCacheSnapshot] = None
 
     def series(
         self, constraint_buckets: Sequence[Tuple[int, int]] = ((0, 2), (3, 5), (6, 99))
@@ -137,7 +139,7 @@ def run_figure_4_1(
         Optional explicit workload (overrides the generated one).
     """
     setup = build_evaluation_setup(spec, query_count=query_count, seed=seed)
-    optimizer = SemanticQueryOptimizer(
+    service = OptimizationService(
         setup.schema,
         repository=setup.repository,
         cost_model=setup.cost_model,
@@ -147,8 +149,20 @@ def run_figure_4_1(
     result = Figure41Result(repeats=repeats)
     for query in workload:
         best = None
-        for _ in range(max(1, repeats)):
-            outcome = optimizer.optimize(query)
+        retrieval_time = 0.0
+        # Earlier workload queries may share this query's class set, so the
+        # retrieval cache is dropped here to make the first attempt measure
+        # a real grouped retrieval rather than a dict lookup.
+        setup.repository.clear_retrieval_cache()
+        for attempt in range(max(1, repeats)):
+            # The pipeline must actually run on every repeat (this is a
+            # timing experiment), so the result cache is bypassed; the
+            # repository's retrieval cache still serves the repeats, which
+            # matches the paper's exclusion of retrieval I/O from the
+            # reported transformation time.
+            outcome = service.optimize(query, use_cache=False).result
+            if attempt == 0:
+                retrieval_time = outcome.timings.retrieval
             if best is None or (
                 outcome.timings.transformation_only
                 < best.timings.transformation_only
@@ -161,8 +175,9 @@ def run_figure_4_1(
                 class_count=query.class_count,
                 relevant_constraints=best.relevant_constraints,
                 transformation_time=best.timings.transformation_only,
-                retrieval_time=best.timings.retrieval,
+                retrieval_time=retrieval_time,
                 transformations_applied=best.transformations_applied,
             )
         )
+    result.cache = service.cache_stats()
     return result

@@ -43,10 +43,20 @@ class ExperimentReport:
             sections.append("")
             sections.append("== Figure 4.1: query transformation time ==")
             sections.append(self.figure_4_1.as_table())
+            if self.figure_4_1.cache is not None:
+                sections.append(
+                    f"service caches: {self.figure_4_1.cache.describe()}"
+                )
         if self.table_4_2 is not None:
             sections.append("")
             sections.append("== Table 4.2: optimized/original cost ratio buckets ==")
             sections.append(self.table_4_2.as_table())
+            for name in sorted(self.table_4_2.rows):
+                row = self.table_4_2.rows[name]
+                if row.cache is not None:
+                    sections.append(
+                        f"service caches ({name}): {row.cache.describe()}"
+                    )
         if self.complexity is not None:
             sections.append("")
             sections.append("== Complexity: O(m*n) transformation scaling ==")

@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
-from ..core.optimizer import OptimizerConfig, SemanticQueryOptimizer
+from ..core.optimizer import OptimizerConfig
 from ..data import evaluation
 from ..data.generator import TABLE_4_1_SPECS, DatabaseGenerator, DatabaseSpec
 from ..data.workload import constraint_selection_pool
@@ -40,6 +40,7 @@ from ..constraints.repository import ConstraintRepository
 from ..query.equivalence import answers_match
 from ..query.generator import GeneratorConfig, QueryGenerator
 from ..query.query import Query
+from ..service import OptimizationService, ServiceCacheSnapshot
 from .reporting import format_table, percentage
 
 #: Conversion from transformation wall-clock seconds to cost units when the
@@ -84,6 +85,7 @@ class Table42Row:
 
     database: str
     records: List[QueryCostRecord] = field(default_factory=list)
+    cache: Optional[ServiceCacheSnapshot] = None
 
     def ratios(self) -> List[float]:
         """All cost ratios of the row."""
@@ -211,7 +213,10 @@ def run_table_4_2(
         repository = ConstraintRepository(schema)
         repository.add_all(constraints)
         repository.precompile()
-        optimizer = SemanticQueryOptimizer(
+        # The service shares the precompiled repository snapshot across the
+        # workload; its retrieval cache serves queries over repeated class
+        # sets, which is exactly the high-throughput path a server would use.
+        service = OptimizationService(
             schema,
             repository=repository,
             cost_model=cost_model,
@@ -224,7 +229,10 @@ def run_table_4_2(
 
         row = Table42Row(database=name)
         for query in workload:
-            outcome = optimizer.optimize(query)
+            # use_cache=False: each query's transformation overhead feeds
+            # the cost ratio, so it must be measured, not replayed from a
+            # structural twin's cached run (same reasoning as Figure 4.1).
+            outcome = service.optimize(query, use_cache=False).result
             original_cost = cost_model.measured_cost(executor.execute(query).metrics)
             optimized_cost = cost_model.measured_cost(
                 executor.execute(outcome.optimized).metrics
@@ -253,5 +261,6 @@ def run_table_4_2(
                     answers_agree=agree,
                 )
             )
+        row.cache = service.cache_stats()
         result.rows[name] = row
     return result

@@ -16,7 +16,12 @@ from .formatter import (
 )
 from .parser import QueryParseError, parse_constant, parse_predicate, parse_query
 from .generator import GeneratorConfig, QueryGenerator, ValueCatalog
-from .equivalence import answers_match, results_equal, structurally_equal
+from .equivalence import (
+    answers_match,
+    equivalence_key,
+    results_equal,
+    structurally_equal,
+)
 
 __all__ = [
     "GeneratorConfig",
@@ -27,6 +32,7 @@ __all__ = [
     "ValueCatalog",
     "answers_match",
     "describe_query",
+    "equivalence_key",
     "format_name_list",
     "format_predicate",
     "format_predicate_list",

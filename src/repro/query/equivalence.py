@@ -30,14 +30,25 @@ def _predicate_keys(query: Query) -> FrozenSet:
     return frozenset(p.key() for p in query.predicates())
 
 
+def equivalence_key(query: Query) -> Tuple:
+    """A hashable structural identity key for ``query``.
+
+    Two queries compare :func:`structurally_equal` exactly when their keys
+    are equal, which is what lets batch callers deduplicate structurally
+    equivalent queries (and cache optimization results) with a dict instead
+    of pairwise comparisons.
+    """
+    return (
+        frozenset(query.projections),
+        _predicate_keys(query),
+        frozenset(query.relationships),
+        frozenset(query.classes),
+    )
+
+
 def structurally_equal(left: Query, right: Query) -> bool:
     """Whether two queries are the same modulo list ordering."""
-    return (
-        frozenset(left.projections) == frozenset(right.projections)
-        and _predicate_keys(left) == _predicate_keys(right)
-        and frozenset(left.relationships) == frozenset(right.relationships)
-        and frozenset(left.classes) == frozenset(right.classes)
-    )
+    return equivalence_key(left) == equivalence_key(right)
 
 
 def _project_rows(

@@ -1,0 +1,29 @@
+"""Service layer: cached, batched access to the semantic query optimizer.
+
+This package is the high-throughput entry point to the optimizer.  Where
+:class:`~repro.core.optimizer.SemanticQueryOptimizer` optimizes one query
+at a time from scratch, :class:`OptimizationService` shares one precompiled
+constraint repository across calls, caches optimization results keyed on
+structural query identity, deduplicates batches, and optionally fans work
+out over a thread pool — the precompilation argument of the paper ("the
+transitive closures of the constraints are materialized during
+precompilation") carried one level further up the stack.
+"""
+
+from .envelope import (
+    BatchResult,
+    BatchStats,
+    ResultSource,
+    ServiceCacheSnapshot,
+    ServiceResult,
+)
+from .service import OptimizationService
+
+__all__ = [
+    "BatchResult",
+    "BatchStats",
+    "OptimizationService",
+    "ResultSource",
+    "ServiceCacheSnapshot",
+    "ServiceResult",
+]

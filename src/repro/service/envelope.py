@@ -1,0 +1,190 @@
+"""Result envelopes returned by the optimization service.
+
+The service wraps every :class:`~repro.core.optimizer.OptimizationResult`
+in a :class:`ServiceResult` that additionally records where the result came
+from (computed fresh, served from the result cache, or deduplicated within
+a batch) and how long the service spent on the call.  Batch calls return a
+:class:`BatchResult` aligning one envelope with each input query plus
+aggregate statistics, so experiments and the CLI report timings and cache
+behaviour uniformly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+from ..core.optimizer import OptimizationResult, PhaseTimings
+from ..core.trace import OptimizationTrace
+from ..query.query import Query
+
+
+class ResultSource(enum.Enum):
+    """Where a :class:`ServiceResult` came from."""
+
+    #: The full four-phase pipeline ran for this query.
+    COMPUTED = "computed"
+    #: Served from the service's keyed result cache (no pipeline work).
+    RESULT_CACHE = "result_cache"
+    #: Shared the result of a structurally-equal query in the same batch.
+    BATCH_DEDUP = "batch_dedup"
+
+
+@dataclass(frozen=True)
+class ServiceCacheSnapshot:
+    """Point-in-time counters of the service's caches.
+
+    ``result_*`` counts lookups in the service-level optimization-result
+    cache; ``retrieval_*`` and ``closure_*`` mirror the repository's
+    :class:`~repro.constraints.repository.RepositoryCacheStats`.
+    """
+
+    result_hits: int = 0
+    result_misses: int = 0
+    result_entries: int = 0
+    retrieval_hits: int = 0
+    retrieval_misses: int = 0
+    closure_hits: int = 0
+    closure_misses: int = 0
+
+    @property
+    def result_lookups(self) -> int:
+        """Total result-cache lookups."""
+        return self.result_hits + self.result_misses
+
+    @property
+    def result_hit_rate(self) -> float:
+        """Fraction of result lookups served from cache (0.0 if none)."""
+        lookups = self.result_lookups
+        return self.result_hits / lookups if lookups else 0.0
+
+    def describe(self) -> str:
+        """One-line human-readable cache summary."""
+        return (
+            f"result cache {self.result_hits}/{self.result_lookups} hits, "
+            f"retrieval cache {self.retrieval_hits}/"
+            f"{self.retrieval_hits + self.retrieval_misses} hits, "
+            f"closure cache {self.closure_hits}/"
+            f"{self.closure_hits + self.closure_misses} hits"
+        )
+
+
+@dataclass
+class ServiceResult:
+    """One optimized query as returned by the service.
+
+    Cache-hit and batch-dedup envelopes share the producing run's
+    ``OptimizationResult`` internals (trace, predicate tags, lists) rather
+    than deep-copying them; treat the result as read-only, since mutating
+    it would corrupt every future hit for the same structural key.
+    """
+
+    query: Query
+    result: OptimizationResult
+    source: ResultSource = ResultSource.COMPUTED
+    service_time: float = 0.0
+
+    @property
+    def cache_hit(self) -> bool:
+        """Whether the pipeline was skipped for this query."""
+        return self.source is not ResultSource.COMPUTED
+
+    @property
+    def optimized(self) -> Query:
+        """The transformed query."""
+        return self.result.optimized
+
+    @property
+    def timings(self) -> PhaseTimings:
+        """Per-phase timings of the (possibly cached) underlying run."""
+        return self.result.timings
+
+    @property
+    def trace(self) -> OptimizationTrace:
+        """The optimization trace of the underlying run."""
+        return self.result.trace
+
+    def summary(self) -> str:
+        """One-line summary including the result's provenance."""
+        return f"[{self.source.value}] {self.result.summary()}"
+
+
+@dataclass
+class BatchStats:
+    """Aggregate statistics of one :meth:`optimize_many` call."""
+
+    total: int = 0
+    unique: int = 0
+    computed: int = 0
+    result_cache_hits: int = 0
+    wall_time: float = 0.0
+    workers: int = 1
+
+    @property
+    def duplicates(self) -> int:
+        """Queries answered by batch-level deduplication."""
+        return self.total - self.unique
+
+    @property
+    def mean_time(self) -> float:
+        """Mean wall-clock time per query in the batch."""
+        return self.wall_time / self.total if self.total else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Queries per second over the batch (0.0 for an empty batch)."""
+        return self.total / self.wall_time if self.wall_time > 0 else 0.0
+
+
+@dataclass
+class BatchResult:
+    """Envelopes for a whole batch, aligned with the input query order."""
+
+    results: List[ServiceResult] = field(default_factory=list)
+    stats: BatchStats = field(default_factory=BatchStats)
+    cache: ServiceCacheSnapshot = field(default_factory=ServiceCacheSnapshot)
+
+    def optimized_queries(self) -> List[Query]:
+        """The transformed queries, one per input query."""
+        return [envelope.optimized for envelope in self.results]
+
+    def phase_totals(self) -> PhaseTimings:
+        """Summed per-phase timings over the batch's *computed* results.
+
+        Cached and deduplicated envelopes re-expose the timings of the run
+        that produced them, so only freshly computed results are summed.
+        """
+        totals = PhaseTimings()
+        for envelope in self.results:
+            if envelope.source is not ResultSource.COMPUTED:
+                continue
+            totals.retrieval += envelope.timings.retrieval
+            totals.initialization += envelope.timings.initialization
+            totals.transformation += envelope.timings.transformation
+            totals.formulation += envelope.timings.formulation
+        return totals
+
+    def sources(self) -> Dict[str, int]:
+        """Histogram of result provenance over the batch."""
+        counts: Dict[str, int] = {}
+        for envelope in self.results:
+            counts[envelope.source.value] = counts.get(envelope.source.value, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        """One-line human-readable batch summary."""
+        return (
+            f"{self.stats.total} queries ({self.stats.unique} unique) in "
+            f"{self.stats.wall_time * 1000:.2f} ms "
+            f"({self.stats.throughput:.0f} q/s) — {self.cache.describe()}"
+        )
+
+    def __iter__(self) -> Iterator[ServiceResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index: int) -> ServiceResult:
+        return self.results[index]

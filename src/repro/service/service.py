@@ -1,0 +1,268 @@
+"""A cached, batched facade over the semantic query optimizer.
+
+:class:`OptimizationService` is the layer a server (or an experiment
+harness) talks to when the same optimizer is shared by many requests.  On
+top of :class:`~repro.core.optimizer.SemanticQueryOptimizer` it adds
+
+* a keyed, size-bounded **result cache**: structurally-equal queries
+  optimized against the same repository generation return the already
+  computed result without running any pipeline phase (the repository's own
+  retrieval/closure caches make the cold path cheaper too);
+* a **batch API**, :meth:`OptimizationService.optimize_many`, that
+  deduplicates structurally-equal queries, shares one precompiled
+  repository snapshot across the batch, and can fan the unique queries out
+  over a thread pool;
+* a uniform **result envelope** carrying per-phase timings, provenance and
+  cache statistics (:mod:`repro.service.envelope`).
+
+The service is safe to call from multiple threads: the result cache is
+lock-protected, the repository's caches take their own lock, and each
+pipeline run only mutates objects local to that run.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..caching import LruCache
+from ..constraints.horn_clause import SemanticConstraint
+from ..constraints.repository import ConstraintRepository, RepositoryCacheStats
+from ..core.optimizer import OptimizerConfig, SemanticQueryOptimizer
+from ..query.equivalence import equivalence_key
+from ..query.query import Query
+from ..schema.schema import Schema
+from .envelope import (
+    BatchResult,
+    BatchStats,
+    ResultSource,
+    ServiceCacheSnapshot,
+    ServiceResult,
+)
+
+try:  # pragma: no cover - engine is always available in-tree
+    from ..engine.cost_model import CostModel
+except Exception:  # pragma: no cover
+    CostModel = None  # type: ignore[assignment]
+
+
+class OptimizationService:
+    """Shared, cached access to one :class:`SemanticQueryOptimizer`.
+
+    Parameters
+    ----------
+    schema, repository, constraints, cost_model, config:
+        Forwarded to the wrapped :class:`SemanticQueryOptimizer`.
+    result_cache_size:
+        Maximum number of optimization results kept (LRU, keyed by the
+        query's structural identity and the repository generation).  ``0``
+        disables result caching.
+    max_workers:
+        Default thread-pool width for :meth:`optimize_many`; ``None`` (or
+        ``1``) optimizes batches sequentially.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        repository: Optional[ConstraintRepository] = None,
+        constraints: Optional[Sequence[SemanticConstraint]] = None,
+        cost_model: Optional["CostModel"] = None,
+        config: Optional[OptimizerConfig] = None,
+        result_cache_size: int = 1024,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.optimizer = SemanticQueryOptimizer(
+            schema,
+            repository=repository,
+            constraints=constraints,
+            cost_model=cost_model,
+            config=config,
+        )
+        self.schema = schema
+        self.max_workers = max_workers
+        self._result_cache: LruCache = LruCache(result_cache_size)
+
+    @property
+    def repository(self) -> Optional[ConstraintRepository]:
+        """The wrapped optimizer's repository (single source of truth).
+
+        Derived rather than stored so generation reads for cache keys can
+        never diverge from the repository the optimizer actually uses.
+        """
+        return self.optimizer.repository
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _record_access(self, query: Query) -> None:
+        """Keep access-frequency statistics honest for pipeline-skipping hits."""
+        if (
+            self.repository is not None
+            and self.optimizer.config.record_access_statistics
+        ):
+            self.repository.record_access(query.classes)
+
+    def clear_result_cache(self) -> None:
+        """Drop every cached optimization result."""
+        self._result_cache.clear()
+
+    def cache_stats(self) -> ServiceCacheSnapshot:
+        """Current counters of the result cache and the repository caches."""
+        repo = (
+            self.repository.cache_stats()
+            if self.repository is not None
+            else RepositoryCacheStats()
+        )
+        return ServiceCacheSnapshot(
+            result_hits=self._result_cache.hits,
+            result_misses=self._result_cache.misses,
+            result_entries=len(self._result_cache),
+            retrieval_hits=repo.retrieval_hits,
+            retrieval_misses=repo.retrieval_misses,
+            closure_hits=repo.closure_hits,
+            closure_misses=repo.closure_misses,
+        )
+
+    # ------------------------------------------------------------------
+    # Single-query API
+    # ------------------------------------------------------------------
+    def optimize(self, query: Query, use_cache: bool = True) -> ServiceResult:
+        """Optimize one query, serving from the result cache when possible.
+
+        Cache identity is *structural* (``equivalence_key``): list ordering
+        of projections, predicates, relationships and classes is ignored,
+        so a hit may return an optimized query carrying a structural twin's
+        ordering.  That matches the system's set-based answer semantics;
+        callers that need per-call orderings or timings must pass
+        ``use_cache=False``, which bypasses the result cache entirely (no
+        lookup, no store) — as the timing experiments do.
+        """
+        caching = use_cache and self._result_cache.maxsize > 0
+        return self._optimize_keyed(
+            query, equivalence_key(query) if caching else None
+        )
+
+    def _optimize_keyed(
+        self, query: Query, eq_key: Optional[Tuple]
+    ) -> ServiceResult:
+        """Optimize with a precomputed structural key (``None`` = no caching)."""
+        start = time.perf_counter()
+        key: Optional[Tuple] = None
+        if eq_key is not None:
+            generation = (
+                self.repository.generation if self.repository is not None else 0
+            )
+            key = (eq_key, generation)
+            cached = self._result_cache.get(key)
+            if cached is not None:
+                self._record_access(query)
+                return ServiceResult(
+                    query=query,
+                    # The cached run may stem from a structural twin; point
+                    # ``original`` at the query this caller submitted (the
+                    # heavy fields — optimized query, trace, tags — are
+                    # shared with the cached result).
+                    result=replace(cached, original=query),
+                    source=ResultSource.RESULT_CACHE,
+                    service_time=time.perf_counter() - start,
+                )
+        result = self.optimizer.optimize(query)
+        if key is not None:
+            self._result_cache.put(key, result)
+        return ServiceResult(
+            query=query,
+            result=result,
+            source=ResultSource.COMPUTED,
+            service_time=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    # Batch API
+    # ------------------------------------------------------------------
+    def optimize_many(
+        self,
+        queries: Iterable[Query],
+        max_workers: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> BatchResult:
+        """Optimize a batch of queries.
+
+        Structurally-equal queries in the batch are optimized once and the
+        result shared (the duplicates' envelopes are marked
+        ``BATCH_DEDUP``).  The repository is precompiled up front so every
+        query — and every worker thread — runs against the same snapshot.
+        When ``max_workers`` (or the service default) is greater than one,
+        the unique queries fan out over a thread pool; results always come
+        back aligned with the input order.
+        """
+        batch = list(queries)
+        start = time.perf_counter()
+        if self.repository is not None:
+            self.repository.ensure_precompiled()
+
+        caching = use_cache and self._result_cache.maxsize > 0
+        unique_queries: List[Query] = []
+        unique_keys: List[Tuple] = []
+        slot_of_key: Dict[Tuple, int] = {}
+        slots: List[int] = []  # input index -> unique-query slot
+        for query in batch:
+            key = equivalence_key(query)
+            slot = slot_of_key.get(key)
+            if slot is None:
+                slot = len(unique_queries)
+                slot_of_key[key] = slot
+                unique_queries.append(query)
+                unique_keys.append(key)
+            slots.append(slot)
+
+        def run(slot: int) -> ServiceResult:
+            return self._optimize_keyed(
+                unique_queries[slot], unique_keys[slot] if caching else None
+            )
+
+        workers = max_workers if max_workers is not None else self.max_workers
+        if workers is not None and workers > 1 and len(unique_queries) > 1:
+            pool_size = min(workers, len(unique_queries))
+            with ThreadPoolExecutor(max_workers=pool_size) as pool:
+                unique_results = list(pool.map(run, range(len(unique_queries))))
+        else:
+            pool_size = 1
+            unique_results = [run(slot) for slot in range(len(unique_queries))]
+
+        envelopes: List[ServiceResult] = []
+        first_use = [True] * len(unique_results)
+        for index, slot in enumerate(slots):
+            primary = unique_results[slot]
+            if first_use[slot]:
+                first_use[slot] = False
+                envelopes.append(replace(primary, query=batch[index]))
+            else:
+                self._record_access(batch[index])
+                envelopes.append(
+                    replace(
+                        primary,
+                        query=batch[index],
+                        result=replace(primary.result, original=batch[index]),
+                        source=ResultSource.BATCH_DEDUP,
+                        service_time=0.0,
+                    )
+                )
+
+        stats = BatchStats(
+            total=len(batch),
+            unique=len(unique_queries),
+            computed=sum(
+                1 for r in unique_results if r.source is ResultSource.COMPUTED
+            ),
+            result_cache_hits=sum(
+                1 for r in unique_results if r.source is ResultSource.RESULT_CACHE
+            ),
+            wall_time=time.perf_counter() - start,
+            workers=pool_size,
+        )
+        return BatchResult(
+            results=envelopes, stats=stats, cache=self.cache_stats()
+        )

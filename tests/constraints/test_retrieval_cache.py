@@ -1,0 +1,156 @@
+"""Tests for the repository's keyed retrieval and closure caches."""
+
+import pytest
+
+from repro.constraints import (
+    ConstraintRepository,
+    build_example_constraints,
+    constraint_c1,
+)
+
+
+@pytest.fixture()
+def repository(example_schema, example_constraints):
+    repo = ConstraintRepository(example_schema)
+    repo.add_all(example_constraints)
+    repo.precompile()
+    return repo
+
+
+QUERY_CLASSES = ["supplier", "cargo", "vehicle"]
+QUERY_RELATIONSHIPS = ["collects", "supplies"]
+
+
+def test_hit_and_miss_accounting(repository):
+    first, first_stats = repository.retrieve_relevant(
+        QUERY_CLASSES, QUERY_RELATIONSHIPS
+    )
+    second, second_stats = repository.retrieve_relevant(
+        QUERY_CLASSES, QUERY_RELATIONSHIPS
+    )
+    assert not first_stats.cache_hit
+    assert second_stats.cache_hit
+    # The cached answer carries the original retrieval's bookkeeping.
+    assert second_stats.fetched == first_stats.fetched
+    assert second_stats.relevant == first_stats.relevant
+    assert [c.name for c in second] == [c.name for c in first]
+    stats = repository.cache_stats()
+    assert stats.retrieval_hits == 1
+    assert stats.retrieval_misses == 1
+    assert stats.retrieval_hit_rate == 0.5
+
+
+def test_class_order_does_not_matter(repository):
+    repository.retrieve_relevant(QUERY_CLASSES, QUERY_RELATIONSHIPS)
+    _, stats = repository.retrieve_relevant(
+        list(reversed(QUERY_CLASSES)), list(reversed(QUERY_RELATIONSHIPS))
+    )
+    assert stats.cache_hit
+
+
+def test_different_relationships_are_distinct_entries(repository):
+    repository.retrieve_relevant(QUERY_CLASSES, ["collects"])
+    _, stats = repository.retrieve_relevant(QUERY_CLASSES, ["supplies"])
+    assert not stats.cache_hit
+
+
+def test_cache_invalidated_on_remove(repository):
+    relevant, _ = repository.retrieve_relevant(QUERY_CLASSES, QUERY_RELATIONSHIPS)
+    assert any(c.name == "c1" or c.derived_from for c in relevant)
+    generation = repository.generation
+
+    repository.remove("c1")
+    assert repository.generation > generation
+    after, stats = repository.retrieve_relevant(QUERY_CLASSES, QUERY_RELATIONSHIPS)
+    assert not stats.cache_hit
+    assert all(c.name != "c1" for c in after)
+
+
+def test_cache_invalidated_on_add(repository):
+    repository.remove("c1")
+    before, _ = repository.retrieve_relevant(QUERY_CLASSES, QUERY_RELATIONSHIPS)
+    assert all(c.name != "c1" for c in before)
+
+    repository.add(constraint_c1())
+    after, stats = repository.retrieve_relevant(QUERY_CLASSES, QUERY_RELATIONSHIPS)
+    assert not stats.cache_hit
+    assert any(c.name == "c1" for c in after)
+
+
+def test_cache_size_bound_evicts_lru(example_schema, example_constraints):
+    repo = ConstraintRepository(example_schema, retrieval_cache_size=2)
+    repo.add_all(example_constraints)
+    repo.precompile()
+    for classes in (["supplier"], ["cargo"], ["vehicle"]):
+        repo.retrieve_relevant(classes)
+    stats = repo.cache_stats()
+    assert stats.retrieval_entries == 2
+    assert stats.retrieval_evictions == 1
+    # The oldest entry is gone, the newest still present.
+    _, oldest = repo.retrieve_relevant(["supplier"])
+    assert not oldest.cache_hit
+    _, newest = repo.retrieve_relevant(["vehicle"])
+    assert newest.cache_hit
+
+
+def test_cache_can_be_disabled(example_schema, example_constraints):
+    repo = ConstraintRepository(example_schema, retrieval_cache_size=0)
+    repo.add_all(example_constraints)
+    repo.precompile()
+    repo.retrieve_relevant(QUERY_CLASSES, QUERY_RELATIONSHIPS)
+    _, stats = repo.retrieve_relevant(QUERY_CLASSES, QUERY_RELATIONSHIPS)
+    assert not stats.cache_hit
+    cache = repo.cache_stats()
+    assert cache.retrieval_hits == 0
+    assert cache.retrieval_misses == 0
+
+
+def test_cached_answer_matches_uncached(example_schema, example_constraints):
+    cached = ConstraintRepository(example_schema)
+    uncached = ConstraintRepository(example_schema, retrieval_cache_size=0)
+    for repo in (cached, uncached):
+        repo.add_all(build_example_constraints())
+        repo.precompile()
+    cached.retrieve_relevant(QUERY_CLASSES, QUERY_RELATIONSHIPS)  # warm
+    from_cache, stats = cached.retrieve_relevant(QUERY_CLASSES, QUERY_RELATIONSHIPS)
+    plain, _ = uncached.retrieve_relevant(QUERY_CLASSES, QUERY_RELATIONSHIPS)
+    assert stats.cache_hit
+    assert sorted(c.name for c in from_cache) == sorted(c.name for c in plain)
+
+
+def test_closure_reused_across_identical_precompiles(repository):
+    assert repository.cache_stats().closure_misses == 1
+    # Remove and re-add the same constraint: the declared set cycles back to
+    # one already closed, so the second precompile reuses the materialized
+    # closure instead of recomputing the fixpoint.
+    repository.remove("c1")
+    repository.precompile()
+    repository.add(constraint_c1())
+    repository.precompile()
+    stats = repository.cache_stats()
+    assert stats.closure_hits >= 1
+    assert len(repository) > 0
+
+
+def test_closure_cache_keyed_on_constraint_names(repository):
+    """Re-declaring the same logic under a new name must not resurrect the
+    removed constraint's identity from a cached closure."""
+    from dataclasses import replace
+
+    original = next(c for c in repository.declared() if c.name == "c1")
+    repository.remove("c1")
+    repository.add(replace(original, name="c1_renamed"))
+    compiled_names = {c.name for c in repository.constraints()}
+    assert "c1_renamed" in compiled_names
+    assert "c1" not in compiled_names
+
+
+def test_mutation_while_cache_warm_never_serves_stale(repository):
+    warm, _ = repository.retrieve_relevant(QUERY_CLASSES, QUERY_RELATIONSHIPS)
+    repository.remove("c2")
+    refreshed, stats = repository.retrieve_relevant(
+        QUERY_CLASSES, QUERY_RELATIONSHIPS
+    )
+    assert not stats.cache_hit
+    assert {c.name for c in refreshed} <= {c.name for c in warm}
+    assert all(c.name != "c2" for c in refreshed)

@@ -1,0 +1,54 @@
+"""Tests for the shared thread-safe LRU cache."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.caching import LruCache
+
+
+def test_hit_miss_and_eviction_accounting():
+    cache = LruCache(2)
+    assert cache.get("a") is None
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # "a" is now most recently used
+    cache.put("c", 3)  # evicts "b"
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    assert cache.hits == 3
+    assert cache.misses == 2
+    assert cache.evictions == 1
+    assert len(cache) == 2
+
+
+def test_zero_maxsize_disables_without_counting():
+    cache = LruCache(0)
+    cache.put("a", 1)
+    assert cache.get("a") is None
+    assert cache.hits == 0
+    assert cache.misses == 0
+    assert len(cache) == 0
+
+
+def test_clear_keeps_counters():
+    cache = LruCache(4)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.hits == 1
+    assert cache.get("a") is None
+
+
+def test_concurrent_use_is_consistent():
+    cache = LruCache(128)
+
+    def worker(offset):
+        for i in range(100):
+            cache.put((offset, i), i)
+            cache.get((offset, i))
+
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        list(pool.map(worker, range(4)))
+    assert cache.hits + cache.misses == 400
+    assert len(cache) <= 128
