@@ -9,11 +9,16 @@ four optimizer phases — and is therefore required to be at least 2x faster
 per query on average.
 """
 
+import os
 import time
 
 from repro.core import OptimizerConfig
 from repro.query import structurally_equal
 from repro.service import OptimizationService, ResultSource
+
+#: REPRO_BENCH_SMOKE=1 (the CI smoke step) runs everything but skips the
+#: timing threshold, which is too noisy to gate on for shared runners.
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 
 
 def _timed_batch(service, queries, **kwargs):
@@ -82,10 +87,11 @@ def test_repeated_workload_throughput(bench_setup):
         assert structurally_equal(cold_envelope.optimized, warm_envelope.optimized)
 
     # The acceptance bar: serving from cache beats recomputation >= 2x.
-    assert warm_mean * 2.0 <= cold_mean, (
-        f"warm pass only {speedup:.2f}x faster "
-        f"(cold {cold_mean * 1e6:.0f} us/q, warm {warm_mean * 1e6:.0f} us/q)"
-    )
+    if not SMOKE:
+        assert warm_mean * 2.0 <= cold_mean, (
+            f"warm pass only {speedup:.2f}x faster "
+            f"(cold {cold_mean * 1e6:.0f} us/q, warm {warm_mean * 1e6:.0f} us/q)"
+        )
 
 
 def test_parallel_batch_matches_sequential(bench_setup):

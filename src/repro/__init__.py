@@ -77,10 +77,13 @@ from .engine import (
     CostWeights,
     DatabaseStatistics,
     ExecutionMetrics,
+    ExecutionMode,
     ExecutionResult,
     ObjectInstance,
     ObjectStore,
     QueryExecutor,
+    VectorizedExecutor,
+    create_executor,
 )
 from .core import (
     CellTag,
@@ -104,6 +107,7 @@ from .data import (
 from .service import (
     BatchResult,
     BatchStats,
+    ExecutionEnvelope,
     OptimizationService,
     ResultSource,
     ServiceCacheSnapshot,
@@ -132,7 +136,9 @@ __all__ = [
     "DatabaseStatistics",
     "DomainType",
     "EvaluationSetup",
+    "ExecutionEnvelope",
     "ExecutionMetrics",
+    "ExecutionMode",
     "ExecutionResult",
     "GroupingPolicy",
     "ObjectClass",
@@ -160,6 +166,7 @@ __all__ = [
     "TABLE_4_1_SPECS",
     "TransformationKind",
     "TransformationTable",
+    "VectorizedExecutor",
     "answers_match",
     "build_core_example_schema",
     "build_evaluation_constraints",
@@ -168,6 +175,7 @@ __all__ = [
     "build_example_constraints",
     "build_example_schema",
     "compute_closure",
+    "create_executor",
     "derive_rules",
     "enumerate_paths",
     "format_query",

@@ -86,15 +86,75 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --experiments: use small workloads",
     )
+    parser.add_argument(
+        "--engine",
+        choices=["rowwise", "vectorized"],
+        default=None,
+        help=(
+            "execution engine used by --execute and the experiments "
+            "(default: REPRO_ENGINE env var, else rowwise)"
+        ),
+    )
+    parser.add_argument(
+        "--execute",
+        action="store_true",
+        help=(
+            "also execute the original and optimized query against a "
+            "generated demo database and report the measured cost counters"
+        ),
+    )
     return parser
 
 
+def _execute_comparison(args: argparse.Namespace, schema, constraints, service, result) -> None:
+    """Run the original and optimized query on a demo database and report."""
+    from .data import DatabaseGenerator, DatabaseSpec
+    from .engine import CostModel, DatabaseStatistics
+
+    database = DatabaseGenerator(schema, constraints, seed=7).generate(
+        DatabaseSpec("demo", class_cardinality=60, relationship_cardinality=90)
+    )
+    service.attach_store(database.store)
+    cost_model = CostModel(
+        schema, DatabaseStatistics.collect(schema, database.store)
+    )
+    original = service.execute(
+        result.original, optimize=False, execution_mode=args.engine
+    )
+    optimized = service.execute(
+        result.original, optimize=True, execution_mode=args.engine
+    )
+    print(f"\nExecution ({original.execution_mode} engine, demo database):")
+    print(f"  original : {original.summary()}")
+    print(f"             {original.metrics.as_dict()}")
+    print(f"  optimized: {optimized.summary()}")
+    print(f"             {optimized.metrics.as_dict()}")
+    original_cost = cost_model.measured_cost(original.metrics)
+    optimized_cost = cost_model.measured_cost(optimized.metrics)
+    ratio = optimized_cost / original_cost if original_cost else 1.0
+    print(
+        f"  measured cost: {original_cost:.1f} -> {optimized_cost:.1f} "
+        f"units (ratio {ratio:.2f})"
+    )
+    from .query import answers_match
+
+    agree = answers_match(
+        schema,
+        database.store,
+        result.original,
+        result.optimized,
+        execution_mode=args.engine,
+    )
+    print(f"  answers agree: {agree}")
+
+
 def run_query(args: argparse.Namespace) -> int:
-    """Optimize one query and print the outcome."""
+    """Optimize (and optionally execute) one query and print the outcome."""
     build_schema, build_constraints = BUNDLES[args.schema]
     schema = build_schema()
+    constraints = build_constraints()
     repository = ConstraintRepository(schema)
-    repository.add_all(build_constraints())
+    repository.add_all(constraints)
 
     try:
         query = parse_query(args.query, name="cli")
@@ -128,6 +188,8 @@ def run_query(args: argparse.Namespace) -> int:
     print(format_query(result.optimized, multiline=True, indent="  "))
     print(f"\n{result.summary()}")
     print(f"Service: {envelope.source.value}, {service.cache_stats().describe()}")
+    if args.execute:
+        _execute_comparison(args, schema, constraints, service, result)
     return 0
 
 
@@ -139,7 +201,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiments:
         from .experiments import run_all
 
-        report = run_all(quick=args.quick)
+        report = run_all(quick=args.quick, engine=args.engine)
         print(report.render())
         return 0
 

@@ -12,6 +12,7 @@ from .instance import ObjectInstance
 from .indexes import HashIndex, IndexManager, SortedIndex
 from .storage import ObjectStore, StorageError
 from .statistics import AttributeStatistics, DatabaseStatistics
+from .modes import ExecutionMode, create_executor, default_execution_mode
 from .plan import (
     FilterNode,
     PlanNode,
@@ -24,15 +25,19 @@ from .plan import (
 from .cost_model import CostEstimate, CostModel, CostWeights
 from .planner import ConventionalPlanner, PlanningError
 from .executor import ExecutionMetrics, ExecutionResult, QueryExecutor
+from .compiled import compile_for_binding, compile_for_class
+from .vectorized import BindingBatch, VectorizedExecutor
 
 __all__ = [
     "AttributeStatistics",
+    "BindingBatch",
     "ConventionalPlanner",
     "CostEstimate",
     "CostModel",
     "CostWeights",
     "DatabaseStatistics",
     "ExecutionMetrics",
+    "ExecutionMode",
     "ExecutionResult",
     "FilterNode",
     "HashIndex",
@@ -48,5 +53,10 @@ __all__ = [
     "SortedIndex",
     "StorageError",
     "TraverseNode",
+    "VectorizedExecutor",
+    "compile_for_binding",
+    "compile_for_class",
+    "create_executor",
+    "default_execution_mode",
     "plan_predicates",
 ]

@@ -19,23 +19,40 @@ optimizers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..constraints.predicate import Predicate
 from ..query.query import Query
 from ..schema.schema import Schema
+from .modes import ExecutionMode, resolve_execution_mode
 from .statistics import DatabaseStatistics
 
 
 @dataclass(frozen=True)
 class CostWeights:
-    """Relative weights of the primitive operations."""
+    """Relative weights of the primitive operations.
+
+    The ``batch_*`` weights model the vectorized engine: a predicate lowered
+    to a compiled closure costs far less per row than a re-interpreted one,
+    but each predicate pays a one-off compilation charge per plan.  Measured
+    counters are engine-independent (both executors perform the same
+    primitive operations), so :meth:`CostModel.measured_cost` uses the
+    row-wise weights regardless of mode; the batch weights only shape
+    *estimates*, e.g. when a planner asks how much a plan would cost to run
+    vectorized.
+    """
 
     instance_retrieval: float = 1.0
     predicate_evaluation: float = 0.01
     pointer_traversal: float = 0.2
     index_lookup: float = 0.05
     result_construction: float = 0.05
+    #: Per-row cost of one *compiled* predicate evaluation.
+    batch_predicate_evaluation: float = 0.002
+    #: One-off cost of lowering one predicate into a compiled closure.
+    predicate_compilation: float = 0.05
+    #: Per-column setup charge for batching (column extraction and masks).
+    batch_column_setup: float = 0.02
 
 
 @dataclass
@@ -87,8 +104,33 @@ class CostModel:
                 return predicate
         return None
 
+    def _resolve_mode(
+        self, mode: Optional[Union[str, ExecutionMode]]
+    ) -> ExecutionMode:
+        # Estimates default to the row-wise baseline (not the process
+        # default): callers compare modes explicitly, so an env var must
+        # not silently change what an unqualified estimate means.
+        return resolve_execution_mode(mode, default=ExecutionMode.ROWWISE)
+
+    def _evaluation_weight(self, mode: ExecutionMode) -> float:
+        """Per-row cost of one predicate evaluation under ``mode``."""
+        if mode is ExecutionMode.VECTORIZED:
+            return self.weights.batch_predicate_evaluation
+        return self.weights.predicate_evaluation
+
+    def _batch_setup(self, mode: ExecutionMode, predicate_count: int) -> float:
+        """One-off lowering/column-extraction charge for a batched node."""
+        if mode is not ExecutionMode.VECTORIZED or predicate_count == 0:
+            return 0.0
+        return predicate_count * (
+            self.weights.predicate_compilation + self.weights.batch_column_setup
+        )
+
     def scan_estimate(
-        self, class_name: str, predicates: Sequence[Predicate]
+        self,
+        class_name: str,
+        predicates: Sequence[Predicate],
+        mode: Optional[Union[str, ExecutionMode]] = None,
     ) -> CostEstimate:
         """Estimated cost of producing the matching instances of one class.
 
@@ -96,10 +138,14 @@ class CostModel:
         assumed to go through the index: only the matching fraction of the
         extent is retrieved, plus an index-lookup charge.  Otherwise a full
         extent scan retrieves every instance and evaluates every predicate
-        on each.
+        on each.  Under the vectorized mode the per-row evaluation uses the
+        (cheaper) compiled-predicate weight plus a one-off compilation and
+        column-setup charge per predicate.
         """
+        mode = self._resolve_mode(mode)
         cardinality = self.statistics.cardinality(class_name)
         weights = self.weights
+        evaluation = self._evaluation_weight(mode)
         estimate = CostEstimate()
         indexed = self._indexed_predicate(class_name, predicates)
         if indexed is not None:
@@ -107,14 +153,17 @@ class CostModel:
             matching = cardinality * selectivity
             estimate.retrieval = matching * weights.instance_retrieval
             estimate.cpu = (
-                matching * max(0, len(predicates) - 1) * weights.predicate_evaluation
+                matching * max(0, len(predicates) - 1) * evaluation
                 + weights.index_lookup
             )
         else:
             estimate.retrieval = cardinality * weights.instance_retrieval
-            estimate.cpu = (
-                cardinality * len(predicates) * weights.predicate_evaluation
-            )
+            estimate.cpu = cardinality * len(predicates) * evaluation
+        # The index predicate is answered by the index, never compiled, so
+        # it carries no lowering charge (mirroring the executor, which
+        # strips the chosen index predicate before compiling the rest).
+        compiled = len(predicates) - (1 if indexed is not None else 0)
+        estimate.cpu += self._batch_setup(mode, compiled)
         return estimate
 
     def matching_instances(
@@ -141,19 +190,28 @@ class CostModel:
 
         return min(query.classes, key=sort_key)
 
-    def estimate_query(self, query: Query) -> CostEstimate:
+    def estimate_query(
+        self,
+        query: Query,
+        mode: Optional[Union[str, ExecutionMode]] = None,
+    ) -> CostEstimate:
         """Estimate the execution cost of ``query``.
 
         The estimate mimics the executor's strategy: scan the driver class,
         then traverse the query's relationships to bind the remaining
         classes, carrying forward the estimated number of partial results
         and charging retrieval for every instance touched along the way.
+        ``mode`` selects the engine being estimated: the vectorized engine
+        touches the same instances and pointers but pays the compiled
+        (batch) rate per predicate evaluation.
         """
+        mode = self._resolve_mode(mode)
         weights = self.weights
+        evaluation = self._evaluation_weight(mode)
         estimate = CostEstimate()
         driver = self.driver_class(query)
         driver_predicates = self._local_predicates(query, driver)
-        driver_scan = self.scan_estimate(driver, driver_predicates)
+        driver_scan = self.scan_estimate(driver, driver_predicates, mode)
         estimate.retrieval += driver_scan.retrieval
         estimate.cpu += driver_scan.cpu
 
@@ -181,7 +239,7 @@ class CostModel:
                 # class once (an index scan when one of its predicates is on
                 # an indexed attribute, a full extent scan otherwise) and
                 # then follows one pointer per partial result.
-                scan = self.scan_estimate(class_name, local)
+                scan = self.scan_estimate(class_name, local, mode)
                 estimate.retrieval += scan.retrieval
                 estimate.cpu += scan.cpu
                 estimate.traversal += current_rows * weights.pointer_traversal
@@ -194,7 +252,7 @@ class CostModel:
         # full scan and a cross filter.
         for class_name in remaining:
             local = self._local_predicates(query, class_name)
-            scan = self.scan_estimate(class_name, local)
+            scan = self.scan_estimate(class_name, local, mode)
             estimate.retrieval += scan.retrieval
             estimate.cpu += scan.cpu
             current_rows = max(
@@ -207,14 +265,26 @@ class CostModel:
             for p in query.predicates()
             if len(p.referenced_classes()) > 1
         ]
-        estimate.cpu += current_rows * len(cross) * weights.predicate_evaluation
+        estimate.cpu += current_rows * len(cross) * evaluation
+        estimate.cpu += self._batch_setup(mode, len(cross))
         # Result construction.
         estimate.cpu += current_rows * weights.result_construction
         return estimate
 
-    def estimate_query_cost(self, query: Query) -> float:
+    def estimate_query_cost(
+        self,
+        query: Query,
+        mode: Optional[Union[str, ExecutionMode]] = None,
+    ) -> float:
         """Scalar convenience wrapper around :meth:`estimate_query`."""
-        return self.estimate_query(query).total
+        return self.estimate_query(query, mode).total
+
+    def vectorization_speedup(self, query: Query) -> float:
+        """Estimated rowwise/vectorized cost ratio for ``query`` (>= 0)."""
+        vectorized = self.estimate_query_cost(query, ExecutionMode.VECTORIZED)
+        if vectorized <= 0:
+            return 1.0
+        return self.estimate_query_cost(query, ExecutionMode.ROWWISE) / vectorized
 
     # ------------------------------------------------------------------
     # Measured cost

@@ -24,6 +24,7 @@ from ..constraints.predicate import Predicate
 from ..query.query import Query
 from ..schema.schema import Schema
 from .instance import ObjectInstance
+from .modes import ExecutionMode
 from .plan import FilterNode, PlanNode, ProjectNode, QueryPlan, ScanNode, TraverseNode
 from .statistics import DatabaseStatistics
 from .storage import ObjectStore
@@ -107,6 +108,10 @@ class QueryExecutor:
         experiments, and the savings from introduced indexed predicates and
         eliminated classes are correspondingly larger.
     """
+
+    #: The mode this executor implements (introspection/factory symmetry
+    #: with :class:`~repro.engine.vectorized.VectorizedExecutor`).
+    mode = ExecutionMode.ROWWISE
 
     def __init__(
         self,

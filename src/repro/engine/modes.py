@@ -1,0 +1,102 @@
+"""Execution-mode selection for the execution engine.
+
+The engine has two execution paths over the same plans and the same
+:class:`~repro.engine.storage.ObjectStore`:
+
+* ``rowwise`` — the original interpreting executor
+  (:class:`~repro.engine.executor.QueryExecutor`): plans are walked binding
+  by binding and every predicate is re-interpreted per row.
+* ``vectorized`` — the batch executor
+  (:class:`~repro.engine.vectorized.VectorizedExecutor`): instances move
+  through the plan in column-oriented batches and every predicate is lowered
+  once per plan into a compiled closure (:mod:`repro.engine.compiled`).
+
+Both paths report the *same* :class:`~repro.engine.executor.ExecutionMetrics`
+counters for the same plan — the differential oracle and the metrics-parity
+tests enforce this — so experiment tables are engine-independent and the
+mode is purely a throughput choice.
+
+The process-wide default mode can be set with the ``REPRO_ENGINE``
+environment variable (``rowwise`` or ``vectorized``), which is how the CI
+matrix runs the whole suite under both engines.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from typing import TYPE_CHECKING, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..schema.schema import Schema
+    from .storage import ObjectStore
+
+#: Environment variable consulted for the process-wide default mode.
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+
+class ExecutionMode(enum.Enum):
+    """Which execution path evaluates query plans."""
+
+    ROWWISE = "rowwise"
+    VECTORIZED = "vectorized"
+
+    @classmethod
+    def parse(cls, value: Union[str, "ExecutionMode"]) -> "ExecutionMode":
+        """Coerce a mode name (CLI flag, env var) to an :class:`ExecutionMode`."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).strip().lower())
+        except ValueError:
+            choices = ", ".join(mode.value for mode in cls)
+            raise ValueError(
+                f"unknown execution mode {value!r} (choose from: {choices})"
+            ) from None
+
+
+def default_execution_mode() -> ExecutionMode:
+    """The process-wide default mode (``REPRO_ENGINE`` env var, else rowwise)."""
+    value = os.environ.get(ENGINE_ENV_VAR)
+    if not value:
+        return ExecutionMode.ROWWISE
+    return ExecutionMode.parse(value)
+
+
+def resolve_execution_mode(
+    value: Optional[Union[str, ExecutionMode]],
+    default: Optional[ExecutionMode] = None,
+) -> ExecutionMode:
+    """Resolve a caller-supplied mode value to an :class:`ExecutionMode`.
+
+    ``None`` falls back to ``default`` when given (e.g. the cost model's
+    fixed row-wise baseline), else to the process default; anything else is
+    parsed.  The single place mode-resolution policy lives — every layer
+    (executor factory, planner, cost model, service) routes through it.
+    """
+    if value is None:
+        return default if default is not None else default_execution_mode()
+    return ExecutionMode.parse(value)
+
+
+def create_executor(
+    schema: "Schema",
+    store: "ObjectStore",
+    mode: Optional[Union[str, ExecutionMode]] = None,
+    join_strategy: str = "hash",
+):
+    """Build the executor implementing ``mode`` (default: the env default).
+
+    Returns either a :class:`~repro.engine.executor.QueryExecutor` or a
+    :class:`~repro.engine.vectorized.VectorizedExecutor`; both expose the
+    same ``execute``/``execute_plan`` API and produce identical results and
+    metrics, so callers can treat the return value uniformly.
+    """
+    resolved = resolve_execution_mode(mode)
+    if resolved is ExecutionMode.VECTORIZED:
+        from .vectorized import VectorizedExecutor
+
+        return VectorizedExecutor(schema, store, join_strategy=join_strategy)
+    from .executor import QueryExecutor
+
+    return QueryExecutor(schema, store, join_strategy=join_strategy)

@@ -24,6 +24,17 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..constraints.predicate import Predicate
+from .modes import ExecutionMode
+
+
+def _predicate_columns(predicates: Sequence[Predicate]) -> Tuple[str, ...]:
+    """Qualified attributes referenced by ``predicates``, deduplicated."""
+    seen = dict.fromkeys(
+        operand.qualified_name
+        for predicate in predicates
+        for operand in predicate.referenced_attributes()
+    )
+    return tuple(seen)
 
 
 @dataclass
@@ -44,6 +55,17 @@ class PlanNode:
         for child in self.children():
             yield from child.walk()
 
+    def required_columns(self) -> Tuple[str, ...]:
+        """Qualified attributes this node reads (its batch contract).
+
+        The vectorized executor moves data in per-class columns; this
+        declares which columns the node's predicates (or pointers or
+        projections) touch.  It is introspection surface — callers that
+        pre-extract columns, size batches, or audit plans read it; the
+        planner/executor tests pin it.
+        """
+        return ()
+
 
 @dataclass
 class ScanNode(PlanNode):
@@ -62,6 +84,12 @@ class ScanNode(PlanNode):
         )
         filters = ", ".join(str(p) for p in self.predicates) or "-"
         return f"{pad}{access} {self.class_name} [filters: {filters}]"
+
+    def required_columns(self) -> Tuple[str, ...]:
+        predicates = list(self.predicates)
+        if self.index_predicate is not None:
+            predicates.append(self.index_predicate)
+        return _predicate_columns(predicates)
 
 
 @dataclass
@@ -90,6 +118,11 @@ class TraverseNode(PlanNode):
         ]
         return "\n".join(lines)
 
+    def required_columns(self) -> Tuple[str, ...]:
+        columns = [f"{self.source_class}.{self.pointer_attribute}"]
+        columns.extend(_predicate_columns(self.predicates))
+        return tuple(dict.fromkeys(columns))
+
 
 @dataclass
 class FilterNode(PlanNode):
@@ -107,6 +140,9 @@ class FilterNode(PlanNode):
         return "\n".join(
             [f"{pad}Filter [{filters}]", self.child.explain(indent + 1)]
         )
+
+    def required_columns(self) -> Tuple[str, ...]:
+        return _predicate_columns(self.predicates)
 
 
 @dataclass
@@ -126,14 +162,24 @@ class ProjectNode(PlanNode):
             [f"{pad}Project [{attrs}]", self.child.explain(indent + 1)]
         )
 
+    def required_columns(self) -> Tuple[str, ...]:
+        return tuple(self.projections)
+
 
 @dataclass
 class QueryPlan:
-    """A complete plan: the root node plus bookkeeping for explain output."""
+    """A complete plan: the root node plus bookkeeping for explain output.
+
+    ``execution_mode`` records which engine the planner targeted.  Plans are
+    engine-agnostic descriptions — either executor accepts any plan — so the
+    mode is advisory: it tells :func:`~repro.engine.modes.create_executor`
+    callers and traces which path produced a measurement.
+    """
 
     root: PlanNode
     class_order: Tuple[str, ...] = ()
     notes: List[str] = field(default_factory=list)
+    execution_mode: ExecutionMode = ExecutionMode.ROWWISE
 
     def explain(self) -> str:
         """Multi-line explain output."""
@@ -153,6 +199,15 @@ class QueryPlan:
     def uses_index(self) -> bool:
         """Whether any scan in the plan goes through an index."""
         return any(node.index_predicate is not None for node in self.scan_nodes())
+
+    def required_columns(self) -> Tuple[str, ...]:
+        """Every column any node of the plan reads, deduplicated."""
+        seen = dict.fromkeys(
+            column
+            for node in self.root.walk()
+            for column in node.required_columns()
+        )
+        return tuple(seen)
 
 
 def plan_predicates(plan: QueryPlan) -> List[Predicate]:

@@ -18,12 +18,13 @@ makes the decisions that give semantic transformations their payoff:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..constraints.predicate import Predicate
 from ..query.query import Query, QueryError
 from ..schema.schema import Schema
 from .cost_model import CostModel
+from .modes import ExecutionMode, resolve_execution_mode
 from .plan import FilterNode, PlanNode, ProjectNode, QueryPlan, ScanNode, TraverseNode
 from .statistics import DatabaseStatistics
 
@@ -33,17 +34,28 @@ class PlanningError(QueryError):
 
 
 class ConventionalPlanner:
-    """Builds a :class:`~repro.engine.plan.QueryPlan` for a five-part query."""
+    """Builds a :class:`~repro.engine.plan.QueryPlan` for a five-part query.
+
+    ``execution_mode`` selects which engine the emitted plans target
+    (row-wise interpretation or vectorized batches).  The plan *shape* is
+    deliberately identical either way — both executors accept any plan, and
+    metric parity between the engines depends on it — so the mode is purely
+    recorded on the plan (and in its notes) for executor factories and
+    traces.  The default is the process default (``REPRO_ENGINE`` env var,
+    else rowwise).
+    """
 
     def __init__(
         self,
         schema: Schema,
         statistics: DatabaseStatistics,
         cost_model: Optional[CostModel] = None,
+        execution_mode: Optional[Union[str, ExecutionMode]] = None,
     ) -> None:
         self.schema = schema
         self.statistics = statistics
         self.cost_model = cost_model or CostModel(schema, statistics)
+        self.execution_mode = resolve_execution_mode(execution_mode)
 
     # ------------------------------------------------------------------
     # Predicate partitioning
@@ -168,4 +180,11 @@ class ConventionalPlanner:
         if cross:
             node = FilterNode(child=node, predicates=tuple(cross))
         node = ProjectNode(child=node, projections=tuple(query.projections))
-        return QueryPlan(root=node, class_order=tuple(order), notes=notes)
+        if self.execution_mode is ExecutionMode.VECTORIZED:
+            notes.append("vectorized batch execution")
+        return QueryPlan(
+            root=node,
+            class_order=tuple(order),
+            notes=notes,
+            execution_mode=self.execution_mode,
+        )

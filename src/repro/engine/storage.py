@@ -32,7 +32,18 @@ class ObjectStore:
             name: {} for name in schema.class_names()
         }
         self._next_oid: Dict[str, int] = {name: 1 for name in schema.class_names()}
+        self._version = 0
         self.indexes = IndexManager(schema)
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter, bumped by every insert/update/delete.
+
+        Derived caches (e.g. the vectorized executor's pointer and
+        row-fragment caches) key on this to invalidate when the store
+        changes between executions.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # Mutation
@@ -53,6 +64,7 @@ class ObjectStore:
                 )
         oid = self._next_oid[class_name]
         self._next_oid[class_name] += 1
+        self._version += 1
         instance = ObjectInstance(class_name, oid, dict(values))
         self._extents[class_name].append(instance)
         self._by_oid[class_name][oid] = instance
@@ -71,6 +83,7 @@ class ObjectStore:
         if instance is None:
             raise StorageError(f"no instance {class_name}#{oid}")
         self._extents[class_name].remove(instance)
+        self._version += 1
         self.indexes.on_delete(class_name, oid, instance.values)
 
     def update(
@@ -82,6 +95,7 @@ class ObjectStore:
             raise StorageError(f"no instance {class_name}#{oid}")
         self.indexes.on_delete(class_name, oid, instance.values)
         instance.values.update(values)
+        self._version += 1
         self.indexes.on_insert(class_name, oid, instance.values)
         return instance
 

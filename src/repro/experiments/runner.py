@@ -80,11 +80,16 @@ def run_all(
     query_count: int = 40,
     seed: int = 7,
     quick: bool = False,
+    engine: Optional[str] = None,
 ) -> ExperimentReport:
     """Run every experiment.
 
     ``quick`` shrinks workloads so the full report finishes in a few seconds
     (used by tests); the default parameters match the paper's setup.
+    ``engine`` selects the execution engine for the cost-measuring
+    experiments (``"rowwise"`` / ``"vectorized"``; ``None`` = process
+    default) — counters, and therefore the reported numbers, are
+    engine-independent.
     """
     count = 12 if quick else query_count
     report = ExperimentReport()
@@ -93,7 +98,10 @@ def run_all(
         query_count=count, seed=seed, repeats=1 if quick else 3
     )
     report.table_4_2 = run_table_4_2(
-        query_count=count, seed=seed, check_answers=not quick
+        query_count=count,
+        seed=seed,
+        check_answers=not quick,
+        execution_mode=engine,
     )
     report.complexity = run_complexity(
         constraint_counts=(8, 16, 32) if quick else (8, 16, 32, 64, 128),
@@ -115,8 +123,19 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="shrink workloads for a fast run"
     )
+    parser.add_argument(
+        "--engine",
+        choices=["rowwise", "vectorized"],
+        default=None,
+        help="execution engine for the cost-measuring experiments",
+    )
     args = parser.parse_args(argv)
-    report = run_all(query_count=args.queries, seed=args.seed, quick=args.quick)
+    report = run_all(
+        query_count=args.queries,
+        seed=args.seed,
+        quick=args.quick,
+        engine=args.engine,
+    )
     print(report.render())
     return 0
 

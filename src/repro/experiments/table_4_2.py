@@ -34,7 +34,7 @@ from ..data import evaluation
 from ..data.generator import TABLE_4_1_SPECS, DatabaseGenerator, DatabaseSpec
 from ..data.workload import constraint_selection_pool
 from ..engine.cost_model import CostModel
-from ..engine.executor import QueryExecutor
+from ..engine.modes import ExecutionMode, create_executor
 from ..engine.statistics import DatabaseStatistics
 from ..constraints.repository import ConstraintRepository
 from ..query.equivalence import answers_match
@@ -177,6 +177,7 @@ def run_table_4_2(
     overhead_units_per_second: float = DEFAULT_OVERHEAD_UNITS_PER_SECOND,
     check_answers: bool = True,
     queries: Optional[Sequence[Query]] = None,
+    execution_mode: Optional[ExecutionMode] = None,
 ) -> Table42Result:
     """Reproduce Table 4.2.
 
@@ -194,6 +195,11 @@ def run_table_4_2(
         asserts the optimizer never changed an answer).
     queries:
         Optional explicit workload overriding the generated one.
+    execution_mode:
+        Which engine executes the workload (``None`` = process default).
+        The engines report identical cost counters — the golden-snapshot
+        tests pin this — so the mode changes the experiment's wall-clock
+        time, never its numbers.
     """
     specs = dict(specs or TABLE_4_1_SPECS)
     schema = evaluation.build_evaluation_schema()
@@ -225,7 +231,12 @@ def run_table_4_2(
         # The nested-loop strategy models the relational DBMS the paper used
         # to measure cost ratios (execution cost grows super-linearly with
         # database size, so DB4 wins are large and DB1 overhead is visible).
-        executor = QueryExecutor(schema, database.store, join_strategy="nested_loop")
+        executor = create_executor(
+            schema,
+            database.store,
+            mode=execution_mode,
+            join_strategy="nested_loop",
+        )
 
         row = Table42Row(database=name)
         for query in workload:
@@ -248,7 +259,11 @@ def run_table_4_2(
             agree = True
             if check_answers:
                 agree = answers_match(
-                    schema, database.store, query, outcome.optimized
+                    schema,
+                    database.store,
+                    query,
+                    outcome.optimized,
+                    execution_mode=execution_mode,
                 )
             row.records.append(
                 QueryCostRecord(

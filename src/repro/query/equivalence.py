@@ -83,6 +83,7 @@ def answers_match(
     store: "ObjectStore",
     original: Query,
     optimized: Query,
+    execution_mode=None,
 ) -> bool:
     """Execute both queries and compare their answers.
 
@@ -90,10 +91,14 @@ def answers_match(
     projection list restricted to classes still present in the optimized
     query (class elimination may legitimately drop a class none of whose
     attributes were projected; projected classes are never eliminated).
+    ``execution_mode`` selects the engine (an
+    :class:`~repro.engine.modes.ExecutionMode` or its name); ``None`` uses
+    the process default, so the whole suite's answer checks run under
+    whichever engine the CI matrix selects.
     """
-    from ..engine.executor import QueryExecutor
+    from ..engine.modes import create_executor
 
-    executor = QueryExecutor(schema, store)
+    executor = create_executor(schema, store, mode=execution_mode)
     original_result = executor.execute(original)
     optimized_result = executor.execute(optimized)
 

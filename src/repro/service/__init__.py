@@ -13,6 +13,7 @@ precompilation") carried one level further up the stack.
 from .envelope import (
     BatchResult,
     BatchStats,
+    ExecutionEnvelope,
     ResultSource,
     ServiceCacheSnapshot,
     ServiceResult,
@@ -22,6 +23,7 @@ from .service import OptimizationService
 __all__ = [
     "BatchResult",
     "BatchStats",
+    "ExecutionEnvelope",
     "OptimizationService",
     "ResultSource",
     "ServiceCacheSnapshot",

@@ -13,11 +13,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional
 
 from ..core.optimizer import OptimizationResult, PhaseTimings
 from ..core.trace import OptimizationTrace
 from ..query.query import Query
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.executor import ExecutionMetrics, ExecutionResult
 
 
 class ResultSource(enum.Enum):
@@ -108,6 +111,52 @@ class ServiceResult:
     def summary(self) -> str:
         """One-line summary including the result's provenance."""
         return f"[{self.source.value}] {self.result.summary()}"
+
+
+@dataclass
+class ExecutionEnvelope:
+    """An optimized *and executed* query, as returned by service execution.
+
+    Bundles the optimization envelope (``None`` when the caller asked for
+    raw execution of the query as written) with the execution result of the
+    chosen engine, so a server handler gets answer rows, cost counters,
+    provenance and timings from one call.
+    """
+
+    query: Query
+    execution: "ExecutionResult"
+    execution_mode: str
+    execute_time: float = 0.0
+    optimization: Optional[ServiceResult] = None
+
+    @property
+    def executed_query(self) -> Query:
+        """The query that was actually executed (optimized when available)."""
+        if self.optimization is not None:
+            return self.optimization.optimized
+        return self.query
+
+    @property
+    def rows(self) -> List[Dict[str, Any]]:
+        """The answer rows."""
+        return self.execution.rows
+
+    @property
+    def metrics(self) -> "ExecutionMetrics":
+        """The engine's primitive-operation counters."""
+        return self.execution.metrics
+
+    def summary(self) -> str:
+        """One-line human-readable execution summary."""
+        prefix = (
+            f"[{self.optimization.source.value}] "
+            if self.optimization is not None
+            else "[unoptimized] "
+        )
+        return (
+            f"{prefix}{self.execution.row_count} rows via "
+            f"{self.execution_mode} engine in {self.execute_time * 1000:.2f} ms"
+        )
 
 
 @dataclass

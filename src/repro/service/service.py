@@ -37,6 +37,7 @@ from ..schema.schema import Schema
 from .envelope import (
     BatchResult,
     BatchStats,
+    ExecutionEnvelope,
     ResultSource,
     ServiceCacheSnapshot,
     ServiceResult,
@@ -62,6 +63,15 @@ class OptimizationService:
     max_workers:
         Default thread-pool width for :meth:`optimize_many`; ``None`` (or
         ``1``) optimizes batches sequentially.
+    store:
+        An optional :class:`~repro.engine.storage.ObjectStore` to execute
+        optimized queries against (see :meth:`execute`); without one the
+        service only optimizes.
+    execution_mode:
+        Default engine for :meth:`execute` — an
+        :class:`~repro.engine.modes.ExecutionMode` or its name
+        (``"rowwise"`` / ``"vectorized"``).  ``None`` uses the process
+        default (``REPRO_ENGINE`` env var, else rowwise).
     """
 
     def __init__(
@@ -73,6 +83,8 @@ class OptimizationService:
         config: Optional[OptimizerConfig] = None,
         result_cache_size: int = 1024,
         max_workers: Optional[int] = None,
+        store=None,
+        execution_mode=None,
     ) -> None:
         self.optimizer = SemanticQueryOptimizer(
             schema,
@@ -83,7 +95,10 @@ class OptimizationService:
         )
         self.schema = schema
         self.max_workers = max_workers
+        self.store = store
+        self.execution_mode = execution_mode
         self._result_cache: LruCache = LruCache(result_cache_size)
+        self._executors: Dict[Tuple[str, str], object] = {}
 
     @property
     def repository(self) -> Optional[ConstraintRepository]:
@@ -177,6 +192,72 @@ class OptimizationService:
             result=result,
             source=ResultSource.COMPUTED,
             service_time=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution API
+    # ------------------------------------------------------------------
+    def attach_store(self, store) -> None:
+        """Attach (or replace) the object store used by :meth:`execute`."""
+        self.store = store
+        self._executors.clear()
+
+    def _executor(self, execution_mode, join_strategy: str):
+        """A cached executor for one (mode, strategy) pair.
+
+        Executors are reused across calls so the vectorized engine's
+        store-version-keyed pointer/fragment caches stay warm between
+        requests — the steady state of a server executing many queries
+        against one store.
+        """
+        from ..engine.modes import create_executor, resolve_execution_mode
+
+        if self.store is None:
+            raise ValueError(
+                "OptimizationService has no object store attached; pass "
+                "store= at construction or call attach_store()"
+            )
+        mode = execution_mode if execution_mode is not None else self.execution_mode
+        resolved = resolve_execution_mode(mode)
+        key = (resolved.value, join_strategy)
+        executor = self._executors.get(key)
+        if executor is None:
+            executor = create_executor(
+                self.schema, self.store, mode=resolved, join_strategy=join_strategy
+            )
+            self._executors[key] = executor
+        return executor
+
+    def execute(
+        self,
+        query: Query,
+        optimize: bool = True,
+        use_cache: bool = True,
+        execution_mode=None,
+        join_strategy: str = "hash",
+    ) -> ExecutionEnvelope:
+        """Optimize ``query`` (optionally) and execute it against the store.
+
+        The optimization half reuses :meth:`optimize` (including the result
+        cache); the execution half runs on the engine selected by
+        ``execution_mode`` (service default, else process default).  Both
+        engines return identical rows and cost counters, so the mode only
+        changes wall-clock time.
+        """
+        envelope: Optional[ServiceResult] = None
+        target = query
+        if optimize:
+            envelope = self.optimize(query, use_cache=use_cache)
+            target = envelope.optimized
+        executor = self._executor(execution_mode, join_strategy)
+        start = time.perf_counter()
+        execution = executor.execute(target)
+        return ExecutionEnvelope(
+            query=query,
+            execution=execution,
+            execution_mode=executor.mode.value,
+            execute_time=time.perf_counter() - start,
+            optimization=envelope,
         )
 
     # ------------------------------------------------------------------

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.constraints import ConstraintRepository, build_example_constraints
-from repro.data import TABLE_4_1_SPECS, build_evaluation_setup
+from repro.data import TABLE_4_1_SPECS, build_evaluation_schema, build_evaluation_setup
+from repro.engine import DatabaseStatistics, ObjectStore
 from repro.query import parse_query
 from repro.schema import build_example_schema
 
@@ -12,6 +13,59 @@ from repro.schema import build_example_schema
 def example_schema():
     """The Figure 2.1 logistics schema."""
     return build_example_schema()
+
+
+@pytest.fixture(scope="session")
+def evaluation_schema():
+    """The Section 4 evaluation schema (shared; the schema is immutable)."""
+    return build_evaluation_schema()
+
+
+@pytest.fixture(scope="session")
+def seeded_logistics_database(evaluation_schema):
+    """A small, deterministic hand-seeded database over the evaluation schema.
+
+    Returns ``(schema, store, statistics)``.  Three suppliers, four vehicles
+    and eight cargo instances wired through the ``supplies``/``collects``
+    relationships — the fixture the engine tests (planner/executor, metrics
+    parity) share.  Tests must not mutate the store.
+    """
+    schema = evaluation_schema
+    store = ObjectStore(schema)
+    suppliers = [
+        store.insert("supplier", {"name": name, "region": "west", "rating": 3})
+        for name in ("SFI", "Acme", "Globex")
+    ]
+    vehicles = [
+        store.insert(
+            "vehicle",
+            {
+                "vehicle_no": f"V{i}",
+                "desc": desc,
+                "class": 2 + (i % 3),
+                "capacity": 4000,
+            },
+        )
+        for i, desc in enumerate(["refrigerated truck", "van", "tanker", "van"])
+    ]
+    for i in range(8):
+        supplier = suppliers[i % len(suppliers)]
+        vehicle = vehicles[i % len(vehicles)]
+        cargo = store.insert(
+            "cargo",
+            {
+                "code": f"C{i}",
+                "desc": "frozen food" if i % 4 == 0 else "textiles",
+                "quantity": 50 + i,
+                "category": "general",
+                "supplies": supplier.oid,
+                "collects": vehicle.oid,
+            },
+        )
+        store.update("supplier", supplier.oid, {"supplies": [cargo.oid]})
+        store.update("vehicle", vehicle.oid, {"collects": [cargo.oid]})
+    statistics = DatabaseStatistics.collect(schema, store)
+    return schema, store, statistics
 
 
 @pytest.fixture(scope="session")

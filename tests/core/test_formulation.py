@@ -10,14 +10,14 @@ from repro.core import (
     initialize,
     TransformationEngine,
 )
-from repro.data import build_evaluation_schema
 from repro.engine import CostModel, DatabaseStatistics
 from repro.query import Query
 
 
 @pytest.fixture(scope="module")
-def schema():
-    return build_evaluation_schema()
+def schema(evaluation_schema):
+    """The shared evaluation schema (see tests/conftest.py)."""
+    return evaluation_schema
 
 
 def test_heuristic_profitability_prefers_indexed_predicates(schema):

@@ -1,0 +1,126 @@
+"""Randomized differential-correctness oracle for the execution engines.
+
+The optimizer's contract is that the optimized query answers exactly like
+the original; the vectorized engine's contract is that it answers exactly
+like the row-wise engine.  This harness checks both at once: it generates a
+large seeded workload (~500 queries via ``repro.query.generator`` over a
+database from ``repro.data.generator``), then runs every query
+
+  (a) unoptimized, row-wise          (b) unoptimized, vectorized
+  (c) optimized,   row-wise          (d) optimized,   vectorized
+
+and asserts all four answer sets are identical (projected onto the original
+query's projection list, restricted — as ``answers_match`` does — to the
+classes class elimination kept).  Any mismatch is reported with the query,
+the combination and the differing rows.
+
+Rerun with a chosen seed::
+
+    REPRO_ORACLE_SEED=12345 PYTHONPATH=src \
+        python -m pytest tests/engine/test_differential_oracle.py -q
+
+``REPRO_ORACLE_QUERIES`` overrides the workload size the same way.
+"""
+
+import os
+
+import pytest
+
+from repro.core import OptimizerConfig
+from repro.data import TABLE_4_1_SPECS, build_evaluation_setup
+from repro.engine import QueryExecutor, VectorizedExecutor
+from repro.service import OptimizationService
+
+#: Workload seed; override with REPRO_ORACLE_SEED to explore other corners.
+ORACLE_SEED = int(os.environ.get("REPRO_ORACLE_SEED", "20260730"))
+#: Number of generated queries (the ISSUE asks for ~500).
+ORACLE_QUERIES = int(os.environ.get("REPRO_ORACLE_QUERIES", "500"))
+
+
+@pytest.fixture(scope="module")
+def oracle_setup():
+    """A DB1-sized database plus a large seeded workload and a service."""
+    setup = build_evaluation_setup(
+        TABLE_4_1_SPECS["DB1"], query_count=ORACLE_QUERIES, seed=ORACLE_SEED
+    )
+    service = OptimizationService(
+        setup.schema,
+        repository=setup.repository,
+        cost_model=setup.cost_model,
+        config=OptimizerConfig(record_access_statistics=False),
+    )
+    return setup, service
+
+
+def _answer_set(result, projections):
+    """Rows of one execution projected onto ``projections``, as a set."""
+    return {
+        tuple(row.get(attribute) for attribute in projections)
+        for row in result.rows
+    }
+
+
+def _shared_projections(original, optimized):
+    """The original projections restricted to classes the optimizer kept."""
+    optimized_classes = set(optimized.classes)
+    shared = [
+        attribute
+        for attribute in original.projections
+        if attribute.split(".", 1)[0] in optimized_classes
+    ]
+    return shared or list(optimized.projections)
+
+
+def test_differential_oracle(oracle_setup):
+    setup, service = oracle_setup
+    rowwise = QueryExecutor(setup.schema, setup.store)
+    vectorized = VectorizedExecutor(setup.schema, setup.store)
+    mismatches = []
+
+    for query in setup.queries:
+        optimized = service.optimize(query).optimized
+
+        row_original = rowwise.execute(query)
+        vec_original = vectorized.execute(query)
+        row_optimized = rowwise.execute(optimized)
+        vec_optimized = vectorized.execute(optimized)
+
+        # Engine differential on the *same* query: rows must be identical
+        # verbatim (same order, same attributes), not merely set-equal.
+        if vec_original.rows != row_original.rows:
+            mismatches.append((query.name, "original rowwise vs vectorized"))
+        if vec_optimized.rows != row_optimized.rows:
+            mismatches.append((query.name, "optimized rowwise vs vectorized"))
+
+        # Optimizer differential: answer sets on the shared projections.
+        projections = _shared_projections(query, optimized)
+        reference = _answer_set(row_original, projections)
+        for label, result in (
+            ("rowwise optimized", row_optimized),
+            ("vectorized optimized", vec_optimized),
+            ("vectorized original", vec_original),
+        ):
+            answers = _answer_set(result, projections)
+            if answers != reference:
+                mismatches.append(
+                    (
+                        query.name,
+                        f"{label}: {len(answers ^ reference)} differing rows",
+                    )
+                )
+
+    assert not mismatches, (
+        f"{len(mismatches)} answer mismatches across "
+        f"{len(setup.queries)} queries (seed {ORACLE_SEED}): "
+        f"{mismatches[:10]}"
+    )
+
+
+def test_oracle_workload_is_substantial(oracle_setup):
+    """The oracle only means something if the workload actually is large."""
+    setup, _service = oracle_setup
+    assert len(setup.queries) >= min(ORACLE_QUERIES, 500)
+    # The workload must exercise multi-class path queries, predicates and
+    # projections — not 500 trivial scans.
+    assert any(query.class_count >= 3 for query in setup.queries)
+    assert any(query.selective_predicates for query in setup.queries)

@@ -3,12 +3,9 @@
 import pytest
 
 from repro.constraints import Predicate
-from repro.data import build_evaluation_schema
 from repro.engine import (
     ConventionalPlanner,
     CostModel,
-    DatabaseStatistics,
-    ObjectStore,
     PlanningError,
     QueryExecutor,
 )
@@ -16,38 +13,9 @@ from repro.query import Query
 
 
 @pytest.fixture(scope="module")
-def database():
-    schema = build_evaluation_schema()
-    store = ObjectStore(schema)
-    suppliers = [
-        store.insert("supplier", {"name": name, "region": "west", "rating": 3})
-        for name in ("SFI", "Acme", "Globex")
-    ]
-    vehicles = [
-        store.insert(
-            "vehicle",
-            {"vehicle_no": f"V{i}", "desc": desc, "class": 2 + (i % 3), "capacity": 4000},
-        )
-        for i, desc in enumerate(["refrigerated truck", "van", "tanker", "van"])
-    ]
-    for i in range(8):
-        supplier = suppliers[i % len(suppliers)]
-        vehicle = vehicles[i % len(vehicles)]
-        cargo = store.insert(
-            "cargo",
-            {
-                "code": f"C{i}",
-                "desc": "frozen food" if i % 4 == 0 else "textiles",
-                "quantity": 50 + i,
-                "category": "general",
-                "supplies": supplier.oid,
-                "collects": vehicle.oid,
-            },
-        )
-        store.update("supplier", supplier.oid, {"supplies": [cargo.oid]})
-        store.update("vehicle", vehicle.oid, {"collects": [cargo.oid]})
-    statistics = DatabaseStatistics.collect(schema, store)
-    return schema, store, statistics
+def database(seeded_logistics_database):
+    """The shared seeded logistics database (see tests/conftest.py)."""
+    return seeded_logistics_database
 
 
 def two_class_query():
@@ -165,6 +133,90 @@ def test_driver_class_prefers_selective_class(database):
     schema, _store, statistics = database
     cost_model = CostModel(schema, statistics)
     assert cost_model.driver_class(two_class_query()) == "cargo"
+
+
+def test_plan_required_columns_contract(database):
+    """Every node declares the qualified columns it reads."""
+    schema, _store, statistics = database
+    query = Query(
+        projections=("cargo.code", "vehicle.vehicle_no"),
+        selective_predicates=(Predicate.equals("cargo.desc", "frozen food"),),
+        join_predicates=(
+            Predicate.comparison("cargo.quantity", ">=", "vehicle.class"),
+        ),
+        relationships=("collects",),
+        classes=("cargo", "vehicle"),
+    )
+    plan = ConventionalPlanner(schema, statistics).plan(query)
+    columns = set(plan.required_columns())
+    # Projections, the scan's (index) predicate, the traversal pointer and
+    # the cross-class filter operands must all be declared.
+    assert {"cargo.code", "vehicle.vehicle_no", "cargo.desc"} <= columns
+    assert "cargo.quantity" in columns and "vehicle.class" in columns
+    assert any(column.endswith(".collects") for column in columns)
+    # Leaf default: a bare node with no predicates declares nothing.
+    from repro.engine import ScanNode
+
+    assert ScanNode(class_name="cargo").required_columns() == ()
+
+
+def test_planner_mode_does_not_change_plan_shape(database):
+    """Both modes must emit structurally identical plans (parity depends on it)."""
+    schema, _store, statistics = database
+    query = two_class_query()
+    rowwise_plan = ConventionalPlanner(
+        schema, statistics, execution_mode="rowwise"
+    ).plan(query)
+    vectorized_plan = ConventionalPlanner(
+        schema, statistics, execution_mode="vectorized"
+    ).plan(query)
+    assert rowwise_plan.root == vectorized_plan.root
+    assert rowwise_plan.class_order == vectorized_plan.class_order
+    assert rowwise_plan.execution_mode.value == "rowwise"
+    assert vectorized_plan.execution_mode.value == "vectorized"
+    assert "vectorized batch execution" in vectorized_plan.notes
+
+
+def test_batch_cost_estimates(database, small_setup):
+    """Vectorized estimates discount per-row predicate CPU, plus a one-off
+    compilation charge — so they cross over with extent size."""
+    from repro.engine import ExecutionMode
+
+    schema, _store, statistics = database
+    cost_model = CostModel(schema, statistics)
+    query = two_class_query()
+    rowwise = cost_model.estimate_query(query, ExecutionMode.ROWWISE)
+    vectorized = cost_model.estimate_query(query, ExecutionMode.VECTORIZED)
+    # Same instances and pointers are touched; only predicate CPU changes.
+    assert vectorized.retrieval == pytest.approx(rowwise.retrieval)
+    assert vectorized.traversal == pytest.approx(rowwise.traversal)
+    # The default (no mode) remains the row-wise estimate.
+    assert cost_model.estimate_query_cost(query) == pytest.approx(rowwise.total)
+    # A predicate-free query pays no compilation setup, so the estimates
+    # coincide.
+    bare = Query(projections=("cargo.code",), classes=("cargo",))
+    assert cost_model.estimate_query_cost(
+        bare, ExecutionMode.VECTORIZED
+    ) == pytest.approx(cost_model.estimate_query_cost(bare))
+    assert cost_model.vectorization_speedup(bare) == pytest.approx(1.0)
+    # Workload-level behaviour on a DB1-sized database: retrieval/traversal
+    # never change, the compilation overhead is bounded (speedup never drops
+    # meaningfully below 1), and queries that evaluate predicates over whole
+    # extents estimate cheaper vectorized.
+    db1_cost_model = CostModel(small_setup.schema, small_setup.statistics)
+    speedups = []
+    for workload_query in small_setup.queries:
+        row_estimate = db1_cost_model.estimate_query(
+            workload_query, ExecutionMode.ROWWISE
+        )
+        vec_estimate = db1_cost_model.estimate_query(
+            workload_query, ExecutionMode.VECTORIZED
+        )
+        assert vec_estimate.retrieval == pytest.approx(row_estimate.retrieval)
+        assert vec_estimate.traversal == pytest.approx(row_estimate.traversal)
+        speedups.append(db1_cost_model.vectorization_speedup(workload_query))
+    assert min(speedups) > 0.9
+    assert max(speedups) > 1.0
 
 
 def test_execution_metrics_merge():

@@ -1,0 +1,116 @@
+"""Golden-snapshot tests for the published experiment numbers.
+
+Refactors (a new engine, a planner change, a cost-model tweak) must not
+silently change the numbers the Table 4.2 and Figure 4.1 reproductions
+report.  These tests run both experiments with a small deterministic
+configuration (DB1, 8 queries, fixed seed, zero wall-clock overhead) and
+compare against committed JSON snapshots under ``golden/``:
+
+* ``table_4_2.json`` — per-query original/optimized measured costs and cost
+  ratios.  Checked under **both** execution modes, which doubles as the
+  engine-independence guarantee for the experiment pipeline end to end.
+* ``figure_4_1.json`` — per-query class counts, relevant-constraint counts
+  and transformations applied (the structural axes of the figure; the
+  timing axis is hardware-dependent and only checked for positivity).
+
+To regenerate after an *intentional* change::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src \
+        python -m pytest tests/experiments/test_golden_snapshots.py -q
+
+and commit the diff alongside the change that justified it.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.data import TABLE_4_1_SPECS
+from repro.engine import ExecutionMode
+from repro.experiments.figure_4_1 import run_figure_4_1
+from repro.experiments.table_4_2 import run_table_4_2
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_SEED = 7
+GOLDEN_QUERY_COUNT = 8
+
+
+def _check_or_update(name: str, snapshot):
+    golden_path = GOLDEN_DIR / f"{name}.json"
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(json.dumps(snapshot, indent=2, sort_keys=True))
+        return
+    assert golden_path.exists(), (
+        f"missing golden snapshot {golden_path}; run with "
+        "REPRO_UPDATE_GOLDEN=1 to create it"
+    )
+    golden = json.loads(golden_path.read_text())
+    assert snapshot == golden, (
+        f"{name} diverged from its golden snapshot; if the change is "
+        "intentional, regenerate with REPRO_UPDATE_GOLDEN=1 and commit"
+    )
+
+
+def _table_4_2_snapshot(execution_mode) -> dict:
+    # overhead_units_per_second=0 removes the wall-clock-derived component,
+    # making every reported number a deterministic function of the seed.
+    result = run_table_4_2(
+        specs={"DB1": TABLE_4_1_SPECS["DB1"]},
+        query_count=GOLDEN_QUERY_COUNT,
+        seed=GOLDEN_SEED,
+        overhead_units_per_second=0.0,
+        check_answers=True,
+        execution_mode=execution_mode,
+    )
+    row = result.rows["DB1"]
+    return {
+        "database": "DB1",
+        "records": [
+            {
+                "query": record.query_name,
+                "original_cost": round(record.original_cost, 6),
+                "optimized_cost": round(record.optimized_cost, 6),
+                "ratio": round(record.ratio, 6),
+                "was_transformed": record.was_transformed,
+                "answers_agree": record.answers_agree,
+            }
+            for record in row.records
+        ],
+        "buckets": row.buckets(),
+        "faster": row.faster,
+        "slower": row.slower,
+    }
+
+
+@pytest.mark.parametrize(
+    "execution_mode", [ExecutionMode.ROWWISE, ExecutionMode.VECTORIZED]
+)
+def test_table_4_2_matches_golden(execution_mode):
+    snapshot = _table_4_2_snapshot(execution_mode)
+    assert all(record["answers_agree"] for record in snapshot["records"])
+    _check_or_update("table_4_2", snapshot)
+
+
+def test_figure_4_1_matches_golden():
+    result = run_figure_4_1(
+        spec=TABLE_4_1_SPECS["DB1"],
+        query_count=GOLDEN_QUERY_COUNT,
+        seed=GOLDEN_SEED,
+        repeats=1,
+    )
+    assert all(point.transformation_time >= 0.0 for point in result.points)
+    snapshot = {
+        "points": [
+            {
+                "query": point.query_name,
+                "class_count": point.class_count,
+                "relevant_constraints": point.relevant_constraints,
+                "transformations_applied": point.transformations_applied,
+            }
+            for point in result.points
+        ]
+    }
+    _check_or_update("figure_4_1", snapshot)
