@@ -5,6 +5,9 @@ paper's tables and figures (``repro.experiments``), with pytest-benchmark
 providing the timing statistics.  Workload sizes are kept moderate so the
 whole suite runs in well under a minute; pass ``--benchmark-only`` to skip
 the functional tests and run just these.
+
+Headline numbers additionally land in JSON artifacts (see
+:mod:`_artifacts`) that CI uploads per matrix leg.
 """
 
 import pytest

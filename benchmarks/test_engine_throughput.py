@@ -1,24 +1,54 @@
-"""Head-to-head throughput: row-wise vs vectorized execution.
+"""Head-to-head throughput: row-wise vs vectorized vs parallel execution.
 
-Executes the Table 4.2 workload (the 40 seed-7 path queries over a DB2
-instance) through both engines in the Table 4.2 configuration (nested-loop
-joins, the strategy the cost-ratio experiment uses) and requires the
-vectorized engine to be at least **3x** faster end to end, while returning
-byte-identical rows and metrics for every plan.
+Two workloads are measured:
 
-Set ``REPRO_BENCH_SMOKE=1`` (as the CI smoke step does) to run the whole
-benchmark for correctness but skip the speedup threshold — absolute timings
-on shared CI runners are too noisy to gate on.
+* the Table 4.2 workload (the 40 seed-7 path queries over a DB2 instance)
+  through the row-wise and vectorized engines in the Table 4.2
+  configuration (nested-loop joins, the strategy the cost-ratio experiment
+  uses), requiring the vectorized engine to be at least **3x** faster end
+  to end while returning byte-identical rows and metrics for every plan;
+* a scaled-up instance of the same workload shape (8x the DB2 class
+  cardinality, 4-shard store) through the vectorized and parallel engines,
+  requiring the parallel engine at 4 workers to be at least **2x** faster
+  than vectorized — with identical rows and deterministically-merged,
+  byte-identical metrics — whenever the machine actually has 4 cores to
+  fan out to.  On fewer cores the correctness half still runs and the
+  measured (physically meaningless) ratio is recorded, but the threshold
+  is skipped: a fork pool cannot beat a single thread on a single core.
+
+Set ``REPRO_BENCH_SMOKE=1`` (as the CI smoke step does) to run everything
+for correctness but skip all speedup thresholds — absolute timings on
+shared CI runners are too noisy to gate on.  Headline numbers land in
+``BENCH_engine.json`` either way.
 """
 
 import os
 import time
 
-from repro.data import TABLE_4_1_SPECS, build_evaluation_setup
-from repro.engine import ConventionalPlanner, QueryExecutor, VectorizedExecutor
+from _artifacts import record_bench
+
+from repro.data import DatabaseSpec, TABLE_4_1_SPECS, build_evaluation_setup
+from repro.engine import (
+    ConventionalPlanner,
+    ParallelExecutor,
+    QueryExecutor,
+    VectorizedExecutor,
+)
 
 #: The acceptance bar for the vectorized engine on the Table 4.2 workload.
 REQUIRED_SPEEDUP = 3.0
+
+#: The acceptance bar for the parallel engine on the scaled workload.
+REQUIRED_PARALLEL_SPEEDUP = 2.0
+
+#: Worker-pool width the parallel acceptance bar is defined at.
+PARALLEL_WORKERS = 4
+
+#: The scaled workload: Table 4.2's shape at 8x DB2 cardinality, so one
+#: plan carries enough work to amortize the pool's per-task transport.
+SCALED_SPEC = DatabaseSpec(
+    "DB2x8", class_cardinality=832, relationship_cardinality=2464
+)
 
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 
@@ -29,6 +59,15 @@ def _time_workload(executor, plans, repeats=3):
         start = time.perf_counter()
         for plan in plans:
             executor.execute_plan(plan)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _time_batch(executor, plans, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        executor.execute_plans(plans)
         best = min(best, time.perf_counter() - start)
     return best
 
@@ -47,11 +86,13 @@ def test_vectorized_beats_rowwise_on_table_4_2_workload():
     )
 
     # Correctness first: identical rows and identical counters per plan.
+    rows_total = 0
     for plan in plans:
         row_result = rowwise.execute_plan(plan)
         vec_result = vectorized.execute_plan(plan)
         assert vec_result.rows == row_result.rows
         assert vec_result.metrics == row_result.metrics
+        rows_total += len(vec_result.rows)
 
     rowwise_time = _time_workload(rowwise, plans)
     vectorized_time = _time_workload(vectorized, plans)
@@ -65,10 +106,101 @@ def test_vectorized_beats_rowwise_on_table_4_2_workload():
         f"vectorized {vectorized_time * 1000:.1f} ms, "
         f"speedup {speedup:.1f}x"
     )
+    record_bench(
+        "BENCH_engine.json",
+        "vectorized_vs_rowwise",
+        {
+            "workload": "table_4_2 DB2 x40 nested_loop",
+            "mode": "vectorized",
+            "baseline": "rowwise",
+            "rowwise_ms": round(rowwise_time * 1000, 3),
+            "vectorized_ms": round(vectorized_time * 1000, 3),
+            "speedup": round(speedup, 2),
+            "rows_per_s": (
+                round(rows_total / vectorized_time) if vectorized_time > 0 else None
+            ),
+            "required_speedup": REQUIRED_SPEEDUP,
+            "enforced": not SMOKE,
+        },
+    )
     if not SMOKE:
         assert speedup >= REQUIRED_SPEEDUP, (
             f"vectorized engine only {speedup:.2f}x faster "
             f"(need >= {REQUIRED_SPEEDUP}x)"
+        )
+
+
+def test_parallel_beats_vectorized_on_scaled_table_4_2_workload():
+    setup = build_evaluation_setup(
+        SCALED_SPEC, query_count=40, seed=7, shard_count=PARALLEL_WORKERS
+    )
+    planner = ConventionalPlanner(setup.schema, setup.statistics)
+    plans = [planner.plan(query) for query in setup.queries]
+    vectorized = VectorizedExecutor(
+        setup.schema, setup.store, join_strategy="nested_loop"
+    )
+    parallel = ParallelExecutor(
+        setup.schema,
+        setup.store,
+        join_strategy="nested_loop",
+        workers=PARALLEL_WORKERS,
+        min_partition_rows=1,
+    )
+    try:
+        # Correctness first, and unconditionally: identical rows and
+        # deterministically-merged, byte-identical metrics for every plan.
+        rows_total = 0
+        fanned = 0
+        for plan, result in zip(plans, parallel.execute_plans(plans)):
+            reference = vectorized.execute_plan(plan)
+            assert result.rows == reference.rows
+            assert result.metrics == reference.metrics
+            rows_total += len(result.rows)
+            if result.shard_reports is not None:
+                fanned += 1
+        assert fanned > 0, "no plan fanned out on the scaled workload"
+
+        vectorized_time = _time_workload(vectorized, plans, repeats=2)
+        parallel_time = _time_batch(parallel, plans, repeats=2)
+    finally:
+        parallel.close()
+    speedup = (
+        vectorized_time / parallel_time if parallel_time > 0 else float("inf")
+    )
+    cpu_count = os.cpu_count() or 1
+    enough_cores = cpu_count >= PARALLEL_WORKERS
+    print()
+    print(
+        f"scaled Table 4.2 workload ({SCALED_SPEC.name}, 40 queries, "
+        f"nested-loop, {PARALLEL_WORKERS} workers on {cpu_count} cores): "
+        f"vectorized {vectorized_time * 1000:.1f} ms, "
+        f"parallel {parallel_time * 1000:.1f} ms, speedup {speedup:.2f}x"
+    )
+    record_bench(
+        "BENCH_engine.json",
+        "parallel_vs_vectorized",
+        {
+            "workload": f"table_4_2 {SCALED_SPEC.name} x40 nested_loop",
+            "mode": "parallel",
+            "baseline": "vectorized",
+            "workers": PARALLEL_WORKERS,
+            "shards": PARALLEL_WORKERS,
+            "fanned_out_plans": fanned,
+            "vectorized_ms": round(vectorized_time * 1000, 3),
+            "parallel_ms": round(parallel_time * 1000, 3),
+            "speedup": round(speedup, 2),
+            "rows_per_s": (
+                round(rows_total / parallel_time) if parallel_time > 0 else None
+            ),
+            "required_speedup": REQUIRED_PARALLEL_SPEEDUP,
+            "enforced": not SMOKE and enough_cores,
+        },
+    )
+    if not SMOKE and enough_cores:
+        assert speedup >= REQUIRED_PARALLEL_SPEEDUP, (
+            f"parallel engine only {speedup:.2f}x faster than vectorized "
+            f"(need >= {REQUIRED_PARALLEL_SPEEDUP}x at "
+            f"{PARALLEL_WORKERS} workers)"
         )
 
 

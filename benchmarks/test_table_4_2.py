@@ -7,7 +7,6 @@ benefits at least as much as the small one, and some queries improve
 dramatically while answers never change.
 """
 
-import pytest
 
 from repro.data import DatabaseSpec
 from repro.experiments import run_table_4_2

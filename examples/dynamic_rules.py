@@ -17,7 +17,7 @@ Run with::
 """
 
 from repro import SemanticQueryOptimizer, derive_rules
-from repro.constraints import ConstraintOrigin, ConstraintRepository
+from repro.constraints import ConstraintRepository
 from repro.core import OptimizerConfig
 from repro.data import TABLE_4_1_SPECS, build_evaluation_setup
 from repro.query import format_query

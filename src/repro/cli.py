@@ -88,11 +88,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=["rowwise", "vectorized"],
+        choices=["rowwise", "vectorized", "parallel"],
         default=None,
         help=(
             "execution engine used by --execute and the experiments "
             "(default: REPRO_ENGINE env var, else rowwise)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker-pool width for the parallel engine "
+            "(default: REPRO_WORKERS env var, else the core count)"
         ),
     )
     parser.add_argument(
@@ -119,10 +128,12 @@ def _execute_comparison(args: argparse.Namespace, schema, constraints, service, 
         schema, DatabaseStatistics.collect(schema, database.store)
     )
     original = service.execute(
-        result.original, optimize=False, execution_mode=args.engine
+        result.original, optimize=False, execution_mode=args.engine,
+        workers=args.workers,
     )
     optimized = service.execute(
-        result.original, optimize=True, execution_mode=args.engine
+        result.original, optimize=True, execution_mode=args.engine,
+        workers=args.workers,
     )
     print(f"\nExecution ({original.execution_mode} engine, demo database):")
     print(f"  original : {original.summary()}")
@@ -201,7 +212,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiments:
         from .experiments import run_all
 
-        report = run_all(quick=args.quick, engine=args.engine)
+        report = run_all(quick=args.quick, engine=args.engine, workers=args.workers)
         print(report.render())
         return 0
 

@@ -13,7 +13,7 @@ and the Table 4.2 reproduction would be meaningless.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..engine.storage import ObjectStore
 from ..schema.schema import Schema

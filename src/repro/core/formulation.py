@@ -18,7 +18,7 @@ predicate, the formulation step builds the transformed query:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 from ..constraints.predicate import Predicate
 from ..query.query import Query

@@ -30,7 +30,6 @@ from .formulation import FormulationResult, QueryFormulator
 from .initialization import InitializationResult, initialize
 from .profitability import ProfitabilityAnalyzer
 from .queue import PriorityTransformationQueue, TransformationQueue
-from .rules import TransformationKind
 from .tags import PredicateTag
 from .trace import OptimizationTrace
 from .transformation import TransformationEngine, TransformationStats

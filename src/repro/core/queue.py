@@ -12,7 +12,7 @@ matters when the optimizer runs under a transformation budget.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from .rules import DEFAULT_PRIORITIES, TransformationKind, priority_for

@@ -25,7 +25,9 @@ that exist.
 
 from __future__ import annotations
 
+import os
 import random
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -96,6 +98,48 @@ class GeneratedDatabase:
             "relationships": relationship_count,
             "avg_relationship_cardinality": avg_relationship_cardinality,
         }
+
+
+#: Environment variable disabling the generation replay cache (set to "0").
+DB_CACHE_ENV_VAR = "REPRO_DB_CACHE"
+
+
+@dataclass
+class _CachedGeneration:
+    """Post-enforcement snapshot of one generated database.
+
+    ``rows`` holds ``(class_name, values)`` in per-class extent order —
+    everything needed to rebuild an identical fresh store by plain
+    re-insertion, skipping link creation and the (dominant) constraint
+    enforcement fixpoint.
+    """
+
+    rows: List[Tuple[str, Dict[str, Any]]]
+    catalog: Dict[str, List[Any]]
+    enforcement_passes: int
+    repaired_bindings: int
+
+
+_GENERATION_CACHE: Dict[Tuple, _CachedGeneration] = {}
+_GENERATION_LOCK = threading.Lock()
+
+
+def _cache_enabled() -> bool:
+    return os.environ.get(DB_CACHE_ENV_VAR, "1") != "0"
+
+
+def clear_generation_cache() -> None:
+    """Drop every cached generation snapshot (tests, memory pressure)."""
+    with _GENERATION_LOCK:
+        _GENERATION_CACHE.clear()
+
+
+def _copy_values(values: Mapping[str, Any]) -> Dict[str, Any]:
+    """Copy an attribute-value mapping, deep enough for pointer lists."""
+    return {
+        name: list(value) if isinstance(value, list) else value
+        for name, value in values.items()
+    }
 
 
 def _relationship_cardinalities(schema: Schema, store: ObjectStore) -> Dict[str, int]:
@@ -349,12 +393,35 @@ class DatabaseGenerator:
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
-    def generate(self, spec: DatabaseSpec) -> GeneratedDatabase:
-        """Generate one database instance for ``spec``."""
+    def generate(
+        self, spec: DatabaseSpec, shard_count: int = 1
+    ) -> GeneratedDatabase:
+        """Generate one database instance for ``spec``.
+
+        ``shard_count`` selects the hash partitioning of the produced store
+        (``1`` keeps the historical single-shard layout).  The generated
+        *data* is independent of the sharding: OIDs come from one global
+        sequence, so every shard count yields the same instances.
+
+        Generation is deterministic in ``(schema, constraints, seed, spec)``
+        and dominated by the constraint-enforcement fixpoint, so finished
+        databases are kept in a process-wide replay cache: a repeat request
+        re-inserts the cached post-enforcement rows into a *fresh* store
+        (sub-millisecond) instead of re-running link creation and
+        enforcement.  Every caller gets an independent store, so mutating a
+        generated database never leaks into later generations.  Set
+        ``REPRO_DB_CACHE=0`` to disable the cache.
+        """
+        key = self._cache_key(spec)
+        if _cache_enabled():
+            with _GENERATION_LOCK:
+                cached = _GENERATION_CACHE.get(key)
+            if cached is not None:
+                return self._replay(spec, cached, shard_count)
         # Seeding with a string is deterministic (unlike hashing a tuple,
         # which varies with interpreter hash randomization).
         rng = random.Random(f"{self.seed}-{spec.name}")
-        store = ObjectStore(self.schema)
+        store = ObjectStore(self.schema, shard_count=shard_count)
         for class_name in self.schema.class_names():
             for index in range(spec.class_cardinality):
                 store.insert(class_name, self._values_for(class_name, index, rng))
@@ -362,8 +429,21 @@ class DatabaseGenerator:
         passes, repaired = self._enforce_constraints(store)
         # Repairs bypass ObjectStore.update(), so rebuild index contents by
         # re-inserting the values through the index manager.
-        self._rebuild_indexes(store)
+        store.rebuild_indexes()
         catalog = self._build_catalog(store)
+        if _cache_enabled():
+            snapshot = _CachedGeneration(
+                rows=[
+                    (class_name, _copy_values(instance.values))
+                    for class_name in self.schema.class_names()
+                    for instance in store.instances(class_name)
+                ],
+                catalog={name: list(values) for name, values in catalog.items()},
+                enforcement_passes=passes,
+                repaired_bindings=repaired,
+            )
+            with _GENERATION_LOCK:
+                _GENERATION_CACHE[key] = snapshot
         return GeneratedDatabase(
             spec=spec,
             schema=self.schema,
@@ -373,14 +453,76 @@ class DatabaseGenerator:
             repaired_bindings=repaired,
         )
 
-    def _rebuild_indexes(self, store: ObjectStore) -> None:
-        """Rebuild secondary indexes after in-place value repairs."""
-        from ..engine.indexes import IndexManager
+    def _cache_key(self, spec: DatabaseSpec) -> Tuple:
+        """Replay-cache identity: schema + constraints + seed + spec shape.
 
-        store.indexes = IndexManager(self.schema)
-        for class_name in self.schema.class_names():
-            for instance in store.instances(class_name):
-                store.indexes.on_insert(class_name, instance.oid, instance.values)
+        The schema fingerprint covers everything generation branches on —
+        attribute domains and pointer/indexed flags (``_values_for``) and
+        the relationship topology (``_create_links``) — so two schemas
+        that merely share class/attribute names never share cached rows.
+        """
+        schema_print = tuple(
+            (
+                cls.name,
+                tuple(
+                    (
+                        attribute.name,
+                        str(attribute.domain),
+                        bool(attribute.is_pointer),
+                        bool(attribute.indexed),
+                    )
+                    for attribute in cls.attributes
+                ),
+            )
+            for cls in self.schema.classes()
+        )
+        relationship_print = tuple(
+            sorted(
+                (
+                    relationship.name,
+                    relationship.source,
+                    relationship.target,
+                    str(relationship.source_attribute),
+                    str(relationship.target_attribute),
+                )
+                for relationship in self.schema.relationships()
+            )
+        )
+        constraint_print = tuple(sorted(str(c) for c in self.constraints))
+        return (
+            schema_print,
+            relationship_print,
+            constraint_print,
+            self.seed,
+            self.max_enforcement_passes,
+            spec.name,
+            spec.class_cardinality,
+            spec.relationship_cardinality,
+        )
+
+    def _replay(
+        self, spec: DatabaseSpec, cached: "_CachedGeneration", shard_count: int
+    ) -> GeneratedDatabase:
+        """Rebuild a fresh store from cached post-enforcement rows.
+
+        Rows are re-inserted in the original per-class extent order, so OID
+        assignment, extent order and index bucket order all match the
+        originally generated store exactly (the original's indexes were
+        rebuilt in extent order after enforcement).
+        """
+        store = ObjectStore(self.schema, shard_count=shard_count)
+        for class_name, values in cached.rows:
+            store.insert(class_name, _copy_values(values))
+        return GeneratedDatabase(
+            spec=spec,
+            schema=self.schema,
+            store=store,
+            value_catalog={
+                name: list(values) for name, values in cached.catalog.items()
+            },
+            enforcement_passes=cached.enforcement_passes,
+            repaired_bindings=cached.repaired_bindings,
+        )
 
     def generate_all(
         self, specs: Optional[Mapping[str, DatabaseSpec]] = None

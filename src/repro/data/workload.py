@@ -95,6 +95,7 @@ def build_evaluation_setup(
     grouping_policy: GroupingPolicy = GroupingPolicy.LEAST_FREQUENT,
     constraints: Optional[Sequence[SemanticConstraint]] = None,
     generator_config: Optional[GeneratorConfig] = None,
+    shard_count: int = 1,
 ) -> EvaluationSetup:
     """Build the full evaluation setup for one database instance.
 
@@ -113,6 +114,10 @@ def build_evaluation_setup(
         constraints of :mod:`repro.data.evaluation`).
     generator_config:
         Override the query-generator configuration.
+    shard_count:
+        Hash-partition the generated store into this many shards (the
+        parallel execution path runs one pipeline per shard).  The data is
+        identical for every shard count.
     """
     schema = evaluation.build_evaluation_schema()
     constraint_list = (
@@ -120,7 +125,9 @@ def build_evaluation_setup(
         if constraints is not None
         else evaluation.build_evaluation_constraints()
     )
-    database = DatabaseGenerator(schema, constraint_list, seed=seed).generate(spec)
+    database = DatabaseGenerator(schema, constraint_list, seed=seed).generate(
+        spec, shard_count=shard_count
+    )
 
     queries = build_workload(
         schema,

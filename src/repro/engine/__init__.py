@@ -10,9 +10,14 @@ two can be compared.
 
 from .instance import ObjectInstance
 from .indexes import HashIndex, IndexManager, SortedIndex
-from .storage import ObjectStore, StorageError
+from .storage import ObjectStore, ShardedObjectStore, StorageError, StoreShard
 from .statistics import AttributeStatistics, DatabaseStatistics
-from .modes import ExecutionMode, create_executor, default_execution_mode
+from .modes import (
+    ExecutionMode,
+    create_executor,
+    default_execution_mode,
+    default_worker_count,
+)
 from .plan import (
     FilterNode,
     PlanNode,
@@ -24,9 +29,10 @@ from .plan import (
 )
 from .cost_model import CostEstimate, CostModel, CostWeights
 from .planner import ConventionalPlanner, PlanningError
-from .executor import ExecutionMetrics, ExecutionResult, QueryExecutor
+from .executor import ExecutionMetrics, ExecutionResult, QueryExecutor, ShardReport
 from .compiled import compile_for_binding, compile_for_class
 from .vectorized import BindingBatch, VectorizedExecutor
+from .parallel import ParallelExecutor
 
 __all__ = [
     "AttributeStatistics",
@@ -44,19 +50,24 @@ __all__ = [
     "IndexManager",
     "ObjectInstance",
     "ObjectStore",
+    "ParallelExecutor",
     "PlanNode",
     "PlanningError",
     "ProjectNode",
     "QueryExecutor",
     "QueryPlan",
     "ScanNode",
+    "ShardReport",
+    "ShardedObjectStore",
     "SortedIndex",
     "StorageError",
+    "StoreShard",
     "TraverseNode",
     "VectorizedExecutor",
     "compile_for_binding",
     "compile_for_class",
     "create_executor",
     "default_execution_mode",
+    "default_worker_count",
     "plan_predicates",
 ]

@@ -19,7 +19,7 @@ optimizers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..constraints.predicate import Predicate
 from ..query.query import Query
@@ -53,6 +53,12 @@ class CostWeights:
     predicate_compilation: float = 0.05
     #: Per-column setup charge for batching (column extraction and masks).
     batch_column_setup: float = 0.02
+    #: One-off dispatch cost per parallel worker per query (task pickling,
+    #: queue round trip, driver-partition transport).
+    worker_dispatch: float = 10.0
+    #: Parent-side merge cost per output row of a parallel execution
+    #: (rebuilding the row from shipped OID columns and position-merging).
+    parallel_merge_per_row: float = 0.01
 
 
 @dataclass
@@ -114,13 +120,16 @@ class CostModel:
 
     def _evaluation_weight(self, mode: ExecutionMode) -> float:
         """Per-row cost of one predicate evaluation under ``mode``."""
-        if mode is ExecutionMode.VECTORIZED:
+        if mode in (ExecutionMode.VECTORIZED, ExecutionMode.PARALLEL):
             return self.weights.batch_predicate_evaluation
         return self.weights.predicate_evaluation
 
     def _batch_setup(self, mode: ExecutionMode, predicate_count: int) -> float:
         """One-off lowering/column-extraction charge for a batched node."""
-        if mode is not ExecutionMode.VECTORIZED or predicate_count == 0:
+        if (
+            mode not in (ExecutionMode.VECTORIZED, ExecutionMode.PARALLEL)
+            or predicate_count == 0
+        ):
             return 0.0
         return predicate_count * (
             self.weights.predicate_compilation + self.weights.batch_column_setup
@@ -194,6 +203,7 @@ class CostModel:
         self,
         query: Query,
         mode: Optional[Union[str, ExecutionMode]] = None,
+        workers: Optional[int] = None,
     ) -> CostEstimate:
         """Estimate the execution cost of ``query``.
 
@@ -203,17 +213,22 @@ class CostModel:
         and charging retrieval for every instance touched along the way.
         ``mode`` selects the engine being estimated: the vectorized engine
         touches the same instances and pointers but pays the compiled
-        (batch) rate per predicate evaluation.
+        (batch) rate per predicate evaluation, and the parallel engine
+        additionally spreads everything past the driver scan over
+        ``workers`` partitions (``None`` = the process default worker
+        count) while paying dispatch and merge overheads — the estimate is
+        *wall-clock-shaped*, so on small extents the overhead dominates and
+        the model correctly predicts that fan-out is not worth it.
         """
         mode = self._resolve_mode(mode)
         weights = self.weights
         evaluation = self._evaluation_weight(mode)
-        estimate = CostEstimate()
         driver = self.driver_class(query)
         driver_predicates = self._local_predicates(query, driver)
         driver_scan = self.scan_estimate(driver, driver_predicates, mode)
-        estimate.retrieval += driver_scan.retrieval
-        estimate.cpu += driver_scan.cpu
+        # Everything after the driver scan is accumulated separately: in
+        # parallel mode those parts run partitioned across the workers.
+        distributed = CostEstimate()
 
         bound = {driver}
         current_rows = max(
@@ -240,9 +255,9 @@ class CostModel:
                 # an indexed attribute, a full extent scan otherwise) and
                 # then follows one pointer per partial result.
                 scan = self.scan_estimate(class_name, local, mode)
-                estimate.retrieval += scan.retrieval
-                estimate.cpu += scan.cpu
-                estimate.traversal += current_rows * weights.pointer_traversal
+                distributed.retrieval += scan.retrieval
+                distributed.cpu += scan.cpu
+                distributed.traversal += current_rows * weights.pointer_traversal
                 current_rows = max(1.0, current_rows * selectivity)
                 bound.add(class_name)
                 remaining.remove(class_name)
@@ -253,8 +268,8 @@ class CostModel:
         for class_name in remaining:
             local = self._local_predicates(query, class_name)
             scan = self.scan_estimate(class_name, local, mode)
-            estimate.retrieval += scan.retrieval
-            estimate.cpu += scan.cpu
+            distributed.retrieval += scan.retrieval
+            distributed.cpu += scan.cpu
             current_rows = max(
                 1.0, current_rows * self.matching_instances(class_name, local)
             )
@@ -265,19 +280,42 @@ class CostModel:
             for p in query.predicates()
             if len(p.referenced_classes()) > 1
         ]
-        estimate.cpu += current_rows * len(cross) * evaluation
-        estimate.cpu += self._batch_setup(mode, len(cross))
-        # Result construction.
-        estimate.cpu += current_rows * weights.result_construction
+        distributed.cpu += current_rows * len(cross) * evaluation
+        distributed.cpu += self._batch_setup(mode, len(cross))
+        construction = current_rows * weights.result_construction
+
+        estimate = CostEstimate()
+        if mode is ExecutionMode.PARALLEL:
+            from .modes import resolve_worker_count
+
+            width = max(1, resolve_worker_count(workers))
+            estimate.retrieval = (
+                driver_scan.retrieval + distributed.retrieval / width
+            )
+            estimate.traversal = distributed.traversal / width
+            # The driver scan, the final materialization and the merge all
+            # run in the parent; dispatch is paid once per worker.
+            estimate.cpu = (
+                driver_scan.cpu
+                + distributed.cpu / width
+                + construction
+                + current_rows * weights.parallel_merge_per_row
+                + width * weights.worker_dispatch
+            )
+        else:
+            estimate.retrieval = driver_scan.retrieval + distributed.retrieval
+            estimate.traversal = distributed.traversal
+            estimate.cpu = driver_scan.cpu + distributed.cpu + construction
         return estimate
 
     def estimate_query_cost(
         self,
         query: Query,
         mode: Optional[Union[str, ExecutionMode]] = None,
+        workers: Optional[int] = None,
     ) -> float:
         """Scalar convenience wrapper around :meth:`estimate_query`."""
-        return self.estimate_query(query, mode).total
+        return self.estimate_query(query, mode, workers=workers).total
 
     def vectorization_speedup(self, query: Query) -> float:
         """Estimated rowwise/vectorized cost ratio for ``query`` (>= 0)."""
@@ -285,6 +323,24 @@ class CostModel:
         if vectorized <= 0:
             return 1.0
         return self.estimate_query_cost(query, ExecutionMode.ROWWISE) / vectorized
+
+    def parallelization_speedup(
+        self, query: Query, workers: Optional[int] = None
+    ) -> float:
+        """Estimated vectorized/parallel cost ratio at ``workers`` width.
+
+        Values above 1 predict that fanning the query out pays for its
+        dispatch and merge overheads; small extents land below 1, which is
+        the model's way of telling the executor to stay in-process.
+        """
+        parallel = self.estimate_query_cost(
+            query, ExecutionMode.PARALLEL, workers=workers
+        )
+        if parallel <= 0:
+            return 1.0
+        return (
+            self.estimate_query_cost(query, ExecutionMode.VECTORIZED) / parallel
+        )
 
     # ------------------------------------------------------------------
     # Measured cost

@@ -17,8 +17,8 @@ can compare answers on whichever attribute set they need.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..constraints.predicate import Predicate
 from ..query.query import Query
@@ -63,14 +63,35 @@ class ExecutionMetrics:
         }
 
 
+@dataclass(frozen=True)
+class ShardReport:
+    """Per-shard accounting of one partition-parallel execution.
+
+    ``elapsed`` is the wall-clock time the shard's pipeline spent inside
+    its worker (excluding queueing and transport), so the spread across
+    reports shows partition skew.
+    """
+
+    shard_id: int
+    row_count: int
+    elapsed: float
+    driver_rows: int = 0
+
+
 @dataclass
 class ExecutionResult:
-    """Rows plus metrics from executing one plan."""
+    """Rows plus metrics from executing one plan.
+
+    ``shard_reports`` is only populated by the parallel engine when the
+    plan actually fanned out (one report per non-empty shard); in-process
+    executions leave it ``None``.
+    """
 
     rows: List[Dict[str, Any]]
     metrics: ExecutionMetrics
     projections: Tuple[str, ...] = ()
     plan: Optional[QueryPlan] = None
+    shard_reports: Optional[List[ShardReport]] = None
 
     @property
     def row_count(self) -> int:
@@ -184,7 +205,7 @@ class QueryExecutor:
         chosen = index_predicate
         if chosen is None:
             for predicate in remaining:
-                if self.store.indexes.lookup(predicate) is not None:
+                if self.store.indexes.can_answer(predicate):
                     chosen = predicate
                     break
         if chosen is not None:

@@ -55,6 +55,14 @@ class HashIndex:
         """Number of distinct indexed values."""
         return len(self._buckets)
 
+    def values(self) -> List[Any]:
+        """The distinct indexed values themselves.
+
+        Shard sets merge these across shards to answer global
+        distinct-value questions (a value may appear in several shards).
+        """
+        return list(self._buckets)
+
     def __len__(self) -> int:
         return self._entries
 
@@ -75,14 +83,18 @@ class SortedIndex:
         if index < len(self._entries) and self._entries[index] == (value, oid):
             self._entries.pop(index)
 
-    def range(
+    def range_entries(
         self,
         low: Optional[Any] = None,
         high: Optional[Any] = None,
         low_inclusive: bool = True,
         high_inclusive: bool = True,
-    ) -> List[int]:
-        """OIDs whose value falls within the requested bounds."""
+    ) -> List[Tuple[Any, int]]:
+        """The ``(value, oid)`` entries within the requested bounds.
+
+        Shard sets k-way-merge these per-shard slices by ``(value, oid)``
+        to reproduce a single sorted index's answer order exactly.
+        """
         if not self._entries:
             return []
         values = [entry[0] for entry in self._entries]
@@ -98,7 +110,22 @@ class SortedIndex:
                 if high_inclusive
                 else bisect_left(values, high)
             )
-        return [oid for _value, oid in self._entries[start:end]]
+        return self._entries[start:end]
+
+    def range(
+        self,
+        low: Optional[Any] = None,
+        high: Optional[Any] = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> List[int]:
+        """OIDs whose value falls within the requested bounds."""
+        return [
+            oid
+            for _value, oid in self.range_entries(
+                low, high, low_inclusive, high_inclusive
+            )
+        ]
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -160,6 +187,53 @@ class IndexManager:
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
+    #: Operators an index can answer (equality via the hash index, the
+    #: others via the sorted index).
+    _ANSWERABLE = (
+        ComparisonOperator.EQ,
+        ComparisonOperator.LT,
+        ComparisonOperator.LE,
+        ComparisonOperator.GT,
+        ComparisonOperator.GE,
+    )
+
+    def can_answer(self, predicate: Predicate) -> bool:
+        """Whether :meth:`lookup` would answer ``predicate`` (an O(1) probe).
+
+        Executors choosing an index predicate should ask this instead of
+        performing (and discarding) a full lookup per candidate predicate —
+        a materialized lookup can be as large as the extent.
+        """
+        if not predicate.is_selection:
+            return False
+        key = (predicate.left.class_name, predicate.left.attribute_name)
+        return key in self._hash and predicate.operator in self._ANSWERABLE
+
+    def range_entries_for(
+        self, predicate: Predicate
+    ) -> Optional[List[Tuple[Any, int]]]:
+        """The ``(value, oid)`` entries answering a *range* predicate.
+
+        ``None`` for anything the sorted index does not serve (equality
+        included — that is the hash index's job).  Shard sets merge these
+        per-shard slices by ``(value, oid)`` so their global answer order
+        matches a single sorted index's.
+        """
+        if not self.can_answer(predicate):
+            return None
+        key = (predicate.left.class_name, predicate.left.attribute_name)
+        value = predicate.constant
+        operator = predicate.operator
+        if operator is ComparisonOperator.LT:
+            return self._sorted[key].range_entries(high=value, high_inclusive=False)
+        if operator is ComparisonOperator.LE:
+            return self._sorted[key].range_entries(high=value, high_inclusive=True)
+        if operator is ComparisonOperator.GT:
+            return self._sorted[key].range_entries(low=value, low_inclusive=False)
+        if operator is ComparisonOperator.GE:
+            return self._sorted[key].range_entries(low=value, low_inclusive=True)
+        return None
+
     def lookup(self, predicate: Predicate) -> Optional[List[int]]:
         """Answer a selective predicate from an index, if possible.
 
@@ -167,26 +241,13 @@ class IndexManager:
         cannot be served by an index (join predicate, non-indexed attribute,
         or an operator the index cannot answer such as ``!=``).
         """
-        if not predicate.is_selection:
+        if not self.can_answer(predicate):
             return None
-        class_name = predicate.left.class_name
-        attribute_name = predicate.left.attribute_name
-        key = (class_name, attribute_name)
-        if key not in self._hash:
-            return None
-        value = predicate.constant
-        operator = predicate.operator
-        if operator is ComparisonOperator.EQ:
-            return self._hash[key].lookup(value)
-        if operator is ComparisonOperator.LT:
-            return self._sorted[key].range(high=value, high_inclusive=False)
-        if operator is ComparisonOperator.LE:
-            return self._sorted[key].range(high=value, high_inclusive=True)
-        if operator is ComparisonOperator.GT:
-            return self._sorted[key].range(low=value, low_inclusive=False)
-        if operator is ComparisonOperator.GE:
-            return self._sorted[key].range(low=value, low_inclusive=True)
-        return None
+        if predicate.operator is ComparisonOperator.EQ:
+            key = (predicate.left.class_name, predicate.left.attribute_name)
+            return self._hash[key].lookup(predicate.constant)
+        entries = self.range_entries_for(predicate)
+        return [oid for _value, oid in entries] if entries is not None else None
 
     def distinct_count(self, class_name: str, attribute_name: str) -> Optional[int]:
         """Distinct indexed values for an attribute, when indexed."""
@@ -194,3 +255,16 @@ class IndexManager:
         if index is None:
             return None
         return index.distinct_values()
+
+    def distinct_index_values(
+        self, class_name: str, attribute_name: str
+    ) -> Optional[List[Any]]:
+        """The distinct indexed values of one attribute, when indexed.
+
+        Sharded stores union these per-shard lists to compute a global
+        distinct count, since the same value can be indexed in many shards.
+        """
+        index = self._hash.get((class_name, attribute_name))
+        if index is None:
+            return None
+        return index.values()

@@ -1,7 +1,7 @@
 """Execution-mode selection for the execution engine.
 
-The engine has two execution paths over the same plans and the same
-:class:`~repro.engine.storage.ObjectStore`:
+The engine has three execution paths over the same plans and the same
+(sharded) :class:`~repro.engine.storage.ObjectStore`:
 
 * ``rowwise`` — the original interpreting executor
   (:class:`~repro.engine.executor.QueryExecutor`): plans are walked binding
@@ -10,15 +10,21 @@ The engine has two execution paths over the same plans and the same
   (:class:`~repro.engine.vectorized.VectorizedExecutor`): instances move
   through the plan in column-oriented batches and every predicate is lowered
   once per plan into a compiled closure (:mod:`repro.engine.compiled`).
+* ``parallel`` — the partition-parallel executor
+  (:class:`~repro.engine.parallel.ParallelExecutor`): the driver scan is
+  hash-partitioned by OID and per-shard vectorized pipelines run on a
+  worker pool, with rows and metrics merged deterministically.
 
-Both paths report the *same* :class:`~repro.engine.executor.ExecutionMetrics`
+All paths report the *same* :class:`~repro.engine.executor.ExecutionMetrics`
 counters for the same plan — the differential oracle and the metrics-parity
 tests enforce this — so experiment tables are engine-independent and the
 mode is purely a throughput choice.
 
 The process-wide default mode can be set with the ``REPRO_ENGINE``
-environment variable (``rowwise`` or ``vectorized``), which is how the CI
-matrix runs the whole suite under both engines.
+environment variable (``rowwise``, ``vectorized`` or ``parallel``), which is
+how the CI matrix runs the whole suite under every engine.  The parallel
+engine's worker-pool width defaults from ``REPRO_WORKERS`` (falling back to
+the machine's core count, capped at :data:`MAX_DEFAULT_WORKERS`).
 """
 
 from __future__ import annotations
@@ -34,12 +40,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Environment variable consulted for the process-wide default mode.
 ENGINE_ENV_VAR = "REPRO_ENGINE"
 
+#: Environment variable consulted for the parallel engine's worker count.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Upper bound on the worker count chosen automatically from the core
+#: count; explicit ``REPRO_WORKERS`` / ``workers=`` values may exceed it.
+MAX_DEFAULT_WORKERS = 4
+
 
 class ExecutionMode(enum.Enum):
     """Which execution path evaluates query plans."""
 
     ROWWISE = "rowwise"
     VECTORIZED = "vectorized"
+    PARALLEL = "parallel"
 
     @classmethod
     def parse(cls, value: Union[str, "ExecutionMode"]) -> "ExecutionMode":
@@ -79,20 +93,57 @@ def resolve_execution_mode(
     return ExecutionMode.parse(value)
 
 
+def default_worker_count() -> int:
+    """The default parallel worker count.
+
+    ``REPRO_WORKERS`` wins when set; otherwise the machine's core count,
+    capped at :data:`MAX_DEFAULT_WORKERS`.  On a single-core machine this
+    resolves to ``1``, which makes the parallel engine execute in-process —
+    fan-out cannot help without cores to fan out to.
+    """
+    value = os.environ.get(WORKERS_ENV_VAR)
+    if value:
+        return resolve_worker_count(value)
+    return max(1, min(MAX_DEFAULT_WORKERS, os.cpu_count() or 1))
+
+
+def resolve_worker_count(value: Optional[Union[int, str]]) -> int:
+    """Resolve a caller-supplied worker count (``None`` = process default)."""
+    if value is None:
+        return default_worker_count()
+    try:
+        workers = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"worker count must be an integer, got {value!r}") from None
+    if workers < 1:
+        raise ValueError(f"worker count must be >= 1, got {workers}")
+    return workers
+
+
 def create_executor(
     schema: "Schema",
     store: "ObjectStore",
     mode: Optional[Union[str, ExecutionMode]] = None,
     join_strategy: str = "hash",
+    workers: Optional[int] = None,
 ):
     """Build the executor implementing ``mode`` (default: the env default).
 
-    Returns either a :class:`~repro.engine.executor.QueryExecutor` or a
-    :class:`~repro.engine.vectorized.VectorizedExecutor`; both expose the
-    same ``execute``/``execute_plan`` API and produce identical results and
-    metrics, so callers can treat the return value uniformly.
+    Returns a :class:`~repro.engine.executor.QueryExecutor`, a
+    :class:`~repro.engine.vectorized.VectorizedExecutor` or a
+    :class:`~repro.engine.parallel.ParallelExecutor`; all expose the same
+    ``execute``/``execute_plan`` API and produce identical results and
+    metrics, so callers can treat the return value uniformly.  ``workers``
+    only applies to the parallel engine (``None`` = ``REPRO_WORKERS`` env
+    var, else the core count capped at :data:`MAX_DEFAULT_WORKERS`).
     """
     resolved = resolve_execution_mode(mode)
+    if resolved is ExecutionMode.PARALLEL:
+        from .parallel import ParallelExecutor
+
+        return ParallelExecutor(
+            schema, store, join_strategy=join_strategy, workers=workers
+        )
     if resolved is ExecutionMode.VECTORIZED:
         from .vectorized import VectorizedExecutor
 

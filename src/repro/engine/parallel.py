@@ -1,0 +1,515 @@
+"""Partition-parallel plan execution over a shard set.
+
+This is the third execution path of the engine
+(:data:`~repro.engine.modes.ExecutionMode.PARALLEL`).  It executes the same
+plans as the other engines, against the same (optionally sharded)
+:class:`~repro.engine.storage.ObjectStore`, and returns the same rows and
+the same :class:`~repro.engine.executor.ExecutionMetrics` — the
+differential-oracle and metrics-parity suites pin both — but it splits the
+work across a pool of forked worker processes:
+
+1. the **driver scan** runs once in the parent, exactly like the vectorized
+   engine (same index selection, same compiled filter cascade, charged
+   once);
+2. the surviving driver rows are **hash-partitioned by OID** — one
+   partition per store shard when the store is sharded, else one virtual
+   partition per worker — and each partition is shipped to a worker as a
+   list of OIDs plus the rows' positions in the global scan output;
+3. every worker runs the **remaining plan nodes as a per-shard vectorized
+   pipeline** (:class:`~repro.engine.vectorized.VectorizedExecutor` over
+   the forked store snapshot, with shard-local pointer/fragment caches that
+   stay warm across plans), and sends back per-class **OID columns** — not
+   materialized rows, which would dominate transport cost — plus its
+   metrics and a ledger of once-per-plan charges;
+4. the parent **merges deterministically**: per-shard row batches are
+   rebuilt from the OID columns, materialized with the parent's fragment
+   cache, and interleaved by driver position (positions never collide
+   across partitions, so the merge reproduces the sequential row order
+   bit for bit); worker counters are summed, and ledgered one-off charges
+   (hash-join builds) are counted exactly once across all shards.
+
+Workers inherit the store by ``fork`` — nothing is copied eagerly, and the
+pool is recycled whenever the store's version counter moves, which is the
+same invalidation discipline the vectorized engine's caches use.  When
+forking is unavailable, the pool width is 1, the plan has no partition
+contract (:meth:`~repro.engine.plan.QueryPlan.partition_leaf`), or the
+driver set is too small to pay for transport, execution falls back to the
+identical in-process pipeline, so correctness never depends on the pool.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import threading
+import time
+import weakref
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from heapq import merge as _heap_merge
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..query.query import Query
+from ..schema.schema import Schema
+from .executor import ExecutionMetrics, ExecutionResult, ShardReport
+from .modes import ExecutionMode, resolve_worker_count
+from .plan import ProjectNode, QueryPlan, ScanNode
+from .statistics import DatabaseStatistics
+from .storage import ObjectStore
+from .vectorized import BindingBatch, VectorizedExecutor, _PlanContext
+
+#: Default minimum number of driver rows before fan-out pays for itself;
+#: below it the executor stays in-process (transport costs more than the
+#: pipeline).  Tests force the pool path by passing ``min_partition_rows=1``.
+DEFAULT_MIN_PARTITION_ROWS = 128
+
+#: How many plans one batch-mode worker task carries.  Larger chunks
+#: amortize the per-task submit/collect round trip; smaller chunks let the
+#: parent start merging earlier.  Four is a good middle on the Table 4.2
+#: style workloads (tens of plans, tens of microseconds of per-task IPC).
+DEFAULT_PLANS_PER_TASK = 4
+
+
+@dataclass
+class _ShardOutcome:
+    """Wire-format result of one shard task (compact: OIDs, not rows)."""
+
+    shard_id: int
+    columns: Dict[str, List[int]]
+    positions: List[int]
+    metrics: ExecutionMetrics
+    ledger: Dict[Tuple, Tuple[int, int, int]]
+    projections: Tuple[str, ...]
+    driver_rows: int
+    elapsed: float
+
+
+class _WorkerState:
+    """Per-process state of one pool worker (built once at fork time)."""
+
+    #: Upper bound on cached unpickled plans per worker.  The cache only
+    #: needs to bridge the shard tasks of plans currently in flight, so a
+    #: small FIFO suffices; without a bound, a long-lived pool serving a
+    #: stream of distinct queries would grow worker memory indefinitely.
+    PLAN_CACHE_SIZE = 64
+
+    def __init__(self, schema: Schema, store: ObjectStore, join_strategy: str) -> None:
+        self.schema = schema
+        self.store = store
+        self.executor = VectorizedExecutor(schema, store, join_strategy=join_strategy)
+        self.plans: Dict[str, QueryPlan] = {}
+
+    def plan_for(self, digest: str, blob: bytes) -> QueryPlan:
+        """The unpickled plan for ``digest``, cached across shard tasks."""
+        plan = self.plans.get(digest)
+        if plan is None:
+            plan = pickle.loads(blob)
+            while len(self.plans) >= self.PLAN_CACHE_SIZE:
+                self.plans.pop(next(iter(self.plans)))
+            self.plans[digest] = plan
+        return plan
+
+
+_WORKER_STATE: Optional[_WorkerState] = None
+
+
+def _init_worker(schema: Schema, store: ObjectStore, join_strategy: str) -> None:
+    """Pool initializer (runs in the child; arguments arrive via fork)."""
+    global _WORKER_STATE
+    _WORKER_STATE = _WorkerState(schema, store, join_strategy)
+
+
+#: Wire format of one shard task: (plan blob, plan digest, driver class,
+#: driver OIDs, driver positions, shard id).
+_ShardTask = Tuple[bytes, str, str, List[int], List[int], int]
+
+
+def _execute_shard_chunk(tasks: List[_ShardTask]) -> List[_ShardOutcome]:
+    """Run several plans' post-scan pipelines over their driver partitions.
+
+    One chunk per worker round trip: the per-task submit/collect overhead
+    is paid once for the whole chunk, and the worker's plan cache means a
+    plan arriving for several shards is unpickled once per process.
+    """
+    state = _WORKER_STATE
+    assert state is not None, "worker used before initialization"
+    executor = state.executor
+    executor._sync_caches()
+    outcomes: List[_ShardOutcome] = []
+    for plan_blob, plan_digest, driver_class, driver_oids, positions, shard_id in tasks:
+        start = time.perf_counter()
+        plan = state.plan_for(plan_digest, plan_blob)
+        metrics = ExecutionMetrics()
+        ledger: Dict[Tuple, Tuple[int, int, int]] = {}
+        context = _PlanContext(metrics, one_off_ledger=ledger)
+        oid_index = state.store.oid_index(driver_class)
+        batch = BindingBatch(
+            {driver_class: [oid_index[oid] for oid in driver_oids]},
+            positions=list(positions),
+        )
+        batch, projections = executor._run(plan.root, context, scan_override=batch)
+        columns = {
+            name: [instance.oid for instance in column]
+            for name, column in batch.columns.items()
+        }
+        outcomes.append(
+            _ShardOutcome(
+                shard_id=shard_id,
+                columns=columns,
+                positions=list(batch.positions or []),
+                metrics=metrics,
+                ledger=ledger,
+                projections=projections,
+                driver_rows=len(driver_oids),
+                elapsed=time.perf_counter() - start,
+            )
+        )
+    return outcomes
+
+
+@dataclass
+class _PreparedExecution:
+    """Parent-side bookkeeping for one plan between submit and merge."""
+
+    plan: QueryPlan
+    context: _PlanContext
+    projections: Tuple[str, ...]
+    #: ``(chunk future, index into its outcome list)`` per non-empty shard.
+    shard_futures: List[Tuple[Any, int]] = field(default_factory=list)
+    #: shard id -> (driver OIDs, driver positions); ``None`` = inline path.
+    partitions: Optional[Dict[int, Tuple[List[int], List[int]]]] = None
+    leaf: Optional[ScanNode] = None
+    driver: Optional[List[Any]] = None
+    inline_result: Optional[ExecutionResult] = None
+
+
+class ParallelExecutor:
+    """Executes query plans with per-shard pipelines on a worker pool.
+
+    Parameters mirror the other executors; additionally ``workers`` sets
+    the pool width (``None`` = ``REPRO_WORKERS`` env var, else the core
+    count capped at 4) and ``min_partition_rows`` the driver-set size below
+    which execution stays in-process.  With ``workers=1`` the executor is
+    an in-process engine with exactly the vectorized engine's behaviour.
+    """
+
+    #: The mode this executor implements (introspection/factory symmetry).
+    mode = ExecutionMode.PARALLEL
+
+    def __init__(
+        self,
+        schema: Schema,
+        store: ObjectStore,
+        join_strategy: str = "hash",
+        workers: Optional[int] = None,
+        min_partition_rows: int = DEFAULT_MIN_PARTITION_ROWS,
+    ) -> None:
+        if join_strategy not in ("hash", "nested_loop"):
+            raise ValueError("join_strategy must be 'hash' or 'nested_loop'")
+        self.schema = schema
+        self.store = store
+        self.join_strategy = join_strategy
+        self.workers = resolve_worker_count(workers)
+        self.min_partition_rows = min_partition_rows
+        # The in-process half: runs the driver scan, the fallback path and
+        # the final materialization, sharing its version-keyed caches.
+        self._local = VectorizedExecutor(schema, store, join_strategy=join_strategy)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_version = -1
+        self._pool_broken = False
+        self._pool_lock = threading.Lock()
+        self._finalizer: Optional[weakref.finalize] = None
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fork_available() -> bool:
+        import multiprocessing
+
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    def _pool_possible(self) -> bool:
+        """Whether fan-out is even an option (without forking anything)."""
+        return (
+            self.workers > 1 and not self._pool_broken and self._fork_available()
+        )
+
+    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+        """The worker pool for the store's current version (or ``None``).
+
+        Workers hold a forked snapshot of the store, so any mutation —
+        detected through the shard-version sum — recycles the pool; the
+        next execution forks fresh workers that see the new state.  The
+        pool is only ever created here, lazily, once a batch actually has
+        partitions to dispatch — executions that stay under the row
+        threshold never fork anything.
+        """
+        if not self._pool_possible():
+            return None
+        with self._pool_lock:
+            version = self.store.version
+            if self._pool is not None and version == self._pool_version:
+                return self._pool
+            self.close()
+            import multiprocessing
+
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=multiprocessing.get_context("fork"),
+                    initializer=_init_worker,
+                    initargs=(self.schema, self.store, self.join_strategy),
+                )
+            except OSError:
+                self._pool_broken = True
+                return None
+            self._pool = pool
+            self._pool_version = version
+            self._finalizer = weakref.finalize(self, pool.shutdown, wait=False)
+            return pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (recycled lazily on the next use)."""
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+            self._pool_version = -1
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+    def execute_plan(self, plan: QueryPlan) -> ExecutionResult:
+        """Execute ``plan`` and return rows plus (deterministic) metrics."""
+        return self.execute_plans([plan])[0]
+
+    def execute_plans(
+        self,
+        plans: Sequence[QueryPlan],
+        plans_per_task: int = DEFAULT_PLANS_PER_TASK,
+    ) -> List[ExecutionResult]:
+        """Execute a batch of plans with cross-plan pipelining.
+
+        All shard tasks of every plan are submitted up-front — chunked
+        ``plans_per_task`` plans to a worker round trip — and results are
+        merged (and rows materialized) in plan order while later plans are
+        still being computed by the workers, so the parent's serial half
+        overlaps the pool's parallel half instead of alternating with it.
+        """
+        possible = self._pool_possible()
+        prepared = [self._prepare(plan, possible) for plan in plans]
+        if any(item.partitions is not None for item in prepared):
+            pool = self._ensure_pool()
+            if pool is None:
+                for item in prepared:
+                    if item.partitions is not None:
+                        item.inline_result = self._run_inline(
+                            item.plan, item.leaf, item.driver, item.context
+                        )
+            else:
+                self._dispatch(prepared, pool, max(1, plans_per_task))
+        return [self._merge(item) for item in prepared]
+
+    def execute(self, query: Query) -> ExecutionResult:
+        """Plan and execute ``query`` in one call."""
+        from .planner import ConventionalPlanner
+
+        statistics = DatabaseStatistics.collect(self.schema, self.store)
+        planner = ConventionalPlanner(
+            self.schema, statistics, execution_mode=ExecutionMode.PARALLEL
+        )
+        plan = planner.plan(query)
+        return self.execute_plan(plan)
+
+    # ------------------------------------------------------------------
+    # Submit / merge halves
+    # ------------------------------------------------------------------
+    def _prepare(
+        self, plan: QueryPlan, pool_possible: bool
+    ) -> _PreparedExecution:
+        """Run the driver scan and decide inline vs fan-out per plan."""
+        local = self._local
+        local._sync_caches()
+        context = _PlanContext(ExecutionMetrics())
+        projections = next(
+            (
+                node.projections
+                for node in plan.root.walk()
+                if isinstance(node, ProjectNode)
+            ),
+            (),
+        )
+        prepared = _PreparedExecution(
+            plan=plan, context=context, projections=projections
+        )
+        leaf = plan.partition_leaf()
+        if leaf is None:
+            prepared.inline_result = local.execute_plan(plan)
+            return prepared
+
+        driver = self._scan_driver(leaf, context)
+        partitions = self._partition(driver)
+        if (
+            not pool_possible
+            or len(driver) < max(2, self.min_partition_rows)
+            or len(partitions) <= 1
+        ):
+            prepared.inline_result = self._run_inline(plan, leaf, driver, context)
+            return prepared
+
+        prepared.partitions = partitions
+        prepared.leaf = leaf
+        prepared.driver = driver
+        return prepared
+
+    def _dispatch(
+        self,
+        prepared: List[_PreparedExecution],
+        pool: ProcessPoolExecutor,
+        plans_per_task: int,
+    ) -> None:
+        """Submit chunked per-shard tasks for every pool-eligible plan."""
+        pending = [item for item in prepared if item.partitions is not None]
+        for start in range(0, len(pending), plans_per_task):
+            chunk = pending[start : start + plans_per_task]
+            tasks_by_shard: Dict[int, List[_ShardTask]] = {}
+            owners_by_shard: Dict[int, List[_PreparedExecution]] = {}
+            for item in chunk:
+                blob = pickle.dumps(item.plan, protocol=pickle.HIGHEST_PROTOCOL)
+                digest = hashlib.sha1(blob).hexdigest()
+                for shard_id, (oids, positions) in item.partitions.items():
+                    tasks_by_shard.setdefault(shard_id, []).append(
+                        (blob, digest, item.leaf.class_name, oids, positions, shard_id)
+                    )
+                    owners_by_shard.setdefault(shard_id, []).append(item)
+            try:
+                for shard_id, tasks in tasks_by_shard.items():
+                    future = pool.submit(_execute_shard_chunk, tasks)
+                    for index, item in enumerate(owners_by_shard[shard_id]):
+                        item.shard_futures.append((future, index))
+            except RuntimeError:
+                # Pool shut down under us (interpreter teardown, close
+                # race): the in-process path is always available.  Nothing
+                # later in the batch can be submitted either, so inline
+                # every not-yet-merged pending plan.
+                for item in pending[start:]:
+                    item.shard_futures = []
+                    item.inline_result = self._run_inline(
+                        item.plan, item.leaf, item.driver, item.context
+                    )
+                return
+
+    def _scan_driver(self, leaf: ScanNode, context: _PlanContext):
+        """The driver scan, charged once — identical to the vectorized scan."""
+        predicates = list(leaf.predicates)
+        if leaf.index_predicate is not None:
+            predicates = [leaf.index_predicate] + predicates
+        instances, deltas = self._local._derive_candidates(
+            leaf.class_name, predicates, leaf.index_predicate, context
+        )
+        context.charge(deltas)
+        return instances
+
+    def _partition(self, driver) -> Dict[int, Tuple[List[int], List[int]]]:
+        """Hash-partition driver rows by OID, remembering global positions."""
+        shard_count = self.store.shard_count
+        partitions = shard_count if shard_count > 1 else self.workers
+        shard_of = self.store.shard_of if shard_count > 1 else (
+            lambda oid: oid % partitions
+        )
+        result: Dict[int, Tuple[List[int], List[int]]] = {}
+        for position, instance in enumerate(driver):
+            bucket = result.setdefault(shard_of(instance.oid), ([], []))
+            bucket[0].append(instance.oid)
+            bucket[1].append(position)
+        return result
+
+    def _run_inline(
+        self, plan: QueryPlan, leaf: ScanNode, driver, context: _PlanContext
+    ) -> ExecutionResult:
+        """The fallback: finish the plan in-process on the already-run scan."""
+        local = self._local
+        batch = BindingBatch({leaf.class_name: list(driver)})
+        batch, projections = local._run(plan.root, context, scan_override=batch)
+        rows = local._materialize(batch)
+        metrics = context.metrics
+        metrics.rows_output = len(rows)
+        return ExecutionResult(
+            rows=rows, metrics=metrics, projections=projections, plan=plan
+        )
+
+    def _merge(self, prepared: _PreparedExecution) -> ExecutionResult:
+        """Deterministically merge shard outcomes into one result."""
+        if prepared.inline_result is not None:
+            return prepared.inline_result
+        if not prepared.shard_futures:
+            return self._run_inline(
+                prepared.plan, prepared.leaf, prepared.driver, prepared.context
+            )
+        try:
+            outcomes = [
+                future.result()[index] for future, index in prepared.shard_futures
+            ]
+        except (BrokenExecutor, OSError):
+            # The pool itself died (worker OOM-killed, fork refused…), as
+            # opposed to a task raising — that still propagates.  Mark the
+            # pool broken so future executions stay in-process, and redo
+            # this plan inline from scratch.
+            self._pool_broken = True
+            self.close()
+            return self._local.execute_plan(prepared.plan)
+        outcomes.sort(key=lambda outcome: outcome.shard_id)
+
+        metrics = prepared.context.metrics
+        charged: set = set()
+        for outcome in outcomes:
+            other = outcome.metrics
+            metrics.instances_retrieved += other.instances_retrieved
+            metrics.predicate_evaluations += other.predicate_evaluations
+            metrics.pointer_traversals += other.pointer_traversals
+            metrics.index_lookups += other.index_lookups
+            for key, deltas in outcome.ledger.items():
+                if key not in charged:
+                    charged.add(key)
+                    prepared.context.charge(deltas)
+
+        local = self._local
+        merged: List[Tuple[int, Dict[str, Any]]] = []
+        streams = []
+        reports: List[ShardReport] = []
+        for outcome in outcomes:
+            columns = {
+                name: [self.store.oid_index(name)[oid] for oid in oids]
+                for name, oids in outcome.columns.items()
+            }
+            rows = local._materialize(BindingBatch(columns))
+            streams.append(zip(outcome.positions, rows))
+            reports.append(
+                ShardReport(
+                    shard_id=outcome.shard_id,
+                    row_count=len(rows),
+                    elapsed=outcome.elapsed,
+                    driver_rows=outcome.driver_rows,
+                )
+            )
+        # Positions are disjoint across shards and non-decreasing within
+        # one, so a k-way merge restores the sequential row order exactly.
+        merged_rows = [
+            row for _position, row in _heap_merge(*streams, key=lambda item: item[0])
+        ]
+        metrics.rows_output = len(merged_rows)
+        projections = prepared.projections
+        for outcome in outcomes:
+            if outcome.projections:
+                projections = outcome.projections
+                break
+        return ExecutionResult(
+            rows=merged_rows,
+            metrics=metrics,
+            projections=projections,
+            plan=prepared.plan,
+            shard_reports=reports,
+        )

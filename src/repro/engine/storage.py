@@ -1,16 +1,32 @@
-"""The in-memory object store.
+"""The in-memory object store, hash-partitioned into shards.
 
 The store keeps one extent (list of instances) per object class and
 maintains the secondary indexes declared by the schema.  It is the
 "database" side of our substrate: the data generator fills it, the executor
 reads from it, the validator checks it against the semantic constraints, and
 the dynamic-rule deriver learns from it.
+
+Storage is organised as a *shard set*: a :class:`ShardedObjectStore` routes
+every instance to one of ``shard_count`` :class:`StoreShard` partitions by
+hashing its OID (``oid % shard_count``).  Each shard owns its slice of every
+class extent plus its own :class:`~repro.engine.indexes.IndexManager` and
+its own monotonic version counter, which is what lets the parallel executor
+run per-shard pipelines with per-shard cache invalidation.  The store still
+answers every global question (``instances``, ``get``, ``indexes.lookup``)
+through a deterministic merged view — per-shard extents preserve global
+insertion order restricted to the shard, and OIDs are assigned in one global
+sequence, so merging shards by ascending OID reproduces a single extent
+exactly.  :class:`ObjectStore` (the name the rest of the system grew up
+with) is simply the ``shard_count=1`` case, where the merged view *is* the
+only shard and no merging ever happens.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Optional
+from heapq import merge as _heap_merge
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
+from ..constraints.predicate import ComparisonOperator, Predicate
 from ..schema.schema import Schema
 from .indexes import IndexManager
 from .instance import ObjectInstance
@@ -20,30 +36,210 @@ class StorageError(Exception):
     """Raised on inconsistent store operations."""
 
 
-class ObjectStore:
-    """Extents of object instances plus their secondary indexes."""
+class StoreShard:
+    """One partition of a sharded store.
 
-    def __init__(self, schema: Schema) -> None:
+    A shard is a miniature object store: per-class extent slices (in global
+    insertion order restricted to this shard), an OID map, its own secondary
+    :class:`~repro.engine.indexes.IndexManager` and its own version counter.
+    Mutation routing and OID assignment live on the owning
+    :class:`ShardedObjectStore`; the shard only maintains its local state.
+    """
+
+    __slots__ = ("shard_id", "schema", "extents", "by_oid", "indexes", "version")
+
+    def __init__(self, schema: Schema, shard_id: int) -> None:
+        self.shard_id = shard_id
         self.schema = schema
-        self._extents: Dict[str, List[ObjectInstance]] = {
+        self.extents: Dict[str, List[ObjectInstance]] = {
             name: [] for name in schema.class_names()
         }
-        self._by_oid: Dict[str, Dict[int, ObjectInstance]] = {
+        self.by_oid: Dict[str, Dict[int, ObjectInstance]] = {
             name: {} for name in schema.class_names()
         }
-        self._next_oid: Dict[str, int] = {name: 1 for name in schema.class_names()}
-        self._version = 0
         self.indexes = IndexManager(schema)
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # Local mutation (called by the owning store, which routes by OID)
+    # ------------------------------------------------------------------
+    def insert(self, instance: ObjectInstance) -> None:
+        """Register a freshly created instance in this shard."""
+        self.extents[instance.class_name].append(instance)
+        self.by_oid[instance.class_name][instance.oid] = instance
+        self.indexes.on_insert(instance.class_name, instance.oid, instance.values)
+        self.version += 1
+
+    def delete(self, class_name: str, oid: int) -> ObjectInstance:
+        """Remove ``class_name#oid`` from this shard and return it."""
+        instance = self.by_oid.get(class_name, {}).pop(oid, None)
+        if instance is None:
+            raise StorageError(f"no instance {class_name}#{oid}")
+        self.extents[class_name].remove(instance)
+        self.indexes.on_delete(class_name, oid, instance.values)
+        self.version += 1
+        return instance
+
+    def update(
+        self, class_name: str, oid: int, values: Mapping[str, Any]
+    ) -> ObjectInstance:
+        """Update attribute values of an instance living in this shard."""
+        instance = self.by_oid.get(class_name, {}).get(oid)
+        if instance is None:
+            raise StorageError(f"no instance {class_name}#{oid}")
+        self.indexes.on_delete(class_name, oid, instance.values)
+        instance.values.update(values)
+        self.indexes.on_insert(class_name, oid, instance.values)
+        self.version += 1
+        return instance
+
+    def rebuild_indexes(self) -> None:
+        """Rebuild this shard's secondary indexes from its extents."""
+        self.indexes = IndexManager(self.schema)
+        for class_name, extent in self.extents.items():
+            for instance in extent:
+                self.indexes.on_insert(class_name, instance.oid, instance.values)
+        self.version += 1
+
+    def count(self, class_name: str) -> int:
+        """Number of instances of ``class_name`` stored in this shard."""
+        return len(self.extents.get(class_name, ()))
+
+
+class _ShardedIndexView:
+    """Read-only index facade merging per-shard secondary indexes.
+
+    Exposes the :class:`~repro.engine.indexes.IndexManager` query surface
+    over a shard set.  Equality and range lookups fan out to every shard and
+    merge the per-shard OID lists into one deterministic global order:
+    ascending OID for hash lookups, ``(value, oid)`` order for range
+    lookups — the same orders a single-shard index produces for data that
+    entered the store through inserts (per-shard buckets are then already
+    sorted, so the merge is a cheap k-way heap merge).
+    """
+
+    def __init__(self, store: "ShardedObjectStore") -> None:
+        self._store = store
+
+    def indexed_attributes(self) -> List[Tuple[str, str]]:
+        """All (class, attribute) pairs that carry an index."""
+        return self._store.shards[0].indexes.indexed_attributes()
+
+    def is_indexed(self, class_name: str, attribute_name: str) -> bool:
+        """Whether an index exists for ``class_name.attribute_name``."""
+        return self._store.shards[0].indexes.is_indexed(class_name, attribute_name)
+
+    def can_answer(self, predicate: Predicate) -> bool:
+        """Whether :meth:`lookup` would answer ``predicate`` (an O(1) probe)."""
+        return self._store.shards[0].indexes.can_answer(predicate)
+
+    def lookup(self, predicate: Predicate) -> Optional[List[int]]:
+        """Merged candidate OIDs for ``predicate`` (``None`` if unanswerable).
+
+        Equality lookups merge the per-shard hash buckets in ascending-OID
+        order (the order an insert-populated single bucket has); range
+        lookups merge the per-shard ``(value, oid)`` slices by that pair,
+        which *is* the single sorted index's answer order — so candidate
+        (and therefore row) ordering is identical for every shard count.
+        """
+        if not self.can_answer(predicate):
+            return None
+        shards = self._store.shards
+        if predicate.operator is ComparisonOperator.EQ:
+            per_shard = []
+            for shard in shards:
+                oids = shard.indexes.lookup(predicate)
+                per_shard.append(sorted(oids) if len(oids) > 1 else oids)
+            return list(_heap_merge(*per_shard))
+        merged = _heap_merge(
+            *(shard.indexes.range_entries_for(predicate) for shard in shards)
+        )
+        return [oid for _value, oid in merged]
+
+    def distinct_count(self, class_name: str, attribute_name: str) -> Optional[int]:
+        """Distinct indexed values for an attribute across all shards."""
+        distinct: set = set()
+        for shard in self._store.shards:
+            values = shard.indexes.distinct_index_values(class_name, attribute_name)
+            if values is None:
+                return None
+            distinct.update(values)
+        return len(distinct)
+
+
+class ShardedObjectStore:
+    """Extents of object instances, hash-partitioned across shards.
+
+    ``shard_count=1`` (the :class:`ObjectStore` default) keeps the single
+    extent-per-class layout every earlier layer assumed; larger counts route
+    each instance to shard ``oid % shard_count`` while preserving the exact
+    global semantics through merged views.  OIDs are assigned from one
+    global per-class sequence regardless of the shard count, so the same
+    insertion stream produces the same instances — and the same global
+    ordering — for any sharding.
+    """
+
+    def __init__(self, schema: Schema, shard_count: int = 1) -> None:
+        if shard_count < 1:
+            raise StorageError(f"shard_count must be >= 1, got {shard_count}")
+        self.schema = schema
+        self.shards: List[StoreShard] = [
+            StoreShard(schema, shard_id) for shard_id in range(shard_count)
+        ]
+        self._next_oid: Dict[str, int] = {name: 1 for name in schema.class_names()}
+        # Merged per-class views (extent list, OID map), rebuilt lazily when
+        # any shard's version moves; for one shard they alias shard state.
+        self._merged_version = -1
+        self._merged_extents: Dict[str, List[ObjectInstance]] = {}
+        self._merged_oid_maps: Dict[str, Dict[int, ObjectInstance]] = {}
+        self._index_view = _ShardedIndexView(self) if shard_count > 1 else None
+
+    @property
+    def indexes(self):
+        """The global secondary-index surface.
+
+        For a single shard this is that shard's
+        :class:`~repro.engine.indexes.IndexManager` itself (resolved live,
+        so index rebuilds are never observed through a stale alias); for a
+        shard set it is the merging :class:`_ShardedIndexView`.
+        """
+        if self._index_view is not None:
+            return self._index_view
+        return self.shards[0].indexes
+
+    # ------------------------------------------------------------------
+    # Shard topology
+    # ------------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        """Number of hash partitions."""
+        return len(self.shards)
+
+    def shard_of(self, oid: int) -> int:
+        """The shard an instance with ``oid`` lives in (hash partitioning)."""
+        return oid % len(self.shards)
+
+    def shard_versions(self) -> Tuple[int, ...]:
+        """Per-shard mutation counters (cache keys for per-shard state)."""
+        return tuple(shard.version for shard in self.shards)
 
     @property
     def version(self) -> int:
         """Monotonic mutation counter, bumped by every insert/update/delete.
 
         Derived caches (e.g. the vectorized executor's pointer and
-        row-fragment caches) key on this to invalidate when the store
-        changes between executions.
+        row-fragment caches, the parallel executor's forked worker pool)
+        key on this to invalidate when the store changes between
+        executions.  It is the sum of the per-shard counters, so any
+        shard-local mutation moves it.
         """
-        return self._version
+        return sum(shard.version for shard in self.shards)
+
+    def instances_in_shard(self, class_name: str, shard_id: int) -> List[ObjectInstance]:
+        """The slice of a class extent stored in one shard (a copy)."""
+        if class_name not in self._next_oid:
+            raise StorageError(f"unknown object class {class_name!r}")
+        return list(self.shards[shard_id].extents[class_name])
 
     # ------------------------------------------------------------------
     # Mutation
@@ -54,7 +250,7 @@ class ObjectStore:
         Attribute names are validated against the schema; unknown attributes
         raise :class:`StorageError` so data-generation bugs surface early.
         """
-        if class_name not in self._extents:
+        if class_name not in self._next_oid:
             raise StorageError(f"unknown object class {class_name!r}")
         cls = self.schema.object_class(class_name)
         for attribute_name in values:
@@ -64,11 +260,8 @@ class ObjectStore:
                 )
         oid = self._next_oid[class_name]
         self._next_oid[class_name] += 1
-        self._version += 1
         instance = ObjectInstance(class_name, oid, dict(values))
-        self._extents[class_name].append(instance)
-        self._by_oid[class_name][oid] = instance
-        self.indexes.on_insert(class_name, oid, instance.values)
+        self.shards[self.shard_of(oid)].insert(instance)
         return instance
 
     def insert_many(
@@ -79,56 +272,103 @@ class ObjectStore:
 
     def delete(self, class_name: str, oid: int) -> None:
         """Remove an instance (used by failure-injection tests)."""
-        instance = self._by_oid.get(class_name, {}).pop(oid, None)
-        if instance is None:
+        if class_name not in self._next_oid:
             raise StorageError(f"no instance {class_name}#{oid}")
-        self._extents[class_name].remove(instance)
-        self._version += 1
-        self.indexes.on_delete(class_name, oid, instance.values)
+        self.shards[self.shard_of(oid)].delete(class_name, oid)
 
     def update(
         self, class_name: str, oid: int, values: Mapping[str, Any]
     ) -> ObjectInstance:
         """Update attribute values of an existing instance."""
-        instance = self.get(class_name, oid)
-        if instance is None:
+        if class_name not in self._next_oid:
             raise StorageError(f"no instance {class_name}#{oid}")
-        self.indexes.on_delete(class_name, oid, instance.values)
-        instance.values.update(values)
-        self._version += 1
-        self.indexes.on_insert(class_name, oid, instance.values)
-        return instance
+        return self.shards[self.shard_of(oid)].update(class_name, oid, values)
+
+    def rebuild_indexes(self) -> None:
+        """Rebuild every shard's secondary indexes from the stored extents.
+
+        Used after bulk in-place value repairs that bypass :meth:`update`
+        (the constraint-enforcing data generator does this).
+        """
+        for shard in self.shards:
+            shard.rebuild_indexes()
+
+    # ------------------------------------------------------------------
+    # Merged views
+    # ------------------------------------------------------------------
+    def _sync_merged(self) -> None:
+        version = self.version
+        if version == self._merged_version:
+            return
+        if len(self.shards) == 1:
+            shard = self.shards[0]
+            self._merged_extents = shard.extents
+            self._merged_oid_maps = shard.by_oid
+        else:
+            # Each shard's extent slice is in ascending-OID order (OIDs are
+            # assigned from one global ascending sequence and appended), so
+            # a k-way merge by OID reproduces the global insertion order.
+            self._merged_extents = {}
+            self._merged_oid_maps = {}
+            for class_name in self._next_oid:
+                merged = list(
+                    _heap_merge(
+                        *(shard.extents[class_name] for shard in self.shards),
+                        key=lambda instance: instance.oid,
+                    )
+                )
+                self._merged_extents[class_name] = merged
+                self._merged_oid_maps[class_name] = {
+                    instance.oid: instance for instance in merged
+                }
+        self._merged_version = version
 
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
     def has_class(self, class_name: str) -> bool:
         """Whether the store has an extent for ``class_name``."""
-        return class_name in self._extents
+        return class_name in self._next_oid
 
     def instances(self, class_name: str) -> List[ObjectInstance]:
-        """The full extent of ``class_name`` (a copy of the list)."""
-        if class_name not in self._extents:
+        """The full extent of ``class_name`` (a copy, in global OID order)."""
+        if class_name not in self._next_oid:
             raise StorageError(f"unknown object class {class_name!r}")
-        return list(self._extents[class_name])
+        self._sync_merged()
+        return list(self._merged_extents[class_name])
+
+    def oid_index(self, class_name: str) -> Mapping[int, ObjectInstance]:
+        """A read-only OID -> instance mapping over the whole class extent.
+
+        The mapping is shared and version-cached; callers must not mutate
+        it.  Executors use it for bulk OID resolution (index scans, merging
+        per-shard results) without paying a per-instance ``get`` call.
+        """
+        if class_name not in self._next_oid:
+            raise StorageError(f"unknown object class {class_name!r}")
+        self._sync_merged()
+        return self._merged_oid_maps[class_name]
 
     def get(self, class_name: str, oid: int) -> Optional[ObjectInstance]:
         """The instance ``class_name#oid`` or ``None``."""
-        return self._by_oid.get(class_name, {}).get(oid)
+        if class_name not in self._next_oid:
+            return None
+        shard = self.shards[self.shard_of(oid)]
+        return shard.by_oid[class_name].get(oid)
 
     def count(self, class_name: str) -> int:
         """Cardinality of the class extent."""
-        if class_name not in self._extents:
+        if class_name not in self._next_oid:
             raise StorageError(f"unknown object class {class_name!r}")
-        return len(self._extents[class_name])
+        return sum(shard.count(class_name) for shard in self.shards)
 
     def counts(self) -> Dict[str, int]:
         """Cardinality of every class extent."""
-        return {name: len(extent) for name, extent in self._extents.items()}
+        return {name: self.count(name) for name in self._next_oid}
 
     def total_instances(self) -> int:
         """Total number of instances across all extents."""
-        return sum(len(extent) for extent in self._extents.values())
+        return sum(self.count(name) for name in self._next_oid)
 
     # ------------------------------------------------------------------
     # Relationship traversal
@@ -150,14 +390,25 @@ class ObjectStore:
         This is the reverse traversal of a relationship and requires a scan
         of the source extent; the executor accounts for that cost.
         """
+        if source_class not in self._next_oid:
+            return []
         return [
             instance
-            for instance in self._extents.get(source_class, [])
+            for instance in self.instances(source_class)
             if instance.values.get(pointer_attribute) == target.oid
         ]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         summary = ", ".join(
-            f"{name}:{len(extent)}" for name, extent in self._extents.items()
+            f"{name}:{count}" for name, count in self.counts().items()
         )
-        return f"ObjectStore({summary})"
+        return f"{type(self).__name__}({summary}, shards={self.shard_count})"
+
+
+class ObjectStore(ShardedObjectStore):
+    """The historical single-store entry point: a one-shard shard set.
+
+    Kept as the default constructor the data generator, fixtures and most
+    callers use; pass ``shard_count`` to get a partitioned store for the
+    parallel execution path.
+    """

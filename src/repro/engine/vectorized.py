@@ -26,6 +26,18 @@ and join matches are collected with the same forward-then-backward,
 deduplicated-by-OID discipline.  The metrics-parity and differential-oracle
 tests pin both properties, which keeps the Table 4.2 / Figure 4.1 numbers
 engine-independent.
+
+Candidate derivations (the instances of a class passing its local
+predicates) are *derived at most once per plan* and memoized together with
+the metric deltas the derivation logically costs; every call-site then
+charges those deltas per use.  That reproduces the row-wise accounting
+exactly — a hash-join build charges once, the nested-loop strategy charges
+once per probing row — while the physical work happens once.  The split
+between deriving and charging is also what the parallel executor
+(:mod:`repro.engine.parallel`) builds on: its per-shard workers run these
+same plan nodes, route one-off charges into a ledger that the merge step
+counts exactly once, and charge per-row deltas locally so that summed
+worker metrics plus the deduplicated ledger equal a single-shard run.
 """
 
 from __future__ import annotations
@@ -57,12 +69,23 @@ class BindingBatch:
     all columns have equal length and row ``i`` across the columns is one
     binding.  Column insertion order matches the order classes were bound,
     which is what keeps materialized rows identical to the row-wise path.
+
+    ``positions`` is an optional parallel column of global row positions.
+    A single-shard execution never needs it; the parallel executor seeds it
+    with each driver row's index in the global scan output and lets it flow
+    through filters and join fan-out, so per-shard results can be merged
+    back into the exact single-shard row order.
     """
 
-    __slots__ = ("columns",)
+    __slots__ = ("columns", "positions")
 
-    def __init__(self, columns: Dict[str, List[ObjectInstance]]) -> None:
+    def __init__(
+        self,
+        columns: Dict[str, List[ObjectInstance]],
+        positions: Optional[List[int]] = None,
+    ) -> None:
         self.columns = columns
+        self.positions = positions
 
     @property
     def length(self) -> int:
@@ -77,7 +100,12 @@ class BindingBatch:
             {
                 name: [column[i] for i in indices]
                 for name, column in self.columns.items()
-            }
+            },
+            positions=(
+                [self.positions[i] for i in indices]
+                if self.positions is not None
+                else None
+            ),
         )
 
     def value_columns(self) -> Dict[str, List[Mapping[str, Any]]]:
@@ -88,10 +116,13 @@ class BindingBatch:
         }
 
 
+#: Metric deltas of one candidate derivation, in counter order:
+#: (instances_retrieved, predicate_evaluations, index_lookups).
+CandidateDeltas = Tuple[int, int, int]
+
 #: A memoized candidate derivation: the surviving instances plus the metric
-#: deltas (instances_retrieved, predicate_evaluations, index_lookups) the
-#: derivation charged, replayed on every reuse.
-_CandidateEntry = Tuple[List[ObjectInstance], Tuple[int, int, int]]
+#: deltas the derivation logically costs, charged on every use.
+_CandidateEntry = Tuple[List[ObjectInstance], CandidateDeltas]
 
 
 class _PlanContext:
@@ -103,35 +134,65 @@ class _PlanContext:
     re-derivations of the nested-loop strategy.  The context also memoizes
     candidate derivations: the store cannot change mid-plan, so a repeated
     derivation (the nested-loop strategy re-derives the same candidate set
-    once per source row) returns the memoized instances and *replays the
-    metric deltas* of the original derivation — the counters keep modelling
-    the logical operations the row-wise engine performs, which is what keeps
-    the Table 4.2 cost ratios engine-independent, while the physical work
-    happens once.
+    once per source row) returns the memoized instances while each use
+    *charges the metric deltas* of the original derivation — the counters
+    keep modelling the logical operations the row-wise engine performs,
+    which is what keeps the Table 4.2 cost ratios engine-independent, while
+    the physical work happens once.
+
+    ``one_off_ledger`` switches the context into parallel-worker mode: plan
+    nodes whose derivation is charged *once per plan* (hash-join builds)
+    record their deltas under a deterministic node key instead of charging
+    the local metrics, and the parallel merge charges each key exactly once
+    across all shards.  Per-row charges (nested-loop probes, filter
+    cascades, pointer traversals) stay local because they sum correctly.
     """
 
-    __slots__ = ("metrics", "_class_kernels", "_binding_kernels", "_candidates")
+    __slots__ = (
+        "metrics",
+        "one_off_ledger",
+        "node_seq",
+        "_class_kernels",
+        "_binding_kernels",
+        "_candidates",
+    )
 
-    def __init__(self, metrics: ExecutionMetrics) -> None:
+    def __init__(
+        self,
+        metrics: ExecutionMetrics,
+        one_off_ledger: Optional[Dict[Tuple, CandidateDeltas]] = None,
+    ) -> None:
         self.metrics = metrics
+        self.one_off_ledger = one_off_ledger
+        #: Deterministic plan-node counter: bumped once per node visited by
+        #: ``_run``, in recursion order, so every shard of a parallel run
+        #: assigns the same sequence numbers to the same nodes.
+        self.node_seq = 0
         self._class_kernels: Dict[Tuple[str, Predicate], ColumnKernel] = {}
         self._binding_kernels: Dict[Predicate, BindingKernel] = {}
         self._candidates: Dict[Tuple, _CandidateEntry] = {}
 
-    def cached_candidates(self, key: Tuple) -> Optional[List[ObjectInstance]]:
-        """Memoized candidate set for ``key``, with its metric deltas replayed."""
-        entry = self._candidates.get(key)
-        if entry is None:
-            return None
-        instances, (retrieved, evaluations, lookups) = entry
+    def charge(self, deltas: CandidateDeltas) -> None:
+        """Add one use of a derivation to the local counters."""
+        retrieved, evaluations, lookups = deltas
         metrics = self.metrics
         metrics.instances_retrieved += retrieved
         metrics.predicate_evaluations += evaluations
         metrics.index_lookups += lookups
-        return instances
+
+    def charge_one_off(self, key: Tuple, deltas: CandidateDeltas) -> None:
+        """Charge a once-per-plan derivation (ledgered in worker mode)."""
+        if self.one_off_ledger is not None:
+            self.one_off_ledger[key] = deltas
+        else:
+            self.charge(deltas)
+
+    def candidate_entry(self, key: Tuple) -> Optional[_CandidateEntry]:
+        """The memoized derivation for ``key``, if any (never charges)."""
+        return self._candidates.get(key)
 
     def store_candidates(
-        self, key: Tuple, instances: List[ObjectInstance], deltas: Tuple[int, int, int]
+        self, key: Tuple, instances: List[ObjectInstance], deltas: CandidateDeltas
     ) -> None:
         self._candidates[key] = (instances, deltas)
 
@@ -230,51 +291,59 @@ class VectorizedExecutor:
     # Node evaluation
     # ------------------------------------------------------------------
     def _run(
-        self, node: PlanNode, context: _PlanContext
+        self,
+        node: PlanNode,
+        context: _PlanContext,
+        scan_override: Optional[BindingBatch] = None,
     ) -> Tuple[BindingBatch, Tuple[str, ...]]:
+        context.node_seq += 1
+        node_seq = context.node_seq
         if isinstance(node, ScanNode):
+            if scan_override is not None:
+                return scan_override, ()
             return self._run_scan(node, context), ()
         if isinstance(node, TraverseNode):
-            batch, projections = self._run(node.child, context)
-            return self._run_traverse(node, batch, context), projections
+            batch, projections = self._run(node.child, context, scan_override)
+            return self._run_traverse(node, batch, context, node_seq), projections
         if isinstance(node, FilterNode):
-            batch, projections = self._run(node.child, context)
+            batch, projections = self._run(node.child, context, scan_override)
             return self._run_filter(node, batch, context), projections
         if isinstance(node, ProjectNode):
-            batch, _ = self._run(node.child, context)
+            batch, _ = self._run(node.child, context, scan_override)
             return batch, node.projections
         raise TypeError(f"unknown plan node type {type(node).__name__}")
 
-    def _candidate_instances(
+    def _derive_candidates(
         self,
         class_name: str,
         predicates: Sequence[Predicate],
         index_predicate: Optional[Predicate],
         context: _PlanContext,
-    ) -> List[ObjectInstance]:
-        """Instances of ``class_name`` passing ``predicates``, batched.
+    ) -> _CandidateEntry:
+        """Instances of ``class_name`` passing ``predicates``, with deltas.
 
-        Index selection and metric accounting mirror the row-wise
-        ``QueryExecutor._candidate_instances`` exactly; the remaining
-        predicates are applied as a compiled filter cascade whose per-stage
-        evaluation counts equal the row-wise short-circuit counts.  Repeat
-        derivations within one plan (nested-loop re-probes) come from the
-        context memo with their metric deltas replayed.
+        Derivation is memoized per plan execution (the store cannot change
+        mid-plan) and **never charges metrics itself** — it returns the
+        logical metric deltas and leaves the charging policy to the
+        call-site: once per plan for scans and hash-join builds, once per
+        probing row for the nested-loop strategy.  Index selection and the
+        compiled filter cascade mirror the row-wise
+        ``QueryExecutor._candidate_instances`` exactly, so the deltas equal
+        the row-wise charges for one derivation.
         """
-        metrics = context.metrics
         memo_key = (class_name, tuple(predicates), index_predicate)
-        cached = context.cached_candidates(memo_key)
-        if cached is not None:
-            return cached
-        retrieved_before = metrics.instances_retrieved
-        evaluations_before = metrics.predicate_evaluations
-        lookups_before = metrics.index_lookups
+        entry = context.candidate_entry(memo_key)
+        if entry is not None:
+            return entry
+        retrieved = 0
+        evaluations = 0
+        lookups = 0
         remaining = list(predicates)
         instances: List[ObjectInstance]
         chosen = index_predicate
         if chosen is None:
             for predicate in remaining:
-                if self.store.indexes.lookup(predicate) is not None:
+                if self.store.indexes.can_answer(predicate):
                     chosen = predicate
                     break
         if chosen is not None:
@@ -282,19 +351,18 @@ class VectorizedExecutor:
             if oids is None:
                 chosen = None
             else:
-                metrics.index_lookups += 1
+                lookups += 1
+                oid_index = self.store.oid_index(class_name)
                 instances = [
                     instance
-                    for instance in (
-                        self.store.get(class_name, oid) for oid in oids
-                    )
+                    for instance in (oid_index.get(oid) for oid in oids)
                     if instance is not None
                 ]
-                metrics.instances_retrieved += len(instances)
+                retrieved += len(instances)
                 remaining = [p for p in remaining if p is not chosen]
         if chosen is None:
             instances = self.store.instances(class_name)
-            metrics.instances_retrieved += len(instances)
+            retrieved += len(instances)
 
         survivors = instances
         if remaining:
@@ -303,34 +371,32 @@ class VectorizedExecutor:
                 if not survivors:
                     break
                 kernel = context.class_kernel(class_name, predicate)
-                metrics.predicate_evaluations += len(survivors)
+                evaluations += len(survivors)
                 mask = kernel(values)
                 survivors = [
                     instance for instance, keep in zip(survivors, mask) if keep
                 ]
                 values = [row for row, keep in zip(values, mask) if keep]
-        context.store_candidates(
-            memo_key,
-            survivors,
-            (
-                metrics.instances_retrieved - retrieved_before,
-                metrics.predicate_evaluations - evaluations_before,
-                metrics.index_lookups - lookups_before,
-            ),
-        )
-        return survivors
+        deltas = (retrieved, evaluations, lookups)
+        context.store_candidates(memo_key, survivors, deltas)
+        return survivors, deltas
 
     def _run_scan(self, node: ScanNode, context: _PlanContext) -> BindingBatch:
         predicates = list(node.predicates)
         if node.index_predicate is not None:
             predicates = [node.index_predicate] + predicates
-        instances = self._candidate_instances(
+        instances, deltas = self._derive_candidates(
             node.class_name, predicates, node.index_predicate, context
         )
+        context.charge(deltas)
         return BindingBatch({node.class_name: instances})
 
     def _run_traverse(
-        self, node: TraverseNode, batch: BindingBatch, context: _PlanContext
+        self,
+        node: TraverseNode,
+        batch: BindingBatch,
+        context: _PlanContext,
+        node_seq: int,
     ) -> BindingBatch:
         relationship = self.schema.relationship(node.relationship)
         source_attribute = relationship.attribute_for(node.source_class)
@@ -343,10 +409,15 @@ class VectorizedExecutor:
 
         # Hash-join style: build the target candidate set once, with the
         # target's local predicates applied through compiled kernels, then
-        # probe it with the whole source column.
-        candidates = self._candidate_instances(
+        # probe it with the whole source column.  The build is a
+        # once-per-plan charge, so in parallel-worker mode it goes to the
+        # one-off ledger — keyed by the node's deterministic sequence
+        # number (assigned at descent, identical in every shard) —
+        # instead of the shard-local counters.
+        candidates, deltas = self._derive_candidates(
             node.target_class, node.predicates, None, context
         )
+        context.charge_one_off((node_seq, "build"), deltas)
         pointers = self._pointers
         by_oid: Dict[int, ObjectInstance] = {c.oid: c for c in candidates}
         by_back_pointer: Dict[int, List[ObjectInstance]] = defaultdict(list)
@@ -384,9 +455,11 @@ class VectorizedExecutor:
     ) -> BindingBatch:
         """Nested-loop variant: re-derive the candidate set per binding.
 
-        The candidate re-derivation charges metrics per source row, exactly
-        like the row-wise nested loop; the compiled predicate kernels are
-        shared across the re-derivations via the plan context.
+        The candidate derivation is charged per source row, exactly like
+        the row-wise nested loop (the physical derivation happens once and
+        its deltas are replayed); the compiled predicate kernels are shared
+        across the re-derivations via the plan context.  Per-row charges
+        sum correctly across shards, so this path needs no ledger.
         """
         source_column = batch.columns.get(node.source_class)
         if source_column is None:
@@ -395,20 +468,21 @@ class VectorizedExecutor:
         pointers = self._pointers
         row_indices: List[int] = []
         target_column: List[ObjectInstance] = []
-        # The candidate derivation happens (and is charged) once per source
-        # row, as row-wise does; the probe structures over the (memoized,
-        # hence identical) candidate list are built once.  Candidate OIDs
-        # are unique within an extent, so emitting matched candidate indices
-        # in ascending order reproduces the row-wise "iterate candidates,
-        # keep the linked ones" output exactly.
+        # The candidate derivation is charged once per source row, as
+        # row-wise does; the probe structures over the (memoized, hence
+        # identical) candidate list are built once.  Candidate OIDs are
+        # unique within an extent, so emitting matched candidate indices in
+        # ascending order reproduces the row-wise "iterate candidates, keep
+        # the linked ones" output exactly.
         probe_for: Optional[List[ObjectInstance]] = None
         oid_to_index: Dict[int, int] = {}
         back_index: Dict[int, List[int]] = {}
         for i, source_instance in enumerate(source_column):
             metrics.pointer_traversals += 1
-            candidates = self._candidate_instances(
+            candidates, deltas = self._derive_candidates(
                 node.target_class, node.predicates, None, context
             )
+            context.charge(deltas)
             if candidates is not probe_for:
                 probe_for = candidates
                 oid_to_index = {c.oid: idx for idx, c in enumerate(candidates)}
@@ -440,7 +514,12 @@ class VectorizedExecutor:
             for name, column in batch.columns.items()
         }
         columns[target_class] = target_column
-        return BindingBatch(columns)
+        positions = (
+            [batch.positions[i] for i in row_indices]
+            if batch.positions is not None
+            else None
+        )
+        return BindingBatch(columns, positions=positions)
 
     def _run_filter(
         self, node: FilterNode, batch: BindingBatch, context: _PlanContext

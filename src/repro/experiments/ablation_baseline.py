@@ -23,8 +23,8 @@ achieved by each, and the number of profitability checks performed.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from ..core.baseline import StraightforwardOptimizer
 from ..core.optimizer import OptimizerConfig, SemanticQueryOptimizer

@@ -13,7 +13,7 @@ many constraints were fetched versus how many were actually relevant
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..constraints.groups import GroupingPolicy
 from ..constraints.repository import ConstraintRepository

@@ -9,8 +9,8 @@ suite under ``benchmarks/``.
 from __future__ import annotations
 
 import argparse
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from .ablation_baseline import BaselineComparison, run_baseline_ablation
 from .ablation_grouping import GroupingAblationResult, run_grouping_ablation
@@ -81,14 +81,16 @@ def run_all(
     seed: int = 7,
     quick: bool = False,
     engine: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentReport:
     """Run every experiment.
 
     ``quick`` shrinks workloads so the full report finishes in a few seconds
     (used by tests); the default parameters match the paper's setup.
     ``engine`` selects the execution engine for the cost-measuring
-    experiments (``"rowwise"`` / ``"vectorized"``; ``None`` = process
-    default) — counters, and therefore the reported numbers, are
+    experiments (``"rowwise"`` / ``"vectorized"`` / ``"parallel"``;
+    ``None`` = process default) and ``workers`` the parallel engine's pool
+    width — counters, and therefore the reported numbers, are
     engine-independent.
     """
     count = 12 if quick else query_count
@@ -102,6 +104,7 @@ def run_all(
         seed=seed,
         check_answers=not quick,
         execution_mode=engine,
+        workers=workers,
     )
     report.complexity = run_complexity(
         constraint_counts=(8, 16, 32) if quick else (8, 16, 32, 64, 128),
@@ -125,9 +128,15 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--engine",
-        choices=["rowwise", "vectorized"],
+        choices=["rowwise", "vectorized", "parallel"],
         default=None,
         help="execution engine for the cost-measuring experiments",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker-pool width for the parallel engine",
     )
     args = parser.parse_args(argv)
     report = run_all(
@@ -135,6 +144,7 @@ def main(argv=None) -> int:
         seed=args.seed,
         quick=args.quick,
         engine=args.engine,
+        workers=args.workers,
     )
     print(report.render())
     return 0

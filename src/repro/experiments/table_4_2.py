@@ -178,6 +178,8 @@ def run_table_4_2(
     check_answers: bool = True,
     queries: Optional[Sequence[Query]] = None,
     execution_mode: Optional[ExecutionMode] = None,
+    workers: Optional[int] = None,
+    shard_count: int = 1,
 ) -> Table42Result:
     """Reproduce Table 4.2.
 
@@ -200,6 +202,12 @@ def run_table_4_2(
         The engines report identical cost counters — the golden-snapshot
         tests pin this — so the mode changes the experiment's wall-clock
         time, never its numbers.
+    workers:
+        Worker-pool width for the parallel engine (ignored by the others).
+    shard_count:
+        Hash-partition the generated stores into this many shards.  The
+        generated data and the measured counters are identical for every
+        shard count; sharding only feeds the parallel engine's partitions.
     """
     specs = dict(specs or TABLE_4_1_SPECS)
     schema = evaluation.build_evaluation_schema()
@@ -213,7 +221,7 @@ def run_table_4_2(
     result = Table42Result(overhead_units_per_second=overhead_units_per_second)
     data_generator = DatabaseGenerator(schema, constraints, seed=seed)
     for name in sorted(specs):
-        database = data_generator.generate(specs[name])
+        database = data_generator.generate(specs[name], shard_count=shard_count)
         statistics = DatabaseStatistics.collect(schema, database.store)
         cost_model = CostModel(schema, statistics)
         repository = ConstraintRepository(schema)
@@ -236,6 +244,7 @@ def run_table_4_2(
             database.store,
             mode=execution_mode,
             join_strategy="nested_loop",
+            workers=workers,
         )
 
         row = Table42Row(database=name)

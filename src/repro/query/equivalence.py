@@ -21,7 +21,6 @@ from typing import TYPE_CHECKING, FrozenSet, List, Sequence, Tuple
 from .query import Query
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..engine.executor import QueryExecutor
     from ..engine.storage import ObjectStore
     from ..schema.schema import Schema
 
@@ -99,8 +98,16 @@ def answers_match(
     from ..engine.modes import create_executor
 
     executor = create_executor(schema, store, mode=execution_mode)
-    original_result = executor.execute(original)
-    optimized_result = executor.execute(optimized)
+    try:
+        original_result = executor.execute(original)
+        optimized_result = executor.execute(optimized)
+    finally:
+        # The parallel engine may have forked a worker pool for this
+        # one-shot executor; release it deterministically rather than
+        # leaving the processes to the GC finalizer.
+        close = getattr(executor, "close", None)
+        if close is not None:
+            close()
 
     optimized_classes = set(optimized.classes)
     shared_projections = [

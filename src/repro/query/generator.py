@@ -23,7 +23,7 @@ reproducible across runs, which the experiments rely on.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..constraints.predicate import ComparisonOperator, Constant, Predicate

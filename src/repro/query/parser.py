@@ -18,7 +18,7 @@ the paper prints them; programmatic construction through :class:`Query` and
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Union
 
 from ..constraints.predicate import (
     ComparisonOperator,

@@ -16,7 +16,7 @@ both safe and convenient.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..constraints.predicate import Predicate
 from ..schema.schema import Schema

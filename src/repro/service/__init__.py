@@ -13,6 +13,8 @@ precompilation") carried one level further up the stack.
 from .envelope import (
     BatchResult,
     BatchStats,
+    ExecutionBatchResult,
+    ExecutionBatchStats,
     ExecutionEnvelope,
     ResultSource,
     ServiceCacheSnapshot,
@@ -23,6 +25,8 @@ from .service import OptimizationService
 __all__ = [
     "BatchResult",
     "BatchStats",
+    "ExecutionBatchResult",
+    "ExecutionBatchStats",
     "ExecutionEnvelope",
     "OptimizationService",
     "ResultSource",

@@ -20,7 +20,7 @@ from ..core.trace import OptimizationTrace
 from ..query.query import Query
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..engine.executor import ExecutionMetrics, ExecutionResult
+    from ..engine.executor import ExecutionMetrics, ExecutionResult, ShardReport
 
 
 class ResultSource(enum.Enum):
@@ -146,6 +146,23 @@ class ExecutionEnvelope:
         """The engine's primitive-operation counters."""
         return self.execution.metrics
 
+    @property
+    def shard_reports(self) -> Optional[List["ShardReport"]]:
+        """Per-shard accounting when the parallel engine fanned out."""
+        return self.execution.shard_reports
+
+    @property
+    def shard_timings(self) -> Optional[Dict[int, float]]:
+        """Per-shard worker wall-clock seconds (``None`` unless fanned out).
+
+        The spread across shards shows partition skew; the maximum is the
+        pool-side critical path of this execution.
+        """
+        reports = self.execution.shard_reports
+        if reports is None:
+            return None
+        return {report.shard_id: report.elapsed for report in reports}
+
     def summary(self) -> str:
         """One-line human-readable execution summary."""
         prefix = (
@@ -153,10 +170,60 @@ class ExecutionEnvelope:
             if self.optimization is not None
             else "[unoptimized] "
         )
+        reports = self.execution.shard_reports
+        shards = f" across {len(reports)} shards" if reports else ""
         return (
             f"{prefix}{self.execution.row_count} rows via "
-            f"{self.execution_mode} engine in {self.execute_time * 1000:.2f} ms"
+            f"{self.execution_mode} engine{shards} in "
+            f"{self.execute_time * 1000:.2f} ms"
         )
+
+
+@dataclass
+class ExecutionBatchStats:
+    """Aggregate statistics of one :meth:`execute_many` call."""
+
+    total: int = 0
+    wall_time: float = 0.0
+    optimize_time: float = 0.0
+    execute_time: float = 0.0
+    workers: int = 1
+    execution_mode: str = ""
+
+    @property
+    def throughput(self) -> float:
+        """Executed queries per second over the batch (0.0 when empty)."""
+        return self.total / self.wall_time if self.wall_time > 0 else 0.0
+
+
+@dataclass
+class ExecutionBatchResult:
+    """Execution envelopes for a whole batch, aligned with the input order."""
+
+    results: List[ExecutionEnvelope] = field(default_factory=list)
+    stats: ExecutionBatchStats = field(default_factory=ExecutionBatchStats)
+
+    def total_rows(self) -> int:
+        """Total answer rows across the batch."""
+        return sum(envelope.execution.row_count for envelope in self.results)
+
+    def summary(self) -> str:
+        """One-line human-readable batch summary."""
+        return (
+            f"{self.stats.total} queries executed via "
+            f"{self.stats.execution_mode} engine in "
+            f"{self.stats.wall_time * 1000:.2f} ms "
+            f"({self.stats.throughput:.0f} q/s, {self.total_rows()} rows)"
+        )
+
+    def __iter__(self) -> Iterator[ExecutionEnvelope]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index: int) -> ExecutionEnvelope:
+        return self.results[index]
 
 
 @dataclass

@@ -37,6 +37,8 @@ from ..schema.schema import Schema
 from .envelope import (
     BatchResult,
     BatchStats,
+    ExecutionBatchResult,
+    ExecutionBatchStats,
     ExecutionEnvelope,
     ResultSource,
     ServiceCacheSnapshot,
@@ -70,8 +72,13 @@ class OptimizationService:
     execution_mode:
         Default engine for :meth:`execute` — an
         :class:`~repro.engine.modes.ExecutionMode` or its name
-        (``"rowwise"`` / ``"vectorized"``).  ``None`` uses the process
-        default (``REPRO_ENGINE`` env var, else rowwise).
+        (``"rowwise"`` / ``"vectorized"`` / ``"parallel"``).  ``None`` uses
+        the process default (``REPRO_ENGINE`` env var, else rowwise).
+    engine_workers:
+        Default worker-pool width for the parallel engine (``None`` =
+        ``REPRO_WORKERS`` env var, else the core count capped at 4).  This
+        is the *process pool inside one execution*; ``max_workers`` above
+        is the thread fan-out across queries of a batch.
     """
 
     def __init__(
@@ -85,6 +92,7 @@ class OptimizationService:
         max_workers: Optional[int] = None,
         store=None,
         execution_mode=None,
+        engine_workers: Optional[int] = None,
     ) -> None:
         self.optimizer = SemanticQueryOptimizer(
             schema,
@@ -97,8 +105,13 @@ class OptimizationService:
         self.max_workers = max_workers
         self.store = store
         self.execution_mode = execution_mode
+        self.engine_workers = engine_workers
         self._result_cache: LruCache = LruCache(result_cache_size)
-        self._executors: Dict[Tuple[str, str], object] = {}
+        self._executors: Dict[Tuple, object] = {}
+        # Warm in-process executors checked out by execute_many's worker
+        # threads and returned after each query, so batch after batch
+        # reuses the same store-version-keyed caches.
+        self._spare_executors: Dict[Tuple, List] = {}
 
     @property
     def repository(self) -> Optional[ConstraintRepository]:
@@ -200,17 +213,48 @@ class OptimizationService:
     def attach_store(self, store) -> None:
         """Attach (or replace) the object store used by :meth:`execute`."""
         self.store = store
-        self._executors.clear()
+        self._drop_executors()
 
-    def _executor(self, execution_mode, join_strategy: str):
-        """A cached executor for one (mode, strategy) pair.
+    def close(self) -> None:
+        """Release execution resources (worker pools, cached executors).
+
+        The service stays usable afterwards — the next execution simply
+        rebuilds what it needs — so this is about *deterministic* release
+        of the parallel engine's forked worker processes instead of
+        waiting for garbage collection.  Also usable as a context manager:
+        ``with OptimizationService(...) as service: ...``.
+        """
+        self._drop_executors()
+
+    def __enter__(self) -> "OptimizationService":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def _drop_executors(self) -> None:
+        """Forget cached executors, shutting down any worker pools."""
+        for executor in self._executors.values():
+            close = getattr(executor, "close", None)
+            if close is not None:
+                close()
+        self._executors.clear()
+        self._spare_executors.clear()
+
+    def _executor(self, execution_mode, join_strategy: str, workers=None):
+        """A cached executor for one (mode, strategy, workers) triple.
 
         Executors are reused across calls so the vectorized engine's
-        store-version-keyed pointer/fragment caches stay warm between
-        requests — the steady state of a server executing many queries
-        against one store.
+        store-version-keyed pointer/fragment caches — and the parallel
+        engine's forked worker pool — stay warm between requests, the
+        steady state of a server executing many queries against one store.
         """
-        from ..engine.modes import create_executor, resolve_execution_mode
+        from ..engine.modes import (
+            ExecutionMode,
+            create_executor,
+            resolve_execution_mode,
+            resolve_worker_count,
+        )
 
         if self.store is None:
             raise ValueError(
@@ -219,11 +263,24 @@ class OptimizationService:
             )
         mode = execution_mode if execution_mode is not None else self.execution_mode
         resolved = resolve_execution_mode(mode)
-        key = (resolved.value, join_strategy)
+        # Worker width only means anything to the parallel engine; keying
+        # the in-process engines on it would needlessly duplicate them (and
+        # their warm caches) per width value.
+        if resolved is ExecutionMode.PARALLEL:
+            width = resolve_worker_count(
+                workers if workers is not None else self.engine_workers
+            )
+        else:
+            width = 0
+        key = (resolved.value, join_strategy, width)
         executor = self._executors.get(key)
         if executor is None:
             executor = create_executor(
-                self.schema, self.store, mode=resolved, join_strategy=join_strategy
+                self.schema,
+                self.store,
+                mode=resolved,
+                join_strategy=join_strategy,
+                workers=width or None,
             )
             self._executors[key] = executor
         return executor
@@ -235,21 +292,24 @@ class OptimizationService:
         use_cache: bool = True,
         execution_mode=None,
         join_strategy: str = "hash",
+        workers: Optional[int] = None,
     ) -> ExecutionEnvelope:
         """Optimize ``query`` (optionally) and execute it against the store.
 
         The optimization half reuses :meth:`optimize` (including the result
         cache); the execution half runs on the engine selected by
-        ``execution_mode`` (service default, else process default).  Both
-        engines return identical rows and cost counters, so the mode only
-        changes wall-clock time.
+        ``execution_mode`` (service default, else process default), with
+        ``workers`` widening the parallel engine's pool.  Every engine
+        returns identical rows and cost counters, so the mode only changes
+        wall-clock time; parallel executions additionally report per-shard
+        timings on the envelope.
         """
         envelope: Optional[ServiceResult] = None
         target = query
         if optimize:
             envelope = self.optimize(query, use_cache=use_cache)
             target = envelope.optimized
-        executor = self._executor(execution_mode, join_strategy)
+        executor = self._executor(execution_mode, join_strategy, workers)
         start = time.perf_counter()
         execution = executor.execute(target)
         return ExecutionEnvelope(
@@ -259,6 +319,165 @@ class OptimizationService:
             execute_time=time.perf_counter() - start,
             optimization=envelope,
         )
+
+    def execute_many(
+        self,
+        queries: Iterable[Query],
+        optimize: bool = True,
+        use_cache: bool = True,
+        execution_mode=None,
+        join_strategy: str = "hash",
+        workers: Optional[int] = None,
+        max_workers: Optional[int] = None,
+    ) -> ExecutionBatchResult:
+        """Optimize (optionally) and execute a batch of queries.
+
+        The optimization half reuses :meth:`optimize_many` (batch dedup,
+        result cache, optional thread fan-out).  The execution half depends
+        on the engine: the **parallel** engine plans every query and feeds
+        the plans to its pipelined ``execute_plans`` batch API, so shard
+        tasks of different queries overlap on one worker pool; the
+        in-process engines fan the executions out over ``max_workers``
+        threads (each thread with its own executor, so no state races),
+        falling back to one warm cached executor when single-threaded.
+        Results always come back aligned with the input order.
+        """
+        from ..engine.modes import ExecutionMode, resolve_execution_mode
+
+        batch = list(queries)
+        start = time.perf_counter()
+        envelopes: List[Optional[ServiceResult]] = [None] * len(batch)
+        targets: List[Query] = batch
+        optimize_time = 0.0
+        if optimize and batch:
+            optimized = self.optimize_many(
+                batch, max_workers=max_workers, use_cache=use_cache
+            )
+            envelopes = list(optimized.results)
+            targets = optimized.optimized_queries()
+            optimize_time = optimized.stats.wall_time
+
+        mode = execution_mode if execution_mode is not None else self.execution_mode
+        resolved = resolve_execution_mode(mode)
+        execute_start = time.perf_counter()
+        if resolved is ExecutionMode.PARALLEL:
+            timed_executions, pool_width = self._execute_batch_parallel(
+                targets, join_strategy, workers
+            )
+        else:
+            timed_executions, pool_width = self._execute_batch_threaded(
+                targets, resolved, join_strategy, max_workers
+            )
+        execute_time = time.perf_counter() - execute_start
+
+        # Per-envelope timing: the in-process paths measure each execution
+        # individually; pipelined parallel executions report their worker
+        # critical path (max shard elapsed) when they fanned out, and fall
+        # back to the batch mean otherwise — queries overlap on one pool,
+        # so an exclusive per-query wall clock does not exist there.
+        mean_time = execute_time / len(batch) if batch else 0.0
+        results = [
+            ExecutionEnvelope(
+                query=query,
+                execution=execution,
+                execution_mode=resolved.value,
+                execute_time=elapsed if elapsed is not None else mean_time,
+                optimization=envelope,
+            )
+            for query, (execution, elapsed), envelope in zip(
+                batch, timed_executions, envelopes
+            )
+        ]
+        stats = ExecutionBatchStats(
+            total=len(batch),
+            wall_time=time.perf_counter() - start,
+            optimize_time=optimize_time,
+            execute_time=execute_time,
+            workers=pool_width,
+            execution_mode=resolved.value,
+        )
+        return ExecutionBatchResult(results=results, stats=stats)
+
+    def _execute_batch_parallel(self, targets, join_strategy: str, workers):
+        """Execute a batch on the (shared) parallel engine, pipelined.
+
+        Returns ``(execution, elapsed-or-None)`` pairs: ``elapsed`` is the
+        worker critical path (max shard elapsed) for fanned-out plans and
+        ``None`` for inline ones.
+        """
+        from ..engine.planner import ConventionalPlanner
+        from ..engine.statistics import DatabaseStatistics
+
+        executor = self._executor("parallel", join_strategy, workers)
+        if not targets:
+            return [], executor.workers
+        statistics = DatabaseStatistics.collect(self.schema, self.store)
+        planner = ConventionalPlanner(
+            self.schema, statistics, execution_mode=executor.mode
+        )
+        plans = [planner.plan(target) for target in targets]
+        timed = [
+            (
+                execution,
+                max(report.elapsed for report in execution.shard_reports)
+                if execution.shard_reports
+                else None,
+            )
+            for execution in executor.execute_plans(plans)
+        ]
+        return timed, executor.workers
+
+    def _execute_batch_threaded(
+        self, targets, resolved, join_strategy: str, max_workers
+    ):
+        """Execute a batch on per-thread in-process executors.
+
+        Returns ``(execution, elapsed)`` pairs with a real per-query wall
+        clock (measured inside the worker thread).
+        """
+        from ..engine.modes import create_executor
+
+        def timed(executor, target: Query):
+            start = time.perf_counter()
+            execution = executor.execute(target)
+            return execution, time.perf_counter() - start
+
+        width = max_workers if max_workers is not None else self.max_workers
+        if width is None or width <= 1 or len(targets) <= 1:
+            executor = self._executor(resolved, join_strategy)
+            return [timed(executor, target) for target in targets], 1
+
+        if self.store is None:
+            raise ValueError(
+                "OptimizationService has no object store attached; pass "
+                "store= at construction or call attach_store()"
+            )
+        pool_size = min(width, len(targets))
+        # Worker threads check executors out of a service-level spare pool
+        # and return them afterwards, so the warm pointer/fragment caches
+        # survive from batch to batch (at most ``pool_size`` executors ever
+        # accumulate per key; list.pop/append are atomic under the GIL).
+        spares = self._spare_executors.setdefault(
+            (resolved.value, join_strategy), []
+        )
+
+        def run(target: Query):
+            try:
+                executor = spares.pop()
+            except IndexError:
+                executor = create_executor(
+                    self.schema,
+                    self.store,
+                    mode=resolved,
+                    join_strategy=join_strategy,
+                )
+            try:
+                return timed(executor, target)
+            finally:
+                spares.append(executor)
+
+        with ThreadPoolExecutor(max_workers=pool_size) as pool:
+            return list(pool.map(run, targets)), pool_size
 
     # ------------------------------------------------------------------
     # Batch API

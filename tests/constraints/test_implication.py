@@ -4,7 +4,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.constraints import Predicate, conflicts, implies, is_subsumed_by_any, strongest
-from repro.constraints.predicate import ComparisonOperator
 
 
 def pred(op, value, attr="cargo.quantity"):

@@ -8,7 +8,6 @@ from repro.constraints import (
     GroupingPolicy,
     Predicate,
     SemanticConstraint,
-    build_example_constraints,
 )
 
 

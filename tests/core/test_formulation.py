@@ -10,7 +10,6 @@ from repro.core import (
     initialize,
     TransformationEngine,
 )
-from repro.engine import CostModel, DatabaseStatistics
 from repro.query import Query
 
 

@@ -1,7 +1,6 @@
 """Integration tests: the full optimizer over the generated evaluation setup."""
 
 from repro.core import OptimizerConfig, SemanticQueryOptimizer, StraightforwardOptimizer
-from repro.engine import QueryExecutor
 from repro.query import answers_match, structurally_equal
 
 

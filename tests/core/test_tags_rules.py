@@ -1,6 +1,5 @@
 """Unit tests for tags and the Table 3.1/3.2/3.3 rules."""
 
-import pytest
 
 from repro.constraints import ConstraintClass
 from repro.core import (

@@ -8,7 +8,6 @@ from repro.data import (
     DatabaseGenerator,
     DatabaseSpec,
     build_evaluation_constraints,
-    build_evaluation_schema,
 )
 
 

@@ -1,18 +1,23 @@
 """Randomized differential-correctness oracle for the execution engines.
 
 The optimizer's contract is that the optimized query answers exactly like
-the original; the vectorized engine's contract is that it answers exactly
-like the row-wise engine.  This harness checks both at once: it generates a
-large seeded workload (~500 queries via ``repro.query.generator`` over a
-database from ``repro.data.generator``), then runs every query
+the original; the vectorized and parallel engines' contract is that they
+answer exactly like the row-wise engine.  This harness checks all of it at
+once: it generates a large seeded workload (~500 queries via
+``repro.query.generator`` over a database from ``repro.data.generator``),
+then runs every query
 
-  (a) unoptimized, row-wise          (b) unoptimized, vectorized
-  (c) optimized,   row-wise          (d) optimized,   vectorized
+  (a) unoptimized, row-wise     (b) unoptimized, vectorized
+  (c) optimized,   row-wise     (d) optimized,   vectorized
+  (e) unoptimized, parallel     (f) optimized,   parallel
 
-and asserts all four answer sets are identical (projected onto the original
+and asserts the answer sets are identical (projected onto the original
 query's projection list, restricted — as ``answers_match`` does — to the
-classes class elimination kept).  Any mismatch is reported with the query,
-the combination and the differing rows.
+classes class elimination kept).  The parallel runs force the fan-out path
+(``min_partition_rows=1``) so the per-shard pipelines and the
+deterministic row/metric merge are exercised for every query, and their
+metrics must equal the vectorized engine's exactly.  Any mismatch is
+reported with the query, the combination and the differing rows.
 
 Rerun with a chosen seed::
 
@@ -28,7 +33,7 @@ import pytest
 
 from repro.core import OptimizerConfig
 from repro.data import TABLE_4_1_SPECS, build_evaluation_setup
-from repro.engine import QueryExecutor, VectorizedExecutor
+from repro.engine import ParallelExecutor, QueryExecutor, VectorizedExecutor
 from repro.service import OptimizationService
 
 #: Workload seed; override with REPRO_ORACLE_SEED to explore other corners.
@@ -75,39 +80,59 @@ def test_differential_oracle(oracle_setup):
     setup, service = oracle_setup
     rowwise = QueryExecutor(setup.schema, setup.store)
     vectorized = VectorizedExecutor(setup.schema, setup.store)
+    parallel = ParallelExecutor(
+        setup.schema, setup.store, workers=2, min_partition_rows=1
+    )
     mismatches = []
 
-    for query in setup.queries:
-        optimized = service.optimize(query).optimized
+    try:
+        for query in setup.queries:
+            optimized = service.optimize(query).optimized
 
-        row_original = rowwise.execute(query)
-        vec_original = vectorized.execute(query)
-        row_optimized = rowwise.execute(optimized)
-        vec_optimized = vectorized.execute(optimized)
+            row_original = rowwise.execute(query)
+            vec_original = vectorized.execute(query)
+            par_original = parallel.execute(query)
+            row_optimized = rowwise.execute(optimized)
+            vec_optimized = vectorized.execute(optimized)
+            par_optimized = parallel.execute(optimized)
 
-        # Engine differential on the *same* query: rows must be identical
-        # verbatim (same order, same attributes), not merely set-equal.
-        if vec_original.rows != row_original.rows:
-            mismatches.append((query.name, "original rowwise vs vectorized"))
-        if vec_optimized.rows != row_optimized.rows:
-            mismatches.append((query.name, "optimized rowwise vs vectorized"))
+            # Engine differential on the *same* query: rows must be
+            # identical verbatim (same order, same attributes), not merely
+            # set-equal — and the parallel merge must reproduce the
+            # vectorized engine's metrics counter for counter.
+            if vec_original.rows != row_original.rows:
+                mismatches.append((query.name, "original rowwise vs vectorized"))
+            if vec_optimized.rows != row_optimized.rows:
+                mismatches.append((query.name, "optimized rowwise vs vectorized"))
+            if par_original.rows != row_original.rows:
+                mismatches.append((query.name, "original rowwise vs parallel"))
+            if par_optimized.rows != row_optimized.rows:
+                mismatches.append((query.name, "optimized rowwise vs parallel"))
+            if par_original.metrics != vec_original.metrics:
+                mismatches.append((query.name, "original parallel metrics"))
+            if par_optimized.metrics != vec_optimized.metrics:
+                mismatches.append((query.name, "optimized parallel metrics"))
 
-        # Optimizer differential: answer sets on the shared projections.
-        projections = _shared_projections(query, optimized)
-        reference = _answer_set(row_original, projections)
-        for label, result in (
-            ("rowwise optimized", row_optimized),
-            ("vectorized optimized", vec_optimized),
-            ("vectorized original", vec_original),
-        ):
-            answers = _answer_set(result, projections)
-            if answers != reference:
-                mismatches.append(
-                    (
-                        query.name,
-                        f"{label}: {len(answers ^ reference)} differing rows",
+            # Optimizer differential: answer sets on the shared projections.
+            projections = _shared_projections(query, optimized)
+            reference = _answer_set(row_original, projections)
+            for label, result in (
+                ("rowwise optimized", row_optimized),
+                ("vectorized optimized", vec_optimized),
+                ("vectorized original", vec_original),
+                ("parallel optimized", par_optimized),
+                ("parallel original", par_original),
+            ):
+                answers = _answer_set(result, projections)
+                if answers != reference:
+                    mismatches.append(
+                        (
+                            query.name,
+                            f"{label}: {len(answers ^ reference)} differing rows",
+                        )
                     )
-                )
+    finally:
+        parallel.close()
 
     assert not mismatches, (
         f"{len(mismatches)} answer mismatches across "

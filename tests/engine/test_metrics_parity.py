@@ -15,6 +15,7 @@ from repro.constraints import Predicate
 from repro.engine import (
     ConventionalPlanner,
     CostModel,
+    ParallelExecutor,
     QueryExecutor,
     VectorizedExecutor,
 )
@@ -64,15 +65,22 @@ def test_counters_agree_on_fixture_database(
     planner = ConventionalPlanner(schema, statistics)
     rowwise = QueryExecutor(schema, store, join_strategy=join_strategy)
     vectorized = VectorizedExecutor(schema, store, join_strategy=join_strategy)
-    for query in fixture_queries():
-        plan = planner.plan(query)
-        row_result = rowwise.execute_plan(plan)
-        vec_result = vectorized.execute_plan(plan)
-        assert vec_result.metrics.as_dict() == row_result.metrics.as_dict(), (
-            f"counter divergence for {query}"
-        )
-        assert vec_result.rows == row_result.rows
-        assert vec_result.projections == row_result.projections
+    parallel = ParallelExecutor(
+        schema, store, join_strategy=join_strategy, workers=2, min_partition_rows=1
+    )
+    try:
+        for query in fixture_queries():
+            plan = planner.plan(query)
+            row_result = rowwise.execute_plan(plan)
+            for executor in (vectorized, parallel):
+                result = executor.execute_plan(plan)
+                assert result.metrics.as_dict() == row_result.metrics.as_dict(), (
+                    f"counter divergence for {query} on {executor.mode.value}"
+                )
+                assert result.rows == row_result.rows
+                assert result.projections == row_result.projections
+    finally:
+        parallel.close()
 
 
 def test_specific_counters_pinned(seeded_logistics_database):
@@ -80,14 +88,19 @@ def test_specific_counters_pinned(seeded_logistics_database):
     schema, store, statistics = seeded_logistics_database
     planner = ConventionalPlanner(schema, statistics)
     plan = planner.plan(fixture_queries()[1])
-    for executor in (
-        QueryExecutor(schema, store),
-        VectorizedExecutor(schema, store),
-    ):
-        metrics = executor.execute_plan(plan).metrics
-        assert metrics.rows_output == 2
-        assert metrics.index_lookups == 1
-        assert metrics.pointer_traversals == 2
+    parallel = ParallelExecutor(schema, store, workers=2, min_partition_rows=1)
+    try:
+        for executor in (
+            QueryExecutor(schema, store),
+            VectorizedExecutor(schema, store),
+            parallel,
+        ):
+            metrics = executor.execute_plan(plan).metrics
+            assert metrics.rows_output == 2
+            assert metrics.index_lookups == 1
+            assert metrics.pointer_traversals == 2
+    finally:
+        parallel.close()
 
 
 def test_counters_agree_on_generated_workload(small_setup):

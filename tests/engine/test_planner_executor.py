@@ -61,7 +61,9 @@ def test_nested_loop_strategy_matches_hash_results(database):
     query = two_class_query()
     hash_result = QueryExecutor(schema, store, join_strategy="hash").execute(query)
     nested = QueryExecutor(schema, store, join_strategy="nested_loop").execute(query)
-    key = lambda row: (row["cargo.code"], row["vehicle.vehicle_no"])
+    def key(row):
+        return (row["cargo.code"], row["vehicle.vehicle_no"])
+
     assert sorted(map(key, hash_result.rows)) == sorted(map(key, nested.rows))
     # The nested-loop strategy retrieves strictly more instances.
     assert (

@@ -1,0 +1,182 @@
+"""Sharded object store: routing, merged views, and generation parity."""
+
+import pytest
+
+from repro.data import TABLE_4_1_SPECS, DatabaseGenerator
+from repro.engine import ObjectStore, ShardedObjectStore, StorageError
+from repro.constraints import Predicate
+
+
+def _fill(store, rows=12):
+    """Insert a deterministic batch of cargo/vehicle instances."""
+    vehicles = [
+        store.insert("vehicle", {"vehicle_no": f"V{i}", "desc": "van", "class": i % 3})
+        for i in range(rows // 2)
+    ]
+    cargos = [
+        store.insert(
+            "cargo",
+            {
+                "code": f"C{i}",
+                "desc": "frozen food" if i % 2 == 0 else "textiles",
+                "quantity": 10 * i,
+                "category": "general",
+                "collects": vehicles[i % len(vehicles)].oid,
+            },
+        )
+        for i in range(rows)
+    ]
+    return vehicles, cargos
+
+
+def test_oid_routing_and_shard_slices(evaluation_schema):
+    store = ShardedObjectStore(evaluation_schema, shard_count=3)
+    _vehicles, cargos = _fill(store)
+    assert store.shard_count == 3
+    for instance in cargos:
+        assert store.shard_of(instance.oid) == instance.oid % 3
+        shard = store.shards[store.shard_of(instance.oid)]
+        assert shard.by_oid["cargo"][instance.oid] is instance
+    # Shard slices partition the extent and the merged view is OID-ordered.
+    slices = [store.instances_in_shard("cargo", s) for s in range(3)]
+    assert sum(len(part) for part in slices) == len(cargos)
+    merged = store.instances("cargo")
+    assert merged == sorted(merged, key=lambda i: i.oid)
+    assert {i.oid for part in slices for i in part} == {i.oid for i in merged}
+
+
+def test_sharded_store_matches_single_shard(evaluation_schema):
+    single = ObjectStore(evaluation_schema)
+    sharded = ShardedObjectStore(evaluation_schema, shard_count=4)
+    _fill(single)
+    _fill(sharded)
+    assert [i.oid for i in single.instances("cargo")] == [
+        i.oid for i in sharded.instances("cargo")
+    ]
+    assert single.counts() == sharded.counts()
+    assert single.total_instances() == sharded.total_instances()
+    for oid in (1, 5, 9):
+        assert sharded.get("cargo", oid).values == single.get("cargo", oid).values
+    # Index lookups answer identically (equality and ranges).
+    for predicate in (
+        Predicate.equals("cargo.desc", "frozen food"),
+        Predicate.selection("vehicle.class", ">=", 1),
+        Predicate.selection("vehicle.class", "<", 2),
+    ):
+        single_oids = single.indexes.lookup(predicate)
+        sharded_oids = sharded.indexes.lookup(predicate)
+        assert single_oids is not None
+        assert sorted(single_oids) == sorted(sharded_oids)
+    assert single.indexes.distinct_count("cargo", "desc") == (
+        sharded.indexes.distinct_count("cargo", "desc")
+    )
+
+
+def test_range_lookup_order_matches_single_shard(evaluation_schema):
+    """Range lookups must merge in (value, oid) order, not OID order.
+
+    A single SortedIndex answers ranges sorted by (value, oid); the shard
+    set's merge must reproduce exactly that sequence, because index-scan
+    candidate order determines result-row order.  Values are deliberately
+    anti-correlated with OIDs so the two orders differ.
+    """
+    single = ObjectStore(evaluation_schema)
+    sharded = ShardedObjectStore(evaluation_schema, shard_count=3)
+    for store in (single, sharded):
+        for i in range(20):
+            store.insert(
+                "vehicle",
+                {"vehicle_no": f"V{i}", "desc": "van", "class": (37 * (i + 1)) % 11},
+            )
+    for predicate in (
+        Predicate.selection("vehicle.class", ">", 2),
+        Predicate.selection("vehicle.class", "<=", 8),
+        Predicate.selection("vehicle.class", ">=", 5),
+    ):
+        single_oids = single.indexes.lookup(predicate)
+        sharded_oids = sharded.indexes.lookup(predicate)
+        assert single_oids == sharded_oids, str(predicate)
+        assert single_oids != sorted(single_oids), (
+            "test data failed to decouple value order from OID order"
+        )
+
+
+def test_mutations_route_and_bump_versions(evaluation_schema):
+    store = ShardedObjectStore(evaluation_schema, shard_count=2)
+    _vehicles, cargos = _fill(store, rows=6)
+    before = store.version
+    target = cargos[3]
+    shard_id = store.shard_of(target.oid)
+    shard_before = store.shard_versions()[shard_id]
+    store.update("cargo", target.oid, {"desc": "relocated goods"})
+    assert store.version == before + 1
+    assert store.shard_versions()[shard_id] == shard_before + 1
+    assert store.indexes.lookup(
+        Predicate.equals("cargo.desc", "relocated goods")
+    ) == [target.oid]
+    store.delete("cargo", target.oid)
+    assert store.get("cargo", target.oid) is None
+    assert target.oid not in [i.oid for i in store.instances("cargo")]
+    with pytest.raises(StorageError):
+        store.delete("cargo", target.oid)
+
+
+def test_rebuild_indexes_refreshes_global_view(evaluation_schema):
+    """In-place value repairs followed by rebuild must be visible globally.
+
+    Regression test: the store-level index facade used to alias the shard's
+    IndexManager object, so a rebuild (which replaces that object) left the
+    facade answering from the stale pre-repair index.
+    """
+    for shard_count in (1, 3):
+        store = ShardedObjectStore(evaluation_schema, shard_count=shard_count)
+        _fill(store, rows=6)
+        victim = store.instances("cargo")[0]
+        victim.values["desc"] = "explosives"  # bypasses update() on purpose
+        store.rebuild_indexes()
+        oids = store.indexes.lookup(Predicate.equals("cargo.desc", "explosives"))
+        assert oids == [victim.oid], f"stale index view with {shard_count} shards"
+
+
+def test_oid_index_and_merged_cache_invalidation(evaluation_schema):
+    store = ShardedObjectStore(evaluation_schema, shard_count=2)
+    _fill(store, rows=4)
+    index = store.oid_index("cargo")
+    assert set(index) == {i.oid for i in store.instances("cargo")}
+    inserted = store.insert(
+        "cargo", {"code": "CX", "desc": "late", "quantity": 1, "category": "general"}
+    )
+    assert inserted.oid in store.oid_index("cargo")
+    assert inserted in store.instances("cargo")
+
+
+def test_invalid_shard_count_rejected(evaluation_schema):
+    with pytest.raises(StorageError):
+        ShardedObjectStore(evaluation_schema, shard_count=0)
+
+
+def test_generation_is_sharding_independent():
+    plain = DatabaseGenerator(seed=5).generate(TABLE_4_1_SPECS["DB1"])
+    sharded = DatabaseGenerator(seed=5).generate(TABLE_4_1_SPECS["DB1"], shard_count=4)
+    assert sharded.store.shard_count == 4
+    for class_name in plain.schema.class_names():
+        left = plain.store.instances(class_name)
+        right = sharded.store.instances(class_name)
+        assert [i.oid for i in left] == [i.oid for i in right]
+        assert [i.values for i in left] == [i.values for i in right]
+    assert plain.value_catalog == sharded.value_catalog
+
+
+def test_generation_replay_cache_returns_independent_stores():
+    generator = DatabaseGenerator(seed=6)
+    first = generator.generate(TABLE_4_1_SPECS["DB1"])
+    second = generator.generate(TABLE_4_1_SPECS["DB1"])
+    assert first.store is not second.store
+    assert [i.values for i in first.store.instances("cargo")] == [
+        i.values for i in second.store.instances("cargo")
+    ]
+    # Mutating one generated database must not leak into later replays.
+    victim = first.store.instances("cargo")[0]
+    first.store.update("cargo", victim.oid, {"quantity": -1})
+    third = generator.generate(TABLE_4_1_SPECS["DB1"])
+    assert third.store.get("cargo", victim.oid).values["quantity"] != -1

@@ -8,7 +8,6 @@ from repro.schema import (
     Schema,
     SchemaError,
     build_core_example_schema,
-    build_example_schema,
     value_attribute,
 )
 
