@@ -6,6 +6,14 @@ trace, the predicate classification and the transformed query.  It is a thin
 wrapper over the library — handy for poking at the optimizer without writing
 a script.
 
+Two subcommands wrap the serving layer:
+
+* ``python -m repro serve`` — start the asyncio query gateway over a
+  generated evaluation database (Table 4.1 spec selected with ``--db``).
+* ``python -m repro bench-client`` — drive a served gateway with the
+  multi-client load generator and report p50/p95 latency, rows/s and the
+  single-flight dedup rate (optionally persisting them as JSON).
+
 Examples
 --------
 Optimize the paper's Figure 2.3 query against the Figure 2.1 schema::
@@ -18,11 +26,18 @@ Optimize the paper's Figure 2.3 query against the Figure 2.1 schema::
 Run the full experiment suite instead::
 
     python -m repro --experiments
+
+Serve the DB2 database on the vectorized engine, then load it::
+
+    python -m repro serve --db DB2 --engine vectorized --port 7431
+    python -m repro bench-client --port 7431 --clients 16 --requests 20
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import sys
 from typing import List, Optional
 
@@ -47,6 +62,11 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Semantic query optimization (Pang, Lu, Ooi — ICDE 1991): "
             "optimize a query in the paper's five-part notation."
+        ),
+        epilog=(
+            "subcommands: 'repro serve' starts the async query gateway, "
+            "'repro bench-client' load-tests a served gateway "
+            "(each has its own --help)."
         ),
     )
     parser.add_argument(
@@ -204,8 +224,233 @@ def run_query(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# serve / bench-client subcommands
+# ----------------------------------------------------------------------
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``serve`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Start the asyncio query gateway over a generated evaluation "
+            "database (line-delimited JSON over TCP)."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="listen address")
+    parser.add_argument(
+        "--port", type=int, default=7431, help="listen port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--db",
+        choices=["DB1", "DB2", "DB3", "DB4"],
+        default="DB2",
+        help="which Table 4.1 database instance to generate and serve",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1, help="store shard count (parallel engine)"
+    )
+    parser.add_argument(
+        "--engine",
+        choices=["rowwise", "vectorized", "parallel"],
+        default=None,
+        help="default execution engine (default: REPRO_ENGINE, else rowwise)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="parallel-engine pool width"
+    )
+    parser.add_argument(
+        "--worker-threads", type=int, default=4, help="gateway worker thread count"
+    )
+    parser.add_argument(
+        "--max-in-flight", type=int, default=64, help="admission: max active requests"
+    )
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help="per-request budget in seconds",
+    )
+    return parser
+
+
+def run_serve(argv: List[str]) -> int:
+    """``python -m repro serve``: run the gateway until interrupted."""
+    from .data import TABLE_4_1_SPECS, build_evaluation_setup
+    from .server import QueryGateway
+    from .service import OptimizationService
+
+    args = build_serve_parser().parse_args(argv)
+
+    async def serve() -> None:
+        # The server doesn't need a workload, only the database; the
+        # generator requires at least one query.
+        setup = build_evaluation_setup(
+            TABLE_4_1_SPECS[args.db], query_count=1, shard_count=args.shards
+        )
+        service = OptimizationService(
+            setup.schema,
+            repository=setup.repository,
+            cost_model=setup.cost_model,
+            store=setup.store,
+            execution_mode=args.engine,
+            engine_workers=args.workers,
+        )
+        gateway = QueryGateway(
+            service,
+            args.host,
+            args.port,
+            worker_threads=args.worker_threads,
+            max_in_flight=args.max_in_flight,
+            request_timeout=args.request_timeout,
+        )
+        host, port = await gateway.start()
+        print(
+            f"repro gateway serving {args.db} on {host}:{port} "
+            f"(engine={args.engine or 'default'}, "
+            f"threads={args.worker_threads}); Ctrl-C to drain and stop",
+            flush=True,
+        )
+        try:
+            await gateway.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            drained = await gateway.stop()
+            print(f"gateway stopped (drained={drained})", flush=True)
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def build_bench_client_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``bench-client`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro bench-client",
+        description=(
+            "Drive a served gateway with the multi-client load generator "
+            "and report p50/p95 latency, rows/s and the dedup rate."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="gateway address")
+    parser.add_argument("--port", type=int, default=7431, help="gateway port")
+    parser.add_argument("--clients", type=int, default=16, help="client connections")
+    parser.add_argument(
+        "--requests", type=int, default=20, help="requests issued per client"
+    )
+    parser.add_argument(
+        "--db",
+        choices=["DB1", "DB2", "DB3", "DB4"],
+        default="DB2",
+        help="workload source (must match the served database's spec)",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=12, help="distinct workload queries to cycle"
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="open-loop arrival rate per client (requests/s); default closed loop",
+    )
+    parser.add_argument(
+        "--op", choices=["execute", "optimize"], default="execute", help="RPC to drive"
+    )
+    parser.add_argument(
+        "--engine",
+        choices=["rowwise", "vectorized", "parallel"],
+        default=None,
+        help="execution_mode option sent with every request",
+    )
+    parser.add_argument(
+        "--artifact",
+        default=None,
+        help="merge the report into this JSON file (e.g. benchmarks/BENCH_gateway.json)",
+    )
+    return parser
+
+
+def run_bench_client(argv: List[str]) -> int:
+    """``python -m repro bench-client``: load a served gateway and report."""
+    from .data import TABLE_4_1_SPECS, build_evaluation_setup
+    from .query import format_query
+    from .server import AsyncGatewayClient, run_load
+
+    args = build_bench_client_parser().parse_args(argv)
+
+    if args.clients < 1 or args.requests < 1:
+        build_bench_client_parser().error("--clients and --requests must be >= 1")
+
+    async def bench():
+        # The workload generator is seeded, so building the setup locally
+        # yields exactly the queries the served database understands.
+        setup = build_evaluation_setup(
+            TABLE_4_1_SPECS[args.db], query_count=max(args.queries, 1)
+        )
+        queries = [format_query(query) for query in setup.queries]
+        options = {}
+        if args.engine:
+            options["execution_mode"] = args.engine
+        clients = []
+        try:
+            for index in range(args.clients):
+                clients.append(
+                    await AsyncGatewayClient.connect(
+                        args.host, args.port, client_id=f"bench-{index}"
+                    )
+                )
+            report = await run_load(
+                clients,
+                queries,
+                requests_per_client=args.requests,
+                op=args.op,
+                options=options,
+                rate=args.rate,
+            )
+            stats = await clients[0].stats()
+        finally:
+            for client in clients:
+                await client.close()
+        return report, stats
+
+    report, stats = asyncio.run(bench())
+    print(report.describe())
+    dedup = stats["service"]["single_flight"]
+    print(
+        f"server single-flight: {dedup['leaders']} leaders, "
+        f"{dedup['followers']} followers ({dedup['dedup_rate']:.0%} dedup)"
+    )
+    if args.artifact:
+        try:
+            with open(args.artifact) as handle:
+                data = json.load(handle)
+        except (FileNotFoundError, ValueError):
+            data = {}
+        data["bench_client"] = {
+            **report.as_dict(),
+            "op": args.op,
+            "db": args.db,
+            "engine": args.engine or "default",
+            "server_single_flight": dedup,
+        }
+        with open(args.artifact, "w") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.artifact}")
+    return 0 if report.errors == 0 else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return run_serve(argv[1:])
+    if argv and argv[0] == "bench-client":
+        return run_bench_client(argv[1:])
+
     parser = build_parser()
     args = parser.parse_args(argv)
 

@@ -44,7 +44,7 @@ class RepositoryStats:
     closure_iterations: int
 
 
-@dataclass
+@dataclass(frozen=True)
 class RepositoryCacheStats:
     """Hit/miss accounting for the repository's caches.
 
@@ -52,6 +52,11 @@ class RepositoryCacheStats:
     (one entry per distinct query class/relationship set per repository
     generation); ``closure_*`` counts reuse of materialized closures across
     precompilations of an identical declared constraint set.
+
+    Instances are immutable snapshots: each underlying cache's counters are
+    read atomically (:meth:`repro.caching.LruCache.snapshot`), so a
+    snapshot taken while other threads optimize concurrently is internally
+    consistent rather than torn across in-flight counter updates.
     """
 
     retrieval_hits: int = 0
@@ -149,15 +154,22 @@ class ConstraintRepository:
         self._retrieval_cache.clear()
 
     def cache_stats(self) -> RepositoryCacheStats:
-        """Hit/miss accounting for the retrieval and closure caches."""
+        """An immutable, internally consistent snapshot of cache counters.
+
+        Each cache's counters are read under that cache's lock, so the
+        snapshot never shows a torn view (e.g. a hit counted without its
+        lookup) even while worker threads keep optimizing.
+        """
+        retrieval = self._retrieval_cache.snapshot()
+        closure = self._closure_cache.snapshot()
         return RepositoryCacheStats(
-            retrieval_hits=self._retrieval_cache.hits,
-            retrieval_misses=self._retrieval_cache.misses,
-            retrieval_evictions=self._retrieval_cache.evictions,
-            retrieval_entries=len(self._retrieval_cache),
-            retrieval_maxsize=self._retrieval_cache.maxsize,
-            closure_hits=self._closure_cache.hits,
-            closure_misses=self._closure_cache.misses,
+            retrieval_hits=retrieval.hits,
+            retrieval_misses=retrieval.misses,
+            retrieval_evictions=retrieval.evictions,
+            retrieval_entries=retrieval.entries,
+            retrieval_maxsize=retrieval.maxsize,
+            closure_hits=closure.hits,
+            closure_misses=closure.misses,
         )
 
     # ------------------------------------------------------------------

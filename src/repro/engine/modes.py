@@ -136,6 +136,17 @@ def create_executor(
     metrics, so callers can treat the return value uniformly.  ``workers``
     only applies to the parallel engine (``None`` = ``REPRO_WORKERS`` env
     var, else the core count capped at :data:`MAX_DEFAULT_WORKERS`).
+
+    >>> from repro.engine.storage import ObjectStore
+    >>> from repro.schema import build_example_schema
+    >>> schema = build_example_schema()
+    >>> executor = create_executor(schema, ObjectStore(schema), mode="vectorized")
+    >>> executor.mode.value
+    'vectorized'
+    >>> create_executor(schema, ObjectStore(schema), mode="warp")
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown execution mode 'warp' (choose from: rowwise, vectorized, parallel)
     """
     resolved = resolve_execution_mode(mode)
     if resolved is ExecutionMode.PARALLEL:

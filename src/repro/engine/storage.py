@@ -176,7 +176,21 @@ class ShardedObjectStore:
     global semantics through merged views.  OIDs are assigned from one
     global per-class sequence regardless of the shard count, so the same
     insertion stream produces the same instances — and the same global
-    ordering — for any sharding.
+    ordering — for any sharding:
+
+    >>> from repro.schema import build_example_schema
+    >>> store = ShardedObjectStore(build_example_schema(), shard_count=3)
+    >>> oids = [store.insert("supplier", {"name": f"S{i}"}).oid for i in range(5)]
+    >>> [store.shard_of(oid) for oid in oids]
+    [1, 2, 0, 1, 2]
+    >>> [i.oid for i in store.instances("supplier")]  # merged view, OID order
+    [1, 2, 3, 4, 5]
+    >>> store.count("supplier"), store.shard_count
+    (5, 3)
+    >>> before = store.version
+    >>> _ = store.insert("supplier", {"name": "S5"})
+    >>> store.version > before  # mutation counter feeds derived caches
+    True
     """
 
     def __init__(self, schema: Schema, shard_count: int = 1) -> None:

@@ -1,0 +1,182 @@
+"""Async client for the query gateway.
+
+:class:`AsyncGatewayClient` speaks the line-delimited JSON protocol in two
+transports behind one API:
+
+* **TCP** (:meth:`AsyncGatewayClient.connect`) — a real socket to a served
+  gateway.  Requests are pipelined: any number of coroutines may issue
+  requests on one connection concurrently; a background reader task
+  demultiplexes responses back to their callers by correlation id.
+* **in-process** (:meth:`AsyncGatewayClient.in_process`) — no socket; each
+  request is dispatched straight into a :class:`QueryGateway` living in
+  the same event loop.  The full parse → admission → single-flight path
+  still runs, which is what the gateway's tests and the dedup benchmark
+  drive.
+
+Successful responses return the ``result`` payload dict; error responses
+raise :class:`~repro.server.errors.GatewayRequestError` carrying the wire
+code (``protocol_error``, ``overloaded``, ``timeout``, ...).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, List, Optional
+
+from .errors import GatewayError, GatewayRequestError
+from .protocol import decode_frame, encode_frame
+
+
+class AsyncGatewayClient:
+    """One logical client of the gateway (TCP or in-process).
+
+    Construct via :meth:`connect` or :meth:`in_process`, then call the RPC
+    helpers; every helper is safe to call from many coroutines at once.
+    """
+
+    def __init__(
+        self,
+        *,
+        reader: Optional[asyncio.StreamReader] = None,
+        writer: Optional[asyncio.StreamWriter] = None,
+        gateway=None,
+        client_id: str = "client",
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._gateway = gateway
+        self.client_id = client_id
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._reader_task: Optional[asyncio.Task] = None
+        self._closed = False
+        if reader is not None:
+            self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, client_id: str = "client"
+    ) -> "AsyncGatewayClient":
+        """Open a TCP connection to a served gateway.
+
+        ``client_id`` is a local label only — it is not transmitted.  On
+        the TCP path the gateway identifies clients by peer address, so
+        admission fairness and pending caps are **per connection**; only
+        the in-process path (:meth:`in_process`) honors the id directly.
+        """
+        reader, writer = await asyncio.open_connection(host, port, limit=1 << 26)
+        return cls(reader=reader, writer=writer, client_id=client_id)
+
+    @classmethod
+    def in_process(cls, gateway, client_id: str = "in-process") -> "AsyncGatewayClient":
+        """A client that dispatches straight into ``gateway`` (no socket)."""
+        return cls(gateway=gateway, client_id=client_id)
+
+    # ------------------------------------------------------------------
+    # RPC helpers
+    # ------------------------------------------------------------------
+    async def optimize(self, query: str, **options: Any) -> Dict[str, Any]:
+        """Optimize one query text; returns the optimization payload."""
+        return await self.request({"op": "optimize", "query": query, "options": options})
+
+    async def execute(self, query: str, **options: Any) -> Dict[str, Any]:
+        """Optimize (by default) and execute one query text."""
+        return await self.request({"op": "execute", "query": query, "options": options})
+
+    async def execute_batch(
+        self, queries: List[str], **options: Any
+    ) -> Dict[str, Any]:
+        """Execute a batch of query texts in one round trip."""
+        return await self.request(
+            {"op": "execute_batch", "queries": list(queries), "options": options}
+        )
+
+    async def stats(self) -> Dict[str, Any]:
+        """One immutable snapshot of service + gateway counters."""
+        return await self.request({"op": "stats"})
+
+    async def add_rule(self, rule: Dict[str, Any]) -> Dict[str, Any]:
+        """Declare a semantic constraint (see :func:`protocol.parse_rule`)."""
+        return await self.request({"op": "rules", "action": "add", "rule": rule})
+
+    async def remove_rule(self, name: str) -> Dict[str, Any]:
+        """Remove a declared constraint by name."""
+        return await self.request({"op": "rules", "action": "remove", "name": name})
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    async def request(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request frame and await its ``result`` payload."""
+        if self._closed:
+            raise GatewayError("client is closed")
+        frame = dict(frame, id=next(self._ids))
+        if self._gateway is not None:
+            response = await self._gateway.dispatch(frame, self.client_id)
+        else:
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            self._pending[frame["id"]] = future
+            try:
+                self._writer.write(encode_frame(frame))
+                await self._writer.drain()
+                response = await future
+            finally:
+                self._pending.pop(frame["id"], None)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise GatewayRequestError(
+                error.get("code", "internal"), error.get("message", "unknown error")
+            )
+        return response["result"]
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    response = decode_frame(line)
+                except GatewayError:
+                    continue  # server never sends malformed frames; skip
+                future = self._pending.get(response.get("id"))
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        GatewayError("connection closed before response")
+                    )
+
+    async def close(self) -> None:
+        """Close the connection (no-op beyond bookkeeping when in-process)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def __aenter__(self) -> "AsyncGatewayClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc_value, traceback) -> None:
+        await self.close()

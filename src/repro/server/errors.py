@@ -1,0 +1,74 @@
+"""Gateway error taxonomy.
+
+Every failure the gateway can report to a client maps to one
+:class:`GatewayError` subclass with a stable wire ``code``, so clients can
+branch on the code without parsing messages and the protocol module can
+serialize any gateway exception uniformly (:func:`~repro.server.protocol.
+error_response`).  Unexpected exceptions inside handlers are reported with
+the generic ``internal`` code and never take the connection down.
+"""
+
+from __future__ import annotations
+
+
+class GatewayError(Exception):
+    """Base class for every error the gateway reports over the wire."""
+
+    #: Stable machine-readable error code sent in the response frame.
+    code = "internal"
+
+
+class ProtocolError(GatewayError):
+    """The request frame is malformed (bad JSON, unknown op, bad query).
+
+    Protocol errors are per-frame, not per-connection: the session answers
+    with an error response and keeps reading, so one bad frame from a
+    client never kills its other in-flight requests.
+    """
+
+    code = "protocol_error"
+
+
+class AdmissionError(GatewayError):
+    """The gateway is at capacity and the request was not admitted."""
+
+    code = "overloaded"
+
+
+class ClientQueueFull(AdmissionError):
+    """This client already has too many requests pending (fairness bound).
+
+    The per-client bound keeps one greedy connection from occupying the
+    whole waiting queue and starving every other client.
+    """
+
+    code = "client_queue_full"
+
+
+class GatewayDraining(AdmissionError):
+    """The gateway is shutting down and no longer admits new requests.
+
+    Requests admitted before the drain began still complete and receive
+    their responses; only *new* arrivals are turned away with this code.
+    """
+
+    code = "draining"
+
+
+class RequestTimeout(GatewayError):
+    """The request did not complete within its timeout budget.
+
+    A timeout abandons this caller's *wait* only — shared single-flight
+    work keeps running and resolves for any other waiter, so a timed-out
+    request can never poison the in-flight map.
+    """
+
+    code = "timeout"
+
+
+class GatewayRequestError(GatewayError):
+    """Client-side image of an error response received from the gateway."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code

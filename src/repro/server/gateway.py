@@ -1,0 +1,449 @@
+"""The asyncio query gateway.
+
+:class:`QueryGateway` fronts one :class:`~repro.service.OptimizationService`
+for many concurrent clients: an asyncio TCP server speaks the
+line-delimited JSON protocol (:mod:`repro.server.protocol`), admission
+control (:mod:`repro.server.admission`) bounds and fairly shares the
+in-flight request set, and a bounded worker-thread pool runs the actual
+optimizer/engine work so the event loop never blocks on a query.
+
+**Single-flight deduplication.**  ``optimize`` and ``execute`` requests are
+deduplicated in flight by structural query identity
+(:func:`~repro.query.equivalence.equivalence_key`) plus their options, via
+the service's shared :class:`~repro.caching.SingleFlightMap`: while a
+request is being computed, every identical concurrent request waits on the
+same future and receives the same payload (marked ``"coalesced": true``),
+so a thundering herd of N identical queries costs one optimization and one
+execution.  Flight keys embed the repository generation and the store
+version, so a constraint change or data mutation can never serve a stale
+payload.  The shared work is resolved by the worker thread itself (handed
+back to the event loop), not by the request coroutine that started it —
+which is why a timed-out or disconnected *waiter* never cancels work other
+clients are waiting on, and why a completed flight always retires its map
+entry even if every waiter gave up.
+
+**Lifecycle.**  :meth:`start` binds the listener, :meth:`serve_forever`
+blocks, and :meth:`stop` gracefully drains: new requests are rejected with
+the ``draining`` code while admitted and queued work runs to completion
+and responses are flushed before connections close.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Tuple
+
+from ..query.equivalence import equivalence_key
+from .admission import AdmissionController
+from .errors import GatewayDraining, GatewayError, ProtocolError, RequestTimeout
+from .protocol import (
+    PROTOCOL_VERSION,
+    Request,
+    batch_payload,
+    decode_frame,
+    error_response,
+    execution_payload,
+    ok_response,
+    optimization_payload,
+    parse_request,
+)
+
+
+def _consume(future: "asyncio.Future") -> None:
+    """Swallow an abandoned future's outcome so it never warns."""
+    if not future.cancelled():
+        future.exception()
+
+
+class QueryGateway:
+    """Serve one :class:`OptimizationService` to many concurrent clients.
+
+    Parameters
+    ----------
+    service:
+        The (already configured) optimization service.  Execution RPCs
+        require it to have an attached object store.
+    host, port:
+        Listen address; port ``0`` binds an ephemeral port (reported by
+        :meth:`start` and :attr:`address`).
+    worker_threads:
+        Width of the thread pool the optimizer/engine work runs on.  This
+        bounds *compute* concurrency; admission bounds *request*
+        concurrency (coalesced waiters hold a request slot but no thread).
+    max_in_flight, max_waiting, max_pending_per_client:
+        Admission-control limits (see :class:`AdmissionController`).
+    request_timeout:
+        Default per-request budget in seconds, covering admission wait and
+        computation.  Requests may lower (never raise) it with the
+        ``timeout`` option.
+
+    Examples
+    --------
+    An in-process round trip (no socket; :meth:`start` would add TCP):
+
+    >>> import asyncio
+    >>> from repro.constraints import ConstraintRepository, build_example_constraints
+    >>> from repro.schema import build_example_schema
+    >>> from repro.server.client import AsyncGatewayClient
+    >>> from repro.service import OptimizationService
+    >>> schema = build_example_schema()
+    >>> repository = ConstraintRepository(schema)
+    >>> repository.add_all(build_example_constraints())
+    >>> async def roundtrip():
+    ...     service = OptimizationService(schema, repository=repository)
+    ...     gateway = QueryGateway(service)
+    ...     client = AsyncGatewayClient.in_process(gateway)
+    ...     payload = await client.optimize(
+    ...         '(SELECT {cargo.desc} { } {vehicle.desc = "refrigerated truck"} '
+    ...         '{collects} {cargo, vehicle})')
+    ...     await gateway.stop()
+    ...     return payload["source"]
+    >>> asyncio.run(roundtrip())
+    'computed'
+    """
+
+    def __init__(
+        self,
+        service,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        worker_threads: int = 4,
+        max_in_flight: int = 64,
+        max_waiting: int = 256,
+        max_pending_per_client: int = 64,
+        request_timeout: float = 30.0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.request_timeout = request_timeout
+        self.admission = AdmissionController(
+            max_in_flight=max_in_flight,
+            max_waiting=max_waiting,
+            max_pending_per_client=max_pending_per_client,
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=worker_threads, thread_name_prefix="gateway-worker"
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._sessions: set = set()
+        self._started = time.monotonic()
+        self._requests: Dict[str, int] = {}
+        self._errors: Dict[str, int] = {}
+        self._responses = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind the TCP listener; returns the actual ``(host, port)``."""
+        from .session import ClientSession
+
+        async def on_connect(reader, writer):
+            session = ClientSession(self, reader, writer)
+            self._sessions.add(session)
+            try:
+                await session.run()
+            finally:
+                self._sessions.discard(session)
+
+        self._server = await asyncio.start_server(
+            on_connect, self.host, self.port, limit=1 << 20
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.host, self.port
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The listen address (final port once :meth:`start` returned)."""
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (``start`` must have been called)."""
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def stop(self, drain: bool = True, timeout: float = 10.0) -> bool:
+        """Shut down, by default draining in-flight work first.
+
+        Stops accepting connections, rejects new requests with the
+        ``draining`` code, waits up to ``timeout`` seconds for admitted
+        and queued requests to complete (responses are flushed to their
+        sockets), then closes the remaining sessions and the worker pool.
+        Returns ``True`` if the backlog fully drained in time.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        drained = await self.admission.drain(timeout if drain else 0.0)
+        for session in list(self._sessions):
+            await session.close()
+        # Never block the event loop on worker threads: a drained pool is
+        # already idle, and after a failed drain a stuck query must not
+        # defeat the drain timeout we just honored.
+        self._pool.shutdown(wait=False, cancel_futures=not drained)
+        return drained
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def dispatch_line(self, line: bytes, client_id: str) -> Dict[str, Any]:
+        """Decode one wire line and dispatch it (sessions' entry point)."""
+        try:
+            frame = decode_frame(line)
+        except ProtocolError as exc:
+            self._count(self._errors, exc.code)
+            return error_response(None, exc)
+        return await self.dispatch(frame, client_id)
+
+    async def dispatch(
+        self, frame: Dict[str, Any], client_id: str = "in-process"
+    ) -> Dict[str, Any]:
+        """Handle one request frame; always returns a response frame.
+
+        The in-process entry point — :class:`AsyncGatewayClient` in
+        in-process mode calls this directly, bypassing TCP but exercising
+        the identical parse → admit → single-flight → respond path.
+        """
+        request_id = frame.get("id")
+        try:
+            request = parse_request(frame, self.service.schema)
+        except GatewayError as exc:
+            self._count(self._errors, exc.code)
+            return error_response(request_id, exc)
+        self._count(self._requests, request.op)
+        if request.op == "stats":
+            # Served inline and never queued: an overloaded or draining
+            # gateway must still be observable.
+            try:
+                payload = self.stats_payload()
+            except Exception as exc:
+                self._count(self._errors, "internal")
+                return error_response(request_id, exc)
+            self._responses += 1
+            return ok_response(request_id, payload)
+        timeout = self._timeout_for(request)
+        try:
+            # The budget covers the whole request: admission wait included.
+            # Timing out while queued cancels only this waiter (the
+            # controller reclaims the queue entry); timing out while
+            # holding a slot abandons the wait on the shared flight, which
+            # keeps running for everyone else.
+            payload = await asyncio.wait_for(
+                self._admitted(request, client_id, timeout), timeout
+            )
+        except asyncio.TimeoutError:
+            error = RequestTimeout(f"request did not complete within {timeout:g}s")
+            self._count(self._errors, error.code)
+            return error_response(request_id, error)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            code = exc.code if isinstance(exc, GatewayError) else "internal"
+            self._count(self._errors, code)
+            return error_response(request_id, exc)
+        self._responses += 1
+        return ok_response(request_id, payload)
+
+    def _timeout_for(self, request: Request) -> float:
+        timeout = self.request_timeout
+        option_timeout = request.options.get("timeout")
+        if option_timeout is not None:
+            timeout = min(timeout, float(option_timeout))
+        return timeout
+
+    async def _admitted(
+        self, request: Request, client_id: str, timeout: float
+    ) -> Dict[str, Any]:
+        async with self.admission.slot(client_id):
+            return await self._handle(request, timeout)
+
+    async def _handle(self, request: Request, timeout: float) -> Dict[str, Any]:
+        if request.op == "rules":
+            return self._handle_rules(request)
+        if request.op == "execute_batch":
+            return await self._run_in_pool(
+                lambda: batch_payload(self._execute_many(request)), timeout
+            )
+        generation = (
+            self.service.repository.generation
+            if self.service.repository is not None
+            else 0
+        )
+        if request.op == "optimize":
+            key = (
+                "rpc",
+                "optimize",
+                equivalence_key(request.query),
+                generation,
+                request.options_key(),
+            )
+            work = self._optimize_work(request)
+        else:  # execute
+            store = self.service.store
+            key = (
+                "rpc",
+                "execute",
+                equivalence_key(request.query),
+                generation,
+                getattr(store, "version", None),
+                request.options_key(),
+            )
+            work = self._execute_work(request)
+        return await self._coalesced(key, work, timeout)
+
+    def _handle_rules(self, request: Request) -> Dict[str, Any]:
+        repository = self.service.repository
+        if repository is None:
+            raise GatewayError("service has no constraint repository")
+        if request.action == "add":
+            try:
+                repository.add(request.rule)
+            except Exception as exc:
+                raise ProtocolError(f"cannot add rule: {exc}") from None
+            name = request.rule.name
+        else:
+            try:
+                repository.remove(request.rule_name)
+            except Exception as exc:
+                raise ProtocolError(f"cannot remove rule: {exc}") from None
+            name = request.rule_name
+        return {
+            "action": request.action,
+            "name": name,
+            "generation": repository.generation,
+            "constraints": len(repository.declared()),
+        }
+
+    def _optimize_work(self, request: Request):
+        service, query = self.service, request.query
+        use_cache = request.options.get("use_cache", True)
+
+        def work():
+            return optimization_payload(service.optimize(query, use_cache=use_cache))
+
+        return work
+
+    def _execute_work(self, request: Request):
+        service, query = self.service, request.query
+        options = {
+            name: value
+            for name, value in request.options.items()
+            if name != "timeout"
+        }
+
+        def work():
+            return execution_payload(service.execute(query, **options))
+
+        return work
+
+    def _execute_many(self, request: Request):
+        options = {
+            name: value
+            for name, value in request.options.items()
+            if name != "timeout"
+        }
+        return self.service.execute_many(request.queries, **options)
+
+    # ------------------------------------------------------------------
+    # Single-flight plumbing
+    # ------------------------------------------------------------------
+    async def _coalesced(self, key, work, timeout: float) -> Dict[str, Any]:
+        """Run ``work`` once per key; identical concurrent requests share it.
+
+        The worker thread resolves the flight by handing the payload back
+        to the event loop, so the flight's lifetime is tied to the *work*,
+        not to any single waiter: abandoned waits (timeout, disconnect)
+        leave the map untouched and the entry retires when the work
+        finishes — it can never be poisoned into swallowing later requests.
+        """
+        flight = self.service.single_flight
+        future, leader = flight.begin(key)
+        if leader:
+            loop = asyncio.get_running_loop()
+
+            def run():
+                try:
+                    payload = work()
+                except BaseException as exc:  # propagate to every waiter
+                    loop.call_soon_threadsafe(flight.fail, key, exc)
+                else:
+                    loop.call_soon_threadsafe(flight.resolve, key, payload)
+
+            try:
+                self._pool.submit(run)
+            except RuntimeError:  # pool already shut down
+                flight.fail(key, GatewayDraining("gateway worker pool is closed"))
+        payload = await self._wait_shared(future, timeout)
+        if not leader:
+            # Shallow copy: the payload object is shared by every waiter.
+            payload = dict(payload, coalesced=True)
+        return payload
+
+    async def _run_in_pool(self, work, timeout: float):
+        """Run uncoalesced work on the pool under the request timeout."""
+        loop = asyncio.get_running_loop()
+        try:
+            future = loop.run_in_executor(self._pool, work)
+        except RuntimeError:
+            raise GatewayDraining("gateway worker pool is closed") from None
+        return await self._bounded_wait(future, timeout)
+
+    async def _wait_shared(self, future, timeout: float):
+        """Await a shared concurrent future without ever cancelling it."""
+        return await self._bounded_wait(asyncio.wrap_future(future), timeout)
+
+    async def _bounded_wait(self, future: "asyncio.Future", timeout: float):
+        """Await ``future`` for at most ``timeout``s, never cancelling it.
+
+        The shield keeps a timeout or a cancelled waiter from propagating
+        into the future (a cancelled ``wrap_future`` would cancel the
+        *shared* single-flight future for every other waiter); the
+        ``_consume`` callback keeps an abandoned future's outcome from
+        warning when it eventually lands.
+        """
+        try:
+            return await asyncio.wait_for(asyncio.shield(future), timeout)
+        except asyncio.TimeoutError:
+            future.add_done_callback(_consume)
+            raise RequestTimeout(
+                f"request did not complete within {timeout:g}s"
+            ) from None
+        except asyncio.CancelledError:
+            future.add_done_callback(_consume)
+            raise
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def _count(self, counters: Dict[str, int], key: str) -> None:
+        counters[key] = counters.get(key, 0) + 1
+
+    def stats_payload(self) -> Dict[str, Any]:
+        """The ``stats`` RPC payload: service + gateway counters, one view."""
+        admission = self.admission.snapshot()
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "service": self.service.stats().as_dict(),
+            "gateway": {
+                "requests": dict(self._requests),
+                "responses": self._responses,
+                "errors": dict(self._errors),
+                "sessions": len(self._sessions),
+                "uptime": time.monotonic() - self._started,
+                "admission": {
+                    "admitted": admission.admitted,
+                    "active": admission.active,
+                    "peak_active": admission.peak_active,
+                    "waiting": admission.waiting,
+                    "rejected_capacity": admission.rejected_capacity,
+                    "rejected_client_limit": admission.rejected_client_limit,
+                    "rejected_draining": admission.rejected_draining,
+                    "rejected": admission.rejected,
+                    "draining": admission.draining,
+                },
+            },
+        }

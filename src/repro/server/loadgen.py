@@ -1,0 +1,211 @@
+"""Multi-client load generator for the gateway.
+
+Drives a workload of query texts through N :class:`AsyncGatewayClient`
+instances and aggregates latency/throughput/error statistics into a
+:class:`LoadReport`.  Used by the ``bench-client`` CLI subcommand and by
+``benchmarks/test_gateway_throughput.py`` (which persists the report into
+``BENCH_gateway.json``).
+
+Two arrival disciplines:
+
+* **open loop** (``rate`` set) — each client fires requests on a fixed
+  arrival schedule regardless of completions, the standard model for
+  sustained multi-client traffic: latency under overload grows in the
+  queue instead of silently throttling the offered load.
+* **closed loop** (``rate=None``) — each client issues its requests
+  back-to-back, waiting for each response; with ``lockstep=True`` all
+  clients synchronize on a barrier before every request wave, which makes
+  single-flight coalescing deterministic (one leader per wave) — the
+  discipline the dedup measurement uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from .client import AsyncGatewayClient
+from .errors import GatewayError
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """The ``fraction`` percentile (0..1) of ``samples`` (0.0 when empty).
+
+    >>> percentile([4.0, 1.0, 3.0, 2.0], 0.5)
+    3.0
+    >>> percentile([], 0.95)
+    0.0
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+@dataclass
+class LoadReport:
+    """Aggregated outcome of one load-generator run."""
+
+    clients: int = 0
+    requests: int = 0
+    errors: int = 0
+    rows: int = 0
+    duration: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+    error_codes: Dict[str, int] = field(default_factory=dict)
+    coalesced: int = 0
+
+    @property
+    def p50(self) -> float:
+        """Median request latency in seconds."""
+        return percentile(self.latencies, 0.50)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile request latency in seconds."""
+        return percentile(self.latencies, 0.95)
+
+    @property
+    def requests_per_second(self) -> float:
+        """Completed requests per second of wall clock."""
+        return self.requests / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def rows_per_second(self) -> float:
+        """Answer rows returned per second of wall clock."""
+        return self.rows / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def coalesced_rate(self) -> float:
+        """Fraction of successful requests served from a shared flight."""
+        completed = self.requests - self.errors
+        return self.coalesced / completed if completed > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable summary (the ``BENCH_gateway.json`` shape)."""
+        return {
+            "clients": self.clients,
+            "requests": self.requests,
+            "errors": self.errors,
+            "rows": self.rows,
+            "duration_s": self.duration,
+            "latency_p50_ms": self.p50 * 1000.0,
+            "latency_p95_ms": self.p95 * 1000.0,
+            "requests_per_s": self.requests_per_second,
+            "rows_per_s": self.rows_per_second,
+            "coalesced": self.coalesced,
+            "coalesced_rate": self.coalesced_rate,
+            "error_codes": dict(self.error_codes),
+        }
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.requests} requests from {self.clients} clients in "
+            f"{self.duration:.2f}s: p50 {self.p50 * 1000:.2f} ms, "
+            f"p95 {self.p95 * 1000:.2f} ms, "
+            f"{self.requests_per_second:.0f} req/s, "
+            f"{self.rows_per_second:.0f} rows/s, "
+            f"{self.coalesced_rate:.0%} coalesced, {self.errors} errors"
+        )
+
+
+async def run_load(
+    clients: List[AsyncGatewayClient],
+    queries: Sequence[str],
+    *,
+    requests_per_client: int = 20,
+    op: str = "execute",
+    options: Optional[Dict[str, Any]] = None,
+    rate: Optional[float] = None,
+    lockstep: bool = False,
+) -> LoadReport:
+    """Drive ``queries`` through ``clients`` and aggregate a report.
+
+    Client ``i`` issues ``requests_per_client`` requests, cycling through
+    the workload starting at offset ``i`` (set ``lockstep=True`` to start
+    everyone at offset 0 and synchronize waves — the repeated-query dedup
+    discipline).  ``rate`` (requests/second per client) selects the open
+    loop; ``None`` the closed loop.
+    """
+    report = LoadReport(clients=len(clients))
+    options = options or {}
+    barrier_event: Optional[asyncio.Event] = None
+    barrier_count = 0
+
+    async def fire(client: AsyncGatewayClient, query: str) -> None:
+        start = time.perf_counter()
+        try:
+            if op == "optimize":
+                payload = await client.optimize(query, **options)
+            else:
+                payload = await client.execute(query, **options)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            # Gateway errors carry a wire code; transport failures (peer
+            # reset, closed connection) are counted too instead of
+            # aborting the whole run and losing the report.
+            report.errors += 1
+            code = (
+                exc.code
+                if isinstance(exc, GatewayError)
+                else type(exc).__name__
+            )
+            report.error_codes[code] = report.error_codes.get(code, 0) + 1
+        else:
+            report.rows += payload.get("row_count", 0)
+            if payload.get("coalesced"):
+                report.coalesced += 1
+        finally:
+            report.requests += 1
+            report.latencies.append(time.perf_counter() - start)
+
+    async def open_loop(index: int, client: AsyncGatewayClient) -> None:
+        interval = 1.0 / rate
+        begin = time.perf_counter()
+        tasks = []
+        for number in range(requests_per_client):
+            due = begin + number * interval
+            delay = due - time.perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            query = queries[(index + number) % len(queries)]
+            tasks.append(asyncio.ensure_future(fire(client, query)))
+        await asyncio.gather(*tasks)
+
+    async def closed_loop(index: int, client: AsyncGatewayClient) -> None:
+        nonlocal barrier_count
+        for number in range(requests_per_client):
+            if lockstep:
+                # Reusable barrier: the last client to arrive releases the
+                # wave, so all clients fire request N simultaneously.
+                barrier_count += 1
+                if barrier_count == len(clients):
+                    barrier_count = 0
+                    event, new_event = barrier_event, asyncio.Event()
+                    _update_barrier(new_event)
+                    event.set()
+                else:
+                    await barrier_event.wait()
+                offset = number  # everyone sends the same query per wave
+            else:
+                offset = index + number
+            await fire(client, queries[offset % len(queries)])
+
+    def _update_barrier(event: asyncio.Event) -> None:
+        nonlocal barrier_event
+        barrier_event = event
+
+    if lockstep:
+        barrier_event = asyncio.Event()
+    start = time.perf_counter()
+    runner = open_loop if rate else closed_loop
+    await asyncio.gather(
+        *(runner(index, client) for index, client in enumerate(clients))
+    )
+    report.duration = time.perf_counter() - start
+    return report

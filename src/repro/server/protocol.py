@@ -1,0 +1,353 @@
+"""The gateway's line-delimited JSON wire protocol.
+
+One request or response per line (NDJSON), UTF-8 encoded.  A request frame
+is a JSON object::
+
+    {"id": 7, "op": "execute", "query": "(SELECT ...)",
+     "options": {"execution_mode": "vectorized", "optimize": true}}
+
+``id`` is an opaque client-chosen correlation value echoed back verbatim
+(responses may arrive out of order — the gateway pipelines requests of one
+connection).  ``op`` selects the RPC:
+
+``optimize``
+    ``query`` (paper five-part notation) → optimization payload.
+``execute``
+    ``query`` → execution payload (rows, metrics, timings, provenance).
+``execute_batch``
+    ``queries`` (list of query texts) → per-query execution payloads plus
+    batch statistics.
+``stats``
+    → one immutable snapshot of service + gateway counters.
+``rules``
+    ``action`` (``"add"`` / ``"remove"``) — add takes ``rule`` (a
+    constraint spec, see :func:`parse_rule`), remove takes ``name``.
+
+Response frames are ``{"id": ..., "ok": true, "result": {...}}`` or
+``{"id": ..., "ok": false, "error": {"code": ..., "message": ...}}`` with
+codes from :mod:`repro.server.errors`.
+
+Option values accepted by ``optimize``/``execute``/``execute_batch``:
+``optimize`` (bool), ``use_cache`` (bool), ``execution_mode``
+(``rowwise``/``vectorized``/``parallel``), ``join_strategy``
+(``hash``/``nested_loop``), ``workers`` (int ≥ 1) and ``timeout``
+(seconds, capped by the server's own request timeout).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..constraints.horn_clause import SemanticConstraint
+from ..query.parser import parse_predicate, parse_query
+from ..query.query import Query
+from ..schema.schema import Schema
+from ..service.envelope import ExecutionEnvelope, ServiceResult
+from .errors import GatewayError, ProtocolError
+
+#: Bumped when a frame field changes meaning; echoed by the stats RPC.
+PROTOCOL_VERSION = 1
+
+#: The RPCs a request frame may name.
+OPS = ("optimize", "execute", "execute_batch", "stats", "rules")
+
+#: Recognized keys of the ``options`` object.
+OPTION_KEYS = (
+    "optimize",
+    "use_cache",
+    "execution_mode",
+    "join_strategy",
+    "workers",
+    "timeout",
+)
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_frame(frame: Dict[str, Any]) -> bytes:
+    """Serialize one frame to a newline-terminated JSON line."""
+    return (json.dumps(frame, separators=(",", ":"), sort_keys=True) + "\n").encode(
+        "utf-8"
+    )
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line into a frame dict.
+
+    >>> decode_frame(b'{"id": 1, "op": "stats"}')
+    {'id': 1, 'op': 'stats'}
+    >>> decode_frame(b'not json')  # doctest: +IGNORE_EXCEPTION_DETAIL
+    Traceback (most recent call last):
+        ...
+    repro.server.errors.ProtocolError: request is not valid JSON
+    """
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from None
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            f"request frame must be a JSON object, got {type(frame).__name__}"
+        )
+    return frame
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+@dataclass
+class Request:
+    """One parsed, validated request frame.
+
+    ``queries`` holds the parsed ASTs (one for ``optimize``/``execute``,
+    N for ``execute_batch``); parsing and schema validation happen up
+    front in :func:`parse_request`, so by the time a request reaches the
+    worker pool it can no longer fail on malformed input.
+    """
+
+    op: str
+    id: Any = None
+    queries: List[Query] = field(default_factory=list)
+    options: Dict[str, Any] = field(default_factory=dict)
+    action: str = ""
+    rule: Optional[SemanticConstraint] = None
+    rule_name: str = ""
+
+    @property
+    def query(self) -> Query:
+        """The single query of an ``optimize``/``execute`` request."""
+        return self.queries[0]
+
+    def options_key(self) -> Tuple:
+        """Canonical hashable form of the options (single-flight key part).
+
+        ``timeout`` is excluded: it bounds this caller's *wait*, not the
+        computation, so two requests differing only in timeout may share
+        one flight.
+        """
+        return tuple(
+            sorted(
+                (name, value)
+                for name, value in self.options.items()
+                if name != "timeout"
+            )
+        )
+
+
+def _parse_query_text(value: Any, schema: Schema, label: str) -> Query:
+    if not isinstance(value, str) or not value.strip():
+        raise ProtocolError(f"{label} must be a non-empty query string")
+    try:
+        query = parse_query(value, name="gateway")
+        query.validate(schema)
+    except ProtocolError:
+        raise
+    except Exception as exc:
+        raise ProtocolError(f"invalid {label}: {exc}") from None
+    return query
+
+
+def _parse_options(raw: Any) -> Dict[str, Any]:
+    if raw is None:
+        return {}
+    if not isinstance(raw, dict):
+        raise ProtocolError("options must be a JSON object")
+    unknown = sorted(set(raw) - set(OPTION_KEYS))
+    if unknown:
+        raise ProtocolError(
+            f"unknown option(s) {', '.join(unknown)} "
+            f"(recognized: {', '.join(OPTION_KEYS)})"
+        )
+    options = dict(raw)
+    for flag in ("optimize", "use_cache"):
+        if flag in options and not isinstance(options[flag], bool):
+            raise ProtocolError(f"option {flag!r} must be a boolean")
+    if "execution_mode" in options:
+        from ..engine.modes import ExecutionMode
+
+        try:
+            options["execution_mode"] = ExecutionMode.parse(
+                options["execution_mode"]
+            ).value
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from None
+    if "join_strategy" in options:
+        if options["join_strategy"] not in ("hash", "nested_loop"):
+            raise ProtocolError(
+                "option 'join_strategy' must be 'hash' or 'nested_loop'"
+            )
+    if "workers" in options:
+        if not isinstance(options["workers"], int) or options["workers"] < 1:
+            raise ProtocolError("option 'workers' must be an integer >= 1")
+    if "timeout" in options:
+        if (
+            not isinstance(options["timeout"], (int, float))
+            or isinstance(options["timeout"], bool)
+            or options["timeout"] <= 0
+        ):
+            raise ProtocolError("option 'timeout' must be a positive number")
+    return options
+
+
+def parse_rule(spec: Any, schema: Schema) -> SemanticConstraint:
+    """Build a :class:`SemanticConstraint` from its wire spec.
+
+    The spec is a JSON object: ``name`` (required), ``consequent``
+    (required, a predicate in the paper's notation, e.g.
+    ``"cargo.quantity <= 500"``), ``antecedents`` (list of predicates,
+    default empty), ``classes`` / ``relationships`` (anchor lists) and
+    ``description``.  The constraint is validated against the schema by
+    the repository when added.
+    """
+    if not isinstance(spec, dict):
+        raise ProtocolError("rule must be a JSON object")
+    name = spec.get("name")
+    if not isinstance(name, str) or not name:
+        raise ProtocolError("rule.name must be a non-empty string")
+    if not isinstance(spec.get("consequent"), str):
+        raise ProtocolError("rule.consequent must be a predicate string")
+    antecedents_raw = spec.get("antecedents", [])
+    if not isinstance(antecedents_raw, list):
+        raise ProtocolError("rule.antecedents must be a list of predicate strings")
+    for key in ("classes", "relationships"):
+        value = spec.get(key, [])
+        if not isinstance(value, list) or not all(
+            isinstance(item, str) for item in value
+        ):
+            raise ProtocolError(f"rule.{key} must be a list of names")
+    try:
+        antecedents = [parse_predicate(text) for text in antecedents_raw]
+        consequent = parse_predicate(spec["consequent"])
+    except Exception as exc:
+        raise ProtocolError(f"invalid rule predicate: {exc}") from None
+    return SemanticConstraint.build(
+        name=name,
+        antecedents=antecedents,
+        consequent=consequent,
+        anchor_classes=spec.get("classes", []),
+        anchor_relationships=spec.get("relationships", []),
+        description=spec.get("description", ""),
+    )
+
+
+def parse_request(frame: Dict[str, Any], schema: Schema) -> Request:
+    """Validate a frame and parse its queries into the existing query AST."""
+    op = frame.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r} (choose from: {', '.join(OPS)})"
+        )
+    request = Request(op=op, id=frame.get("id"))
+    if op in ("optimize", "execute"):
+        request.queries = [_parse_query_text(frame.get("query"), schema, "query")]
+        request.options = _parse_options(frame.get("options"))
+    elif op == "execute_batch":
+        queries = frame.get("queries")
+        if not isinstance(queries, list) or not queries:
+            raise ProtocolError("queries must be a non-empty list of query strings")
+        request.queries = [
+            _parse_query_text(text, schema, f"queries[{index}]")
+            for index, text in enumerate(queries)
+        ]
+        request.options = _parse_options(frame.get("options"))
+    elif op == "rules":
+        action = frame.get("action")
+        if action not in ("add", "remove"):
+            raise ProtocolError("rules.action must be 'add' or 'remove'")
+        request.action = action
+        if action == "add":
+            request.rule = parse_rule(frame.get("rule"), schema)
+        else:
+            name = frame.get("name")
+            if not isinstance(name, str) or not name:
+                raise ProtocolError("rules remove requires a non-empty 'name'")
+            request.rule_name = name
+    return request
+
+
+# ----------------------------------------------------------------------
+# Response payloads
+# ----------------------------------------------------------------------
+def optimization_payload(envelope: ServiceResult) -> Dict[str, Any]:
+    """The ``result`` object of an ``optimize`` response."""
+    from ..query.formatter import format_query
+
+    result = envelope.result
+    return {
+        "optimized_query": format_query(result.optimized),
+        "eliminated_classes": sorted(result.eliminated_classes),
+        "transformations": len(result.trace.records),
+        "source": envelope.source.value,
+        "timings": {
+            "service": envelope.service_time,
+            "retrieval": result.timings.retrieval,
+            "initialization": result.timings.initialization,
+            "transformation": result.timings.transformation,
+            "formulation": result.timings.formulation,
+        },
+    }
+
+
+def execution_payload(envelope: ExecutionEnvelope) -> Dict[str, Any]:
+    """The ``result`` object of an ``execute`` response.
+
+    Carries the answer rows, the engine's cost counters, wall-clock
+    timings, cache provenance of the optimization half, and per-shard
+    reports when the parallel engine fanned out.
+    """
+    optimization = envelope.optimization
+    shard_timings = envelope.shard_timings
+    return {
+        "rows": envelope.execution.rows,
+        "row_count": envelope.execution.row_count,
+        "metrics": envelope.metrics.as_dict(),
+        "execution_mode": envelope.execution_mode,
+        "coalesced": False,
+        "timings": {
+            "execute": envelope.execute_time,
+            "service": optimization.service_time if optimization else 0.0,
+        },
+        "provenance": {
+            "optimized": optimization is not None,
+            "source": optimization.source.value if optimization else None,
+        },
+        "shard_timings": (
+            {str(shard): elapsed for shard, elapsed in shard_timings.items()}
+            if shard_timings is not None
+            else None
+        ),
+    }
+
+
+def batch_payload(batch) -> Dict[str, Any]:
+    """The ``result`` object of an ``execute_batch`` response."""
+    return {
+        "results": [execution_payload(envelope) for envelope in batch.results],
+        "stats": {
+            "total": batch.stats.total,
+            "wall_time": batch.stats.wall_time,
+            "optimize_time": batch.stats.optimize_time,
+            "execute_time": batch.stats.execute_time,
+            "workers": batch.stats.workers,
+            "execution_mode": batch.stats.execution_mode,
+            "throughput": batch.stats.throughput,
+        },
+    }
+
+
+def ok_response(request_id: Any, result: Dict[str, Any]) -> Dict[str, Any]:
+    """A success frame echoing the request's correlation id."""
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id: Any, error: Exception) -> Dict[str, Any]:
+    """An error frame for any exception (stable codes for gateway errors)."""
+    code = error.code if isinstance(error, GatewayError) else "internal"
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": str(error) or type(error).__name__},
+    }

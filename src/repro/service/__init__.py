@@ -19,6 +19,7 @@ from .envelope import (
     ResultSource,
     ServiceCacheSnapshot,
     ServiceResult,
+    ServiceStats,
 )
 from .service import OptimizationService
 
@@ -32,4 +33,5 @@ __all__ = [
     "ResultSource",
     "ServiceCacheSnapshot",
     "ServiceResult",
+    "ServiceStats",
 ]

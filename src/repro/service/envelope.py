@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
 
+from ..caching import SingleFlightStats
 from ..core.optimizer import OptimizationResult, PhaseTimings
 from ..core.trace import OptimizationTrace
 from ..query.query import Query
@@ -32,6 +33,8 @@ class ResultSource(enum.Enum):
     RESULT_CACHE = "result_cache"
     #: Shared the result of a structurally-equal query in the same batch.
     BATCH_DEDUP = "batch_dedup"
+    #: Waited on a structurally-equal query already in flight (single-flight).
+    SINGLE_FLIGHT = "single_flight"
 
 
 @dataclass(frozen=True)
@@ -46,6 +49,8 @@ class ServiceCacheSnapshot:
     result_hits: int = 0
     result_misses: int = 0
     result_entries: int = 0
+    result_evictions: int = 0
+    result_maxsize: int = 0
     retrieval_hits: int = 0
     retrieval_misses: int = 0
     closure_hits: int = 0
@@ -71,6 +76,62 @@ class ServiceCacheSnapshot:
             f"closure cache {self.closure_hits}/"
             f"{self.closure_hits + self.closure_misses} hits"
         )
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """One immutable, internally consistent view of the whole service.
+
+    Returned by :meth:`~repro.service.OptimizationService.stats` and
+    serialized verbatim by the gateway's ``stats`` RPC.  Every constituent
+    counter group is read atomically under its own lock (the result cache,
+    the repository caches, the single-flight map), so a snapshot taken
+    under full concurrent load never shows torn counters — e.g. a hit
+    without its lookup, or a follower without its leader.
+    """
+
+    #: Result/retrieval/closure cache counters.
+    cache: ServiceCacheSnapshot = field(default_factory=ServiceCacheSnapshot)
+    #: In-flight deduplication counters (leaders, followers, in flight).
+    single_flight: SingleFlightStats = field(default_factory=SingleFlightStats)
+    #: Repository generation the counters were read at (bumped by every
+    #: constraint add/remove; cache keys embed it).
+    repository_generation: int = 0
+    #: Number of declared (pre-closure) constraints.
+    repository_constraints: int = 0
+    #: ``mode/join_strategy`` labels of the warm cached executors.
+    executors: Tuple[str, ...] = ()
+    #: Whether an object store is attached (``execute`` is available).
+    store_attached: bool = False
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (the payload of the ``stats`` RPC)."""
+        return {
+            "cache": {
+                "result_hits": self.cache.result_hits,
+                "result_misses": self.cache.result_misses,
+                "result_entries": self.cache.result_entries,
+                "result_evictions": self.cache.result_evictions,
+                "result_maxsize": self.cache.result_maxsize,
+                "result_hit_rate": self.cache.result_hit_rate,
+                "retrieval_hits": self.cache.retrieval_hits,
+                "retrieval_misses": self.cache.retrieval_misses,
+                "closure_hits": self.cache.closure_hits,
+                "closure_misses": self.cache.closure_misses,
+            },
+            "single_flight": {
+                "leaders": self.single_flight.leaders,
+                "followers": self.single_flight.followers,
+                "in_flight": self.single_flight.in_flight,
+                "dedup_rate": self.single_flight.dedup_rate,
+            },
+            "repository": {
+                "generation": self.repository_generation,
+                "constraints": self.repository_constraints,
+            },
+            "executors": list(self.executors),
+            "store_attached": self.store_attached,
+        }
 
 
 @dataclass
@@ -121,6 +182,29 @@ class ExecutionEnvelope:
     raw execution of the query as written) with the execution result of the
     chosen engine, so a server handler gets answer rows, cost counters,
     provenance and timings from one call.
+
+    >>> from repro.constraints import ConstraintRepository, build_example_constraints
+    >>> from repro.data import DatabaseGenerator, DatabaseSpec
+    >>> from repro.query import parse_query
+    >>> from repro.schema import build_example_schema
+    >>> from repro.service import OptimizationService
+    >>> schema = build_example_schema()
+    >>> constraints = build_example_constraints()
+    >>> repository = ConstraintRepository(schema)
+    >>> repository.add_all(constraints)
+    >>> database = DatabaseGenerator(schema, constraints, seed=7).generate(
+    ...     DatabaseSpec("demo", class_cardinality=20, relationship_cardinality=30))
+    >>> service = OptimizationService(
+    ...     schema, repository=repository, store=database.store)
+    >>> envelope = service.execute(parse_query(
+    ...     '(SELECT {cargo.desc} { } {vehicle.desc = "refrigerated truck"} '
+    ...     '{collects} {cargo, vehicle})'), execution_mode="rowwise")
+    >>> envelope.execution_mode
+    'rowwise'
+    >>> envelope.optimization.source.value
+    'computed'
+    >>> envelope.rows == envelope.execution.rows
+    True
     """
 
     query: Query

@@ -22,12 +22,13 @@ pipeline run only mutates objects local to that run.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..caching import LruCache
+from ..caching import LruCache, SingleFlightMap
 from ..constraints.horn_clause import SemanticConstraint
 from ..constraints.repository import ConstraintRepository, RepositoryCacheStats
 from ..core.optimizer import OptimizerConfig, SemanticQueryOptimizer
@@ -43,6 +44,7 @@ from .envelope import (
     ResultSource,
     ServiceCacheSnapshot,
     ServiceResult,
+    ServiceStats,
 )
 
 try:  # pragma: no cover - engine is always available in-tree
@@ -79,6 +81,28 @@ class OptimizationService:
         ``REPRO_WORKERS`` env var, else the core count capped at 4).  This
         is the *process pool inside one execution*; ``max_workers`` above
         is the thread fan-out across queries of a batch.
+
+    Examples
+    --------
+    Repeated structurally-equal queries skip the pipeline after the first
+    call, and :meth:`stats` reports every counter as one atomic snapshot:
+
+    >>> from repro.constraints import ConstraintRepository, build_example_constraints
+    >>> from repro.query import parse_query
+    >>> from repro.schema import build_example_schema
+    >>> schema = build_example_schema()
+    >>> repository = ConstraintRepository(schema)
+    >>> repository.add_all(build_example_constraints())
+    >>> service = OptimizationService(schema, repository=repository)
+    >>> query = parse_query(
+    ...     '(SELECT {cargo.desc} { } {vehicle.desc = "refrigerated truck"} '
+    ...     '{collects} {cargo, vehicle})')
+    >>> service.optimize(query).source.value
+    'computed'
+    >>> service.optimize(query).source.value
+    'result_cache'
+    >>> service.stats().cache.result_hits
+    1
     """
 
     def __init__(
@@ -108,10 +132,21 @@ class OptimizationService:
         self.engine_workers = engine_workers
         self._result_cache: LruCache = LruCache(result_cache_size)
         self._executors: Dict[Tuple, object] = {}
+        # Guards check-then-create on the executor map: concurrent first
+        # requests (gateway worker threads) must not build duplicate
+        # executors — a replaced parallel executor would leak its forked
+        # worker pool.
+        self._executor_lock = threading.Lock()
         # Warm in-process executors checked out by execute_many's worker
         # threads and returned after each query, so batch after batch
         # reuses the same store-version-keyed caches.
         self._spare_executors: Dict[Tuple, List] = {}
+        #: In-flight deduplication map.  :meth:`optimize_coalesced` keys it
+        #: with ``("optimize", structural key, generation)``; the async
+        #: gateway additionally keys whole request payloads with it, so one
+        #: map (and one dedup counter set) covers both layers.  Safe to
+        #: drive from threads and from an event loop alike.
+        self.single_flight: SingleFlightMap = SingleFlightMap()
 
     @property
     def repository(self) -> Optional[ConstraintRepository]:
@@ -138,20 +173,55 @@ class OptimizationService:
         self._result_cache.clear()
 
     def cache_stats(self) -> ServiceCacheSnapshot:
-        """Current counters of the result cache and the repository caches."""
+        """Current counters of the result cache and the repository caches.
+
+        Each cache's counters are read atomically under that cache's lock
+        (:meth:`repro.caching.LruCache.snapshot`), so the snapshot stays
+        internally consistent under concurrent optimization traffic.
+        """
         repo = (
             self.repository.cache_stats()
             if self.repository is not None
             else RepositoryCacheStats()
         )
+        result = self._result_cache.snapshot()
         return ServiceCacheSnapshot(
-            result_hits=self._result_cache.hits,
-            result_misses=self._result_cache.misses,
-            result_entries=len(self._result_cache),
+            result_hits=result.hits,
+            result_misses=result.misses,
+            result_entries=result.entries,
+            result_evictions=result.evictions,
+            result_maxsize=result.maxsize,
             retrieval_hits=repo.retrieval_hits,
             retrieval_misses=repo.retrieval_misses,
             closure_hits=repo.closure_hits,
             closure_misses=repo.closure_misses,
+        )
+
+    def stats(self) -> ServiceStats:
+        """One immutable snapshot of the whole service's counters.
+
+        The view the gateway's ``stats`` RPC serializes: cache counters,
+        single-flight dedup counters, repository generation/size and the
+        warm executor set, each counter group read under its own lock.
+        """
+        return ServiceStats(
+            cache=self.cache_stats(),
+            single_flight=self.single_flight.snapshot(),
+            repository_generation=(
+                self.repository.generation if self.repository is not None else 0
+            ),
+            repository_constraints=(
+                len(self.repository.declared())
+                if self.repository is not None
+                else 0
+            ),
+            executors=tuple(
+                sorted(
+                    f"{mode}/{strategy}"
+                    for mode, strategy, _ in list(self._executors)
+                )
+            ),
+            store_attached=self.store is not None,
         )
 
     # ------------------------------------------------------------------
@@ -171,6 +241,56 @@ class OptimizationService:
         caching = use_cache and self._result_cache.maxsize > 0
         return self._optimize_keyed(
             query, equivalence_key(query) if caching else None
+        )
+
+    def optimize_coalesced(
+        self, query: Query, use_cache: bool = True
+    ) -> ServiceResult:
+        """Optimize one query, sharing work with identical in-flight calls.
+
+        Like :meth:`optimize`, but concurrent calls for structurally-equal
+        queries are **single-flighted**: the first caller (the leader) runs
+        the pipeline — or takes the result-cache hit — while the rest block
+        on the leader's future and receive the same underlying result with
+        ``source`` marked :attr:`~.ResultSource.SINGLE_FLIGHT`.  Where the
+        result cache collapses repeats over time, this collapses repeats
+        happening *right now*, so a thundering herd of N identical requests
+        costs one optimization instead of N.
+
+        The flight key embeds the repository generation: a constraint
+        add/remove during a flight does not let late followers observe a
+        pre-mutation result under a post-mutation key.  A leader failure is
+        propagated to every follower and never cached — the next call
+        retries fresh.
+
+        Layering note: this is the coalescing entry point for *direct*
+        (threaded) service callers.  The gateway does not call it — it
+        coalesces whole request payloads (rows included, options in the
+        key) through the same :attr:`single_flight` map under its own
+        ``"rpc"``-prefixed keys, so each computation is counted once and
+        the map's dedup statistics aggregate both layers.
+        """
+        start = time.perf_counter()
+        caching = use_cache and self._result_cache.maxsize > 0
+        eq_key = equivalence_key(query)
+        generation = self.repository.generation if self.repository is not None else 0
+        flight_key = ("optimize", eq_key, generation, use_cache)
+        future, leader = self.single_flight.begin(flight_key)
+        if leader:
+            try:
+                envelope = self._optimize_keyed(query, eq_key if caching else None)
+            except BaseException as exc:
+                self.single_flight.fail(flight_key, exc)
+                raise
+            self.single_flight.resolve(flight_key, envelope)
+            return envelope
+        shared: ServiceResult = future.result()
+        self._record_access(query)
+        return ServiceResult(
+            query=query,
+            result=replace(shared.result, original=query),
+            source=ResultSource.SINGLE_FLIGHT,
+            service_time=time.perf_counter() - start,
         )
 
     def _optimize_keyed(
@@ -234,12 +354,14 @@ class OptimizationService:
 
     def _drop_executors(self) -> None:
         """Forget cached executors, shutting down any worker pools."""
-        for executor in self._executors.values():
+        with self._executor_lock:
+            executors = list(self._executors.values())
+            self._executors.clear()
+            self._spare_executors.clear()
+        for executor in executors:
             close = getattr(executor, "close", None)
             if close is not None:
                 close()
-        self._executors.clear()
-        self._spare_executors.clear()
 
     def _executor(self, execution_mode, join_strategy: str, workers=None):
         """A cached executor for one (mode, strategy, workers) triple.
@@ -273,16 +395,17 @@ class OptimizationService:
         else:
             width = 0
         key = (resolved.value, join_strategy, width)
-        executor = self._executors.get(key)
-        if executor is None:
-            executor = create_executor(
-                self.schema,
-                self.store,
-                mode=resolved,
-                join_strategy=join_strategy,
-                workers=width or None,
-            )
-            self._executors[key] = executor
+        with self._executor_lock:
+            executor = self._executors.get(key)
+            if executor is None:
+                executor = create_executor(
+                    self.schema,
+                    self.store,
+                    mode=resolved,
+                    join_strategy=join_strategy,
+                    workers=width or None,
+                )
+                self._executors[key] = executor
         return executor
 
     def execute(

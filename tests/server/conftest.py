@@ -1,0 +1,59 @@
+"""Shared fixtures for the gateway test suite.
+
+Gateway tests run real asyncio event loops via ``asyncio.run`` inside
+synchronous test functions (the suite has no async test plugin), against a
+real service over the session-scoped DB1 evaluation setup.  Each test
+builds its own service (with a fresh constraint repository, so rule
+mutations never leak between tests) and its own gateway.
+"""
+
+import pytest
+
+from repro.constraints import ConstraintRepository
+from repro.query import format_query
+from repro.server import QueryGateway
+from repro.service import OptimizationService
+
+
+@pytest.fixture()
+def build_service(small_setup):
+    """Factory for a fresh service over the shared DB1 store."""
+
+    def build(**kwargs):
+        repository = ConstraintRepository(small_setup.schema)
+        repository.add_all(small_setup.constraints)
+        return OptimizationService(
+            small_setup.schema,
+            repository=repository,
+            cost_model=small_setup.cost_model,
+            store=small_setup.store,
+            **kwargs,
+        )
+
+    return build
+
+
+@pytest.fixture()
+def workload_texts(small_setup):
+    """The DB1 workload queries as wire-format text."""
+    return [format_query(query) for query in small_setup.queries]
+
+
+class GatewayHarness:
+    """Builds a started gateway inside a test's event loop."""
+
+    def __init__(self, service, **kwargs):
+        self.gateway = QueryGateway(service, **kwargs)
+
+    async def __aenter__(self):
+        await self.gateway.start()
+        return self.gateway
+
+    async def __aexit__(self, exc_type, exc_value, traceback):
+        await self.gateway.stop()
+
+
+@pytest.fixture()
+def harness():
+    """``async with harness(service, ...) as gateway`` in test coroutines."""
+    return GatewayHarness

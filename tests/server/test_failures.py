@@ -1,0 +1,267 @@
+"""Gateway failure paths: malformed frames, disconnects, timeouts, drain.
+
+These tests pin the containment properties the gateway docstrings promise:
+a bad frame never kills a connection, an abandoned waiter (timeout or
+disconnect) never cancels shared work or poisons the single-flight map,
+and a draining gateway finishes what it admitted.
+"""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.server import AsyncGatewayClient, GatewayRequestError
+from repro.server.protocol import decode_frame, encode_frame
+
+
+def _slow_execute(service, delay):
+    """Make the service's execute sleep ``delay`` seconds (per call)."""
+    original = service.execute
+
+    def slowed(*args, **kwargs):
+        time.sleep(delay)
+        return original(*args, **kwargs)
+
+    service.execute = slowed
+    return original
+
+
+def test_malformed_frame_keeps_connection_alive(
+    build_service, workload_texts, harness
+):
+    async def scenario():
+        service = build_service()
+        async with harness(service) as gateway:
+            host, port = gateway.address
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                error = decode_frame(await reader.readline())
+                assert error["ok"] is False
+                assert error["error"]["code"] == "protocol_error"
+                assert error["id"] is None
+
+                # Unknown op and bad query text are also per-frame errors.
+                writer.write(encode_frame({"id": 1, "op": "nuke"}))
+                writer.write(
+                    encode_frame({"id": 2, "op": "execute", "query": "(junk"})
+                )
+                await writer.drain()
+                codes = [
+                    decode_frame(await reader.readline())["error"]["code"]
+                    for _ in range(2)
+                ]
+                assert codes == ["protocol_error", "protocol_error"]
+
+                # The same connection still serves valid requests.
+                writer.write(
+                    encode_frame(
+                        {"id": 3, "op": "execute", "query": workload_texts[0]}
+                    )
+                )
+                await writer.drain()
+                response = decode_frame(await reader.readline())
+                assert response["ok"] is True and response["id"] == 3
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+    asyncio.run(scenario())
+
+
+def test_half_close_still_receives_responses(
+    build_service, workload_texts, harness
+):
+    """EOF on the read side flushes pending responses before closing."""
+
+    async def scenario():
+        service = build_service()
+        _slow_execute(service, 0.1)
+        async with harness(service) as gateway:
+            host, port = gateway.address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                encode_frame({"id": 1, "op": "execute", "query": workload_texts[0]})
+            )
+            await writer.drain()
+            writer.write_eof()  # done sending; still reading
+            response = decode_frame(await reader.readline())
+            assert response["ok"] is True and response["id"] == 1
+            writer.close()
+            await writer.wait_closed()
+
+    asyncio.run(scenario())
+
+
+def test_disconnect_mid_request_does_not_kill_shared_work(
+    build_service, workload_texts, harness
+):
+    async def scenario():
+        service = build_service()
+        _slow_execute(service, 0.3)
+        async with harness(service) as gateway:
+            host, port = gateway.address
+            leader = await AsyncGatewayClient.connect(host, port, "leader")
+            follower = AsyncGatewayClient.in_process(gateway, "follower")
+
+            leader_task = asyncio.ensure_future(
+                leader.execute(workload_texts[0])
+            )
+            await asyncio.sleep(0.05)  # the leader's flight is in progress
+            follower_task = asyncio.ensure_future(
+                follower.execute(workload_texts[0])
+            )
+            await asyncio.sleep(0.05)
+            await leader.close()  # disconnect mid-request
+            leader_task.cancel()
+
+            payload = await follower_task
+            assert payload["row_count"] >= 0
+            assert payload["coalesced"] is True
+
+            # The gateway remains healthy and the map is clean.
+            assert service.single_flight.snapshot().in_flight == 0
+            probe = AsyncGatewayClient.in_process(gateway, "probe")
+            assert "rows" in await probe.execute(workload_texts[1])
+
+    asyncio.run(scenario())
+
+
+def test_timeout_does_not_poison_single_flight(
+    build_service, workload_texts, harness
+):
+    async def scenario():
+        service = build_service()
+        original = _slow_execute(service, 0.4)
+        async with harness(service, request_timeout=0.1) as gateway:
+            client = AsyncGatewayClient.in_process(gateway)
+            with pytest.raises(GatewayRequestError) as excinfo:
+                await client.execute(workload_texts[0])
+            assert excinfo.value.code == "timeout"
+
+            # The abandoned wait left the work running; once it finishes
+            # the flight retires itself.
+            await asyncio.sleep(0.5)
+            assert service.single_flight.snapshot().in_flight == 0
+
+            # The same query succeeds afterwards (fresh flight, no stale
+            # entry swallowing it).
+            service.execute = original
+            payload = await client.execute(workload_texts[0])
+            assert "rows" in payload
+            assert service.single_flight.snapshot().in_flight == 0
+
+    asyncio.run(scenario())
+
+
+def test_per_request_timeout_option(build_service, workload_texts, harness):
+    async def scenario():
+        service = build_service()
+        _slow_execute(service, 0.4)
+        async with harness(service, request_timeout=30.0) as gateway:
+            client = AsyncGatewayClient.in_process(gateway)
+            with pytest.raises(GatewayRequestError) as excinfo:
+                await client.execute(workload_texts[0], timeout=0.05)
+            assert excinfo.value.code == "timeout"
+
+    asyncio.run(scenario())
+
+
+def test_timeout_covers_admission_wait(build_service, workload_texts, harness):
+    """A queued request's budget is enforced while it waits for a slot."""
+
+    async def scenario():
+        service = build_service()
+        _slow_execute(service, 0.4)
+        async with harness(service, max_in_flight=1, max_waiting=8) as gateway:
+            client = AsyncGatewayClient.in_process(gateway)
+            running = asyncio.ensure_future(client.execute(workload_texts[0]))
+            await asyncio.sleep(0.05)  # saturate the single slot
+            start = time.monotonic()
+            with pytest.raises(GatewayRequestError) as excinfo:
+                await client.execute(workload_texts[1], timeout=0.05)
+            assert excinfo.value.code == "timeout"
+            assert time.monotonic() - start < 0.3, (
+                "the queued request must time out on its own budget, "
+                "not wait for the slot"
+            )
+            assert "rows" in await running  # the running request is unaffected
+            snapshot = gateway.admission.snapshot()
+            assert snapshot.waiting == 0 and snapshot.active == 0
+
+    asyncio.run(scenario())
+
+
+def test_cancelled_admission_wait_releases_cleanly(
+    build_service, workload_texts, harness
+):
+    async def scenario():
+        service = build_service()
+        _slow_execute(service, 0.3)
+        async with harness(service, max_in_flight=1, max_waiting=8) as gateway:
+            client = AsyncGatewayClient.in_process(gateway)
+            running = asyncio.ensure_future(client.execute(workload_texts[0]))
+            await asyncio.sleep(0.05)
+            queued = asyncio.ensure_future(client.execute(workload_texts[1]))
+            await asyncio.sleep(0.05)
+            assert gateway.admission.snapshot().waiting == 1
+            queued.cancel()  # the queued client vanishes
+            with pytest.raises(asyncio.CancelledError):
+                await queued
+            assert "rows" in await running
+            snapshot = gateway.admission.snapshot()
+            assert snapshot.waiting == 0
+            assert snapshot.active == 0
+            # The freed capacity is reusable.
+            assert "rows" in await client.execute(workload_texts[2])
+
+    asyncio.run(scenario())
+
+
+def test_drain_completes_in_flight_work(build_service, workload_texts, harness):
+    async def scenario():
+        service = build_service()
+        _slow_execute(service, 0.3)
+        # Stopping inside the harness block is fine: stop() is idempotent.
+        async with harness(service) as gateway:
+            client = AsyncGatewayClient.in_process(gateway)
+            in_flight = asyncio.ensure_future(client.execute(workload_texts[0]))
+            await asyncio.sleep(0.05)
+            drained = await gateway.stop(drain=True, timeout=5.0)
+            assert drained is True
+            payload = await in_flight
+            assert "rows" in payload  # admitted work completed with a response
+
+            with pytest.raises(GatewayRequestError) as excinfo:
+                await client.execute(workload_texts[1])
+            assert excinfo.value.code == "draining"
+
+    asyncio.run(scenario())
+
+
+def test_drain_flushes_tcp_responses(build_service, workload_texts, harness):
+    """A TCP client's admitted request is answered before sockets close."""
+
+    async def scenario():
+        service = build_service()
+        _slow_execute(service, 0.25)
+        async with harness(service) as gateway:
+            host, port = gateway.address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                encode_frame({"id": 1, "op": "execute", "query": workload_texts[0]})
+            )
+            await writer.drain()
+            await asyncio.sleep(0.05)
+            stopper = asyncio.ensure_future(gateway.stop(drain=True, timeout=5.0))
+            response = decode_frame(await reader.readline())
+            assert response["ok"] is True
+            assert json.dumps(response["result"]["rows"]) is not None
+            assert await stopper is True
+            writer.close()
+            await writer.wait_closed()
+
+    asyncio.run(scenario())

@@ -1,0 +1,193 @@
+"""Tests for the gateway wire protocol (framing, parsing, payloads)."""
+
+import json
+
+import pytest
+
+from repro.server.errors import ProtocolError
+from repro.server.protocol import (
+    decode_frame,
+    encode_frame,
+    error_response,
+    ok_response,
+    parse_request,
+    parse_rule,
+)
+
+QUERY = (
+    '(SELECT {cargo.code} { } {vehicle.desc = "refrigerated truck"} '
+    "{collects} {cargo, vehicle})"
+)
+
+
+def test_frame_roundtrip():
+    frame = {"id": 3, "op": "stats"}
+    assert decode_frame(encode_frame(frame).strip()) == frame
+
+
+def test_encode_frame_is_one_line():
+    encoded = encode_frame({"id": 1, "op": "execute", "query": QUERY})
+    assert encoded.endswith(b"\n")
+    assert encoded.count(b"\n") == 1
+
+
+@pytest.mark.parametrize(
+    "line",
+    [b"not json", b"[1, 2, 3]", b'"a string"', b"\xff\xfe"],
+)
+def test_decode_frame_rejects_malformed(line):
+    with pytest.raises(ProtocolError):
+        decode_frame(line)
+
+
+def test_parse_request_optimize(evaluation_schema):
+    request = parse_request(
+        {"id": 9, "op": "optimize", "query": QUERY}, evaluation_schema
+    )
+    assert request.op == "optimize"
+    assert request.id == 9
+    assert tuple(request.query.classes) == ("cargo", "vehicle")
+
+
+def test_parse_request_unknown_op(evaluation_schema):
+    with pytest.raises(ProtocolError, match="unknown op"):
+        parse_request({"op": "drop_tables"}, evaluation_schema)
+
+
+def test_parse_request_missing_query(evaluation_schema):
+    with pytest.raises(ProtocolError, match="query"):
+        parse_request({"op": "execute"}, evaluation_schema)
+
+
+def test_parse_request_invalid_query_text(evaluation_schema):
+    with pytest.raises(ProtocolError, match="invalid query"):
+        parse_request({"op": "execute", "query": "(SELECT {junk"}, evaluation_schema)
+
+
+def test_parse_request_schema_validation(evaluation_schema):
+    bad = '(SELECT {nosuch.attr} { } { } { } {nosuch})'
+    with pytest.raises(ProtocolError, match="invalid query"):
+        parse_request({"op": "optimize", "query": bad}, evaluation_schema)
+
+
+def test_parse_request_rejects_unknown_option(evaluation_schema):
+    with pytest.raises(ProtocolError, match="unknown option"):
+        parse_request(
+            {"op": "execute", "query": QUERY, "options": {"turbo": True}},
+            evaluation_schema,
+        )
+
+
+@pytest.mark.parametrize(
+    "options,message",
+    [
+        ({"execution_mode": "warp"}, "unknown execution mode"),
+        ({"workers": 0}, "workers"),
+        ({"workers": "four"}, "workers"),
+        ({"timeout": -1}, "timeout"),
+        ({"optimize": "yes"}, "optimize"),
+        ({"join_strategy": "merge"}, "join_strategy"),
+    ],
+)
+def test_parse_request_rejects_bad_option_values(
+    evaluation_schema, options, message
+):
+    with pytest.raises(ProtocolError, match=message):
+        parse_request(
+            {"op": "execute", "query": QUERY, "options": options},
+            evaluation_schema,
+        )
+
+
+def test_parse_request_batch(evaluation_schema):
+    request = parse_request(
+        {"op": "execute_batch", "queries": [QUERY, QUERY]}, evaluation_schema
+    )
+    assert len(request.queries) == 2
+
+
+def test_parse_request_batch_rejects_empty(evaluation_schema):
+    with pytest.raises(ProtocolError, match="non-empty"):
+        parse_request({"op": "execute_batch", "queries": []}, evaluation_schema)
+
+
+def test_options_key_ignores_timeout(evaluation_schema):
+    with_timeout = parse_request(
+        {
+            "op": "execute",
+            "query": QUERY,
+            "options": {"execution_mode": "vectorized", "timeout": 5},
+        },
+        evaluation_schema,
+    )
+    without = parse_request(
+        {
+            "op": "execute",
+            "query": QUERY,
+            "options": {"execution_mode": "vectorized"},
+        },
+        evaluation_schema,
+    )
+    assert with_timeout.options_key() == without.options_key()
+
+
+def test_parse_rule_builds_constraint(evaluation_schema):
+    constraint = parse_rule(
+        {
+            "name": "wire1",
+            "antecedents": ['cargo.desc = "frozen food"'],
+            "consequent": "cargo.quantity <= 500",
+            "classes": ["cargo"],
+            "relationships": [],
+            "description": "frozen food ships in small lots",
+        },
+        evaluation_schema,
+    )
+    assert constraint.name == "wire1"
+    assert len(constraint.antecedents) == 1
+    assert constraint.anchor_classes == frozenset({"cargo"})
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "not a dict",
+        {"consequent": "cargo.quantity <= 500"},  # missing name
+        {"name": "r", "consequent": 5},
+        {"name": "r", "consequent": "cargo.quantity <= 500", "antecedents": "x"},
+        {"name": "r", "consequent": "???"},
+        {"name": "r", "consequent": "cargo.quantity <= 500", "classes": [1]},
+    ],
+)
+def test_parse_rule_rejects_malformed(evaluation_schema, spec):
+    with pytest.raises(ProtocolError):
+        parse_rule(spec, evaluation_schema)
+
+
+def test_rules_request_parsing(evaluation_schema):
+    add = parse_request(
+        {
+            "op": "rules",
+            "action": "add",
+            "rule": {"name": "r9", "consequent": "cargo.quantity >= 0"},
+        },
+        evaluation_schema,
+    )
+    assert add.action == "add" and add.rule.name == "r9"
+    remove = parse_request(
+        {"op": "rules", "action": "remove", "name": "r9"}, evaluation_schema
+    )
+    assert remove.action == "remove" and remove.rule_name == "r9"
+    with pytest.raises(ProtocolError, match="action"):
+        parse_request({"op": "rules", "action": "upsert"}, evaluation_schema)
+    with pytest.raises(ProtocolError, match="name"):
+        parse_request({"op": "rules", "action": "remove"}, evaluation_schema)
+
+
+def test_response_frames_are_json_serializable():
+    ok = ok_response(5, {"rows": []})
+    assert ok["ok"] is True and ok["id"] == 5
+    err = error_response(6, ProtocolError("bad frame"))
+    assert err["ok"] is False
+    assert err["error"]["code"] == "protocol_error"
+    json.dumps(ok), json.dumps(err)

@@ -1,0 +1,207 @@
+"""Tests for single-flight deduplication and atomic counter snapshots."""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.caching import LruCache, SingleFlightMap
+from repro.constraints import ConstraintRepository, build_example_constraints
+from repro.query import parse_query
+from repro.schema import build_example_schema
+from repro.service import OptimizationService, ResultSource
+
+PAPER_QUERY = (
+    '(SELECT {vehicle.vehicle#, cargo.desc, cargo.quantity} { } '
+    '{vehicle.desc = "refrigerated truck", supplier.name = "SFI"} '
+    '{collects, supplies} {supplier, cargo, vehicle})'
+)
+
+
+@pytest.fixture()
+def service():
+    schema = build_example_schema()
+    repository = ConstraintRepository(schema)
+    repository.add_all(build_example_constraints())
+    return OptimizationService(schema, repository=repository)
+
+
+# ----------------------------------------------------------------------
+# SingleFlightMap unit behaviour
+# ----------------------------------------------------------------------
+def test_single_flight_leader_and_followers():
+    flight = SingleFlightMap()
+    future, leader = flight.begin("k")
+    assert leader
+    follower_future, follower = flight.begin("k")
+    assert not follower and follower_future is future
+    flight.resolve("k", 41)
+    assert future.result() == 41
+    stats = flight.snapshot()
+    assert (stats.leaders, stats.followers, stats.in_flight) == (1, 1, 0)
+    assert stats.dedup_rate == 0.5
+
+
+def test_single_flight_retires_key_before_resolving():
+    flight = SingleFlightMap()
+    future, _ = flight.begin("k")
+    flight.resolve("k", "done")
+    # A request arriving after completion must start fresh, not observe
+    # the finished flight.
+    _, leader = flight.begin("k")
+    assert leader
+
+
+def test_single_flight_failure_propagates_and_is_not_cached():
+    flight = SingleFlightMap()
+    future, _ = flight.begin("k")
+    follower_future, _ = flight.begin("k")
+    flight.fail("k", RuntimeError("boom"))
+    with pytest.raises(RuntimeError):
+        follower_future.result()
+    # The next caller retries fresh.
+    _, leader = flight.begin("k")
+    assert leader
+
+
+def test_single_flight_concurrent_threads_share_one_computation():
+    flight = SingleFlightMap()
+    future, leader = flight.begin("key")  # this thread leads...
+    assert leader
+
+    def join():
+        shared, is_leader = flight.begin("key")
+        assert not is_leader
+        return shared.result(timeout=5)
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        futures = [pool.submit(join) for _ in range(8)]
+        deadline = time.time() + 5
+        while flight.snapshot().followers < 8:  # ...until all 8 joined
+            assert time.time() < deadline, "followers never joined"
+            time.sleep(0.001)
+        flight.resolve("key", "value")
+        assert [f.result(timeout=5) for f in futures] == ["value"] * 8
+    assert len(flight) == 0
+    stats = flight.snapshot()
+    assert (stats.leaders, stats.followers) == (1, 8)
+
+
+# ----------------------------------------------------------------------
+# Service-level coalescing
+# ----------------------------------------------------------------------
+def test_optimize_coalesced_single_caller_behaves_like_optimize(service):
+    query = parse_query(PAPER_QUERY)
+    envelope = service.optimize_coalesced(query)
+    assert envelope.source is ResultSource.COMPUTED
+    again = service.optimize_coalesced(query)
+    assert again.source is ResultSource.RESULT_CACHE
+
+
+def test_optimize_coalesced_thundering_herd_runs_pipeline_once(service):
+    query = parse_query(PAPER_QUERY)
+    pipeline_runs = []
+    original = service.optimizer.optimize
+
+    def instrumented(target):
+        # The leader holds the pipeline open until every other herd
+        # member has joined its flight, making the coalescing count
+        # deterministic.
+        pipeline_runs.append(threading.get_ident())
+        deadline = time.time() + 5
+        while service.single_flight.snapshot().followers < 7:
+            assert time.time() < deadline, "herd never joined the flight"
+            time.sleep(0.001)
+        return original(target)
+
+    service.optimizer.optimize = instrumented
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        futures = [
+            pool.submit(service.optimize_coalesced, query) for _ in range(8)
+        ]
+        envelopes = [future.result(timeout=10) for future in futures]
+
+    assert len(pipeline_runs) == 1, "the pipeline must run exactly once"
+    sources = sorted(envelope.source.value for envelope in envelopes)
+    assert sources.count("single_flight") == 7
+    assert sources.count("computed") == 1
+    optimized = {str(envelope.optimized) for envelope in envelopes}
+    assert len(optimized) == 1
+    assert service.single_flight.snapshot().in_flight == 0
+
+
+def test_optimize_coalesced_key_includes_generation(service):
+    query = parse_query(PAPER_QUERY)
+    service.optimize_coalesced(query)
+    before = service.single_flight.snapshot().leaders
+    service.repository.add_all([])  # no-op, no generation bump
+    service.optimize_coalesced(query)
+    after = service.single_flight.snapshot()
+    # Same generation: same flight key, but sequential calls never
+    # coalesce (the flight retired) — both lead.
+    assert after.leaders == before + 1
+
+
+def test_optimize_coalesced_propagates_failures_without_caching(service):
+    query = parse_query(PAPER_QUERY)
+    calls = []
+    original = service.optimizer.optimize
+
+    def flaky(target):
+        calls.append(1)
+        if len(calls) == 1:
+            raise RuntimeError("transient")
+        return original(target)
+
+    service.optimizer.optimize = flaky
+    service.clear_result_cache()
+    with pytest.raises(RuntimeError):
+        service.optimize_coalesced(query, use_cache=False)
+    envelope = service.optimize_coalesced(query, use_cache=False)
+    assert envelope.source is ResultSource.COMPUTED
+
+
+# ----------------------------------------------------------------------
+# Atomic counter snapshots
+# ----------------------------------------------------------------------
+def test_lru_cache_snapshot_is_internally_consistent_under_load():
+    cache = LruCache(maxsize=32)
+    stop = threading.Event()
+
+    def hammer():
+        index = 0
+        while not stop.is_set():
+            cache.put(index % 64, index)
+            cache.get((index * 7) % 64)
+            index += 1
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    try:
+        for _ in range(200):
+            snapshot = cache.snapshot()
+            assert snapshot.lookups == snapshot.hits + snapshot.misses
+            assert 0 <= snapshot.entries <= snapshot.maxsize
+            assert 0.0 <= snapshot.hit_rate <= 1.0
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+
+
+def test_service_stats_snapshot_shape(service):
+    query = parse_query(PAPER_QUERY)
+    service.optimize(query)
+    service.optimize(query)
+    stats = service.stats()
+    assert stats.cache.result_hits == 1
+    assert stats.cache.result_misses == 1
+    assert stats.repository_constraints == 5
+    assert stats.store_attached is False
+    payload = stats.as_dict()
+    assert payload["cache"]["result_hits"] == 1
+    assert payload["repository"]["constraints"] == 5
+    assert payload["single_flight"]["in_flight"] == 0
