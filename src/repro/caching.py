@@ -22,8 +22,9 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from concurrent.futures import Future
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Generic, Optional, Tuple, TypeVar
+from typing import Generic, Iterator, Optional, Tuple, TypeVar
 
 K = TypeVar("K")
 V = TypeVar("V")
@@ -156,6 +157,63 @@ class LruCache(Generic[K, V]):
 
     def __len__(self) -> int:
         return len(self._entries)
+
+
+class ReadWriteLock:
+    """A readers-writer lock for the single-writer live mutation path.
+
+    Any number of readers (query executions) may hold the lock together; a
+    writer (a store mutation) waits for the readers to drain and then runs
+    exclusively.  Writers take priority over *new* readers once waiting, so
+    a steady read workload cannot starve writes.  Not reentrant — a thread
+    must not acquire the read side while holding the write side (the write
+    section simply performs its reads directly; it is already exclusive).
+
+    >>> lock = ReadWriteLock()
+    >>> with lock.read():
+    ...     pass  # shared with other readers
+    >>> with lock.write():
+    ...     pass  # exclusive
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """Hold the shared (reader) side for the duration of the block."""
+        with self._condition:
+            while self._writer or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._condition.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """Hold the exclusive (writer) side for the duration of the block."""
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._condition.wait()
+                self._writer = True
+            finally:
+                self._writers_waiting -= 1
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._writer = False
+                self._condition.notify_all()
 
 
 class SingleFlightMap(Generic[K, V]):

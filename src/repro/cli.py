@@ -270,6 +270,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="per-request budget in seconds",
     )
+    parser.add_argument(
+        "--dynamic-rules",
+        action="store_true",
+        help=(
+            "derive state-dependent rules from the generated database and "
+            "keep them fresh across mutation RPCs (re-derived per touched "
+            "class)"
+        ),
+    )
     return parser
 
 
@@ -295,6 +304,9 @@ def run_serve(argv: List[str]) -> int:
             execution_mode=args.engine,
             engine_workers=args.workers,
         )
+        if args.dynamic_rules:
+            derived = service.enable_dynamic_rules()
+            print(f"dynamic rules enabled: {derived} derived", flush=True)
         gateway = QueryGateway(
             service,
             args.host,
@@ -365,6 +377,20 @@ def build_bench_client_parser() -> argparse.ArgumentParser:
         help="execution_mode option sent with every request",
     )
     parser.add_argument(
+        "--mutate-every",
+        type=int,
+        default=0,
+        help=(
+            "mixed read/write mode: make every Nth request per client an "
+            "insert (0 = read-only)"
+        ),
+    )
+    parser.add_argument(
+        "--mutate-class",
+        default="cargo",
+        help="object class the mixed-mode inserts write into",
+    )
+    parser.add_argument(
         "--artifact",
         default=None,
         help="merge the report into this JSON file (e.g. benchmarks/BENCH_gateway.json)",
@@ -376,12 +402,43 @@ def run_bench_client(argv: List[str]) -> int:
     """``python -m repro bench-client``: load a served gateway and report."""
     from .data import TABLE_4_1_SPECS, build_evaluation_setup
     from .query import format_query
-    from .server import AsyncGatewayClient, run_load
+    from .server import AsyncGatewayClient, MutationMix, run_load
 
     args = build_bench_client_parser().parse_args(argv)
 
     if args.clients < 1 or args.requests < 1:
         build_bench_client_parser().error("--clients and --requests must be >= 1")
+
+    def mutation_mix(schema):
+        """Schema-derived insert template: every value attribute populated.
+
+        Fully populated rows keep the write realistic — a row of ``None``s
+        would silently disable the server's derived range rules and never
+        intersect a read — and the first string attribute is uniqued per
+        (client, request) so rows stay distinguishable.
+        """
+        if args.mutate_every <= 0:
+            return None
+        if not schema.has_class(args.mutate_class):
+            build_bench_client_parser().error(
+                f"--mutate-class: unknown object class {args.mutate_class!r}"
+            )
+        values, unique = {}, []
+        for attribute in schema.object_class(args.mutate_class).attributes:
+            if attribute.is_pointer:
+                continue
+            if attribute.domain.is_numeric:
+                values[attribute.name] = 1
+            else:
+                values[attribute.name] = "lg"
+                if not unique:
+                    unique.append(attribute.name)
+        return MutationMix(
+            every=args.mutate_every,
+            class_name=args.mutate_class,
+            values=values,
+            unique_attributes=tuple(unique),
+        )
 
     async def bench():
         # The workload generator is seeded, so building the setup locally
@@ -401,6 +458,7 @@ def run_bench_client(argv: List[str]) -> int:
                         args.host, args.port, client_id=f"bench-{index}"
                     )
                 )
+            mix = mutation_mix(setup.schema)
             report = await run_load(
                 clients,
                 queries,
@@ -408,6 +466,7 @@ def run_bench_client(argv: List[str]) -> int:
                 op=args.op,
                 options=options,
                 rate=args.rate,
+                mutations=mix,
             )
             stats = await clients[0].stats()
         finally:

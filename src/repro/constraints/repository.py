@@ -27,7 +27,12 @@ from ..schema.schema import Schema
 from ..schema.statistics import AccessStatistics
 from .closure import ClosureResult, PredicateStore, compute_closure
 from .groups import ConstraintGrouping, GroupingPolicy, RetrievalStats
-from .horn_clause import ConstraintError, SemanticConstraint, unique_constraints
+from .horn_clause import (
+    ConstraintError,
+    ConstraintOrigin,
+    SemanticConstraint,
+    unique_constraints,
+)
 from .predicate import AttributeOperand, Predicate
 
 
@@ -124,6 +129,13 @@ class ConstraintRepository:
         self._store = PredicateStore()
         self._dirty = True
         self._generation = 0
+        # Per-class epoch counters: a constraint add/remove bumps only the
+        # counters of the classes the constraint references, so caches keyed
+        # on :meth:`class_generations` survive mutations that cannot have
+        # affected their queries (class-granular instead of wholesale).
+        self._class_generations: Dict[str, int] = {
+            name: 0 for name in schema.class_names()
+        }
         # Guards generation bumps, access statistics and (re)compilation;
         # each LruCache carries its own lock.
         self._lock = threading.RLock()
@@ -143,15 +155,56 @@ class ConstraintRepository:
         """
         return self._generation
 
-    def _invalidate_caches(self) -> None:
-        """Bump the generation and drop every cached retrieval."""
+    def _invalidate_caches(self, class_names: Optional[Iterable[str]] = None) -> None:
+        """Bump the generation (global and per-class) and drop retrievals.
+
+        ``class_names`` limits the per-class epoch bumps to the classes a
+        mutation actually touched; ``None`` bumps every class (the
+        conservative wholesale invalidation, used by :meth:`regroup`).
+        """
         with self._lock:
             self._generation += 1
+            targets = (
+                list(class_names)
+                if class_names is not None
+                else list(self._class_generations)
+            )
+            for name in targets:
+                self._class_generations[name] = (
+                    self._class_generations.get(name, 0) + 1
+                )
             self._retrieval_cache.clear()
+
+    def class_generations(self, class_names: Iterable[str]) -> Tuple[int, ...]:
+        """The epoch counters of ``class_names`` (sorted by class name).
+
+        The class-granular analogue of :attr:`generation`: a cache entry
+        derived from a query keyed on this tuple goes stale exactly when a
+        constraint referencing one of the query's classes is added or
+        removed — constraint churn on unrelated classes leaves it servable.
+        Every constraint's referenced classes are a subset of the classes
+        of any query it is relevant to, so keying on the query's own
+        classes can never miss a relevant change.
+        """
+        with self._lock:
+            return tuple(
+                self._class_generations.get(name, 0)
+                for name in sorted(set(class_names))
+            )
 
     def clear_retrieval_cache(self) -> None:
         """Drop cached retrievals without changing the generation."""
         self._retrieval_cache.clear()
+
+    def clear_closure_cache(self) -> None:
+        """Drop every memoized closure.
+
+        The closure cache is keyed on the full declared-constraint identity
+        (names, predicate values, provenance), so ordinary mutations never
+        need this; it exists for callers that invalidate derived state out
+        of band (e.g. operational tooling after bulk store surgery).
+        """
+        self._closure_cache.clear()
 
     def cache_stats(self) -> RepositoryCacheStats:
         """An immutable, internally consistent snapshot of cache counters.
@@ -184,7 +237,7 @@ class ConstraintRepository:
             )
         self._declared.append(constraint)
         self._dirty = True
-        self._invalidate_caches()
+        self._invalidate_caches(constraint.referenced_classes())
 
     def add_all(self, constraints: Iterable[SemanticConstraint]) -> None:
         """Declare several constraints."""
@@ -197,12 +250,89 @@ class ConstraintRepository:
         The paper notes constraint updates force closure recomputation; we
         simply mark the repository dirty so the next precompile rebuilds it.
         """
-        before = len(self._declared)
-        self._declared = [c for c in self._declared if c.name != name]
-        if len(self._declared) == before:
+        removed = [c for c in self._declared if c.name == name]
+        if not removed:
             raise ConstraintError(f"no constraint named {name!r} is declared")
+        self._declared = [c for c in self._declared if c.name != name]
         self._dirty = True
-        self._invalidate_caches()
+        self._invalidate_caches(removed[0].referenced_classes())
+
+    @staticmethod
+    def _identity(constraint: SemanticConstraint) -> Tuple:
+        """Full identity of one declared constraint (the closure-key parts)."""
+        return (
+            constraint.name,
+            constraint.signature(),
+            constraint.description,
+            constraint.origin,
+            constraint.derived_from,
+        )
+
+    def replace_derived(
+        self,
+        class_names: Iterable[str],
+        rules: Iterable[SemanticConstraint],
+    ) -> bool:
+        """Atomically swap the derived rules touching ``class_names``.
+
+        This is the invalidation hook of the live write path: when data of
+        a class changes, the service re-derives that class's dynamic rules
+        and swaps them in with one call.  Every declared constraint of
+        :attr:`~.ConstraintOrigin.DERIVED` origin referencing one of the
+        classes is removed and ``rules`` (validated, DERIVED-origin) are
+        declared in their place, under **one** epoch bump scoped to the
+        touched classes — so caches keyed on :meth:`class_generations`
+        survive for every untouched class.
+
+        Returns ``True`` when the declared set actually changed.  A swap
+        that reproduces the outgoing rules exactly (the mutation did not
+        move any observed bound) is a no-op: no generation bump, no cache
+        invalidation — which is what lets a write-heavy workload keep its
+        warm optimization caches whenever the data change is semantically
+        silent.  The closure cache needs no explicit eviction either way:
+        its keys cover predicate *values*, so a changed bound can never
+        collide with a stale entry, and an unchanged set may legitimately
+        reuse its memoized closure.
+        """
+        targets = set(class_names)
+        incoming = list(rules)
+        for rule in incoming:
+            if rule.origin is not ConstraintOrigin.DERIVED:
+                raise ConstraintError(
+                    f"replace_derived only accepts DERIVED rules, got "
+                    f"{rule.name!r} ({rule.origin.value})"
+                )
+            self._validate(rule)
+        with self._lock:
+            kept: List[SemanticConstraint] = []
+            outgoing: List[SemanticConstraint] = []
+            for constraint in self._declared:
+                if constraint.origin is ConstraintOrigin.DERIVED and (
+                    constraint.referenced_classes() & targets
+                ):
+                    outgoing.append(constraint)
+                else:
+                    kept.append(constraint)
+            taken = {c.name for c in kept}
+            for rule in incoming:
+                if rule.name in taken:
+                    raise ConstraintError(
+                        f"a constraint named {rule.name!r} is already declared"
+                    )
+                taken.add(rule.name)
+            if [self._identity(c) for c in outgoing] == [
+                self._identity(c) for c in incoming
+            ]:
+                return False
+            self._declared = kept + incoming
+            self._dirty = True
+            touched = set(targets)
+            for constraint in outgoing:
+                touched |= constraint.referenced_classes()
+            for constraint in incoming:
+                touched |= constraint.referenced_classes()
+            self._invalidate_caches(touched)
+            return True
 
     def declared(self) -> List[SemanticConstraint]:
         """The declared (pre-closure) constraints."""
@@ -294,8 +424,7 @@ class ConstraintRepository:
         # or a logically-identical re-declaration would resurrect the
         # removed constraint's stale identity/provenance.
         key = tuple(
-            (c.name, c.signature(), c.description, c.origin, c.derived_from)
-            for c in sorted(declared, key=lambda c: c.name)
+            self._identity(c) for c in sorted(declared, key=lambda c: c.name)
         )
         cached = self._closure_cache.get(key)
         if cached is not None:

@@ -27,15 +27,24 @@ from ..schema.schema import Schema
 
 
 class HashIndex:
-    """Equality index: value -> list of OIDs."""
+    """Equality index: value -> list of OIDs (kept in ascending-OID order).
+
+    Bucket order is part of the engine's determinism contract: executors
+    iterate lookup results directly, and the sharded store's merged index
+    view k-way-merges per-shard buckets by OID.  Keeping every bucket
+    sorted makes the answer order a pure function of the stored data — an
+    *update* (index delete + re-insert) cannot move an instance to the
+    back of its bucket, so single-shard and sharded answers stay identical
+    under the live write path.
+    """
 
     def __init__(self) -> None:
         self._buckets: Dict[Any, List[int]] = defaultdict(list)
         self._entries = 0
 
     def insert(self, value: Any, oid: int) -> None:
-        """Register ``oid`` under ``value``."""
-        self._buckets[value].append(oid)
+        """Register ``oid`` under ``value`` (kept sorted by OID)."""
+        insort(self._buckets[value], oid)
         self._entries += 1
 
     def remove(self, value: Any, oid: int) -> None:

@@ -126,6 +126,7 @@ def create_executor(
     mode: Optional[Union[str, ExecutionMode]] = None,
     join_strategy: str = "hash",
     workers: Optional[int] = None,
+    min_partition_rows: Optional[int] = None,
 ):
     """Build the executor implementing ``mode`` (default: the env default).
 
@@ -150,10 +151,18 @@ def create_executor(
     """
     resolved = resolve_execution_mode(mode)
     if resolved is ExecutionMode.PARALLEL:
-        from .parallel import ParallelExecutor
+        from .parallel import DEFAULT_MIN_PARTITION_ROWS, ParallelExecutor
 
         return ParallelExecutor(
-            schema, store, join_strategy=join_strategy, workers=workers
+            schema,
+            store,
+            join_strategy=join_strategy,
+            workers=workers,
+            min_partition_rows=(
+                min_partition_rows
+                if min_partition_rows is not None
+                else DEFAULT_MIN_PARTITION_ROWS
+            ),
         )
     if resolved is ExecutionMode.VECTORIZED:
         from .vectorized import VectorizedExecutor

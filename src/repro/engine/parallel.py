@@ -28,13 +28,23 @@ work across a pool of forked worker processes:
    bit for bit); worker counters are summed, and ledgered one-off charges
    (hash-join builds) are counted exactly once across all shards.
 
-Workers inherit the store by ``fork`` — nothing is copied eagerly, and the
-pool is recycled whenever the store's version counter moves, which is the
-same invalidation discipline the vectorized engine's caches use.  When
-forking is unavailable, the pool width is 1, the plan has no partition
-contract (:meth:`~repro.engine.plan.QueryPlan.partition_leaf`), or the
-driver set is too small to pay for transport, execution falls back to the
-identical in-process pipeline, so correctness never depends on the pool.
+Workers inherit the store by ``fork`` — nothing is copied eagerly.  Each
+worker is its own single-process pool, so it can be addressed directly:
+when the store's version counter moves between executions, the parent
+ships the store's **mutation journal delta**
+(:meth:`~repro.engine.storage.ShardedObjectStore.journal_since`) to each
+live worker, which replays it into its forked snapshot
+(:meth:`~repro.engine.storage.ShardedObjectStore.apply_journal`) instead
+of being torn down and re-forked.  Replay bumps the replica's shard
+versions exactly like the original writes did, so the worker's own
+shard-granular caches invalidate only for the shards that actually moved.
+A worker is re-forked only when the journal cannot bridge the gap (bounded
+retention overflow, or an index rebuild after un-journaled in-place
+repairs).  When forking is unavailable, the pool width is 1, the plan has
+no partition contract
+(:meth:`~repro.engine.plan.QueryPlan.partition_leaf`), or the driver set
+is too small to pay for transport, execution falls back to the identical
+in-process pipeline, so correctness never depends on the pool.
 """
 
 from __future__ import annotations
@@ -117,6 +127,36 @@ def _init_worker(schema: Schema, store: ObjectStore, join_strategy: str) -> None
     """Pool initializer (runs in the child; arguments arrive via fork)."""
     global _WORKER_STATE
     _WORKER_STATE = _WorkerState(schema, store, join_strategy)
+
+
+def _apply_worker_journal(records) -> int:
+    """Replay a journal delta into this worker's forked store snapshot."""
+    state = _WORKER_STATE
+    assert state is not None, "worker used before initialization"
+    return state.store.apply_journal(records)
+
+
+def _worker_pid() -> int:
+    """This worker process's PID (test/debug introspection)."""
+    import os
+
+    return os.getpid()
+
+
+class _WorkerHandle:
+    """Parent-side record of one live worker: its pool and sync point."""
+
+    __slots__ = ("pool", "synced_version", "finalizer")
+
+    def __init__(
+        self,
+        pool: ProcessPoolExecutor,
+        synced_version: int,
+        finalizer: "weakref.finalize",
+    ) -> None:
+        self.pool = pool
+        self.synced_version = synced_version
+        self.finalizer = finalizer
 
 
 #: Wire format of one shard task: (plan blob, plan digest, driver class,
@@ -214,11 +254,14 @@ class ParallelExecutor:
         # The in-process half: runs the driver scan, the fallback path and
         # the final materialization, sharing its version-keyed caches.
         self._local = VectorizedExecutor(schema, store, join_strategy=join_strategy)
-        self._pool: Optional[ProcessPoolExecutor] = None
-        self._pool_version = -1
+        # One single-process pool per worker slot (partition ``p`` is owned
+        # by slot ``p % workers``).  Addressing each worker through its own
+        # pool is what makes targeted journal catch-up possible: a store
+        # mutation is shipped to live workers as a replayable delta, and a
+        # worker is only re-forked when the journal cannot bridge its gap.
+        self._handles: Dict[int, _WorkerHandle] = {}
         self._pool_broken = False
         self._pool_lock = threading.Lock()
-        self._finalizer: Optional[weakref.finalize] = None
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -235,28 +278,56 @@ class ParallelExecutor:
             self.workers > 1 and not self._pool_broken and self._fork_available()
         )
 
-    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
-        """The worker pool for the store's current version (or ``None``).
+    @property
+    def _pool(self) -> Optional[ProcessPoolExecutor]:
+        """Any live worker pool (``None`` when no worker has been forked)."""
+        for handle in self._handles.values():
+            return handle.pool
+        return None
 
-        Workers hold a forked snapshot of the store, so any mutation —
-        detected through the shard-version sum — recycles the pool; the
-        next execution forks fresh workers that see the new state.  The
-        pool is only ever created here, lazily, once a batch actually has
-        partitions to dispatch — executions that stay under the row
-        threshold never fork anything.
+    def _worker_pool(self, slot: int) -> Optional[ProcessPoolExecutor]:
+        """The up-to-date pool of worker ``slot`` (forked/synced on demand).
+
+        Workers hold a forked snapshot of the store.  When the store's
+        version moved since the worker last synced, the journal delta is
+        submitted to the worker's (FIFO, single-process) pool ahead of any
+        shard task, so the worker replays exactly the mutations it missed;
+        only an unbridgeable gap tears the worker down and re-forks it.
+        Returns ``None`` when forking fails (the executor then stays
+        in-process).
         """
         if not self._pool_possible():
             return None
         with self._pool_lock:
             version = self.store.version
-            if self._pool is not None and version == self._pool_version:
-                return self._pool
-            self.close()
+            handle = self._handles.get(slot)
+            if handle is not None:
+                if handle.synced_version == version:
+                    return handle.pool
+                records = None
+                journal_since = getattr(self.store, "journal_since", None)
+                if journal_since is not None:
+                    records = journal_since(handle.synced_version)
+                if records is not None:
+                    # Await the replay's outcome before trusting the worker
+                    # with shard tasks: a worker whose catch-up failed
+                    # (unpicklable value, pool death, replay error) must be
+                    # re-forked, never marked synced on hope.  The delta is
+                    # bounded by the journal limit, so the wait is short.
+                    try:
+                        handle.pool.submit(_apply_worker_journal, records).result()
+                    except Exception:
+                        self._close_handle(slot)
+                    else:
+                        handle.synced_version = version
+                        return handle.pool
+                else:
+                    self._close_handle(slot)
             import multiprocessing
 
             try:
                 pool = ProcessPoolExecutor(
-                    max_workers=self.workers,
+                    max_workers=1,
                     mp_context=multiprocessing.get_context("fork"),
                     initializer=_init_worker,
                     initargs=(self.schema, self.store, self.join_strategy),
@@ -264,20 +335,28 @@ class ParallelExecutor:
             except OSError:
                 self._pool_broken = True
                 return None
-            self._pool = pool
-            self._pool_version = version
-            self._finalizer = weakref.finalize(self, pool.shutdown, wait=False)
+            finalizer = weakref.finalize(self, pool.shutdown, wait=False)
+            self._handles[slot] = _WorkerHandle(pool, version, finalizer)
             return pool
 
+    def _close_handle(self, slot: int) -> None:
+        handle = self._handles.pop(slot, None)
+        if handle is not None:
+            handle.finalizer.detach()
+            handle.pool.shutdown(wait=False)
+
+    def worker_pids(self) -> Dict[int, int]:
+        """PID of each live worker, by slot (test/debug introspection)."""
+        with self._pool_lock:
+            pools = {slot: handle.pool for slot, handle in self._handles.items()}
+        return {slot: pool.submit(_worker_pid).result() for slot, pool in pools.items()}
+
     def close(self) -> None:
-        """Shut the worker pool down (recycled lazily on the next use)."""
-        if self._finalizer is not None:
-            self._finalizer.detach()
-            self._finalizer = None
-        if self._pool is not None:
-            self._pool.shutdown(wait=False)
-            self._pool = None
-            self._pool_version = -1
+        """Shut every worker pool down (re-forked lazily on the next use)."""
+        with self._pool_lock:
+            slots = list(self._handles)
+            for slot in slots:
+                self._close_handle(slot)
 
     # ------------------------------------------------------------------
     # Public entry points
@@ -302,15 +381,7 @@ class ParallelExecutor:
         possible = self._pool_possible()
         prepared = [self._prepare(plan, possible) for plan in plans]
         if any(item.partitions is not None for item in prepared):
-            pool = self._ensure_pool()
-            if pool is None:
-                for item in prepared:
-                    if item.partitions is not None:
-                        item.inline_result = self._run_inline(
-                            item.plan, item.leaf, item.driver, item.context
-                        )
-            else:
-                self._dispatch(prepared, pool, max(1, plans_per_task))
+            self._dispatch(prepared, max(1, plans_per_task))
         return [self._merge(item) for item in prepared]
 
     def execute(self, query: Query) -> ExecutionResult:
@@ -368,33 +439,43 @@ class ParallelExecutor:
     def _dispatch(
         self,
         prepared: List[_PreparedExecution],
-        pool: ProcessPoolExecutor,
         plans_per_task: int,
     ) -> None:
-        """Submit chunked per-shard tasks for every pool-eligible plan."""
+        """Submit chunked per-shard tasks for every pool-eligible plan.
+
+        Tasks are grouped by worker slot (``shard_id % workers``); each
+        slot's pool is forked or journal-synced on first touch, so a store
+        mutation between batches costs each live worker one replayed delta
+        rather than a re-fork.
+        """
         pending = [item for item in prepared if item.partitions is not None]
         for start in range(0, len(pending), plans_per_task):
             chunk = pending[start : start + plans_per_task]
-            tasks_by_shard: Dict[int, List[_ShardTask]] = {}
-            owners_by_shard: Dict[int, List[_PreparedExecution]] = {}
+            tasks_by_slot: Dict[int, List[_ShardTask]] = {}
+            owners_by_slot: Dict[int, List[_PreparedExecution]] = {}
             for item in chunk:
                 blob = pickle.dumps(item.plan, protocol=pickle.HIGHEST_PROTOCOL)
                 digest = hashlib.sha1(blob).hexdigest()
                 for shard_id, (oids, positions) in item.partitions.items():
-                    tasks_by_shard.setdefault(shard_id, []).append(
+                    slot = shard_id % self.workers
+                    tasks_by_slot.setdefault(slot, []).append(
                         (blob, digest, item.leaf.class_name, oids, positions, shard_id)
                     )
-                    owners_by_shard.setdefault(shard_id, []).append(item)
+                    owners_by_slot.setdefault(slot, []).append(item)
             try:
-                for shard_id, tasks in tasks_by_shard.items():
+                for slot, tasks in tasks_by_slot.items():
+                    pool = self._worker_pool(slot)
+                    if pool is None:
+                        raise RuntimeError("worker pool unavailable")
                     future = pool.submit(_execute_shard_chunk, tasks)
-                    for index, item in enumerate(owners_by_shard[shard_id]):
+                    for index, item in enumerate(owners_by_slot[slot]):
                         item.shard_futures.append((future, index))
             except RuntimeError:
-                # Pool shut down under us (interpreter teardown, close
-                # race): the in-process path is always available.  Nothing
-                # later in the batch can be submitted either, so inline
-                # every not-yet-merged pending plan.
+                # A pool shut down under us (interpreter teardown, close
+                # race) or could not be forked: the in-process path is
+                # always available.  Nothing later in the batch can be
+                # submitted either, so inline every not-yet-merged pending
+                # plan (already-submitted shard futures are simply ignored).
                 for item in pending[start:]:
                     item.shard_futures = []
                     item.inline_result = self._run_inline(

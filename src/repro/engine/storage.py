@@ -23,17 +23,41 @@ only shard and no merging ever happens.
 
 from __future__ import annotations
 
+from collections import deque
+from dataclasses import dataclass
 from heapq import merge as _heap_merge
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Deque, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..constraints.predicate import ComparisonOperator, Predicate
+from ..schema.attribute import DomainType
 from ..schema.schema import Schema
 from .indexes import IndexManager
 from .instance import ObjectInstance
 
+#: Default number of mutation records the store's journal retains.
+DEFAULT_JOURNAL_LIMIT = 512
+
 
 class StorageError(Exception):
     """Raised on inconsistent store operations."""
+
+
+@dataclass(frozen=True)
+class MutationRecord:
+    """One journaled store mutation.
+
+    ``seq`` is the store's global version *after* the mutation was applied,
+    so a replica at version ``v`` catches up by applying every record with
+    ``seq > v`` in order.  ``values`` carries the inserted attribute values
+    (``op == "insert"``) or the applied update delta (``op == "update"``);
+    deletes carry ``None``.
+    """
+
+    seq: int
+    op: str
+    class_name: str
+    oid: int
+    values: Optional[Dict[str, Any]] = None
 
 
 class StoreShard:
@@ -146,11 +170,12 @@ class _ShardedIndexView:
             return None
         shards = self._store.shards
         if predicate.operator is ComparisonOperator.EQ:
-            per_shard = []
-            for shard in shards:
-                oids = shard.indexes.lookup(predicate)
-                per_shard.append(sorted(oids) if len(oids) > 1 else oids)
-            return list(_heap_merge(*per_shard))
+            # Hash buckets are maintained in ascending-OID order (the
+            # HashIndex determinism contract), so the per-shard answers
+            # feed the k-way merge directly.
+            return list(
+                _heap_merge(*(shard.indexes.lookup(predicate) for shard in shards))
+            )
         merged = _heap_merge(
             *(shard.indexes.range_entries_for(predicate) for shard in shards)
         )
@@ -193,7 +218,12 @@ class ShardedObjectStore:
     True
     """
 
-    def __init__(self, schema: Schema, shard_count: int = 1) -> None:
+    def __init__(
+        self,
+        schema: Schema,
+        shard_count: int = 1,
+        journal_limit: int = DEFAULT_JOURNAL_LIMIT,
+    ) -> None:
         if shard_count < 1:
             raise StorageError(f"shard_count must be >= 1, got {shard_count}")
         self.schema = schema
@@ -201,12 +231,30 @@ class ShardedObjectStore:
             StoreShard(schema, shard_id) for shard_id in range(shard_count)
         ]
         self._next_oid: Dict[str, int] = {name: 1 for name in schema.class_names()}
+        # Domains of the indexed value attributes per class: writes validate
+        # these value *types* up front, so a malformed value can never blow
+        # up inside index maintenance after extent state already changed.
+        self._indexed_domains: Dict[str, Dict[str, DomainType]] = {
+            cls.name: {
+                attribute.name: attribute.domain
+                for attribute in cls.attributes
+                if attribute.indexed and not attribute.is_pointer
+            }
+            for cls in schema.classes()
+        }
         # Merged per-class views (extent list, OID map), rebuilt lazily when
         # any shard's version moves; for one shard they alias shard state.
         self._merged_version = -1
         self._merged_extents: Dict[str, List[ObjectInstance]] = {}
         self._merged_oid_maps: Dict[str, Dict[int, ObjectInstance]] = {}
         self._index_view = _ShardedIndexView(self) if shard_count > 1 else None
+        # Bounded mutation journal: lets forked replicas (the parallel
+        # engine's live workers) catch up by replaying the delta instead of
+        # being re-forked wholesale.  ``_journal_floor`` is the highest
+        # version the journal can no longer bridge from.
+        self.journal_limit = max(0, journal_limit)
+        self._journal: Deque[MutationRecord] = deque()
+        self._journal_floor = 0
 
     @property
     def indexes(self):
@@ -266,17 +314,43 @@ class ShardedObjectStore:
         """
         if class_name not in self._next_oid:
             raise StorageError(f"unknown object class {class_name!r}")
-        cls = self.schema.object_class(class_name)
-        for attribute_name in values:
-            if not cls.has_attribute(attribute_name):
-                raise StorageError(
-                    f"class {class_name!r} has no attribute {attribute_name!r}"
-                )
+        self._validate_values(class_name, values)
         oid = self._next_oid[class_name]
         self._next_oid[class_name] += 1
         instance = ObjectInstance(class_name, oid, dict(values))
         self.shards[self.shard_of(oid)].insert(instance)
+        self._record("insert", class_name, oid, dict(values))
         return instance
+
+    def _validate_values(self, class_name: str, values: Mapping[str, Any]) -> None:
+        """Reject unknown attributes and wrong-typed indexed values up front.
+
+        Index maintenance requires every value of one indexed attribute to
+        be mutually comparable (sorted-index inserts compare values).  The
+        check runs before *any* state changes, so a malformed write is a
+        clean :class:`StorageError` — never a half-applied mutation that
+        left the extent and the indexes disagreeing.
+        """
+        cls = self.schema.object_class(class_name)
+        indexed = self._indexed_domains[class_name]
+        for attribute_name, value in values.items():
+            if not cls.has_attribute(attribute_name):
+                raise StorageError(
+                    f"class {class_name!r} has no attribute {attribute_name!r}"
+                )
+            domain = indexed.get(attribute_name)
+            if domain is None or value is None:
+                continue
+            if domain is DomainType.STRING and not isinstance(value, str):
+                raise StorageError(
+                    f"indexed attribute {class_name}.{attribute_name} expects "
+                    f"a string, got {type(value).__name__}"
+                )
+            if domain.is_numeric and not isinstance(value, (int, float)):
+                raise StorageError(
+                    f"indexed attribute {class_name}.{attribute_name} expects "
+                    f"a number, got {type(value).__name__}"
+                )
 
     def insert_many(
         self, class_name: str, rows: Iterable[Mapping[str, Any]]
@@ -285,27 +359,102 @@ class ShardedObjectStore:
         return [self.insert(class_name, row) for row in rows]
 
     def delete(self, class_name: str, oid: int) -> None:
-        """Remove an instance (used by failure-injection tests)."""
+        """Remove an instance (reachable through the service's write path)."""
         if class_name not in self._next_oid:
             raise StorageError(f"no instance {class_name}#{oid}")
         self.shards[self.shard_of(oid)].delete(class_name, oid)
+        self._record("delete", class_name, oid, None)
 
     def update(
         self, class_name: str, oid: int, values: Mapping[str, Any]
     ) -> ObjectInstance:
-        """Update attribute values of an existing instance."""
+        """Update attribute values of an existing instance.
+
+        Attribute names are validated against the schema (like
+        :meth:`insert`) so a malformed write surfaces as a
+        :class:`StorageError` before any state changes.
+        """
         if class_name not in self._next_oid:
             raise StorageError(f"no instance {class_name}#{oid}")
-        return self.shards[self.shard_of(oid)].update(class_name, oid, values)
+        self._validate_values(class_name, values)
+        instance = self.shards[self.shard_of(oid)].update(class_name, oid, values)
+        self._record("update", class_name, oid, dict(values))
+        return instance
 
     def rebuild_indexes(self) -> None:
         """Rebuild every shard's secondary indexes from the stored extents.
 
         Used after bulk in-place value repairs that bypass :meth:`update`
-        (the constraint-enforcing data generator does this).
+        (the constraint-enforcing data generator does this).  Because the
+        repaired values were never journaled, the journal cannot bridge a
+        replica across a rebuild: it is truncated and its floor raised so
+        :meth:`journal_since` reports the gap and replicas re-snapshot.
         """
         for shard in self.shards:
             shard.rebuild_indexes()
+        self._journal.clear()
+        self._journal_floor = self.version
+
+    # ------------------------------------------------------------------
+    # Mutation journal
+    # ------------------------------------------------------------------
+    def _record(
+        self, op: str, class_name: str, oid: int, values: Optional[Dict[str, Any]]
+    ) -> None:
+        if self.journal_limit == 0:
+            self._journal_floor = self.version
+            return
+        self._journal.append(
+            MutationRecord(self.version, op, class_name, oid, values)
+        )
+        while len(self._journal) > self.journal_limit:
+            self._journal_floor = self._journal.popleft().seq
+
+    def journal_since(self, version: int) -> Optional[List[MutationRecord]]:
+        """The mutations a replica at ``version`` must replay to catch up.
+
+        Returns ``None`` when the journal no longer reaches back that far
+        (bounded retention, or an index rebuild after un-journaled in-place
+        repairs) — the replica must re-snapshot instead.
+        """
+        if version >= self.version:
+            return []
+        if version < self._journal_floor:
+            return None
+        return [record for record in self._journal if record.seq > version]
+
+    def apply_journal(self, records: Sequence[MutationRecord]) -> int:
+        """Replay journal ``records`` into this store (replica catch-up).
+
+        Records at or below the current version are skipped, so replaying
+        an overlapping batch is idempotent.  Version counters advance
+        exactly as they did on the journaling store, which keeps every
+        version-keyed cache invalidation equivalent on both sides.
+        """
+        applied = 0
+        for record in records:
+            if record.seq <= self.version:
+                continue
+            if record.op == "insert":
+                self._restore(record.class_name, record.oid, dict(record.values or {}))
+            elif record.op == "update":
+                self.update(record.class_name, record.oid, record.values or {})
+            elif record.op == "delete":
+                self.delete(record.class_name, record.oid)
+            else:  # pragma: no cover - future-proofing
+                raise StorageError(f"unknown journal op {record.op!r}")
+            applied += 1
+        return applied
+
+    def _restore(self, class_name: str, oid: int, values: Dict[str, Any]) -> None:
+        """Insert an instance under a journal-dictated OID (replay only)."""
+        if class_name not in self._next_oid:
+            raise StorageError(f"unknown object class {class_name!r}")
+        instance = ObjectInstance(class_name, oid, values)
+        self.shards[self.shard_of(oid)].insert(instance)
+        if oid >= self._next_oid[class_name]:
+            self._next_oid[class_name] = oid + 1
+        self._record("insert", class_name, oid, dict(values))
 
     # ------------------------------------------------------------------
     # Merged views

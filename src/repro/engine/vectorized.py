@@ -237,13 +237,17 @@ class VectorizedExecutor:
         self.schema = schema
         self.store = store
         self.join_strategy = join_strategy
-        # Store-derived caches, invalidated whenever the store's mutation
-        # counter moves: normalized pointer lists per (instance, attribute)
-        # and qualified row fragments per instance.  Both are pure functions
-        # of stored state, so reuse across executions cannot change results.
-        self._cache_version = -1
-        self._pointer_cache: Dict[Tuple[int, str], List[int]] = {}
-        self._fragment_cache: Dict[int, Dict[str, Any]] = {}
+        # Store-derived caches: normalized pointer lists per (instance,
+        # attribute) and qualified row fragments per instance.  Both are
+        # pure functions of stored state, so reuse across executions cannot
+        # change results.  Entries are bucketed by the owning instance's
+        # shard and invalidated *per shard*: a write to shard ``s`` bumps
+        # only ``s``'s version counter, so only bucket ``s`` is dropped and
+        # every other shard's warm entries survive the write.
+        self._cache_shard_versions: Tuple[int, ...] = ()
+        self._shard_count = getattr(store, "shard_count", 1)
+        self._pointer_cache: Dict[int, Dict[Tuple[int, str], List[int]]] = {}
+        self._fragment_cache: Dict[int, Dict[int, Dict[str, Any]]] = {}
 
     # ------------------------------------------------------------------
     # Public entry points
@@ -261,19 +265,32 @@ class VectorizedExecutor:
         )
 
     def _sync_caches(self) -> None:
-        version = self.store.version
-        if version != self._cache_version:
+        """Drop cached state of exactly the shards whose version moved."""
+        versions = self.store.shard_versions()
+        previous = self._cache_shard_versions
+        if versions == previous:
+            return
+        if len(versions) != len(previous):
             self._pointer_cache.clear()
             self._fragment_cache.clear()
-            self._cache_version = version
+        else:
+            for shard_id, (before, after) in enumerate(zip(previous, versions)):
+                if before != after:
+                    self._pointer_cache.pop(shard_id, None)
+                    self._fragment_cache.pop(shard_id, None)
+        self._cache_shard_versions = versions
+        self._shard_count = len(versions)
 
     def _pointers(self, instance: ObjectInstance, attribute: str) -> List[int]:
         """Cached normalized pointer OIDs of one instance attribute."""
+        shard = self._pointer_cache.setdefault(
+            instance.oid % self._shard_count, {}
+        )
         key = (id(instance), attribute)
-        oids = self._pointer_cache.get(key)
+        oids = shard.get(key)
         if oids is None:
             oids = instance.pointer_oids(attribute)
-            self._pointer_cache[key] = oids
+            shard[key] = oids
         return oids
 
     def execute(self, query: Query) -> ExecutionResult:
@@ -552,16 +569,18 @@ class VectorizedExecutor:
 
         Join fan-out repeats the same instance across many rows (and across
         the queries of a workload); its qualified-values dict is built once
-        per store version and merged per row, instead of re-deriving the
+        per *shard* version and merged per row, instead of re-deriving the
         qualified keys for every row as the row-wise path does.
         """
-        fragments = self._fragment_cache
+        caches = self._fragment_cache
+        shard_count = self._shard_count
         columns = list(batch.columns.values())
         rows: List[Dict[str, Any]] = []
         for i in range(batch.length):
             row: Dict[str, Any] = {}
             for column in columns:
                 instance = column[i]
+                fragments = caches.setdefault(instance.oid % shard_count, {})
                 fragment = fragments.get(id(instance))
                 if fragment is None:
                     fragment = instance.qualified_values()

@@ -34,11 +34,12 @@ from .errors import (
     GatewayDraining,
     GatewayError,
     GatewayRequestError,
+    MutationError,
     ProtocolError,
     RequestTimeout,
 )
 from .gateway import QueryGateway
-from .loadgen import LoadReport, run_load
+from .loadgen import LoadReport, MutationMix, run_load
 from .protocol import PROTOCOL_VERSION, decode_frame, encode_frame, parse_request
 from .session import ClientSession
 
@@ -53,6 +54,8 @@ __all__ = [
     "GatewayError",
     "GatewayRequestError",
     "LoadReport",
+    "MutationError",
+    "MutationMix",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "QueryGateway",

@@ -99,6 +99,32 @@ class AsyncGatewayClient:
         """One immutable snapshot of service + gateway counters."""
         return await self.request({"op": "stats"})
 
+    async def insert(self, class_name: str, values: Dict[str, Any]) -> Dict[str, Any]:
+        """Insert one instance; returns the mutation payload (new OID included)."""
+        return await self.request(
+            {"op": "insert", "class": class_name, "values": values}
+        )
+
+    async def insert_many(
+        self, class_name: str, rows: List[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """Insert a batch of instances in one round trip."""
+        return await self.request(
+            {"op": "insert_many", "class": class_name, "rows": list(rows)}
+        )
+
+    async def update(
+        self, class_name: str, oid: int, values: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Update attribute values of one stored instance."""
+        return await self.request(
+            {"op": "update", "class": class_name, "oid": oid, "values": values}
+        )
+
+    async def delete(self, class_name: str, oid: int) -> Dict[str, Any]:
+        """Delete one stored instance."""
+        return await self.request({"op": "delete", "class": class_name, "oid": oid})
+
     async def add_rule(self, rule: Dict[str, Any]) -> Dict[str, Any]:
         """Declare a semantic constraint (see :func:`protocol.parse_rule`)."""
         return await self.request({"op": "rules", "action": "add", "rule": rule})

@@ -55,6 +55,18 @@ class GatewayDraining(AdmissionError):
     code = "draining"
 
 
+class MutationError(GatewayError):
+    """A well-formed mutation could not be applied to the store.
+
+    Raised for storage-level failures the protocol validator cannot see
+    up front — deleting or updating an OID that does not exist, for
+    example.  Like every gateway error it is per-request: the frame gets
+    an error response with this code and the connection stays up.
+    """
+
+    code = "mutation_error"
+
+
 class RequestTimeout(GatewayError):
     """The request did not complete within its timeout budget.
 

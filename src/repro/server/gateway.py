@@ -35,16 +35,25 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Optional, Tuple
 
+from ..engine.storage import StorageError
 from ..query.equivalence import equivalence_key
 from .admission import AdmissionController
-from .errors import GatewayDraining, GatewayError, ProtocolError, RequestTimeout
+from .errors import (
+    GatewayDraining,
+    GatewayError,
+    MutationError,
+    ProtocolError,
+    RequestTimeout,
+)
 from .protocol import (
+    MUTATION_OPS,
     PROTOCOL_VERSION,
     Request,
     batch_payload,
     decode_frame,
     error_response,
     execution_payload,
+    mutation_payload,
     ok_response,
     optimization_payload,
     parse_request,
@@ -264,6 +273,17 @@ class QueryGateway:
     async def _handle(self, request: Request, timeout: float) -> Dict[str, Any]:
         if request.op == "rules":
             return self._handle_rules(request)
+        if request.op in MUTATION_OPS:
+            # Writes are never coalesced — every mutation frame is distinct
+            # work — but they run on the same bounded pool, under the same
+            # admission slot and timeout as any other request.  A timeout
+            # cancels the write if it has not started; once running it
+            # commits (at-least-once semantics, see the protocol docs).
+            return await self._run_in_pool(
+                lambda: mutation_payload(self._mutate(request)),
+                timeout,
+                cancel_on_timeout=True,
+            )
         if request.op == "execute_batch":
             return await self._run_in_pool(
                 lambda: batch_payload(self._execute_many(request)), timeout
@@ -317,6 +337,31 @@ class QueryGateway:
             "generation": repository.generation,
             "constraints": len(repository.declared()),
         }
+
+    def _mutate(self, request: Request):
+        """Apply one mutation RPC through the service's write path."""
+        service = self.service
+        if service.store is None:
+            raise MutationError("service has no object store attached")
+        try:
+            if request.op == "insert":
+                return service.mutate(
+                    "insert", request.class_name, values=request.values
+                )
+            if request.op == "insert_many":
+                return service.mutate(
+                    "insert_many", request.class_name, rows=request.rows
+                )
+            if request.op == "update":
+                return service.mutate(
+                    "update",
+                    request.class_name,
+                    oid=request.oid,
+                    values=request.values,
+                )
+            return service.mutate("delete", request.class_name, oid=request.oid)
+        except StorageError as exc:
+            raise MutationError(str(exc)) from None
 
     def _optimize_work(self, request: Request):
         service, query = self.service, request.query
@@ -383,14 +428,27 @@ class QueryGateway:
             payload = dict(payload, coalesced=True)
         return payload
 
-    async def _run_in_pool(self, work, timeout: float):
-        """Run uncoalesced work on the pool under the request timeout."""
+    async def _run_in_pool(
+        self, work, timeout: float, cancel_on_timeout: bool = False
+    ):
+        """Run uncoalesced work on the pool under the request timeout.
+
+        ``cancel_on_timeout`` (mutations) cancels the pool task when the
+        budget expires *before it started running* — a queued write whose
+        caller already received a timeout error then never applies.  Work
+        that is already running is never interrupted mid-write.
+        """
         loop = asyncio.get_running_loop()
         try:
             future = loop.run_in_executor(self._pool, work)
         except RuntimeError:
             raise GatewayDraining("gateway worker pool is closed") from None
-        return await self._bounded_wait(future, timeout)
+        try:
+            return await self._bounded_wait(future, timeout)
+        except RequestTimeout:
+            if cancel_on_timeout:
+                future.cancel()
+            raise
 
     async def _wait_shared(self, future, timeout: float):
         """Await a shared concurrent future without ever cancelling it."""

@@ -46,6 +46,30 @@ def percentile(samples: Sequence[float], fraction: float) -> float:
 
 
 @dataclass
+class MutationMix:
+    """Shape of the write traffic in a mixed read/write load run.
+
+    Every ``every``-th request of each client becomes an ``insert`` into
+    ``class_name`` instead of a read.  ``values`` is a template the
+    generator stamps with a unique ``(client, sequence)`` suffix for each
+    string attribute named in ``unique_attributes``, so inserted rows stay
+    distinguishable without coordination between clients.
+    """
+
+    every: int = 10
+    class_name: str = "cargo"
+    values: Dict[str, Any] = field(default_factory=dict)
+    unique_attributes: Sequence[str] = ()
+
+    def row_for(self, client_index: int, number: int) -> Dict[str, Any]:
+        """The values object client ``client_index``'s request ``number`` inserts."""
+        row = dict(self.values)
+        for attribute in self.unique_attributes:
+            row[attribute] = f"{row.get(attribute, 'w')}-{client_index}-{number}"
+        return row
+
+
+@dataclass
 class LoadReport:
     """Aggregated outcome of one load-generator run."""
 
@@ -57,6 +81,7 @@ class LoadReport:
     latencies: List[float] = field(default_factory=list)
     error_codes: Dict[str, int] = field(default_factory=dict)
     coalesced: int = 0
+    mutations: int = 0
 
     @property
     def p50(self) -> float:
@@ -98,6 +123,7 @@ class LoadReport:
             "rows_per_s": self.rows_per_second,
             "coalesced": self.coalesced,
             "coalesced_rate": self.coalesced_rate,
+            "mutations": self.mutations,
             "error_codes": dict(self.error_codes),
         }
 
@@ -109,7 +135,8 @@ class LoadReport:
             f"p95 {self.p95 * 1000:.2f} ms, "
             f"{self.requests_per_second:.0f} req/s, "
             f"{self.rows_per_second:.0f} rows/s, "
-            f"{self.coalesced_rate:.0%} coalesced, {self.errors} errors"
+            f"{self.coalesced_rate:.0%} coalesced, {self.mutations} writes, "
+            f"{self.errors} errors"
         )
 
 
@@ -122,6 +149,7 @@ async def run_load(
     options: Optional[Dict[str, Any]] = None,
     rate: Optional[float] = None,
     lockstep: bool = False,
+    mutations: Optional[MutationMix] = None,
 ) -> LoadReport:
     """Drive ``queries`` through ``clients`` and aggregate a report.
 
@@ -129,17 +157,26 @@ async def run_load(
     the workload starting at offset ``i`` (set ``lockstep=True`` to start
     everyone at offset 0 and synchronize waves — the repeated-query dedup
     discipline).  ``rate`` (requests/second per client) selects the open
-    loop; ``None`` the closed loop.
+    loop; ``None`` the closed loop.  ``mutations`` opens the mixed
+    read/write mode: every :attr:`MutationMix.every`-th request of a
+    client becomes an insert, deterministically placed so the mix is
+    reproducible run over run.
     """
     report = LoadReport(clients=len(clients))
     options = options or {}
     barrier_event: Optional[asyncio.Event] = None
     barrier_count = 0
 
-    async def fire(client: AsyncGatewayClient, query: str) -> None:
+    async def fire(
+        client: AsyncGatewayClient,
+        query: str,
+        mutation_row: Optional[Dict[str, Any]] = None,
+    ) -> None:
         start = time.perf_counter()
         try:
-            if op == "optimize":
+            if mutation_row is not None:
+                payload = await client.insert(mutations.class_name, mutation_row)
+            elif op == "optimize":
                 payload = await client.optimize(query, **options)
             else:
                 payload = await client.execute(query, **options)
@@ -157,12 +194,22 @@ async def run_load(
             )
             report.error_codes[code] = report.error_codes.get(code, 0) + 1
         else:
+            if mutation_row is not None:
+                report.mutations += 1
             report.rows += payload.get("row_count", 0)
             if payload.get("coalesced"):
                 report.coalesced += 1
         finally:
             report.requests += 1
             report.latencies.append(time.perf_counter() - start)
+
+    def row_for(index: int, number: int) -> Optional[Dict[str, Any]]:
+        """The insert row for this request slot (``None`` = it is a read)."""
+        if mutations is None or mutations.every < 1:
+            return None
+        if (index + number) % mutations.every != mutations.every - 1:
+            return None
+        return mutations.row_for(index, number)
 
     async def open_loop(index: int, client: AsyncGatewayClient) -> None:
         interval = 1.0 / rate
@@ -174,7 +221,9 @@ async def run_load(
             if delay > 0:
                 await asyncio.sleep(delay)
             query = queries[(index + number) % len(queries)]
-            tasks.append(asyncio.ensure_future(fire(client, query)))
+            tasks.append(
+                asyncio.ensure_future(fire(client, query, row_for(index, number)))
+            )
         await asyncio.gather(*tasks)
 
     async def closed_loop(index: int, client: AsyncGatewayClient) -> None:
@@ -194,7 +243,9 @@ async def run_load(
                 offset = number  # everyone sends the same query per wave
             else:
                 offset = index + number
-            await fire(client, queries[offset % len(queries)])
+            await fire(
+                client, queries[offset % len(queries)], row_for(index, number)
+            )
 
     def _update_barrier(event: asyncio.Event) -> None:
         nonlocal barrier_event

@@ -22,6 +22,22 @@ connection).  ``op`` selects the RPC:
 ``rules``
     ``action`` (``"add"`` / ``"remove"``) — add takes ``rule`` (a
     constraint spec, see :func:`parse_rule`), remove takes ``name``.
+``insert`` / ``insert_many`` / ``update`` / ``delete``
+    The live write path.  ``insert`` takes ``class`` and ``values`` (an
+    attribute → value object); ``insert_many`` takes ``class`` and
+    ``rows`` (a non-empty list of value objects, at most
+    :data:`MAX_MUTATION_ROWS`); ``update`` takes ``class``, ``oid`` and
+    ``values``; ``delete`` takes ``class`` and ``oid``.  Class and
+    attribute names are validated against the schema up front
+    (``protocol_error``); storage-level failures such as an unknown OID
+    report the ``mutation_error`` code.  An ``insert_many`` batch is
+    applied atomically with respect to concurrent queries but is not
+    transactional: a mid-batch failure leaves the earlier rows applied
+    (the error message says how many).  Mutations honor the ``timeout``
+    option with **at-least-once** semantics: a timeout cancels a write
+    that has not started, but a write already running commits even though
+    the caller received the ``timeout`` error — retry only with values
+    that are safe to re-apply.
 
 Response frames are ``{"id": ..., "ok": true, "result": {...}}`` or
 ``{"id": ..., "ok": false, "error": {"code": ..., "message": ...}}`` with
@@ -51,7 +67,23 @@ from .errors import GatewayError, ProtocolError
 PROTOCOL_VERSION = 1
 
 #: The RPCs a request frame may name.
-OPS = ("optimize", "execute", "execute_batch", "stats", "rules")
+OPS = (
+    "optimize",
+    "execute",
+    "execute_batch",
+    "stats",
+    "rules",
+    "insert",
+    "insert_many",
+    "update",
+    "delete",
+)
+
+#: The subset of OPS that write to the store.
+MUTATION_OPS = ("insert", "insert_many", "update", "delete")
+
+#: Upper bound on the rows of one ``insert_many`` frame.
+MAX_MUTATION_ROWS = 10_000
 
 #: Recognized keys of the ``options`` object.
 OPTION_KEYS = (
@@ -115,6 +147,10 @@ class Request:
     action: str = ""
     rule: Optional[SemanticConstraint] = None
     rule_name: str = ""
+    class_name: str = ""
+    oid: int = 0
+    values: Dict[str, Any] = field(default_factory=dict)
+    rows: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def query(self) -> Query:
@@ -233,6 +269,42 @@ def parse_rule(spec: Any, schema: Schema) -> SemanticConstraint:
     )
 
 
+def _parse_class_name(frame: Dict[str, Any], schema: Schema) -> str:
+    class_name = frame.get("class")
+    if not isinstance(class_name, str) or not class_name:
+        raise ProtocolError("mutation requires a non-empty 'class' string")
+    if not schema.has_class(class_name):
+        raise ProtocolError(f"unknown object class {class_name!r}")
+    return class_name
+
+
+def _parse_values(raw: Any, class_name: str, schema: Schema, label: str) -> Dict[str, Any]:
+    """Validate one attribute-values object against the schema.
+
+    Attribute existence is checked here — before the request ever reaches
+    the worker pool — so a malformed write is a ``protocol_error``, never a
+    half-applied mutation.
+    """
+    if not isinstance(raw, dict):
+        raise ProtocolError(f"{label} must be a JSON object of attribute values")
+    cls = schema.object_class(class_name)
+    for attribute_name in raw:
+        if not isinstance(attribute_name, str) or not cls.has_attribute(
+            attribute_name
+        ):
+            raise ProtocolError(
+                f"class {class_name!r} has no attribute {attribute_name!r}"
+            )
+    return dict(raw)
+
+
+def _parse_oid(frame: Dict[str, Any]) -> int:
+    oid = frame.get("oid")
+    if not isinstance(oid, int) or isinstance(oid, bool) or oid < 1:
+        raise ProtocolError("mutation requires an integer 'oid' >= 1")
+    return oid
+
+
 def parse_request(frame: Dict[str, Any], schema: Schema) -> Request:
     """Validate a frame and parse its queries into the existing query AST."""
     op = frame.get("op")
@@ -241,6 +313,31 @@ def parse_request(frame: Dict[str, Any], schema: Schema) -> Request:
             f"unknown op {op!r} (choose from: {', '.join(OPS)})"
         )
     request = Request(op=op, id=frame.get("id"))
+    if op in MUTATION_OPS:
+        # Options are validated for mutation frames too: 'timeout' is
+        # honored (bounding the caller's wait); the rest are rejected or
+        # ignored exactly as on the read ops.
+        request.options = _parse_options(frame.get("options"))
+        request.class_name = _parse_class_name(frame, schema)
+        if op in ("update", "delete"):
+            request.oid = _parse_oid(frame)
+        if op in ("insert", "update"):
+            request.values = _parse_values(
+                frame.get("values"), request.class_name, schema, "values"
+            )
+        if op == "insert_many":
+            rows = frame.get("rows")
+            if not isinstance(rows, list) or not rows:
+                raise ProtocolError("rows must be a non-empty list of value objects")
+            if len(rows) > MAX_MUTATION_ROWS:
+                raise ProtocolError(
+                    f"rows exceeds the per-frame bound of {MAX_MUTATION_ROWS}"
+                )
+            request.rows = [
+                _parse_values(row, request.class_name, schema, f"rows[{index}]")
+                for index, row in enumerate(rows)
+            ]
+        return request
     if op in ("optimize", "execute"):
         request.queries = [_parse_query_text(frame.get("query"), schema, "query")]
         request.options = _parse_options(frame.get("options"))
@@ -320,6 +417,16 @@ def execution_payload(envelope: ExecutionEnvelope) -> Dict[str, Any]:
             else None
         ),
     }
+
+
+def mutation_payload(result) -> Dict[str, Any]:
+    """The ``result`` object of a mutation response.
+
+    Serializes the :class:`~repro.service.MutationResult` verbatim: the
+    written OIDs, the shards whose version counters moved, the post-write
+    store/shard versions, and whether any dynamic rules were re-derived.
+    """
+    return result.as_dict()
 
 
 def batch_payload(batch) -> Dict[str, Any]:

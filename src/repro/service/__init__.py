@@ -16,6 +16,7 @@ from .envelope import (
     ExecutionBatchResult,
     ExecutionBatchStats,
     ExecutionEnvelope,
+    MutationResult,
     ResultSource,
     ServiceCacheSnapshot,
     ServiceResult,
@@ -29,6 +30,7 @@ __all__ = [
     "ExecutionBatchResult",
     "ExecutionBatchStats",
     "ExecutionEnvelope",
+    "MutationResult",
     "OptimizationService",
     "ResultSource",
     "ServiceCacheSnapshot",

@@ -103,6 +103,10 @@ class ServiceStats:
     executors: Tuple[str, ...] = ()
     #: Whether an object store is attached (``execute`` is available).
     store_attached: bool = False
+    #: The attached store's mutation counter (0 without a store).
+    store_version: int = 0
+    #: Writes applied through the service's mutation path since startup.
+    mutations_applied: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-serializable form (the payload of the ``stats`` RPC)."""
@@ -131,6 +135,8 @@ class ServiceStats:
             },
             "executors": list(self.executors),
             "store_attached": self.store_attached,
+            "store_version": self.store_version,
+            "mutations_applied": self.mutations_applied,
         }
 
 
@@ -260,6 +266,70 @@ class ExecutionEnvelope:
             f"{prefix}{self.execution.row_count} rows via "
             f"{self.execution_mode} engine{shards} in "
             f"{self.execute_time * 1000:.2f} ms"
+        )
+
+
+@dataclass(frozen=True)
+class MutationResult:
+    """Outcome of one service-level write (single mutation or batch).
+
+    Returned by :meth:`~repro.service.OptimizationService.mutate` /
+    :meth:`~repro.service.OptimizationService.mutate_many` and serialized
+    by the gateway's mutation RPCs.  Beyond the write itself it reports the
+    *invalidation footprint*: which shards were touched (only their version
+    counters moved), whether any dynamic rules were re-derived, and the
+    repository generation afterwards — the numbers a client needs to
+    reason about cache effects of its write.
+    """
+
+    #: The requested operation (``insert``/``update``/``delete``/
+    #: ``insert_many``/``batch``).
+    op: str
+    #: Classes the write touched.
+    classes: Tuple[str, ...] = ()
+    #: OIDs written, in application order (new OIDs for inserts).
+    oids: Tuple[int, ...] = ()
+    #: Number of individual mutations applied.
+    applied: int = 0
+    #: Shards whose version counter moved.
+    shards: Tuple[int, ...] = ()
+    #: Global store version after the write.
+    store_version: int = 0
+    #: Per-shard version counters after the write.
+    shard_versions: Tuple[int, ...] = ()
+    #: Dynamic-rule classes re-derived because this write touched them.
+    rules_refreshed: int = 0
+    #: Whether the re-derivation actually changed the declared rule set
+    #: (``False`` means every optimization cache stayed warm).
+    rules_changed: bool = False
+    #: Repository generation after the write.
+    generation: int = 0
+    #: Wall-clock seconds spent applying the write (rule refresh included).
+    mutate_time: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (the payload of the mutation RPCs)."""
+        return {
+            "op": self.op,
+            "classes": list(self.classes),
+            "oids": list(self.oids),
+            "applied": self.applied,
+            "shards": list(self.shards),
+            "store_version": self.store_version,
+            "shard_versions": list(self.shard_versions),
+            "rules_refreshed": self.rules_refreshed,
+            "rules_changed": self.rules_changed,
+            "generation": self.generation,
+            "mutate_time": self.mutate_time,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable mutation summary."""
+        return (
+            f"{self.op}: {self.applied} write(s) on "
+            f"{', '.join(self.classes) or '-'} touching shard(s) "
+            f"{list(self.shards)} in {self.mutate_time * 1000:.2f} ms "
+            f"(rules {'changed' if self.rules_changed else 'unchanged'})"
         )
 
 

@@ -28,8 +28,9 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..caching import LruCache, SingleFlightMap
-from ..constraints.horn_clause import SemanticConstraint
+from ..caching import LruCache, ReadWriteLock, SingleFlightMap
+from ..constraints.dynamic import DerivationConfig, DynamicRuleDeriver
+from ..constraints.horn_clause import ConstraintOrigin, SemanticConstraint
 from ..constraints.repository import ConstraintRepository, RepositoryCacheStats
 from ..core.optimizer import OptimizerConfig, SemanticQueryOptimizer
 from ..query.equivalence import equivalence_key
@@ -41,6 +42,7 @@ from .envelope import (
     ExecutionBatchResult,
     ExecutionBatchStats,
     ExecutionEnvelope,
+    MutationResult,
     ResultSource,
     ServiceCacheSnapshot,
     ServiceResult,
@@ -81,6 +83,10 @@ class OptimizationService:
         ``REPRO_WORKERS`` env var, else the core count capped at 4).  This
         is the *process pool inside one execution*; ``max_workers`` above
         is the thread fan-out across queries of a batch.
+    engine_min_partition_rows:
+        Driver-set size below which the parallel engine stays in-process
+        (``None`` = the engine default).  Tests and benchmarks lower it to
+        force fan-out on small stores.
 
     Examples
     --------
@@ -117,6 +123,7 @@ class OptimizationService:
         store=None,
         execution_mode=None,
         engine_workers: Optional[int] = None,
+        engine_min_partition_rows: Optional[int] = None,
     ) -> None:
         self.optimizer = SemanticQueryOptimizer(
             schema,
@@ -130,7 +137,17 @@ class OptimizationService:
         self.store = store
         self.execution_mode = execution_mode
         self.engine_workers = engine_workers
+        self.engine_min_partition_rows = engine_min_partition_rows
         self._result_cache: LruCache = LruCache(result_cache_size)
+        # Single-writer coordination for the live mutation path: query
+        # executions hold the shared side, :meth:`mutate` the exclusive
+        # side, so a write never interleaves with an execution mid-plan.
+        self._store_lock = ReadWriteLock()
+        self._mutations_applied = 0
+        # Dynamic (state-derived) rule maintenance: when enabled, a write
+        # touching a tracked class re-derives only that class's rules.
+        self._dynamic_config: Optional[DerivationConfig] = None
+        self._dynamic_classes: Optional[set] = None
         self._executors: Dict[Tuple, object] = {}
         # Guards check-then-create on the executor map: concurrent first
         # requests (gateway worker threads) must not build duplicate
@@ -222,6 +239,8 @@ class OptimizationService:
                 )
             ),
             store_attached=self.store is not None,
+            store_version=getattr(self.store, "version", 0) or 0,
+            mutations_applied=self._mutations_applied,
         )
 
     # ------------------------------------------------------------------
@@ -273,8 +292,7 @@ class OptimizationService:
         start = time.perf_counter()
         caching = use_cache and self._result_cache.maxsize > 0
         eq_key = equivalence_key(query)
-        generation = self.repository.generation if self.repository is not None else 0
-        flight_key = ("optimize", eq_key, generation, use_cache)
+        flight_key = ("optimize", eq_key, self._cache_epoch(query), use_cache)
         future, leader = self.single_flight.begin(flight_key)
         if leader:
             try:
@@ -293,6 +311,21 @@ class OptimizationService:
             service_time=time.perf_counter() - start,
         )
 
+    def _cache_epoch(self, query: Query) -> Tuple[int, ...]:
+        """The cache epoch of ``query``: its classes' generation counters.
+
+        Keying cached results on the *per-class* generations instead of the
+        global one makes invalidation class-granular: re-deriving the
+        dynamic rules of a mutated class leaves every cached optimization
+        whose query does not touch that class servable.  Correctness holds
+        because a constraint's referenced classes are always a subset of
+        the classes of any query it is relevant to, so any relevant
+        constraint change moves at least one counter in this tuple.
+        """
+        if self.repository is None:
+            return ()
+        return self.repository.class_generations(query.classes)
+
     def _optimize_keyed(
         self, query: Query, eq_key: Optional[Tuple]
     ) -> ServiceResult:
@@ -300,10 +333,7 @@ class OptimizationService:
         start = time.perf_counter()
         key: Optional[Tuple] = None
         if eq_key is not None:
-            generation = (
-                self.repository.generation if self.repository is not None else 0
-            )
-            key = (eq_key, generation)
+            key = (eq_key, self._cache_epoch(query))
             cached = self._result_cache.get(key)
             if cached is not None:
                 self._record_access(query)
@@ -404,6 +434,7 @@ class OptimizationService:
                     mode=resolved,
                     join_strategy=join_strategy,
                     workers=width or None,
+                    min_partition_rows=self.engine_min_partition_rows,
                 )
                 self._executors[key] = executor
         return executor
@@ -429,12 +460,18 @@ class OptimizationService:
         """
         envelope: Optional[ServiceResult] = None
         target = query
-        if optimize:
-            envelope = self.optimize(query, use_cache=use_cache)
-            target = envelope.optimized
-        executor = self._executor(execution_mode, join_strategy, workers)
-        start = time.perf_counter()
-        execution = executor.execute(target)
+        # One read-lock span covers the optimize half too: dynamic rules
+        # derived from store state feed the optimization, so a rule
+        # re-derivation (a write) must not land between transforming the
+        # query and executing the transformed plan — the plan would encode
+        # implications that are no longer true of the data.
+        with self._store_lock.read():
+            if optimize:
+                envelope = self.optimize(query, use_cache=use_cache)
+                target = envelope.optimized
+            executor = self._executor(execution_mode, join_strategy, workers)
+            start = time.perf_counter()
+            execution = executor.execute(target)
         return ExecutionEnvelope(
             query=query,
             execution=execution,
@@ -472,26 +509,35 @@ class OptimizationService:
         envelopes: List[Optional[ServiceResult]] = [None] * len(batch)
         targets: List[Query] = batch
         optimize_time = 0.0
-        if optimize and batch:
-            optimized = self.optimize_many(
-                batch, max_workers=max_workers, use_cache=use_cache
-            )
-            envelopes = list(optimized.results)
-            targets = optimized.optimized_queries()
-            optimize_time = optimized.stats.wall_time
+        # The whole batch — optimization included — runs under ONE shared
+        # acquisition: writers wait for the batch, and the batch observes a
+        # single store/rule epoch.  (One flat acquisition, not per-query
+        # ones in the worker threads: the lock is writer-priority and not
+        # reentrant, so nested read acquisitions under a waiting writer
+        # would deadlock.)
+        with self._store_lock.read():
+            if optimize and batch:
+                optimized = self.optimize_many(
+                    batch, max_workers=max_workers, use_cache=use_cache
+                )
+                envelopes = list(optimized.results)
+                targets = optimized.optimized_queries()
+                optimize_time = optimized.stats.wall_time
 
-        mode = execution_mode if execution_mode is not None else self.execution_mode
-        resolved = resolve_execution_mode(mode)
-        execute_start = time.perf_counter()
-        if resolved is ExecutionMode.PARALLEL:
-            timed_executions, pool_width = self._execute_batch_parallel(
-                targets, join_strategy, workers
+            mode = (
+                execution_mode if execution_mode is not None else self.execution_mode
             )
-        else:
-            timed_executions, pool_width = self._execute_batch_threaded(
-                targets, resolved, join_strategy, max_workers
-            )
-        execute_time = time.perf_counter() - execute_start
+            resolved = resolve_execution_mode(mode)
+            execute_start = time.perf_counter()
+            if resolved is ExecutionMode.PARALLEL:
+                timed_executions, pool_width = self._execute_batch_parallel(
+                    targets, join_strategy, workers
+                )
+            else:
+                timed_executions, pool_width = self._execute_batch_threaded(
+                    targets, resolved, join_strategy, max_workers
+                )
+            execute_time = time.perf_counter() - execute_start
 
         # Per-envelope timing: the in-process paths measure each execution
         # individually; pipelined parallel executions report their worker
@@ -561,6 +607,9 @@ class OptimizationService:
         from ..engine.modes import create_executor
 
         def timed(executor, target: Query):
+            # No lock here: execute_many holds the shared side for the
+            # whole batch (nested reads would deadlock under a waiting
+            # writer on the writer-priority lock).
             start = time.perf_counter()
             execution = executor.execute(target)
             return execution, time.perf_counter() - start
@@ -601,6 +650,228 @@ class OptimizationService:
 
         with ThreadPoolExecutor(max_workers=pool_size) as pool:
             return list(pool.map(run, targets)), pool_size
+
+    # ------------------------------------------------------------------
+    # Mutation API (the live write path)
+    # ------------------------------------------------------------------
+    def enable_dynamic_rules(
+        self,
+        config: Optional[DerivationConfig] = None,
+        class_names: Optional[Iterable[str]] = None,
+    ) -> int:
+        """Derive state-dependent rules from the store and keep them fresh.
+
+        Registers the rules :mod:`repro.constraints.dynamic` derives from
+        the attached store (restricted to ``class_names`` when given) and
+        arms the write path: every subsequent :meth:`mutate` touching a
+        tracked class re-derives **only that class's** rules and swaps them
+        atomically (:meth:`ConstraintRepository.replace_derived`), bumping
+        only the touched classes' cache epochs.  Returns the number of
+        derived rules currently declared.
+
+        Scaling note: re-derivation scans the touched class's full extent
+        while the write lock is held, so per-write latency grows with that
+        extent (restrict ``class_names`` — or tune
+        :class:`~repro.constraints.dynamic.DerivationConfig`, e.g.
+        ``derive_functional=False`` — for write-heavy classes; incremental
+        bound maintenance is the designated follow-up).
+        """
+        if self.store is None:
+            raise ValueError(
+                "dynamic rules need an attached object store; pass store= "
+                "at construction or call attach_store()"
+            )
+        if self.repository is None:
+            raise ValueError("dynamic rules need a constraint repository")
+        self._dynamic_config = config or DerivationConfig()
+        self._dynamic_classes = (
+            set(class_names) if class_names is not None else None
+        )
+        with self._store_lock.write():
+            tracked = self._tracked_classes(self.schema.class_names())
+            self._refresh_dynamic_rules(tracked)
+        return sum(
+            1
+            for constraint in self.repository.declared()
+            if constraint.origin is ConstraintOrigin.DERIVED
+        )
+
+    def _tracked_classes(self, touched: Iterable[str]) -> List[str]:
+        """The subset of ``touched`` whose dynamic rules this service owns."""
+        if self._dynamic_config is None:
+            return []
+        touched_set = set(touched)
+        if self._dynamic_classes is not None:
+            touched_set &= self._dynamic_classes
+        return sorted(touched_set)
+
+    def _refresh_dynamic_rules(self, classes: List[str]) -> Tuple[int, bool]:
+        """Re-derive the dynamic rules of ``classes`` (write lock held).
+
+        Returns ``(classes refreshed, declared set changed)``.  Each class
+        is re-derived independently and swapped through
+        :meth:`ConstraintRepository.replace_derived`, which detects no-op
+        swaps — a write that does not move any observed bound leaves the
+        generation (and with it every warm cache) untouched.
+        """
+        if not classes or self.repository is None or self._dynamic_config is None:
+            return 0, False
+        deriver = DynamicRuleDeriver(self.schema, self._dynamic_config)
+        changed = False
+        for class_name in classes:
+            declared = self.repository.declared()
+            replaced = {
+                c.name
+                for c in declared
+                if c.origin is ConstraintOrigin.DERIVED
+                and class_name in c.referenced_classes()
+            }
+            taken = {c.name for c in declared} - replaced
+            rules = deriver.derive(
+                self.store, class_names=[class_name], existing_names=taken
+            )
+            changed |= self.repository.replace_derived([class_name], rules)
+        return len(classes), changed
+
+    def mutate(
+        self,
+        op: str,
+        class_name: str,
+        oid: Optional[int] = None,
+        values: Optional[Dict] = None,
+        rows: Optional[Sequence[Dict]] = None,
+        refresh_rules: bool = True,
+    ) -> MutationResult:
+        """Apply one write (or an ``insert_many`` batch) to the store.
+
+        ``op`` is ``"insert"`` (``values``), ``"update"`` (``oid`` +
+        ``values``), ``"delete"`` (``oid``) or ``"insert_many"``
+        (``rows``).  The write is applied under the exclusive side of the
+        store lock, bumps only the touched shards' version counters, and —
+        when dynamic rules are enabled — re-derives the rules of exactly
+        the touched classes.  See :class:`MutationResult` for the reported
+        invalidation footprint.
+        """
+        if op == "insert_many":
+            specs = [
+                {"op": "insert", "class_name": class_name, "values": row}
+                for row in (rows if rows is not None else [])
+            ]
+            if not specs:
+                raise ValueError("insert_many requires a non-empty 'rows' list")
+        else:
+            specs = [
+                {
+                    "op": op,
+                    "class_name": class_name,
+                    "oid": oid,
+                    "values": values,
+                }
+            ]
+        return self.mutate_many(specs, op_label=op, refresh_rules=refresh_rules)
+
+    def mutate_many(
+        self,
+        mutations: Iterable[Dict],
+        op_label: str = "batch",
+        refresh_rules: bool = True,
+    ) -> MutationResult:
+        """Apply a sequence of writes atomically with respect to readers.
+
+        Each mutation is a mapping with keys ``op`` (``insert`` /
+        ``update`` / ``delete``), ``class_name`` (alias ``class``), and
+        ``oid`` / ``values`` as the op requires.  The whole batch runs
+        under one exclusive lock acquisition, so no query execution ever
+        observes a partially applied batch.  There is no rollback: a
+        failing mutation (e.g. an unknown OID) raises after the earlier
+        writes in the batch have been applied — but dynamic rules are
+        still re-derived for everything that *was* applied, so the rule
+        set never goes stale even on a failed batch.
+        """
+        if self.store is None:
+            raise ValueError(
+                "OptimizationService has no object store attached; pass "
+                "store= at construction or call attach_store()"
+            )
+        specs = [self._normalize_mutation(m) for m in mutations]
+        start = time.perf_counter()
+        oids: List[int] = []
+        classes: set = set()
+        shards: set = set()
+        refreshed, changed = 0, False
+        from ..engine.storage import StorageError
+
+        with self._store_lock.write():
+            try:
+                for spec_op, spec_class, spec_oid, spec_values in specs:
+                    try:
+                        if spec_op == "insert":
+                            instance = self.store.insert(
+                                spec_class, spec_values or {}
+                            )
+                            spec_oid = instance.oid
+                        elif spec_op == "update":
+                            self.store.update(
+                                spec_class, spec_oid, spec_values or {}
+                            )
+                        else:  # delete (validated by _normalize_mutation)
+                            self.store.delete(spec_class, spec_oid)
+                    except StorageError as exc:
+                        # The documented partial-application contract: the
+                        # error says how much of the batch was committed.
+                        raise StorageError(
+                            f"{exc} ({len(oids)} of {len(specs)} mutations "
+                            "applied before the failure)"
+                        ) from None
+                    oids.append(spec_oid)
+                    classes.add(spec_class)
+                    shards.add(self.store.shard_of(spec_oid))
+                    self._mutations_applied += 1
+            finally:
+                if classes and refresh_rules:
+                    refreshed, changed = self._refresh_dynamic_rules(
+                        self._tracked_classes(classes)
+                    )
+            store_version = self.store.version
+            shard_versions = self.store.shard_versions()
+        return MutationResult(
+            op=op_label,
+            classes=tuple(sorted(classes)),
+            oids=tuple(oids),
+            applied=len(oids),
+            shards=tuple(sorted(shards)),
+            store_version=store_version,
+            shard_versions=shard_versions,
+            rules_refreshed=refreshed,
+            rules_changed=changed,
+            generation=(
+                self.repository.generation if self.repository is not None else 0
+            ),
+            mutate_time=time.perf_counter() - start,
+        )
+
+    @staticmethod
+    def _normalize_mutation(mutation: Dict) -> Tuple[str, str, Optional[int], Optional[Dict]]:
+        """Validate one mutation mapping into an ``(op, class, oid, values)`` spec."""
+        op = mutation.get("op")
+        if op not in ("insert", "update", "delete"):
+            raise ValueError(
+                f"unknown mutation op {op!r} (choose from: insert, update, delete)"
+            )
+        class_name = mutation.get("class_name") or mutation.get("class")
+        if not isinstance(class_name, str) or not class_name:
+            raise ValueError("mutation requires a non-empty 'class_name'")
+        oid = mutation.get("oid")
+        values = mutation.get("values")
+        if op in ("update", "delete"):
+            if not isinstance(oid, int) or isinstance(oid, bool) or oid < 1:
+                raise ValueError(f"mutation op {op!r} requires an integer 'oid' >= 1")
+        if op in ("insert", "update"):
+            if values is None:
+                values = {}
+            if not isinstance(values, dict):
+                raise ValueError(f"mutation op {op!r} requires a 'values' object")
+        return op, class_name, oid, values
 
     # ------------------------------------------------------------------
     # Batch API

@@ -1,0 +1,287 @@
+"""Property-based mutation oracle: engines vs. a fresh row-wise store.
+
+The live write path opens the system to interleaved reads and writes —
+exactly where warm caches (vectorized pointer/fragment buckets, the
+parallel engine's journal-synced forked workers, the service result cache)
+can go quietly stale.  This harness drives **seeded random schedules** of
+``{insert, update, delete, optimize, execute}`` through a persistent
+:class:`~repro.service.OptimizationService` (so every cache layer stays
+warm across steps) and, after *every* execute step, asserts that rows
+**and** :class:`~repro.engine.executor.ExecutionMetrics` are byte-identical
+to executing the same optimized query on a **fresh single-shard store**
+replaying the same writes with the row-wise engine — the configuration
+with no caches to go stale.
+
+Determinism and reproduction:
+
+* the base seed comes from ``REPRO_ORACLE_SEED`` (defaults pinned);
+* ``REPRO_ORACLE_SCHEDULES`` scales the per-engine schedule count
+  (defaults: 120 row-wise, 120 vectorized, 60 parallel — 300 total);
+* on failure the schedule is **shrunk** greedily to a minimal failing op
+  list and printed together with the seed, so a repro is one copy-paste.
+
+Schedules are built from abstract ops (targets are picked *by index into
+the live OID set at apply time*), so any subsequence of a schedule is
+itself a valid schedule — the property that makes shrinking sound.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.constraints import ConstraintRepository
+from repro.data import build_evaluation_constraints
+from repro.engine import DatabaseStatistics, ObjectStore, QueryExecutor
+from repro.engine.planner import ConventionalPlanner
+from repro.query import parse_query
+from repro.service import OptimizationService
+
+SEED = int(os.environ.get("REPRO_ORACLE_SEED", "19910408"))
+
+#: Schedules per engine; scaled by REPRO_ORACLE_SCHEDULES (a multiplier
+#: percentage would be overkill — the env var simply overrides the base).
+SCHEDULES = {
+    "rowwise": int(os.environ.get("REPRO_ORACLE_SCHEDULES", "120")),
+    "vectorized": int(os.environ.get("REPRO_ORACLE_SCHEDULES", "120")),
+    "parallel": int(os.environ.get("REPRO_ORACLE_SCHEDULES", "60")),
+}
+
+QUERY_TEXTS = [
+    '(SELECT {cargo.code, cargo.quantity} { } {cargo.quantity >= 30} { } {cargo})',
+    '(SELECT {cargo.code} { } {cargo.desc = "frozen food"} { } {cargo})',
+    '(SELECT {vehicle.vehicle_no} { } {vehicle.class >= 2} { } {vehicle})',
+    '(SELECT {cargo.code, vehicle.desc} { } '
+    '{vehicle.desc = "refrigerated truck"} {collects} {cargo, vehicle})',
+    '(SELECT {supplier.name, cargo.code} { } {cargo.quantity >= 10} '
+    '{supplies} {supplier, cargo})',
+    '(SELECT {supplier.name, cargo.code, vehicle.vehicle_no} { } '
+    '{supplier.rating >= 2} {supplies, collects} {supplier, cargo, vehicle})',
+]
+
+DESCS = ["frozen food", "textiles", "machinery"]
+VEHICLE_DESCS = ["refrigerated truck", "van", "tanker"]
+
+
+def _base_rows(rng):
+    """The deterministic seed data of one schedule (applied as inserts)."""
+    rows = []
+    supplier_count = rng.randint(2, 4)
+    vehicle_count = rng.randint(2, 5)
+    cargo_count = rng.randint(6, 14)
+    for i in range(supplier_count):
+        rows.append(
+            ("supplier", {"name": f"S{i}", "region": "west", "rating": 1 + i % 4})
+        )
+    for i in range(vehicle_count):
+        rows.append(
+            (
+                "vehicle",
+                {
+                    "vehicle_no": f"V{i}",
+                    "desc": VEHICLE_DESCS[i % len(VEHICLE_DESCS)],
+                    "class": 1 + i % 4,
+                    "capacity": 1000 * (1 + i % 3),
+                },
+            )
+        )
+    for i in range(cargo_count):
+        values = {
+            "code": f"C{i}",
+            "desc": DESCS[i % len(DESCS)],
+            "quantity": rng.randint(5, 90),
+            "category": "general",
+        }
+        if supplier_count:
+            values["supplies"] = 1 + i % supplier_count
+        if vehicle_count:
+            values["collects"] = 1 + i % vehicle_count
+        rows.append(("cargo", values))
+    return rows
+
+
+def _build_schedule(rng):
+    """An abstract op list: valid to apply in full or any subsequence."""
+    ops = []
+    for _ in range(rng.randint(5, 12)):
+        kind = rng.choices(
+            ["insert", "update", "delete", "execute", "optimize"],
+            weights=[25, 20, 10, 35, 10],
+        )[0]
+        if kind == "insert":
+            ops.append(
+                (
+                    "insert",
+                    "cargo",
+                    {
+                        "code": f"N{rng.randint(0, 999)}",
+                        "desc": rng.choice(DESCS),
+                        "quantity": rng.randint(5, 120),
+                        "category": "general",
+                    },
+                )
+            )
+        elif kind == "update":
+            ops.append(("update", "cargo", rng.randrange(64), {"quantity": rng.randint(5, 120)}))
+        elif kind == "delete":
+            ops.append(("delete", "cargo", rng.randrange(64)))
+        else:
+            ops.append((kind, rng.randrange(len(QUERY_TEXTS))))
+    # Every schedule ends with an execute so mutations at the tail are
+    # always observed.
+    ops.append(("execute", rng.randrange(len(QUERY_TEXTS))))
+    return ops
+
+
+class _Mismatch(AssertionError):
+    """Engine output diverged from the fresh-store row-wise oracle."""
+
+
+_REPOSITORY_CACHE = {}
+
+
+def _repository(schema):
+    """One precompiled static repository shared per schema (read-only)."""
+    key = id(schema)
+    repository = _REPOSITORY_CACHE.get(key)
+    if repository is None:
+        repository = ConstraintRepository(schema)
+        repository.add_all(build_evaluation_constraints())
+        repository.precompile()
+        _REPOSITORY_CACHE[key] = repository
+    return repository
+
+
+def _run_schedule(schema, queries, engine, rng_seed, ops):
+    """Apply ``ops``; raise :class:`_Mismatch` on the first divergence."""
+    rng = random.Random(rng_seed)
+    shard_count = rng.choice([1, 2, 3]) if engine != "rowwise" else rng.choice([1, 3])
+    store = ObjectStore(schema, shard_count=shard_count)
+    service = OptimizationService(
+        schema,
+        repository=_repository(schema),
+        store=store,
+        execution_mode=engine,
+        engine_workers=2,
+        engine_min_partition_rows=1 if engine == "parallel" else None,
+    )
+    applied = []  # the write log the oracle replays
+
+    def apply_write(op):
+        if op[0] == "insert":
+            service.mutate("insert", op[1], values=op[2])
+            applied.append(("insert", op[1], dict(op[2])))
+            return
+        live = [instance.oid for instance in store.instances(op[1])]
+        if not live:
+            return  # nothing to target; op degrades to a no-op
+        oid = live[op[2] % len(live)]
+        if op[0] == "update":
+            service.mutate("update", op[1], oid=oid, values=op[3])
+            applied.append(("update", op[1], oid, dict(op[3])))
+        else:
+            service.mutate("delete", op[1], oid=oid)
+            applied.append(("delete", op[1], oid))
+
+    def oracle_result(target):
+        fresh = ObjectStore(schema, shard_count=1)
+        for entry in applied:
+            if entry[0] == "insert":
+                fresh.insert(entry[1], entry[2])
+            elif entry[0] == "update":
+                fresh.update(entry[1], entry[2], entry[3])
+            else:
+                fresh.delete(entry[1], entry[2])
+        statistics = DatabaseStatistics.collect(schema, fresh)
+        planner = ConventionalPlanner(schema, statistics)
+        executor = QueryExecutor(schema, fresh)
+        return executor.execute_plan(planner.plan(target))
+
+    try:
+        for step, op in enumerate(ops):
+            if op[0] in ("insert", "update", "delete"):
+                apply_write(op)
+            elif op[0] == "optimize":
+                service.optimize(queries[op[1]])
+            else:  # execute
+                query = queries[op[1]]
+                envelope = service.execute(query)
+                target = envelope.executed_query
+                expected = oracle_result(target)
+                if envelope.execution.rows != expected.rows:
+                    raise _Mismatch(
+                        f"step {step}: rows diverged for {query.name} "
+                        f"({len(envelope.execution.rows)} vs "
+                        f"{len(expected.rows)} oracle rows)"
+                    )
+                if (
+                    envelope.execution.metrics.as_dict()
+                    != expected.metrics.as_dict()
+                ):
+                    raise _Mismatch(
+                        f"step {step}: metrics diverged for {query.name}: "
+                        f"{envelope.execution.metrics.as_dict()} vs "
+                        f"{expected.metrics.as_dict()}"
+                    )
+    finally:
+        service.close()
+
+
+def _shrink(schema, queries, engine, rng_seed, ops):
+    """Greedily drop ops while the schedule still fails (minimal repro)."""
+
+    def fails(candidate):
+        try:
+            _run_schedule(schema, queries, engine, rng_seed, candidate)
+        except _Mismatch:
+            return True
+        return False
+
+    current = list(ops)
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(current)):
+            candidate = current[:index] + current[index + 1 :]
+            if candidate and fails(candidate):
+                current = candidate
+                changed = True
+                break
+    return current
+
+
+#: Stable per-engine seed offsets (tuple hashes are not stable across
+#: interpreter runs, so the seed is derived arithmetically).
+_ENGINE_OFFSET = {"rowwise": 0, "vectorized": 1, "parallel": 2}
+
+
+def _seed_for(engine, index):
+    return SEED + 7919 * index + 104729 * _ENGINE_OFFSET[engine]
+
+
+@pytest.mark.parametrize("engine", ["rowwise", "vectorized", "parallel"])
+def test_mutation_schedules_match_fresh_store_oracle(evaluation_schema, engine):
+    schema = evaluation_schema
+    queries = [
+        parse_query(text, name=f"oracle-{index}")
+        for index, text in enumerate(QUERY_TEXTS)
+    ]
+    for query in queries:
+        query.validate(schema)
+    failures = []
+    for index in range(SCHEDULES[engine]):
+        seed = _seed_for(engine, index)
+        rng = random.Random(seed)
+        schedule = [
+            ("insert",) + row for row in _base_rows(rng)
+        ] + _build_schedule(rng)
+        try:
+            _run_schedule(schema, queries, engine, seed, schedule)
+        except _Mismatch as exc:
+            minimal = _shrink(schema, queries, engine, seed, schedule)
+            failures.append(
+                f"schedule #{index} (REPRO_ORACLE_SEED={SEED}, engine={engine}): "
+                f"{exc}\n  minimal repro ({len(minimal)} ops): {minimal}"
+            )
+            break  # one shrunk repro is worth more than a failure flood
+    assert not failures, "\n".join(failures)

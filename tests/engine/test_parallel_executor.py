@@ -125,7 +125,8 @@ def test_single_worker_never_forks(sharded_setup):
     assert solo._pool is None
 
 
-def test_store_mutation_recycles_pool_and_results(evaluation_schema):
+def test_store_mutation_syncs_live_workers_without_reforking(evaluation_schema):
+    """A journaled write reaches live workers as a replayed delta."""
     setup = build_evaluation_setup(
         TABLE_4_1_SPECS["DB1"], query_count=6, seed=3, shard_count=2
     )
@@ -136,14 +137,48 @@ def test_store_mutation_recycles_pool_and_results(evaluation_schema):
         plan = planner.plan(setup.queries[0])
         first = parallel.execute_plan(plan)
         assert first.rows == rowwise.execute_plan(plan).rows
-        forked_at = parallel._pool_version
+        pids_before = parallel.worker_pids()
+        assert pids_before, "the first execution must have forked workers"
         setup.store.insert(
             "cargo",
             {"code": "CNEW", "desc": "late arrival", "quantity": 5,
              "category": "general"},
         )
+        setup.store.update("cargo", 1, {"quantity": 9})
         second = parallel.execute_plan(plan)
-        assert parallel._pool_version != forked_at
+        # Same worker processes — the mutations were shipped as a journal
+        # delta, not by tearing the pool down — and the rows still match
+        # the freshly planned row-wise answer over the mutated store.
+        assert parallel.worker_pids() == pids_before
+        assert second.rows == rowwise.execute_plan(plan).rows
+    finally:
+        parallel.close()
+
+
+def test_journal_overflow_reforks_workers_correctly(evaluation_schema):
+    """A gap the journal cannot bridge re-forks workers with fresh state."""
+    setup = build_evaluation_setup(
+        TABLE_4_1_SPECS["DB1"], query_count=6, seed=3, shard_count=2
+    )
+    planner = ConventionalPlanner(setup.schema, setup.statistics)
+    rowwise = QueryExecutor(setup.schema, setup.store)
+    parallel = _forced(setup)
+    try:
+        plan = planner.plan(setup.queries[0])
+        parallel.execute_plan(plan)
+        pids_before = parallel.worker_pids()
+        # Overflow the bounded journal so journal_since() reports a gap.
+        store = setup.store
+        for i in range(store.journal_limit + 1):
+            oid = store.insert(
+                "cargo",
+                {"code": f"churn{i}", "desc": "churn", "quantity": 1,
+                 "category": "general"},
+            ).oid
+            store.delete("cargo", oid)
+        assert store.journal_since(0) is None
+        second = parallel.execute_plan(plan)
+        assert parallel.worker_pids() != pids_before
         assert second.rows == rowwise.execute_plan(plan).rows
     finally:
         parallel.close()

@@ -95,3 +95,81 @@ def test_qualified_values_and_copy(store):
     clone.values["desc"] = "other"
     assert cargo.values["desc"] == "bulk"
     assert cargo.matches({"desc": "bulk"}) and not cargo.matches({"desc": "x"})
+
+
+# ----------------------------------------------------------------------
+# Mutation journal (replica catch-up for the parallel engine's workers)
+# ----------------------------------------------------------------------
+def test_journal_records_and_replays_mutations(store):
+    schema = store.schema
+    replica = ObjectStore(schema)
+    first = store.insert("cargo", {"desc": "frozen food", "quantity": 10})
+    store.insert("cargo", {"desc": "textiles", "quantity": 20})
+    store.update("cargo", first.oid, {"quantity": 15})
+    delta = store.journal_since(replica.version)
+    assert [record.op for record in delta] == ["insert", "insert", "update"]
+    assert replica.apply_journal(delta) == 3
+    assert replica.version == store.version
+    assert replica.shard_versions() == store.shard_versions()
+    assert replica.get("cargo", first.oid).values == first.values
+    # Replay is idempotent: an overlapping batch applies nothing twice.
+    assert replica.apply_journal(delta) == 0
+    store.delete("cargo", first.oid)
+    assert replica.apply_journal(store.journal_since(replica.version)) == 1
+    assert replica.get("cargo", first.oid) is None
+    # The replica continues assigning fresh OIDs above the replayed ones.
+    assert replica.insert("cargo", {"desc": "late"}).oid == store.insert(
+        "cargo", {"desc": "late"}
+    ).oid
+
+
+def test_journal_since_reports_unbridgeable_gaps():
+    store = ObjectStore(build_evaluation_schema(), journal_limit=4)
+    for i in range(8):
+        store.insert("cargo", {"desc": f"row {i}"})
+    assert store.journal_since(store.version) == []
+    assert len(store.journal_since(store.version - 4)) == 4
+    assert store.journal_since(0) is None  # bounded retention overflow
+    # An index rebuild after un-journaled in-place repairs truncates the
+    # journal entirely: nothing since before it can be bridged.
+    version = store.version
+    store.rebuild_indexes()
+    assert store.journal_since(version) is None
+    assert store.journal_since(store.version) == []
+
+
+def test_journal_replay_preserves_index_answers():
+    from repro.constraints.predicate import ComparisonOperator, Predicate
+
+    schema = build_evaluation_schema()
+    store = ObjectStore(schema, shard_count=3)
+    replica = ObjectStore(schema, shard_count=3)
+    for i in range(9):
+        store.insert("cargo", {"desc": "frozen food", "quantity": 100 + i})
+    store.update("cargo", 2, {"quantity": 300})
+    store.delete("cargo", 5)
+    replica.apply_journal(store.journal_since(0))
+    predicate = Predicate.selection(
+        "cargo.quantity", ComparisonOperator.GE, 104
+    )
+    assert replica.indexes.lookup(predicate) == store.indexes.lookup(predicate)
+
+
+def test_wrong_typed_indexed_value_is_rejected_atomically(store):
+    store.insert("cargo", {"code": "C0", "desc": "frozen food", "quantity": 1})
+    version = store.version
+    # 'code' is an indexed string attribute: an int value must be rejected
+    # BEFORE any state changes (a mid-index TypeError would leave the
+    # extent and the indexes disagreeing with no version bump).
+    with pytest.raises(StorageError, match="expects a string"):
+        store.insert("cargo", {"code": 1})
+    with pytest.raises(StorageError, match="expects a number"):
+        store.insert("vehicle", {"vehicle_no": "V0", "class": "two"})
+    with pytest.raises(StorageError, match="expects a string"):
+        store.update("cargo", 1, {"desc": 7})
+    assert store.count("cargo") == 1
+    assert store.version == version
+    assert store.journal_since(version) == []
+    # Untyped junk on a NON-indexed attribute stays permitted (quantity is
+    # not indexed), matching the generator's loose value discipline.
+    store.update("cargo", 1, {"quantity": "many"})

@@ -191,3 +191,243 @@ def test_response_frames_are_json_serializable():
     assert err["ok"] is False
     assert err["error"]["code"] == "protocol_error"
     json.dumps(ok), json.dumps(err)
+
+
+# ----------------------------------------------------------------------
+# Mutation ops: parsing contract
+# ----------------------------------------------------------------------
+def test_parse_request_mutations(evaluation_schema):
+    insert = parse_request(
+        {"op": "insert", "class": "cargo", "values": {"code": "X"}},
+        evaluation_schema,
+    )
+    assert insert.class_name == "cargo" and insert.values == {"code": "X"}
+    update = parse_request(
+        {"op": "update", "class": "cargo", "oid": 3, "values": {"quantity": 1}},
+        evaluation_schema,
+    )
+    assert update.oid == 3
+    delete = parse_request(
+        {"op": "delete", "class": "cargo", "oid": 9}, evaluation_schema
+    )
+    assert delete.oid == 9
+    many = parse_request(
+        {"op": "insert_many", "class": "cargo", "rows": [{"code": "A"}, {}]},
+        evaluation_schema,
+    )
+    assert len(many.rows) == 2
+
+
+@pytest.mark.parametrize(
+    "frame",
+    [
+        {"op": "insert"},  # missing class
+        {"op": "insert", "class": "warehouse", "values": {}},  # unknown class
+        {"op": "insert", "class": "cargo", "values": {"colour": "red"}},
+        {"op": "insert", "class": "cargo", "values": [1, 2]},
+        {"op": "update", "class": "cargo", "values": {"code": "X"}},  # no oid
+        {"op": "update", "class": "cargo", "oid": 0, "values": {}},
+        {"op": "update", "class": "cargo", "oid": True, "values": {}},
+        {"op": "delete", "class": "cargo"},
+        {"op": "insert_many", "class": "cargo", "rows": []},
+        {"op": "insert_many", "class": "cargo", "rows": "not a list"},
+        {"op": "insert_many", "class": "cargo",
+         "rows": [{"code": "A"}, {"bogus": 1}]},
+    ],
+)
+def test_parse_request_rejects_malformed_mutations(evaluation_schema, frame):
+    with pytest.raises(ProtocolError):
+        parse_request(frame, evaluation_schema)
+
+
+def test_insert_many_row_bound(evaluation_schema):
+    from repro.server.protocol import MAX_MUTATION_ROWS
+
+    rows = [{} for _ in range(MAX_MUTATION_ROWS + 1)]
+    with pytest.raises(ProtocolError, match="bound"):
+        parse_request(
+            {"op": "insert_many", "class": "cargo", "rows": rows},
+            evaluation_schema,
+        )
+
+
+# ----------------------------------------------------------------------
+# Seeded frame fuzzer: every frame yields a stable wire code
+# ----------------------------------------------------------------------
+import asyncio
+import os
+import random
+
+FUZZ_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "47110815"))
+FUZZ_FRAMES = int(os.environ.get("REPRO_FUZZ_FRAMES", "250"))
+
+#: The complete closed set of codes a response may carry.  ``internal`` is
+#: deliberately excluded: a fuzzer-reachable internal error is a bug.
+STABLE_CODES = {
+    "protocol_error",
+    "mutation_error",
+    "overloaded",
+    "client_queue_full",
+    "draining",
+    "timeout",
+}
+
+
+def _fuzz_frame(rng: random.Random) -> bytes:
+    """One adversarial wire line aimed at the mutation ops."""
+    import json as _json
+
+    op = rng.choice(["insert", "insert_many", "update", "delete"])
+    frame = {"id": rng.randrange(1000), "op": op}
+    if rng.random() < 0.8:
+        frame["class"] = rng.choice(
+            ["cargo", "vehicle", "warehouse", "", 7, None, ["cargo"]]
+        )
+    if rng.random() < 0.8:
+        frame["oid"] = rng.choice([1, 0, -4, 2**63, "seven", True, None, 3.5])
+    if rng.random() < 0.8:
+        frame["values"] = rng.choice(
+            [
+                {"code": "X"},
+                {"colour": "red"},
+                {"quantity": float("inf")} if rng.random() < 0.5 else {"code": 1},
+                {7: "bad-key"},
+                [],
+                "values",
+                None,
+            ]
+        )
+    if rng.random() < 0.5:
+        frame["rows"] = rng.choice(
+            [[], [{}], [{"code": "A"}, "junk"], [{"bogus": 1}], "rows", 42]
+        )
+    try:
+        line = _json.dumps(frame).encode("utf-8")
+    except (TypeError, ValueError):
+        line = repr(frame).encode("utf-8")
+    # Structural corruption: truncate, append garbage, or break encoding.
+    roll = rng.random()
+    if roll < 0.25:
+        line = line[: rng.randrange(max(1, len(line)))]
+    elif roll < 0.35:
+        line = line + b"}}junk{{"
+    elif roll < 0.40:
+        line = b"\xff\xfe" + line
+    return line
+
+
+def test_mutation_frame_fuzzer_yields_stable_codes(evaluation_schema):
+    """No fuzzed mutation frame may drop the dispatcher or leak an error."""
+    from repro.constraints import ConstraintRepository
+    from repro.data import build_evaluation_constraints
+    from repro.engine import ObjectStore
+    from repro.server import QueryGateway
+    from repro.service import OptimizationService
+
+    store = ObjectStore(evaluation_schema, shard_count=2)
+    store.insert("cargo", {"code": "C0", "desc": "x", "quantity": 1,
+                           "category": "general"})
+    repository = ConstraintRepository(evaluation_schema)
+    repository.add_all(build_evaluation_constraints())
+    service = OptimizationService(
+        evaluation_schema, repository=repository, store=store
+    )
+    rng = random.Random(FUZZ_SEED)
+    frames = [_fuzz_frame(rng) for _ in range(FUZZ_FRAMES)]
+
+    async def drive():
+        gateway = QueryGateway(service)
+        outcomes = []
+        for line in frames:
+            response = await gateway.dispatch_line(line, "fuzzer")
+            outcomes.append(response)
+        # The dispatcher survived every frame: a well-formed request still
+        # succeeds afterwards.
+        ok = await gateway.dispatch(
+            {"id": 1, "op": "insert", "class": "cargo",
+             "values": {"code": "SANE"}},
+            "fuzzer",
+        )
+        await gateway.stop()
+        return outcomes, ok
+
+    outcomes, ok = asyncio.run(drive())
+    assert ok["ok"], ok
+    for line, response in zip(frames, outcomes):
+        assert isinstance(response, dict), line
+        assert "ok" in response, line
+        if not response["ok"]:
+            code = response["error"]["code"]
+            assert code in STABLE_CODES, (code, line)
+
+
+def test_fuzzed_frames_over_tcp_keep_the_connection(evaluation_schema):
+    """Malformed/truncated frames answered over TCP; session stays usable."""
+    from repro.constraints import ConstraintRepository
+    from repro.data import build_evaluation_constraints
+    from repro.engine import ObjectStore
+    from repro.server import QueryGateway
+    from repro.server.protocol import encode_frame
+    from repro.service import OptimizationService
+
+    store = ObjectStore(evaluation_schema)
+    store.insert("cargo", {"code": "C0", "desc": "x", "quantity": 1,
+                           "category": "general"})
+    repository = ConstraintRepository(evaluation_schema)
+    repository.add_all(build_evaluation_constraints())
+    service = OptimizationService(
+        evaluation_schema, repository=repository, store=store
+    )
+    rng = random.Random(FUZZ_SEED + 1)
+    garbage = [
+        line for line in (_fuzz_frame(rng) for _ in range(40)) if b"\n" not in line
+    ]
+
+    async def drive():
+        gateway = QueryGateway(service)
+        host, port = await gateway.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        for line in garbage:
+            writer.write(line + b"\n")
+        # A valid frame after the garbage must still be answered.
+        writer.write(
+            encode_frame({"id": "tail", "op": "insert", "class": "cargo",
+                          "values": {"code": "TAIL"}})
+        )
+        await writer.drain()
+        responses = []
+        for _ in range(len(garbage) + 1):
+            response = await asyncio.wait_for(reader.readline(), 10)
+            assert response, "connection dropped on a fuzzed frame"
+            responses.append(decode_frame(response))
+        writer.close()
+        await writer.wait_closed()
+        await gateway.stop()
+        return responses
+
+    responses = asyncio.run(drive())
+    tail = [r for r in responses if r.get("id") == "tail"]
+    assert tail and tail[0]["ok"], responses
+    for response in responses:
+        if not response.get("ok"):
+            assert response["error"]["code"] in STABLE_CODES, response
+
+
+def test_mutation_frames_validate_and_carry_options(evaluation_schema):
+    request = parse_request(
+        {"op": "delete", "class": "cargo", "oid": 1, "options": {"timeout": 0.5}},
+        evaluation_schema,
+    )
+    assert request.options == {"timeout": 0.5}
+    with pytest.raises(ProtocolError, match="unknown option"):
+        parse_request(
+            {"op": "insert", "class": "cargo", "values": {},
+             "options": {"turbo": True}},
+            evaluation_schema,
+        )
+    with pytest.raises(ProtocolError, match="timeout"):
+        parse_request(
+            {"op": "insert", "class": "cargo", "values": {},
+             "options": {"timeout": -1}},
+            evaluation_schema,
+        )
