@@ -1,0 +1,120 @@
+"""Grandfathered-findings baseline for the static invariant checker.
+
+A baseline entry silences exactly one finding fingerprint — ``(rule,
+check, file, symbol)``, deliberately line-number-free — and **must**
+carry a justification string explaining why the flagged code is
+intentionally kept.  The checker reports entries that no longer match
+anything as *stale* so the baseline shrinks as code is fixed instead of
+accumulating dead suppressions.
+
+File format (``analysis-baseline.json`` at the repo root)::
+
+    {
+      "version": 1,
+      "findings": [
+        {
+          "rule": "determinism",
+          "check": "set-argument",
+          "file": "constraints/repository.py",
+          "symbol": "ConstraintRepository.replace_derived",
+          "justification": "why this is safe"
+        }
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .framework import AnalysisError, Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One suppressed fingerprint plus the reason it is allowed to exist."""
+
+    rule: str
+    check: str
+    file: str
+    symbol: str
+    justification: str
+
+    @property
+    def fingerprint(self) -> Tuple[str, str, str, str]:
+        return (self.rule, self.check, self.file, self.symbol)
+
+
+class Baseline:
+    """The set of grandfathered findings loaded from disk."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries: List[BaselineEntry] = list(entries)
+        self._by_fingerprint: Dict[Tuple[str, str, str, str], BaselineEntry] = {}
+        for entry in self.entries:
+            if entry.fingerprint in self._by_fingerprint:
+                raise AnalysisError(
+                    f"duplicate baseline entry for {entry.fingerprint!r}"
+                )
+            self._by_fingerprint[entry.fingerprint] = entry
+
+    @classmethod
+    def load(cls, path: Optional[Path]) -> "Baseline":
+        """Load a baseline file; a missing path yields an empty baseline."""
+        if path is None or not Path(path).is_file():
+            return cls()
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(f"invalid baseline JSON in {path}: {exc}") from None
+        if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+            raise AnalysisError(
+                f"baseline {path} must be an object with version {BASELINE_VERSION}"
+            )
+        entries = []
+        for raw in payload.get("findings", []):
+            missing = [
+                key
+                for key in ("rule", "check", "file", "symbol", "justification")
+                if not isinstance(raw.get(key), str) or not raw.get(key).strip()
+            ]
+            if missing:
+                raise AnalysisError(
+                    f"baseline entry {raw!r} is missing non-empty {missing}"
+                    " (every suppression needs a justification)"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=raw["rule"],
+                    check=raw["check"],
+                    file=raw["file"],
+                    symbol=raw["symbol"],
+                    justification=raw["justification"],
+                )
+            )
+        return cls(entries)
+
+    def match(self, finding: Finding) -> Optional[BaselineEntry]:
+        return self._by_fingerprint.get(finding.fingerprint)
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Tuple[Finding, BaselineEntry]], List[BaselineEntry]]:
+        """Partition findings into (new, baselined) and report stale entries."""
+        new: List[Finding] = []
+        baselined: List[Tuple[Finding, BaselineEntry]] = []
+        matched = set()
+        for finding in findings:
+            entry = self.match(finding)
+            if entry is None:
+                new.append(finding)
+            else:
+                baselined.append((finding, entry))
+                matched.add(entry.fingerprint)
+        stale = [e for e in self.entries if e.fingerprint not in matched]
+        return new, baselined, stale

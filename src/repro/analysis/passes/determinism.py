@@ -1,0 +1,483 @@
+"""determinism: no hidden nondeterminism in result-affecting layers.
+
+The engines promise byte-identical answers across modes *and across
+processes* (the parallel engine forks workers, so ``PYTHONHASHSEED``
+differs between runs).  PR 5's ``HashIndex`` bug — insertion-order
+buckets leaking arrival order into rows — is the motivating incident.
+In ``engine/`` and ``constraints/`` this pass flags:
+
+* ``unseeded-random`` — module-level :mod:`random` functions (or
+  ``random.Random()`` with no seed).  Any stochastic choice must thread
+  an explicit seed so runs are reproducible.
+* ``wall-clock`` — calendar-clock reads (``time.time``,
+  ``datetime.now`` …).  Monotonic/``perf_counter`` timings are fine
+  (they only feed reports); calendar time in a result-affecting layer
+  is a nondeterminism smell.
+* ``set-iteration`` — iterating a value statically known to be a
+  ``set``/``frozenset`` in an order-sensitive position: ``for`` loops,
+  non-set comprehensions, ``list()``/``tuple()``/``iter()``/
+  ``enumerate()`` materialization, ``str.join``.  String hashes are
+  randomized per process, so set order over strings differs between the
+  parent and a forked worker.  Order-insensitive reductions (``sum``,
+  ``len``, ``any``/``all``, ``min``/``max``, ``sorted``, rebuilding a
+  set) are allowed — ``sorted(the_set)`` is the canonical fix.
+* ``set-argument`` — the same hazard one call deep: passing a known set
+  to a same-module function whose matching parameter is iterated
+  order-sensitively.  (This is exactly the shape of the
+  ``ConstraintGroupManager.retrieve_relevant`` → ``fetch`` bug this
+  pass was calibrated on.)
+
+Dict iteration is deliberately *not* flagged: Python dicts iterate in
+insertion order, so a dict built deterministically iterates
+deterministically — sets are the hazard.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..astutils import attr_chain, enclosing_function_index
+from ..framework import AnalysisContext, AnalysisPass, Finding
+
+SCOPE_PREFIXES = ("engine/", "constraints/")
+
+RANDOM_MODULE_FUNCS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "triangular",
+        "getrandbits",
+        "randbytes",
+        "normalvariate",
+        "expovariate",
+    }
+)
+WALL_CLOCK_TAILS = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("datetime", "today"),
+        ("date", "today"),
+    }
+)
+ORDER_INSENSITIVE_CONSUMERS = frozenset(
+    {"sorted", "sum", "len", "any", "all", "min", "max", "set", "frozenset"}
+)
+SEQUENCING_CALLS = frozenset({"list", "tuple", "iter", "enumerate"})
+SET_ANNOTATIONS = frozenset({"set", "frozenset", "Set", "FrozenSet", "AbstractSet"})
+SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+
+def _parent_map(tree: ast.Module) -> Dict[int, ast.AST]:
+    parents: Dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def _annotation_is_set(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Subscript):
+        annotation = annotation.value
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr in SET_ANNOTATIONS
+    return isinstance(annotation, ast.Name) and annotation.id in SET_ANNOTATIONS
+
+
+class _Scope:
+    """Known-set name tracking for one function (or the module body)."""
+
+    def __init__(self, root: ast.AST) -> None:
+        self.root = root
+        self.known: Set[str] = set()
+        if isinstance(root, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for arg in list(root.args.args) + list(root.args.kwonlyargs):
+                if _annotation_is_set(arg.annotation):
+                    self.known.add(arg.arg)
+        # Flow-insensitive: a name ever bound to a set expression counts.
+        changed = True
+        while changed:
+            changed = False
+            for node in ast.walk(root):
+                target: Optional[ast.expr] = None
+                value: Optional[ast.expr] = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign):
+                    target, value = node.target, node.value
+                    if _annotation_is_set(node.annotation) and isinstance(
+                        target, ast.Name
+                    ):
+                        if target.id not in self.known:
+                            self.known.add(target.id)
+                            changed = True
+                if (
+                    isinstance(target, ast.Name)
+                    and value is not None
+                    and self.is_set_expr(value)
+                    and target.id not in self.known
+                ):
+                    self.known.add(target.id)
+                    changed = True
+
+    def is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.known
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in (
+                "set",
+                "frozenset",
+            ):
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in SET_METHODS
+            ):
+                return self.is_set_expr(node.func.value)
+        return False
+
+
+class DeterminismPass(AnalysisPass):
+    rule = "determinism"
+    description = (
+        "no unseeded random, wall-clock reads, or order-sensitive "
+        "set iteration in engine/ and constraints/"
+    )
+
+    def run(self, context: AnalysisContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for prefix in SCOPE_PREFIXES:
+            for info in context.in_dir(prefix):
+                findings.extend(self._check_module(info))
+        return findings
+
+    def _check_module(self, info) -> List[Finding]:
+        tree = info.tree
+        functions = enclosing_function_index(tree)
+        parents = _parent_map(tree)
+        findings: List[Finding] = []
+        findings.extend(self._check_random(info, tree, functions))
+        findings.extend(self._check_wall_clock(info, tree, functions))
+
+        # One scope per function, plus the module body; each scope skips
+        # statements owned by an inner function scope so a finding is
+        # attributed exactly once.
+        scopes: List[Tuple[str, ast.AST]] = [("<module>", tree)]
+        scopes.extend(functions)
+        function_nodes = {id(func) for _, func in functions}
+        sensitive = self._order_sensitive_params(functions, parents)
+        for qualname, root in scopes:
+            scope = _Scope(root)
+            for node in ast.walk(root):
+                if id(node) in function_nodes and node is not root:
+                    continue  # reported under the inner scope instead
+                owner = self._owning_scope(node, parents, function_nodes, root)
+                if owner is not root:
+                    continue
+                findings.extend(
+                    self._check_set_usage(info, scope, qualname, node, parents)
+                )
+                findings.extend(
+                    self._check_set_argument(
+                        info, scope, qualname, node, sensitive
+                    )
+                )
+        return findings
+
+    # ------------------------------------------------------------------
+    # unseeded random / wall clock
+    # ------------------------------------------------------------------
+    def _check_random(self, info, tree, functions) -> List[Finding]:
+        random_aliases: Set[str] = set()
+        direct_funcs: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        random_aliases.add(alias.asname or "random")
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name in RANDOM_MODULE_FUNCS:
+                        direct_funcs.add(alias.asname or alias.name)
+        if not random_aliases and not direct_funcs:
+            return []
+        findings = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            flagged = None
+            if (
+                isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in random_aliases
+            ):
+                if node.func.attr in RANDOM_MODULE_FUNCS:
+                    flagged = f"random.{node.func.attr}"
+                elif node.func.attr == "Random" and not (
+                    node.args or node.keywords
+                ):
+                    flagged = "random.Random()"
+            elif isinstance(node.func, ast.Name) and node.func.id in direct_funcs:
+                flagged = node.func.id
+            if flagged:
+                findings.append(
+                    self.finding(
+                        check="unseeded-random",
+                        file=info.relpath,
+                        line=node.lineno,
+                        symbol=self._symbol(functions, node, flagged),
+                        message=(
+                            f"{flagged} draws from the process-global"
+                            " generator; thread an explicit"
+                            " random.Random(seed) so runs reproduce"
+                        ),
+                    )
+                )
+        return findings
+
+    def _check_wall_clock(self, info, tree, functions) -> List[Finding]:
+        findings = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            chain = attr_chain(node)
+            if chain and len(chain) >= 2 and tuple(chain[-2:]) in WALL_CLOCK_TAILS:
+                findings.append(
+                    self.finding(
+                        check="wall-clock",
+                        file=info.relpath,
+                        line=node.lineno,
+                        symbol=self._symbol(functions, node, ".".join(chain[-2:])),
+                        message=(
+                            f"{'.'.join(chain)} reads the calendar clock"
+                            " in a result-affecting layer; use"
+                            " time.perf_counter()/monotonic() for"
+                            " timings, or thread the timestamp in"
+                        ),
+                    )
+                )
+        return findings
+
+    # ------------------------------------------------------------------
+    # set iteration
+    # ------------------------------------------------------------------
+    def _check_set_usage(
+        self, info, scope: _Scope, qualname: str, node: ast.AST, parents
+    ) -> List[Finding]:
+        hit: Optional[Tuple[int, str]] = None
+        if isinstance(node, (ast.For, ast.AsyncFor)) and scope.is_set_expr(
+            node.iter
+        ):
+            hit = (node.iter.lineno, self._describe(node.iter))
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            for generator in node.generators:
+                if scope.is_set_expr(generator.iter):
+                    if not self._reduced(node, parents):
+                        hit = (node.lineno, self._describe(generator.iter))
+                    break
+        elif isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in SEQUENCING_CALLS
+                and node.args
+                and scope.is_set_expr(node.args[0])
+                and not self._reduced(node, parents)
+            ):
+                hit = (node.lineno, self._describe(node.args[0]))
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+                and node.args
+                and scope.is_set_expr(node.args[0])
+            ):
+                hit = (node.lineno, self._describe(node.args[0]))
+        if hit is None:
+            return []
+        line, described = hit
+        return [
+            self.finding(
+                check="set-iteration",
+                file=info.relpath,
+                line=line,
+                symbol=f"{qualname}:{described}",
+                message=(
+                    f"iteration order of set {described} can leak into"
+                    " results (string hashes are randomized per process);"
+                    f" iterate sorted({described}) or reduce"
+                    " order-insensitively"
+                ),
+            )
+        ]
+
+    def _check_set_argument(
+        self, info, scope: _Scope, qualname: str, node: ast.AST, sensitive
+    ) -> List[Finding]:
+        if not isinstance(node, ast.Call):
+            return []
+        callee: Optional[str] = None
+        if isinstance(node.func, ast.Name):
+            callee = node.func.id
+        elif isinstance(node.func, ast.Attribute) and isinstance(
+            node.func.value, ast.Name
+        ):
+            # Same-module method/helper calls through self/cls only; an
+            # arbitrary receiver could be a different class entirely.
+            if node.func.value.id in ("self", "cls"):
+                callee = node.func.attr
+        if callee is None or callee not in sensitive:
+            return []
+        params, callee_qualname = sensitive[callee]
+        findings = []
+        for position, arg in enumerate(node.args):
+            param = params.get(position)
+            if param is not None and scope.is_set_expr(arg):
+                findings.append(self._argument_finding(
+                    info, qualname, node, arg, callee_qualname, param
+                ))
+        by_name = {name: name for name in params.values()}
+        for keyword in node.keywords:
+            if keyword.arg in by_name and scope.is_set_expr(keyword.value):
+                findings.append(self._argument_finding(
+                    info, qualname, node, keyword.value, callee_qualname,
+                    keyword.arg,
+                ))
+        return findings
+
+    def _argument_finding(
+        self, info, qualname, node, arg, callee_qualname, param
+    ) -> Finding:
+        described = self._describe(arg)
+        return self.finding(
+            check="set-argument",
+            file=info.relpath,
+            line=node.lineno,
+            symbol=f"{qualname}->{callee_qualname}:{param}",
+            message=(
+                f"set {described} is passed to {callee_qualname}(), whose"
+                f" parameter '{param}' is iterated order-sensitively —"
+                " pass sorted() input (or sort inside the callee) so the"
+                " order cannot differ across processes"
+            ),
+        )
+
+    def _order_sensitive_params(
+        self, functions, parents
+    ) -> Dict[str, Tuple[Dict[int, str], str]]:
+        """name -> (positional index -> param name, qualname).
+
+        A parameter is order-sensitive when the function iterates it in
+        one of the flagged positions (for loop, non-set comprehension,
+        sequencing call, join) — regardless of whether the *function*
+        knows it is a set; the hazard is decided at the call site.
+        """
+        result: Dict[str, Tuple[Dict[int, str], str]] = {}
+        for qualname, func in functions:
+            args = func.args.args
+            offset = 1 if args and args[0].arg in ("self", "cls") else 0
+            param_names = {arg.arg for arg in args[offset:]}
+            if not param_names:
+                continue
+            used: Set[str] = set()
+            for node in ast.walk(func):
+                candidate: Optional[ast.expr] = None
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    candidate = node.iter
+                elif isinstance(
+                    node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)
+                ):
+                    for generator in node.generators:
+                        if (
+                            isinstance(generator.iter, ast.Name)
+                            and generator.iter.id in param_names
+                            and not self._reduced(node, parents)
+                        ):
+                            used.add(generator.iter.id)
+                elif isinstance(node, ast.Call):
+                    if (
+                        isinstance(node.func, ast.Name)
+                        and node.func.id in SEQUENCING_CALLS
+                        and node.args
+                        and not self._reduced(node, parents)
+                    ):
+                        candidate = node.args[0]
+                    elif (
+                        isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "join"
+                        and node.args
+                    ):
+                        candidate = node.args[0]
+                if isinstance(candidate, ast.Name) and candidate.id in param_names:
+                    used.add(candidate.id)
+            if used:
+                index_map = {
+                    position - offset: arg.arg
+                    for position, arg in enumerate(args)
+                    if arg.arg in used
+                }
+                # Register under both the bare function name and the
+                # method name (self.<name> call sites resolve the same).
+                result.setdefault(func.name, (index_map, qualname))
+        return result
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _reduced(node: ast.AST, parents) -> bool:
+        """Whether ``node`` is directly consumed by an order-insensitive
+        reduction (``sorted(...)``, ``sum(...)``, …)."""
+        parent = parents.get(id(node))
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id in ORDER_INSENSITIVE_CONSUMERS
+            and any(arg is node for arg in parent.args)
+        )
+
+    @staticmethod
+    def _owning_scope(node, parents, function_nodes, root):
+        """The nearest enclosing function node (or the module root)."""
+        current = parents.get(id(node))
+        while current is not None:
+            if id(current) in function_nodes:
+                return current
+            current = parents.get(id(current))
+        return root
+
+    @staticmethod
+    def _describe(node: ast.expr) -> str:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Call):
+            name = None
+            if isinstance(node.func, ast.Name):
+                name = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            return f"{name}(...)" if name else "<set>"
+        return "<set>"
+
+    def _symbol(self, functions, node, detail: str) -> str:
+        from ..astutils import symbol_at
+
+        return f"{symbol_at(functions, node)}:{detail}"

@@ -1,0 +1,125 @@
+"""metrics-parity-surface: the engines must write the same metric fields.
+
+The byte-parity oracle asserts that all three engines return identical
+:class:`ExecutionMetrics` *values*.  That oracle can only catch a field
+one engine forgot to populate if some test compares that field on a
+workload that moves it — a new counter wired into two engines out of
+three passes trivially on workloads where the third engine reports 0
+vs 0.  This pass closes the gap structurally: the **set of metrics
+fields assigned** (``metrics.x = ...`` / ``metrics.x += ...``) must be
+identical across ``executor.py``, ``vectorized.py`` and ``parallel.py``,
+and every declared field must be written by at least one engine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set
+
+from ..astutils import attr_chain
+from ..framework import AnalysisContext, AnalysisPass, Finding
+
+METRICS_MODULE = "engine/executor.py"
+METRICS_CLASS = "ExecutionMetrics"
+EXECUTOR_MODULES = (
+    "engine/executor.py",
+    "engine/vectorized.py",
+    "engine/parallel.py",
+)
+
+
+class MetricsParityPass(AnalysisPass):
+    rule = "metrics-parity-surface"
+    description = (
+        "the set of ExecutionMetrics fields each executor writes is "
+        "identical, and every declared field is written"
+    )
+
+    def run(self, context: AnalysisContext) -> Iterable[Finding]:
+        metrics_module = context.module(METRICS_MODULE)
+        if metrics_module is None:
+            return []
+        declared = self._declared_fields(metrics_module.tree)
+        if not declared:
+            return []
+
+        written: Dict[str, Set[str]] = {}
+        for relpath in EXECUTOR_MODULES:
+            info = context.module(relpath)
+            if info is not None:
+                written[relpath] = self._written_fields(info.tree, set(declared))
+        if not written:
+            return []
+
+        findings: List[Finding] = []
+        surface: Set[str] = set().union(*written.values())
+        for relpath in sorted(written):
+            for field in sorted(surface - written[relpath]):
+                findings.append(
+                    self.finding(
+                        check="executor-field",
+                        file=relpath,
+                        line=0,
+                        symbol=field,
+                        message=(
+                            f"executor never writes ExecutionMetrics."
+                            f"{field}, but another executor does — the"
+                            " metrics surface must stay identical across"
+                            " engines or parity comparisons go blind on"
+                            " this counter"
+                        ),
+                    )
+                )
+        for field, line in sorted(declared.items()):
+            if field not in surface:
+                findings.append(
+                    self.finding(
+                        check="field-unwritten",
+                        file=METRICS_MODULE,
+                        line=line,
+                        symbol=f"{METRICS_CLASS}.{field}",
+                        message=(
+                            f"ExecutionMetrics declares {field} but no"
+                            " executor ever writes it — a dead counter"
+                            " reads as 'always equal' in parity checks"
+                        ),
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _declared_fields(tree: ast.Module) -> Dict[str, int]:
+        """The dataclass fields of ExecutionMetrics, with their lines."""
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == METRICS_CLASS:
+                return {
+                    item.target.id: item.lineno
+                    for item in node.body
+                    if isinstance(item, ast.AnnAssign)
+                    and isinstance(item.target, ast.Name)
+                }
+        return {}
+
+    @staticmethod
+    def _written_fields(tree: ast.Module, declared: Set[str]) -> Set[str]:
+        """Declared fields assigned through any ``*.metrics.field`` target."""
+        written: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in declared
+                ):
+                    continue
+                chain = attr_chain(target.value)
+                if chain and (
+                    chain[-1] == "metrics" or chain[-1].endswith("_metrics")
+                ):
+                    written.add(target.attr)
+        return written

@@ -1,0 +1,268 @@
+"""protocol-drift: the wire protocol, gateway, errors and docs in lockstep.
+
+The protocol surface lives in four places that have no runtime link:
+``server/protocol.py`` declares the op set, ``server/gateway.py``
+dispatches on it, ``server/errors.py`` registers the wire error codes,
+and ``docs/operations.md`` is the client-facing reference.  Adding an op
+(or an error code) to one without the others is invisible until a client
+hits the gap.  Sub-checks:
+
+* ``gateway-dispatch`` — every op in ``protocol.OPS`` has a dispatch
+  branch in the gateway (an ``.op == "..."`` comparison, or membership in
+  ``MUTATION_OPS``).  A bare ``else:`` does not count: the moment a new
+  op lands it would silently fall into whatever the else does.
+* ``unknown-op-dispatch`` — the reverse drift: the gateway compares
+  ``.op`` against a literal that is not in ``OPS`` (a typo or a removed
+  op whose branch survived).
+* ``duplicate-error-code`` — two error classes claim the same wire code.
+* ``error-class-outside-registry`` — a ``GatewayError`` subclass (or any
+  class declaring a ``code`` string) defined in a server module other
+  than ``errors.py``; the taxonomy must stay in one reviewable file.
+* ``op-undocumented`` / ``error-code-undocumented`` — every op and every
+  registered code appears (backticked) in ``docs/operations.md``.  Doc
+  checks only run when the analysis context has a docs root.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..astutils import imported_names_from, string_tuple_assignment
+from ..framework import AnalysisContext, AnalysisPass, Finding
+
+PROTOCOL_MODULE = "server/protocol.py"
+GATEWAY_MODULE = "server/gateway.py"
+ERRORS_MODULE = "server/errors.py"
+OPERATIONS_DOC = "operations.md"
+SERVER_PREFIX = "server/"
+
+
+class ProtocolDriftPass(AnalysisPass):
+    rule = "protocol-drift"
+    description = (
+        "every protocol op has a gateway dispatch branch and a doc row, "
+        "and every wire error code is registered once and documented"
+    )
+
+    def run(self, context: AnalysisContext) -> Iterable[Finding]:
+        protocol = context.module(PROTOCOL_MODULE)
+        if protocol is None:
+            return []
+        ops = string_tuple_assignment(protocol.tree, "OPS")
+        mutation_ops = string_tuple_assignment(protocol.tree, "MUTATION_OPS") or []
+        if ops is None:
+            return []
+
+        findings: List[Finding] = []
+        findings.extend(self._check_dispatch(context, ops, mutation_ops))
+        codes = self._error_codes(context, findings)
+        findings.extend(self._check_error_locations(context, set(codes)))
+        findings.extend(self._check_docs(context, ops, sorted(codes)))
+        return findings
+
+    # ------------------------------------------------------------------
+    # Gateway dispatch
+    # ------------------------------------------------------------------
+    def _check_dispatch(
+        self, context: AnalysisContext, ops: List[str], mutation_ops: List[str]
+    ) -> List[Finding]:
+        gateway = context.module(GATEWAY_MODULE)
+        if gateway is None:
+            return []
+        compared: Dict[str, int] = {}
+        covers_mutations = False
+        mutation_names = {
+            local
+            for local, original in imported_names_from(
+                gateway.tree, PROTOCOL_MODULE.rsplit("/", 1)[-1][: -len(".py")]
+            ).items()
+            if original == "MUTATION_OPS"
+        } | {"MUTATION_OPS"}
+        for node in ast.walk(gateway.tree):
+            if not (isinstance(node, ast.Compare) and len(node.ops) == 1):
+                continue
+            if not (
+                isinstance(node.left, ast.Attribute) and node.left.attr == "op"
+            ):
+                continue
+            comparator = node.comparators[0]
+            if isinstance(node.ops[0], ast.Eq):
+                if isinstance(comparator, ast.Constant) and isinstance(
+                    comparator.value, str
+                ):
+                    compared.setdefault(comparator.value, node.lineno)
+            elif isinstance(node.ops[0], ast.In):
+                if (
+                    isinstance(comparator, ast.Name)
+                    and comparator.id in mutation_names
+                ):
+                    covers_mutations = True
+
+        handled = set(compared)
+        if covers_mutations:
+            handled.update(mutation_ops)
+        findings = []
+        for op in ops:
+            if op not in handled:
+                findings.append(
+                    self.finding(
+                        check="gateway-dispatch",
+                        file=GATEWAY_MODULE,
+                        line=0,
+                        symbol=op,
+                        message=(
+                            f"protocol op {op!r} has no explicit dispatch"
+                            " branch in the gateway (an implicit else does"
+                            " not count: the next op added would silently"
+                            " inherit it)"
+                        ),
+                    )
+                )
+        for op, line in sorted(compared.items()):
+            if op not in ops:
+                findings.append(
+                    self.finding(
+                        check="unknown-op-dispatch",
+                        file=GATEWAY_MODULE,
+                        line=line,
+                        symbol=op,
+                        message=(
+                            f"gateway dispatches on op {op!r} which is not"
+                            " declared in protocol.OPS (typo, or a removed"
+                            " op whose branch survived)"
+                        ),
+                    )
+                )
+        return findings
+
+    # ------------------------------------------------------------------
+    # Error registry
+    # ------------------------------------------------------------------
+    def _error_codes(
+        self, context: AnalysisContext, findings: List[Finding]
+    ) -> Dict[str, str]:
+        """Wire codes registered in errors.py, reporting duplicates."""
+        errors = context.module(ERRORS_MODULE)
+        codes: Dict[str, str] = {}
+        if errors is None:
+            return codes
+        for node in errors.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            code = self._class_code(node)
+            if code is None:
+                continue
+            if code[0] in codes:
+                findings.append(
+                    self.finding(
+                        check="duplicate-error-code",
+                        file=ERRORS_MODULE,
+                        line=code[1],
+                        symbol=node.name,
+                        message=(
+                            f"error class {node.name} registers wire code"
+                            f" {code[0]!r} already claimed by"
+                            f" {codes[code[0]]} — clients branch on the"
+                            " code, so it must be unambiguous"
+                        ),
+                    )
+                )
+            else:
+                codes[code[0]] = node.name
+        return codes
+
+    def _check_error_locations(
+        self, context: AnalysisContext, known_codes: Set[str]
+    ) -> List[Finding]:
+        errors = context.module(ERRORS_MODULE)
+        error_class_names: Set[str] = set()
+        if errors is not None:
+            error_class_names = {
+                node.name
+                for node in errors.tree.body
+                if isinstance(node, ast.ClassDef)
+            }
+        findings = []
+        for info in context.in_dir(SERVER_PREFIX):
+            if info.relpath == ERRORS_MODULE:
+                continue
+            for node in ast.walk(info.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                bases = {
+                    base.id for base in node.bases if isinstance(base, ast.Name)
+                }
+                if bases & error_class_names or self._class_code(node):
+                    findings.append(
+                        self.finding(
+                            check="error-class-outside-registry",
+                            file=info.relpath,
+                            line=node.lineno,
+                            symbol=node.name,
+                            message=(
+                                f"gateway error class {node.name} is"
+                                " defined outside server/errors.py — the"
+                                " wire-code taxonomy must stay in the one"
+                                " registry file this pass audits"
+                            ),
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _class_code(node: ast.ClassDef) -> Optional[Tuple[str, int]]:
+        """A class-level ``code = "..."`` assignment, if present."""
+        for item in node.body:
+            if isinstance(item, ast.Assign):
+                for target in item.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id == "code"
+                        and isinstance(item.value, ast.Constant)
+                        and isinstance(item.value.value, str)
+                    ):
+                        return item.value.value, item.lineno
+        return None
+
+    # ------------------------------------------------------------------
+    # Docs
+    # ------------------------------------------------------------------
+    def _check_docs(
+        self, context: AnalysisContext, ops: List[str], codes: List[str]
+    ) -> List[Finding]:
+        doc = context.doc_text(OPERATIONS_DOC)
+        if doc is None:
+            return []
+        doc_path = f"docs/{OPERATIONS_DOC}"
+        findings = []
+        for op in ops:
+            if f"`{op}`" not in doc:
+                findings.append(
+                    self.finding(
+                        check="op-undocumented",
+                        file=doc_path,
+                        line=0,
+                        symbol=op,
+                        message=(
+                            f"protocol op {op!r} has no backticked"
+                            " reference row in docs/operations.md"
+                        ),
+                    )
+                )
+        for code in codes:
+            if f"`{code}`" not in doc:
+                findings.append(
+                    self.finding(
+                        check="error-code-undocumented",
+                        file=doc_path,
+                        line=0,
+                        symbol=code,
+                        message=(
+                            f"wire error code {code!r} is registered in"
+                            " server/errors.py but not documented in"
+                            " docs/operations.md"
+                        ),
+                    )
+                )
+        return findings

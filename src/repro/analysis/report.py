@@ -1,0 +1,94 @@
+"""Text and JSON reporters for analysis runs.
+
+The text form is what humans read in a terminal/CI log; the JSON form is
+the machine artifact CI uploads (and what ``--output`` writes), carrying
+enough structure to regenerate baseline entries by hand.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .framework import AnalysisReport, Finding
+
+
+def _finding_dict(finding: Finding) -> Dict[str, object]:
+    return {
+        "rule": finding.rule,
+        "check": finding.check,
+        "file": finding.file,
+        "line": finding.line,
+        "symbol": finding.symbol,
+        "message": finding.message,
+    }
+
+
+def report_to_dict(report: AnalysisReport) -> Dict[str, object]:
+    """The JSON-serializable shape of a run, used by ``--format json``."""
+    return {
+        "ok": report.ok,
+        "rules_run": list(report.rules_run),
+        "counts": {
+            "total": len(report.findings),
+            "new": len(report.new),
+            "baselined": len(report.baselined),
+            "stale_baseline_entries": len(report.stale_entries),
+        },
+        "new": [_finding_dict(f) for f in report.new],
+        "baselined": [
+            {**_finding_dict(f), "justification": entry.justification}
+            for f, entry in report.baselined
+        ],
+        "stale_baseline_entries": [
+            {
+                "rule": entry.rule,
+                "check": entry.check,
+                "file": entry.file,
+                "symbol": entry.symbol,
+                "justification": entry.justification,
+            }
+            for entry in report.stale_entries
+        ],
+    }
+
+
+def render_json(report: AnalysisReport) -> str:
+    return json.dumps(report_to_dict(report), indent=2, sort_keys=True) + "\n"
+
+
+def render_text(report: AnalysisReport) -> str:
+    """Human-readable run summary: one line per finding, then totals."""
+    lines: List[str] = []
+    for finding in report.new:
+        lines.append(
+            f"{finding.location()}: [{finding.rule}/{finding.check}]"
+            f" {finding.symbol}: {finding.message}"
+        )
+    if report.baselined:
+        lines.append("")
+        lines.append(f"baselined ({len(report.baselined)}):")
+        for finding, entry in report.baselined:
+            lines.append(
+                f"  {finding.location()}: [{finding.rule}/{finding.check}]"
+                f" {finding.symbol} — {entry.justification}"
+            )
+    if report.stale_entries:
+        lines.append("")
+        lines.append(
+            f"stale baseline entries ({len(report.stale_entries)}) —"
+            " remove them from analysis-baseline.json:"
+        )
+        for entry in report.stale_entries:
+            lines.append(
+                f"  [{entry.rule}/{entry.check}] {entry.file} :: {entry.symbol}"
+            )
+    lines.append("")
+    verdict = "clean" if report.ok else "FAILED"
+    lines.append(
+        f"analysis {verdict}: {len(report.new)} new,"
+        f" {len(report.baselined)} baselined,"
+        f" {len(report.stale_entries)} stale baseline entries"
+        f" ({len(report.rules_run)} rules)"
+    )
+    return "\n".join(lines).lstrip("\n") + "\n"

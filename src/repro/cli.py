@@ -14,6 +14,10 @@ Two subcommands wrap the serving layer:
   multi-client load generator and report p50/p95 latency, rows/s and the
   single-flight dedup rate (optionally persisting them as JSON).
 
+A third subcommand, ``python -m repro lint``, runs the static invariant
+checker (:mod:`repro.analysis`) over the source tree — the same driver
+CI's ``static-analysis`` job gates on.
+
 Examples
 --------
 Optimize the paper's Figure 2.3 query against the Figure 2.1 schema::
@@ -65,7 +69,8 @@ def build_parser() -> argparse.ArgumentParser:
         ),
         epilog=(
             "subcommands: 'repro serve' starts the async query gateway, "
-            "'repro bench-client' load-tests a served gateway "
+            "'repro bench-client' load-tests a served gateway, "
+            "'repro lint' runs the static invariant checker "
             "(each has its own --help)."
         ),
     )
@@ -509,6 +514,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_serve(argv[1:])
     if argv and argv[0] == "bench-client":
         return run_bench_client(argv[1:])
+    if argv and argv[0] == "lint":
+        from .analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)

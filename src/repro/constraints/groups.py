@@ -222,7 +222,11 @@ class ConstraintGrouping:
         )
         stats = RetrievalStats()
         stats.groups_touched = sum(1 for name in classes if name in self._groups)
-        fetched = self.fetch(classes)
+        # Sorted, not raw set order: fetch preserves its input order in
+        # the returned list, and string-set order varies per process
+        # (hash randomization), so an unsorted fetch would leak the
+        # parent/worker split into constraint application order.
+        fetched = self.fetch(sorted(classes))
         stats.fetched = len(fetched)
         relevant = [c for c in fetched if c.is_relevant_to(classes, relationships)]
         stats.relevant = len(relevant)
@@ -243,7 +247,7 @@ class ConstraintGrouping:
         must never miss a relevant constraint).
         """
         classes = set(query_classes)
-        fetched_names = {c.name for c in self.fetch(classes)}
+        fetched_names = {c.name for c in self.fetch(sorted(classes))}
         for constraint in constraints:
             if constraint.is_relevant_to(classes) and constraint.name not in fetched_names:
                 return False

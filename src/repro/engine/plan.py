@@ -106,6 +106,12 @@ class ScanNode(PlanNode):
             predicates.append(self.index_predicate)
         return _predicate_columns(predicates)
 
+    def partition_safe(self) -> bool:
+        """Scans *produce* the partitioning rather than distributing over
+        one, so they sit under :meth:`QueryPlan.partition_leaf`, never
+        inside a partition-safe suffix."""
+        return False
+
 
 @dataclass
 class TraverseNode(PlanNode):

@@ -302,7 +302,7 @@ class QueryGateway:
                 request.options_key(),
             )
             work = self._optimize_work(request)
-        else:  # execute
+        elif request.op == "execute":
             store = self.service.store
             key = (
                 "rpc",
@@ -313,6 +313,12 @@ class QueryGateway:
                 request.options_key(),
             )
             work = self._execute_work(request)
+        else:
+            # Unreachable while dispatch stays exhaustive over
+            # protocol.OPS (parse_request rejects unknown ops); a new op
+            # without a branch lands here instead of silently inheriting
+            # the execute path.
+            raise ProtocolError(f"no dispatch branch for op {request.op!r}")
         return await self._coalesced(key, work, timeout)
 
     def _handle_rules(self, request: Request) -> Dict[str, Any]:

@@ -1,0 +1,1 @@
+"""Test package (unique module paths fix pytest collection of duplicate basenames)."""

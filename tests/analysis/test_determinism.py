@@ -1,0 +1,117 @@
+"""determinism: unseeded random, wall clock, set-order leaks."""
+
+import textwrap
+
+from .conftest import checks_of, rules_of
+
+VIOLATING = {
+    "constraints/rules.py": textwrap.dedent(
+        """
+        import random
+        import time
+
+
+        def pick(items):
+            return random.choice(items)
+
+
+        def stamp():
+            return time.time()
+
+
+        def leak_order(names):
+            chosen = set(names)
+            return [name for name in chosen]
+
+
+        def fetch(keys):
+            fetched = []
+            for key in keys:
+                fetched.append(key)
+            return fetched
+
+
+        def call_with_set(names):
+            keys = set(names)
+            return fetch(keys)
+        """
+    ),
+}
+
+CLEAN = {
+    "constraints/rules.py": textwrap.dedent(
+        """
+        import random
+        import time
+
+
+        def pick(items, seed):
+            return random.Random(seed).choice(items)
+
+
+        def stamp():
+            return time.perf_counter()
+
+
+        def no_leak(names):
+            chosen = set(names)
+            return sorted(chosen)
+
+
+        def reductions(names):
+            chosen = set(names)
+            total = sum(1 for name in chosen if name)
+            biggest = max(chosen)
+            rebuilt = {name for name in chosen}
+            return total, biggest, len(chosen), rebuilt
+
+
+        def fetch(keys):
+            fetched = []
+            for key in keys:
+                fetched.append(key)
+            return fetched
+
+
+        def call_with_sorted(names):
+            keys = set(names)
+            return fetch(sorted(keys))
+
+
+        def membership_is_fine(names, name):
+            keys = set(names)
+            return name in keys
+        """
+    ),
+}
+
+
+def test_violating_fixture_trips_only_determinism(build_tree, run_all_passes):
+    findings = run_all_passes(build_tree(VIOLATING))
+    assert rules_of(findings) == {"determinism"}
+    assert checks_of(findings) == {
+        ("determinism", "unseeded-random"),
+        ("determinism", "wall-clock"),
+        ("determinism", "set-iteration"),
+        ("determinism", "set-argument"),
+    }
+    by_check = {f.check: f for f in findings}
+    assert "pick" in by_check["unseeded-random"].symbol
+    assert "call_with_set->fetch:keys" in by_check["set-argument"].symbol
+
+
+def test_clean_fixture_passes(build_tree, run_all_passes):
+    assert run_all_passes(build_tree(CLEAN)) == []
+
+
+def test_dict_iteration_is_not_flagged(build_tree, run_all_passes):
+    files = {
+        "engine/maps.py": textwrap.dedent(
+            """
+            def walk(pairs):
+                table = dict(pairs)
+                return [key for key in table]
+            """
+        ),
+    }
+    assert run_all_passes(build_tree(files)) == []

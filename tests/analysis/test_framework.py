@@ -1,0 +1,173 @@
+"""Framework mechanics: findings, baseline, import graph, reporters."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    AnalysisContext,
+    AnalysisError,
+    Baseline,
+    Finding,
+    all_passes,
+    render_json,
+    render_text,
+    run_analysis,
+)
+
+
+def make_finding(**overrides):
+    base = dict(
+        rule="determinism",
+        check="set-iteration",
+        file="engine/x.py",
+        line=12,
+        symbol="f:names",
+        message="iteration order leaks",
+    )
+    base.update(overrides)
+    return Finding(**base)
+
+
+class TestFinding:
+    def test_fingerprint_ignores_line(self):
+        assert (
+            make_finding(line=12).fingerprint == make_finding(line=99).fingerprint
+        )
+
+    def test_location(self):
+        assert make_finding().location() == "engine/x.py:12"
+        assert make_finding(line=0).location() == "engine/x.py"
+
+
+class TestBaseline:
+    def entry(self, **overrides):
+        base = dict(
+            rule="determinism",
+            check="set-iteration",
+            file="engine/x.py",
+            symbol="f:names",
+            justification="commutative reduction",
+        )
+        base.update(overrides)
+        return base
+
+    def write(self, tmp_path, entries):
+        path = tmp_path / "analysis-baseline.json"
+        path.write_text(json.dumps({"version": 1, "findings": entries}))
+        return path
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert baseline.entries == []
+
+    def test_split_matches_and_reports_stale(self, tmp_path):
+        baseline = Baseline.load(
+            self.write(
+                tmp_path,
+                [self.entry(), self.entry(symbol="gone", check="wall-clock")],
+            )
+        )
+        new, matched, stale = baseline.split(
+            [make_finding(), make_finding(symbol="other")]
+        )
+        assert [f.symbol for f in new] == ["other"]
+        assert [f.symbol for f, _ in matched] == ["f:names"]
+        assert [e.symbol for e in stale] == ["gone"]
+
+    def test_justification_is_mandatory(self, tmp_path):
+        with pytest.raises(AnalysisError, match="justification"):
+            Baseline.load(self.write(tmp_path, [self.entry(justification=" ")]))
+
+    def test_duplicate_entries_rejected(self, tmp_path):
+        with pytest.raises(AnalysisError, match="duplicate"):
+            Baseline.load(self.write(tmp_path, [self.entry(), self.entry()]))
+
+    def test_version_enforced(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(AnalysisError, match="version"):
+            Baseline.load(path)
+
+
+class TestImportGraph:
+    def test_relative_and_absolute_imports_resolve(self, build_tree):
+        context = build_tree(
+            {
+                "caching.py": "X = 1\n",
+                "engine/plan.py": "Y = 2\n",
+                "engine/executor.py": textwrap.dedent(
+                    """
+                    from ..caching import X
+                    from .plan import Y
+                    """
+                ),
+                "service/service.py": "from repro.engine import executor\n",
+            }
+        )
+        graph = context.import_graph
+        assert graph["engine/executor.py"] == {"caching.py", "engine/plan.py"}
+        assert graph["service/service.py"] == {"engine/executor.py"}
+        assert context.importers_of("engine/plan.py") == ["engine/executor.py"]
+
+
+class TestReporting:
+    def fixture_report(self, build_tree):
+        context = build_tree(
+            {
+                "constraints/rules.py": textwrap.dedent(
+                    """
+                    def leak(names):
+                        chosen = set(names)
+                        return [name for name in chosen]
+                    """
+                )
+            }
+        )
+        return run_analysis(context, all_passes())
+
+    def test_text_and_json_agree(self, build_tree):
+        report = self.fixture_report(build_tree)
+        assert not report.ok
+        text = render_text(report)
+        assert "determinism/set-iteration" in text
+        assert "analysis FAILED: 1 new" in text
+        payload = json.loads(render_json(report))
+        assert payload["ok"] is False
+        assert payload["counts"]["new"] == 1
+        assert payload["new"][0]["rule"] == "determinism"
+
+    def test_baseline_split_in_report(self, build_tree, tmp_path):
+        context = build_tree(
+            {
+                "constraints/rules.py": textwrap.dedent(
+                    """
+                    def leak(names):
+                        chosen = set(names)
+                        return [name for name in chosen]
+                    """
+                )
+            }
+        )
+        findings = run_analysis(context, all_passes()).findings
+        entry = {
+            "rule": findings[0].rule,
+            "check": findings[0].check,
+            "file": findings[0].file,
+            "symbol": findings[0].symbol,
+            "justification": "kept for the test",
+        }
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 1, "findings": [entry]}))
+        report = run_analysis(context, all_passes(), Baseline.load(path))
+        assert report.ok
+        assert len(report.baselined) == 1
+        assert "baselined (1)" in render_text(report)
+
+    def test_parse_error_is_analysis_error(self, tmp_path):
+        package = tmp_path / "repro"
+        package.mkdir()
+        (package / "broken.py").write_text("def oops(:\n")
+        with pytest.raises(AnalysisError, match="broken.py"):
+            AnalysisContext(package)

@@ -1,0 +1,86 @@
+"""metrics-parity-surface: identical written-field sets across engines."""
+
+import textwrap
+
+from .conftest import checks_of, rules_of
+
+VIOLATING = {
+    "engine/executor.py": textwrap.dedent(
+        """
+        class ExecutionMetrics:
+            rows_output: int = 0
+            index_lookups: int = 0
+            dead_counter: int = 0
+
+
+        class QueryExecutor:
+            def run(self, metrics):
+                metrics.index_lookups += 1
+                metrics.rows_output = 1
+        """
+    ),
+    "engine/vectorized.py": textwrap.dedent(
+        """
+        class VectorizedExecutor:
+            def run(self, ctx):
+                ctx.metrics.rows_output = 2
+        """
+    ),
+}
+
+CLEAN = {
+    "engine/executor.py": textwrap.dedent(
+        """
+        class ExecutionMetrics:
+            rows_output: int = 0
+            index_lookups: int = 0
+
+
+        class QueryExecutor:
+            def run(self, metrics):
+                metrics.index_lookups += 1
+                metrics.rows_output = 1
+        """
+    ),
+    "engine/vectorized.py": textwrap.dedent(
+        """
+        class VectorizedExecutor:
+            def run(self, ctx):
+                ctx.metrics.index_lookups += 2
+                ctx.metrics.rows_output = 2
+        """
+    ),
+    "engine/parallel.py": textwrap.dedent(
+        """
+        class ParallelExecutor:
+            def merge(self, outcome):
+                metrics = outcome.metrics
+                metrics.index_lookups += outcome.metrics.index_lookups
+                metrics.rows_output = 3
+        """
+    ),
+}
+
+
+def test_violating_fixture_trips_only_metrics_parity(build_tree, run_all_passes):
+    findings = run_all_passes(build_tree(VIOLATING))
+    assert rules_of(findings) == {"metrics-parity-surface"}
+    assert checks_of(findings) == {
+        ("metrics-parity-surface", "executor-field"),
+        ("metrics-parity-surface", "field-unwritten"),
+    }
+    by_check = {}
+    for finding in findings:
+        by_check.setdefault(finding.check, set()).add(
+            (finding.file, finding.symbol)
+        )
+    assert by_check["executor-field"] == {
+        ("engine/vectorized.py", "index_lookups")
+    }
+    assert by_check["field-unwritten"] == {
+        ("engine/executor.py", "ExecutionMetrics.dead_counter")
+    }
+
+
+def test_clean_fixture_passes(build_tree, run_all_passes):
+    assert run_all_passes(build_tree(CLEAN)) == []

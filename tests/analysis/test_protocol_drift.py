@@ -1,0 +1,126 @@
+"""protocol-drift: ops, dispatch, error registry and docs in lockstep."""
+
+import textwrap
+
+from .conftest import checks_of, rules_of
+
+VIOLATING = {
+    "server/protocol.py": textwrap.dedent(
+        """
+        OPS = ("optimize", "execute", "stats", "insert")
+        MUTATION_OPS = ("insert",)
+        """
+    ),
+    "server/gateway.py": textwrap.dedent(
+        """
+        from .protocol import MUTATION_OPS
+
+
+        class Gateway:
+            def dispatch(self, request):
+                if request.op == "optimize":
+                    return 1
+                if request.op == "legacy":
+                    return 2
+                if request.op in MUTATION_OPS:
+                    return 3
+                return 4
+        """
+    ),
+    "server/errors.py": textwrap.dedent(
+        '''
+        class GatewayError(Exception):
+            code = "internal"
+
+
+        class OverloadedError(GatewayError):
+            code = "internal"
+        '''
+    ),
+    "server/session.py": textwrap.dedent(
+        '''
+        class RogueError(Exception):
+            code = "rogue"
+        '''
+    ),
+}
+
+CLEAN = {
+    "server/protocol.py": textwrap.dedent(
+        """
+        OPS = ("optimize", "execute", "stats", "insert", "delete")
+        MUTATION_OPS = ("insert", "delete")
+        """
+    ),
+    "server/gateway.py": textwrap.dedent(
+        """
+        from .protocol import MUTATION_OPS
+
+
+        class Gateway:
+            def dispatch(self, request):
+                if request.op == "stats":
+                    return 0
+                if request.op == "optimize":
+                    return 1
+                if request.op == "execute":
+                    return 2
+                if request.op in MUTATION_OPS:
+                    return 3
+                raise ValueError(request.op)
+        """
+    ),
+    "server/errors.py": textwrap.dedent(
+        '''
+        class GatewayError(Exception):
+            code = "internal"
+
+
+        class OverloadedError(GatewayError):
+            code = "overloaded"
+        '''
+    ),
+}
+
+CLEAN_DOC = {
+    "operations.md": "Ops: `optimize`, `execute`, `stats`, `insert`,"
+    " `delete`.\nCodes: `internal`, `overloaded`.\n"
+}
+
+
+def test_violating_fixture_trips_only_protocol_drift(build_tree, run_all_passes):
+    findings = run_all_passes(build_tree(VIOLATING))
+    assert rules_of(findings) == {"protocol-drift"}
+    assert checks_of(findings) == {
+        ("protocol-drift", "gateway-dispatch"),
+        ("protocol-drift", "unknown-op-dispatch"),
+        ("protocol-drift", "duplicate-error-code"),
+        ("protocol-drift", "error-class-outside-registry"),
+    }
+    by_check = {}
+    for finding in findings:
+        by_check.setdefault(finding.check, set()).add(finding.symbol)
+    # execute and stats have no branch; insert is covered via MUTATION_OPS.
+    assert by_check["gateway-dispatch"] == {"execute", "stats"}
+    assert by_check["unknown-op-dispatch"] == {"legacy"}
+    assert by_check["error-class-outside-registry"] == {"RogueError"}
+
+
+def test_clean_fixture_passes_with_docs(build_tree, run_all_passes):
+    assert run_all_passes(build_tree(CLEAN, docs=CLEAN_DOC)) == []
+
+
+def test_doc_gaps_are_flagged(build_tree, run_all_passes):
+    docs = {"operations.md": "Ops: `optimize`, `execute`, `stats`, `insert`.\n"}
+    findings = run_all_passes(build_tree(CLEAN, docs=docs))
+    assert rules_of(findings) == {"protocol-drift"}
+    assert checks_of(findings) == {
+        ("protocol-drift", "op-undocumented"),
+        ("protocol-drift", "error-code-undocumented"),
+    }
+    symbols = {f.symbol for f in findings}
+    assert symbols == {"delete", "internal", "overloaded"}
+
+
+def test_docless_context_skips_doc_checks(build_tree, run_all_passes):
+    assert run_all_passes(build_tree(CLEAN)) == []
