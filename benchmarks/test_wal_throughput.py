@@ -1,0 +1,153 @@
+"""Benchmark: durable write latency and recovery time.
+
+Two questions an operator needs answered before turning ``--data-dir`` on:
+
+1. **What does durability cost per write?**  The same seeded insert
+   workload runs through a durable :class:`OptimizationService` under each
+   fsync policy — ``always`` (fsync every commit), ``batch`` (group
+   commit), and ``off`` (OS-buffered) — plus a memory-only baseline, so
+   the artifact shows the incremental cost of the WAL itself versus the
+   cost of the fsyncs.
+
+2. **How long does recovery take as the WAL tail grows?**  Recovery time
+   is dominated by replaying frames past the newest snapshot; this
+   measures wall-clock recovery at several tail lengths so regressions in
+   the replay path show up run over run.
+
+Numbers land in ``BENCH_wal.json``.  There are no timing gates here —
+fsync latency is hardware- and filesystem-dependent — only recorded
+numbers plus invariant checks that the measured runs were correct.
+"""
+
+import os
+import shutil
+import time
+
+from _artifacts import record_bench
+
+from repro.constraints import ConstraintRepository
+from repro.data import build_evaluation_schema
+from repro.durability import DurabilityManager, recover
+from repro.engine.storage import ShardedObjectStore
+from repro.service import OptimizationService
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+#: Writes per measured leg (smoke mode keeps CI fast).
+WRITES = 40 if SMOKE else 400
+#: WAL tail lengths for the recovery-time sweep.
+TAILS = (20, 60) if SMOKE else (100, 400, 1600)
+
+
+def _durable_service(data_dir, fsync_policy, fsync_interval=8):
+    schema = build_evaluation_schema()
+    manager = DurabilityManager(
+        str(data_dir),
+        fsync_policy=fsync_policy,
+        fsync_interval=fsync_interval,
+        snapshot_frames=10_000_000,  # keep snapshotting out of the timings
+    )
+    store, _ = manager.open(ShardedObjectStore(schema, shard_count=3))
+    service = OptimizationService(
+        schema, repository=ConstraintRepository(schema), store=store
+    )
+    service.attach_durability(manager)
+    return service, manager
+
+
+def _insert_pass(service, count):
+    start = time.perf_counter()
+    for index in range(count):
+        service.mutate(
+            "insert",
+            "cargo",
+            values={"desc": f"wal bench {index}", "quantity": index},
+        )
+    return (time.perf_counter() - start) / count * 1e6  # us per write
+
+
+def test_write_latency_across_fsync_policies(tmp_path):
+    schema = build_evaluation_schema()
+    baseline_service = OptimizationService(
+        schema,
+        repository=ConstraintRepository(schema),
+        store=ShardedObjectStore(schema, shard_count=3),
+    )
+    try:
+        baseline_us = _insert_pass(baseline_service, WRITES)
+    finally:
+        baseline_service.close()
+
+    legs = {"memory_only_us": round(baseline_us, 2)}
+    for policy in ("off", "batch", "always"):
+        service, manager = _durable_service(tmp_path / policy, policy)
+        try:
+            legs[f"fsync_{policy}_us"] = round(
+                _insert_pass(service, WRITES), 2
+            )
+            stats = manager.stats()
+            assert stats["wal_frames"] == WRITES
+            if policy == "always":
+                assert stats["wal_fsyncs"] >= WRITES
+        finally:
+            service.close()
+            manager.close()
+        # Every leg's writes must actually be recoverable.
+        recovered, report = recover(str(tmp_path / policy), schema)
+        assert report.clean and recovered.version == WRITES
+
+    print(
+        "\n"
+        + ", ".join(f"{name}: {value}" for name, value in legs.items())
+    )
+    record_bench(
+        "BENCH_wal.json",
+        "write_latency",
+        {
+            "writes_per_leg": WRITES,
+            "fsync_interval": 8,
+            "shard_count": 3,
+            **legs,
+        },
+    )
+
+
+def test_recovery_time_vs_journal_length(tmp_path):
+    schema = build_evaluation_schema()
+    points = []
+    for tail in TAILS:
+        data_dir = tmp_path / f"tail-{tail}"
+        service, manager = _durable_service(data_dir, "off")
+        try:
+            _insert_pass(service, tail)
+        finally:
+            service.close()
+            manager.close()
+        # snapshot_frames is huge, so the only snapshot is the empty one
+        # from open(): recovery replays the full tail, the dimension
+        # under test here.
+        start = time.perf_counter()
+        recovered, report = recover(str(data_dir), schema)
+        elapsed_ms = (time.perf_counter() - start) * 1000
+        assert report.clean
+        assert recovered.version == tail
+        points.append(
+            {
+                "wal_frames_replayed": report.replayed_frames,
+                "recovery_ms": round(elapsed_ms, 3),
+                "ms_per_1k_frames": round(
+                    elapsed_ms / tail * 1000, 3
+                ),
+            }
+        )
+        shutil.rmtree(data_dir)
+
+    print("\n" + ", ".join(
+        f"{p['wal_frames_replayed']} frames: {p['recovery_ms']} ms"
+        for p in points
+    ))
+    record_bench(
+        "BENCH_wal.json",
+        "recovery_time",
+        {"shard_count": 3, "points": points},
+    )

@@ -284,11 +284,63 @@ def build_serve_parser() -> argparse.ArgumentParser:
             "class)"
         ),
     )
+    parser.add_argument(
+        "--data-dir",
+        default=None,
+        help=(
+            "durability directory: mutations are write-ahead logged and "
+            "snapshotted here, and an existing directory is recovered on "
+            "startup (replacing the generated database)"
+        ),
+    )
+    parser.add_argument(
+        "--wal-fsync",
+        choices=["always", "batch", "off"],
+        default=None,
+        help=(
+            "WAL fsync policy with --data-dir "
+            "(default: REPRO_WAL_FSYNC, else batch)"
+        ),
+    )
+    parser.add_argument(
+        "--wal-fsync-interval",
+        type=int,
+        default=None,
+        help=(
+            "commits per group fsync under the batch policy "
+            "(default: REPRO_WAL_FSYNC_INTERVAL, else 8)"
+        ),
+    )
+    parser.add_argument(
+        "--snapshot-frames",
+        type=int,
+        default=None,
+        help=(
+            "WAL frames that trigger a snapshot + segment rotation "
+            "(default: REPRO_SNAPSHOT_FRAMES, else 10000)"
+        ),
+    )
+    parser.add_argument(
+        "--snapshot-age",
+        type=float,
+        default=None,
+        help=(
+            "seconds between age-triggered snapshots, 0 = disabled "
+            "(default: REPRO_SNAPSHOT_AGE, else 0)"
+        ),
+    )
     return parser
 
 
 def run_serve(argv: List[str]) -> int:
-    """``python -m repro serve``: run the gateway until interrupted."""
+    """``python -m repro serve``: run the gateway until interrupted.
+
+    Both SIGINT (Ctrl-C / KeyboardInterrupt) and SIGTERM (the normal
+    container stop signal) go through the same graceful path: stop
+    accepting, drain admitted requests, flush the WAL, exit.
+    """
+    import signal
+
     from .data import TABLE_4_1_SPECS, build_evaluation_setup
     from .server import QueryGateway
     from .service import OptimizationService
@@ -301,14 +353,48 @@ def run_serve(argv: List[str]) -> int:
         setup = build_evaluation_setup(
             TABLE_4_1_SPECS[args.db], query_count=1, shard_count=args.shards
         )
+        store = setup.store
+        manager = None
+        if args.data_dir:
+            from .durability import DurabilityManager
+
+            manager = DurabilityManager(
+                args.data_dir,
+                fsync_policy=args.wal_fsync,
+                fsync_interval=args.wal_fsync_interval,
+                snapshot_frames=args.snapshot_frames,
+                snapshot_age=args.snapshot_age,
+            )
+            store, report = manager.open(store)
+            if report is not None:
+                if report.clean:
+                    health = "clean"
+                else:
+                    reasons = sorted({i.reason for i in report.wal_issues})
+                    health = "with issues: " + ", ".join(reasons)
+                print(
+                    f"recovered {args.data_dir}: snapshot v"
+                    f"{report.snapshot_version} + {report.replayed_frames} "
+                    f"WAL frame(s) -> store v{report.final_version} "
+                    f"({health})",
+                    flush=True,
+                )
+            else:
+                print(
+                    f"durability enabled: fresh data dir {args.data_dir} "
+                    f"(fsync={manager.fsync_policy})",
+                    flush=True,
+                )
         service = OptimizationService(
             setup.schema,
             repository=setup.repository,
             cost_model=setup.cost_model,
-            store=setup.store,
+            store=store,
             execution_mode=args.engine,
             engine_workers=args.workers,
         )
+        if manager is not None:
+            service.attach_durability(manager)
         if args.dynamic_rules:
             derived = service.enable_dynamic_rules()
             print(f"dynamic rules enabled: {derived} derived", flush=True)
@@ -324,15 +410,41 @@ def run_serve(argv: List[str]) -> int:
         print(
             f"repro gateway serving {args.db} on {host}:{port} "
             f"(engine={args.engine or 'default'}, "
-            f"threads={args.worker_threads}); Ctrl-C to drain and stop",
+            f"threads={args.worker_threads}); Ctrl-C or SIGTERM to drain "
+            "and stop",
             flush=True,
         )
+        # SIGTERM must take the same drain + WAL-flush path as Ctrl-C;
+        # the default handler would kill the process with acked writes
+        # still in the stdio buffers.  (Regression: SIGTERM used to skip
+        # the graceful drain entirely.)
+        stop_requested = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        sigterm_installed = False
         try:
-            await gateway.serve_forever()
+            loop.add_signal_handler(signal.SIGTERM, stop_requested.set)
+            sigterm_installed = True
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-POSIX event loop: KeyboardInterrupt still works
+        try:
+            tasks = {
+                asyncio.ensure_future(gateway.serve_forever()),
+                asyncio.ensure_future(stop_requested.wait()),
+            }
+            _, pending = await asyncio.wait(
+                tasks, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
         except asyncio.CancelledError:
             pass
         finally:
+            if sigterm_installed:
+                loop.remove_signal_handler(signal.SIGTERM)
             drained = await gateway.stop()
+            if manager is not None:
+                manager.close()
             print(f"gateway stopped (drained={drained})", flush=True)
 
     try:
@@ -396,6 +508,15 @@ def build_bench_client_parser() -> argparse.ArgumentParser:
         help="object class the mixed-mode inserts write into",
     )
     parser.add_argument(
+        "--mutate-rows",
+        type=int,
+        default=1,
+        help=(
+            "rows per write request: 1 sends single inserts, larger values "
+            "send insert_many batches (one WAL commit per batch)"
+        ),
+    )
+    parser.add_argument(
         "--artifact",
         default=None,
         help="merge the report into this JSON file (e.g. benchmarks/BENCH_gateway.json)",
@@ -424,6 +545,8 @@ def run_bench_client(argv: List[str]) -> int:
         """
         if args.mutate_every <= 0:
             return None
+        if args.mutate_rows < 1:
+            build_bench_client_parser().error("--mutate-rows must be >= 1")
         if not schema.has_class(args.mutate_class):
             build_bench_client_parser().error(
                 f"--mutate-class: unknown object class {args.mutate_class!r}"
@@ -443,6 +566,7 @@ def run_bench_client(argv: List[str]) -> int:
             class_name=args.mutate_class,
             values=values,
             unique_attributes=tuple(unique),
+            rows=args.mutate_rows,
         )
 
     async def bench():

@@ -1,0 +1,90 @@
+"""Checksummed NDJSON frames — the on-disk unit of the durability layer.
+
+Both the WAL segments and the snapshot files are sequences of *frames*:
+one JSON object per line, carrying a ``crc`` field computed over the
+canonical serialization of the rest of the object.  The canonical form
+(sorted keys, no whitespace) exists only for checksumming — the stored
+line itself preserves the payload's key order, because attribute order
+flows from ``ObjectInstance.values`` into result rows and byte-identical
+recovery must reproduce it.
+
+A frame is *intact* when the line ends in a newline, parses as a JSON
+object, carries an integer ``crc``, and the recomputed checksum matches.
+Anything else raises :class:`FrameError` with a stable ``reason`` code so
+recovery can report precisely what it found at the tail of a segment:
+
+``torn``
+    The line does not end in a newline — the classic crash-interrupted
+    final append.
+``invalid-json``
+    The line is newline-terminated but does not parse, or parses to a
+    non-object.
+``missing-crc``
+    The object has no integer ``crc`` field.
+``checksum-mismatch``
+    The recomputed CRC-32 disagrees with the stored one (bit rot, or a
+    torn write that still happened to end in a newline).
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import Any, Dict, Mapping
+
+__all__ = ["FrameError", "checksum", "encode_frame", "decode_frame"]
+
+
+class FrameError(ValueError):
+    """An on-disk frame failed validation.
+
+    ``reason`` is one of the stable codes documented in the module
+    docstring; recovery reports it verbatim.
+    """
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        self.reason = reason
+        super().__init__(f"{reason}: {detail}" if detail else reason)
+
+
+def checksum(payload: Mapping[str, Any]) -> int:
+    """CRC-32 of the canonical (sorted-keys, compact) JSON serialization."""
+    canonical = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    return zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF
+
+
+def encode_frame(payload: Mapping[str, Any]) -> str:
+    """Serialize ``payload`` to one checksummed NDJSON line.
+
+    The emitted line keeps ``payload``'s key order (the checksum alone is
+    order-independent) and appends the ``crc`` field last.
+    """
+    if "crc" in payload:
+        raise ValueError("frame payloads must not carry a 'crc' field")
+    body: Dict[str, Any] = dict(payload)
+    body["crc"] = checksum(payload)
+    return json.dumps(body, separators=(",", ":")) + "\n"
+
+
+def decode_frame(line: str) -> Dict[str, Any]:
+    """Parse and verify one NDJSON line; the ``crc`` field is stripped.
+
+    Raises :class:`FrameError` with a stable reason code on any defect.
+    """
+    if not line.endswith("\n"):
+        raise FrameError("torn", f"{len(line)} bytes without newline")
+    try:
+        body = json.loads(line)
+    except ValueError as exc:
+        raise FrameError("invalid-json", str(exc)) from None
+    if not isinstance(body, dict):
+        raise FrameError("invalid-json", f"frame is {type(body).__name__}")
+    stored = body.pop("crc", None)
+    if not isinstance(stored, int) or isinstance(stored, bool):
+        raise FrameError("missing-crc")
+    actual = checksum(body)
+    if actual != stored:
+        raise FrameError(
+            "checksum-mismatch", f"stored {stored:#010x}, actual {actual:#010x}"
+        )
+    return body

@@ -1,0 +1,185 @@
+"""Atomic store snapshots.
+
+A snapshot is one checksummed NDJSON file, ``snapshot-{version:012d}.ndjson``,
+holding the complete store state at a single version:
+
+1. a ``{"kind": "snapshot", "format": 1, ...}`` header frame carrying
+   :meth:`ShardedObjectStore.snapshot_header` — shard count, global and
+   per-shard versions, and the per-class OID allocators;
+2. one ``{"kind": "row", ...}`` frame per instance, classes in sorted
+   name order and instances in OID order (so equal stores produce
+   byte-identical snapshots);
+3. a ``{"kind": "end", "rows": N}`` trailer frame whose count seals the
+   file — a snapshot missing its trailer is *invalid*, never partially
+   loaded.
+
+Writes are atomic: the file is assembled under a ``.tmp`` name, fsynced,
+``os.replace``\\ d into place, and the directory entry fsynced.  A crash
+mid-snapshot leaves either the previous snapshot set untouched or a
+stray ``.tmp`` that loading ignores.  Loading validates every frame and
+raises on the first defect, so recovery can fall back to the next older
+snapshot (or an empty store) rather than trust a torn one.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import List, Optional, Tuple
+
+from ..engine.storage import ShardedObjectStore, StorageError
+from ..schema.schema import Schema
+from .frames import FrameError, decode_frame, encode_frame
+
+__all__ = [
+    "SnapshotError",
+    "list_snapshots",
+    "load_snapshot",
+    "parse_snapshot_name",
+    "prune_snapshots",
+    "snapshot_name",
+    "write_snapshot",
+]
+
+#: On-disk snapshot format version, bumped on incompatible changes.
+SNAPSHOT_FORMAT = 1
+
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{12})\.ndjson$")
+
+
+class SnapshotError(StorageError):
+    """A snapshot file failed validation while loading."""
+
+
+def snapshot_name(version: int) -> str:
+    return f"snapshot-{version:012d}.ndjson"
+
+
+def parse_snapshot_name(name: str) -> Optional[int]:
+    """The version embedded in a snapshot file name, or ``None``."""
+    match = _SNAPSHOT_RE.match(name)
+    if match is None:
+        return None
+    return int(match.group(1))
+
+
+def list_snapshots(directory: str) -> List[Tuple[int, str]]:
+    """All ``(version, path)`` snapshot files, newest first."""
+    found = []
+    for name in os.listdir(directory):
+        version = parse_snapshot_name(name)
+        if version is not None:
+            found.append((version, os.path.join(directory, name)))
+    found.sort(reverse=True)
+    return found
+
+
+def write_snapshot(directory: str, store: ShardedObjectStore) -> str:
+    """Atomically persist ``store``'s full state; returns the final path.
+
+    Callers must hold the store's write lock (or otherwise guarantee the
+    store is quiescent) so the header versions and the rows agree.
+    """
+    os.makedirs(directory, exist_ok=True)
+    final_path = os.path.join(directory, snapshot_name(store.version))
+    tmp_path = final_path + ".tmp"
+    rows = 0
+    with open(tmp_path, "w", encoding="utf-8", newline="\n") as handle:
+        header = dict(store.snapshot_header())
+        header_frame = {"kind": "snapshot", "format": SNAPSHOT_FORMAT}
+        header_frame.update(header)
+        handle.write(encode_frame(header_frame))
+        for class_name, oid, values in store.snapshot_rows():
+            handle.write(
+                encode_frame(
+                    {
+                        "kind": "row",
+                        "class": class_name,
+                        "oid": oid,
+                        "values": values,
+                    }
+                )
+            )
+            rows += 1
+        handle.write(encode_frame({"kind": "end", "rows": rows}))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, final_path)
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    return final_path
+
+
+def prune_snapshots(directory: str, keep: int = 2) -> List[str]:
+    """Delete all but the ``keep`` newest snapshots; returns deleted paths.
+
+    Keeping one spare means a defective newest snapshot (however
+    unlikely, given the atomic write) still leaves a recovery point.
+    """
+    deleted = []
+    for _, path in list_snapshots(directory)[keep:]:
+        os.unlink(path)
+        deleted.append(path)
+    return deleted
+
+
+def load_snapshot(
+    path: str, schema: Schema, journal_limit: Optional[int] = None
+) -> ShardedObjectStore:
+    """Rebuild the exact snapshotted store from ``path``.
+
+    Raises :class:`SnapshotError` on any structural defect — a frame
+    failure, a missing or short trailer, a header/name version mismatch —
+    so callers can fall back instead of loading a torn file.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    lines = data.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    else:
+        raise SnapshotError(f"{path}: missing trailing newline")
+    frames = []
+    for line_number, raw in enumerate(lines, 1):
+        try:
+            frames.append(decode_frame(raw.decode("utf-8") + "\n"))
+        except (FrameError, UnicodeDecodeError) as exc:
+            raise SnapshotError(f"{path}:{line_number}: {exc}") from None
+    if len(frames) < 2:
+        raise SnapshotError(f"{path}: too short ({len(frames)} frames)")
+    header, trailer = frames[0], frames[-1]
+    if header.get("kind") != "snapshot":
+        raise SnapshotError(f"{path}: first frame is not a snapshot header")
+    if header.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(
+            f"{path}: unsupported format {header.get('format')!r}"
+        )
+    if trailer.get("kind") != "end":
+        raise SnapshotError(f"{path}: missing end trailer")
+    row_frames = frames[1:-1]
+    if trailer.get("rows") != len(row_frames):
+        raise SnapshotError(
+            f"{path}: trailer claims {trailer.get('rows')!r} rows, "
+            f"found {len(row_frames)}"
+        )
+    named_version = parse_snapshot_name(os.path.basename(path))
+    if named_version is not None and named_version != header.get("version"):
+        raise SnapshotError(
+            f"{path}: header version {header.get('version')!r} disagrees "
+            f"with file name"
+        )
+
+    def rows():
+        for frame in row_frames:
+            if frame.get("kind") != "row":
+                raise SnapshotError(f"{path}: unexpected {frame.get('kind')!r} frame")
+            yield frame.get("class"), frame.get("oid"), frame.get("values")
+
+    kwargs = {} if journal_limit is None else {"journal_limit": journal_limit}
+    try:
+        return ShardedObjectStore.restore(schema, header, rows(), **kwargs)
+    except StorageError as exc:
+        raise SnapshotError(f"{path}: {exc}") from None

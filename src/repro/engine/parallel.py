@@ -307,6 +307,12 @@ class ParallelExecutor:
                 records = None
                 journal_since = getattr(self.store, "journal_since", None)
                 if journal_since is not None:
+                    # None covers every unbridgeable state: the journal
+                    # evicted past the worker's version, an index rebuild
+                    # truncated it, or the worker is *ahead* of the store
+                    # (a recovery rolled the store back) — in each case
+                    # replaying records could not reconcile the replica,
+                    # so the worker is torn down and re-forked fresh.
                     records = journal_since(handle.synced_version)
                 if records is not None:
                     # Await the replay's outcome before trusting the worker

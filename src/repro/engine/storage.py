@@ -59,6 +59,45 @@ class MutationRecord:
     oid: int
     values: Optional[Dict[str, Any]] = None
 
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (the write-ahead log's frame payload).
+
+        ``values`` is passed through as-is — its key order is preserved by
+        JSON round-trips, which keeps replayed instances (and therefore
+        result-row key order) byte-identical to the originals.
+        """
+        return {
+            "seq": self.seq,
+            "op": self.op,
+            "class": self.class_name,
+            "oid": self.oid,
+            "values": self.values,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "MutationRecord":
+        """Rebuild a record from :meth:`as_dict` output (WAL replay).
+
+        Raises :class:`StorageError` on a structurally invalid payload so a
+        corrupted-but-parseable frame is reported, never half-applied.
+        """
+        seq = payload.get("seq")
+        op = payload.get("op")
+        class_name = payload.get("class")
+        oid = payload.get("oid")
+        values = payload.get("values")
+        if not isinstance(seq, int) or isinstance(seq, bool) or seq < 1:
+            raise StorageError(f"mutation record has invalid seq {seq!r}")
+        if op not in ("insert", "update", "delete"):
+            raise StorageError(f"mutation record has unknown op {op!r}")
+        if not isinstance(class_name, str) or not class_name:
+            raise StorageError("mutation record has no class name")
+        if not isinstance(oid, int) or isinstance(oid, bool) or oid < 1:
+            raise StorageError(f"mutation record has invalid oid {oid!r}")
+        if values is not None and not isinstance(values, dict):
+            raise StorageError("mutation record values must be an object")
+        return cls(seq, op, class_name, oid, values)
+
 
 class StoreShard:
     """One partition of a sharded store.
@@ -250,11 +289,21 @@ class ShardedObjectStore:
         self._index_view = _ShardedIndexView(self) if shard_count > 1 else None
         # Bounded mutation journal: lets forked replicas (the parallel
         # engine's live workers) catch up by replaying the delta instead of
-        # being re-forked wholesale.  ``_journal_floor`` is the highest
-        # version the journal can no longer bridge from.
+        # being re-forked wholesale.  ``_journal_floor`` is exclusive: the
+        # journal can bridge a replica at any version >= the floor.  An
+        # index rebuild (un-journaled in-place repairs) raises the floor
+        # *above* the post-rebuild version, so even a replica whose version
+        # numerically equals ours cannot claim to have observed the repairs.
         self.journal_limit = max(0, journal_limit)
         self._journal: Deque[MutationRecord] = deque()
         self._journal_floor = 0
+        # Optional durability hook: every journaled mutation is also handed
+        # to the sink (the write-ahead log).  Suppressed during journal
+        # replay — a replica catching up replays mutations the primary
+        # already logged, and forked workers inherit the sink but must
+        # never append to the parent's log files.
+        self._mutation_sink = None
+        self._suppress_sink = False
 
     @property
     def indexes(self):
@@ -389,38 +438,69 @@ class ShardedObjectStore:
         repaired values were never journaled, the journal cannot bridge a
         replica across a rebuild: it is truncated and its floor raised so
         :meth:`journal_since` reports the gap and replicas re-snapshot.
+
+        The floor is raised to ``version + 1`` — *exclusive* of the
+        post-rebuild version.  A replica whose version numerically equals
+        ours may have reached it through a different history (it never saw
+        the un-journaled repairs), so exactly-at-version catch-up requests
+        must report the gap too, not an empty delta.
         """
         for shard in self.shards:
             shard.rebuild_indexes()
         self._journal.clear()
-        self._journal_floor = self.version
+        self._journal_floor = self.version + 1
 
     # ------------------------------------------------------------------
     # Mutation journal
     # ------------------------------------------------------------------
+    def set_mutation_sink(self, sink) -> None:
+        """Install (or clear, with ``None``) the durability sink.
+
+        The sink is called with every :class:`MutationRecord` produced by a
+        direct mutation, in application order, while the mutation's caller
+        still holds whatever lock serialized the write — the write-ahead
+        log appends under the service's exclusive store lock.  Journal
+        *replay* (:meth:`apply_journal`) never feeds the sink: replayed
+        records were already logged by the store that produced them.
+        """
+        self._mutation_sink = sink
+
     def _record(
         self, op: str, class_name: str, oid: int, values: Optional[Dict[str, Any]]
     ) -> None:
+        record = MutationRecord(self.version, op, class_name, oid, values)
+        if self._mutation_sink is not None and not self._suppress_sink:
+            self._mutation_sink(record)
         if self.journal_limit == 0:
             self._journal_floor = self.version
             return
-        self._journal.append(
-            MutationRecord(self.version, op, class_name, oid, values)
-        )
+        self._journal.append(record)
         while len(self._journal) > self.journal_limit:
             self._journal_floor = self._journal.popleft().seq
 
     def journal_since(self, version: int) -> Optional[List[MutationRecord]]:
         """The mutations a replica at ``version`` must replay to catch up.
 
-        Returns ``None`` when the journal no longer reaches back that far
-        (bounded retention, or an index rebuild after un-journaled in-place
-        repairs) — the replica must re-snapshot instead.
+        Returns ``None`` when the journal cannot bridge the replica's
+        version and it must re-snapshot instead:
+
+        * ``version > self.version`` — the replica is *ahead* of this
+          store.  After a crash that lost un-fsynced WAL tail frames, a
+          recovered primary can be behind a replica that applied the lost
+          writes; reporting ``[]`` here would let that replica silently
+          keep rows the primary no longer has.
+        * ``version`` below the journal floor — bounded retention dropped
+          the records in between.
+        * ``version`` below the (exclusive) floor an index rebuild raised
+          after un-journaled in-place repairs — including a replica whose
+          version numerically equals the post-rebuild version.
         """
-        if version >= self.version:
-            return []
+        if version > self.version:
+            return None
         if version < self._journal_floor:
             return None
+        if version == self.version:
+            return []
         return [record for record in self._journal if record.seq > version]
 
     def apply_journal(self, records: Sequence[MutationRecord]) -> int:
@@ -432,18 +512,27 @@ class ShardedObjectStore:
         version-keyed cache invalidation equivalent on both sides.
         """
         applied = 0
-        for record in records:
-            if record.seq <= self.version:
-                continue
-            if record.op == "insert":
-                self._restore(record.class_name, record.oid, dict(record.values or {}))
-            elif record.op == "update":
-                self.update(record.class_name, record.oid, record.values or {})
-            elif record.op == "delete":
-                self.delete(record.class_name, record.oid)
-            else:  # pragma: no cover - future-proofing
-                raise StorageError(f"unknown journal op {record.op!r}")
-            applied += 1
+        # Replayed records never reach the durability sink: the store that
+        # produced them already logged them, and a forked worker replaying
+        # its catch-up delta must not append to the parent's WAL files.
+        self._suppress_sink = True
+        try:
+            for record in records:
+                if record.seq <= self.version:
+                    continue
+                if record.op == "insert":
+                    self._restore(
+                        record.class_name, record.oid, dict(record.values or {})
+                    )
+                elif record.op == "update":
+                    self.update(record.class_name, record.oid, record.values or {})
+                elif record.op == "delete":
+                    self.delete(record.class_name, record.oid)
+                else:  # pragma: no cover - future-proofing
+                    raise StorageError(f"unknown journal op {record.op!r}")
+                applied += 1
+        finally:
+            self._suppress_sink = False
         return applied
 
     def _restore(self, class_name: str, oid: int, values: Dict[str, Any]) -> None:
@@ -455,6 +544,83 @@ class ShardedObjectStore:
         if oid >= self._next_oid[class_name]:
             self._next_oid[class_name] = oid + 1
         self._record("insert", class_name, oid, dict(values))
+
+    # ------------------------------------------------------------------
+    # Snapshot serialization (durability)
+    # ------------------------------------------------------------------
+    def snapshot_header(self) -> Dict[str, Any]:
+        """The counters a snapshot must persist beside the rows.
+
+        ``shard_versions`` and ``next_oid`` are what makes recovery *exact*:
+        a store rebuilt by re-inserting rows would advance its version
+        counters differently, and version-keyed caches (executors, forked
+        worker pools) would diverge from an uninterrupted run.
+        """
+        return {
+            "shard_count": self.shard_count,
+            "version": self.version,
+            "shard_versions": list(self.shard_versions()),
+            "next_oid": dict(self._next_oid),
+        }
+
+    def snapshot_rows(self) -> Iterable[Tuple[str, int, Dict[str, Any]]]:
+        """Every stored instance as ``(class_name, oid, values)``.
+
+        Classes are emitted in sorted-name order and instances in global
+        OID order, so two snapshots of equal stores are byte-identical.
+        ``values`` is the live dict — callers serialize, they must not
+        mutate.
+        """
+        for class_name in sorted(self._next_oid):
+            for instance in self.instances(class_name):
+                yield class_name, instance.oid, instance.values
+
+    @classmethod
+    def restore(
+        cls,
+        schema: Schema,
+        header: Mapping[str, Any],
+        rows: Iterable[Tuple[str, int, Mapping[str, Any]]],
+        journal_limit: int = DEFAULT_JOURNAL_LIMIT,
+    ) -> "ShardedObjectStore":
+        """Rebuild a store from :meth:`snapshot_header` + :meth:`snapshot_rows`.
+
+        Restores extents, secondary indexes, OID allocation *and the exact
+        per-shard version counters* of the snapshotted store.  The journal
+        floor is set to the restored version: nothing before the snapshot
+        is journaled, so only replicas at (or beyond, via
+        :meth:`apply_journal`) the snapshot version can be bridged.
+        """
+        shard_count = header.get("shard_count")
+        if not isinstance(shard_count, int) or shard_count < 1:
+            raise StorageError(f"snapshot has invalid shard_count {shard_count!r}")
+        store = cls(schema, shard_count=shard_count, journal_limit=journal_limit)
+        for class_name, oid, values in rows:
+            if class_name not in store._next_oid:
+                raise StorageError(
+                    f"snapshot row references unknown class {class_name!r}"
+                )
+            if not isinstance(oid, int) or isinstance(oid, bool) or oid < 1:
+                raise StorageError(f"snapshot row has invalid oid {oid!r}")
+            instance = ObjectInstance(class_name, oid, dict(values))
+            store.shards[store.shard_of(oid)].insert(instance)
+        shard_versions = header.get("shard_versions")
+        if (
+            not isinstance(shard_versions, (list, tuple))
+            or len(shard_versions) != shard_count
+            or not all(isinstance(v, int) and v >= 0 for v in shard_versions)
+        ):
+            raise StorageError("snapshot has invalid shard_versions")
+        for shard, version in zip(store.shards, shard_versions):
+            shard.version = version
+        next_oid = header.get("next_oid") or {}
+        for class_name, value in next_oid.items():
+            if class_name in store._next_oid and isinstance(value, int):
+                store._next_oid[class_name] = max(
+                    store._next_oid[class_name], value
+                )
+        store._journal_floor = store.version
+        return store
 
     # ------------------------------------------------------------------
     # Merged views

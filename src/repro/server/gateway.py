@@ -194,6 +194,12 @@ class QueryGateway:
         # already idle, and after a failed drain a stuck query must not
         # defeat the drain timeout we just honored.
         self._pool.shutdown(wait=False, cancel_futures=not drained)
+        # Admission is closed and the pool is down: no more mutations can
+        # start, so this is the moment acked-but-unfsynced WAL frames get
+        # forced onto stable storage (a no-op without a durability layer).
+        flush = getattr(self.service, "flush_durability", None)
+        if flush is not None:
+            await asyncio.get_running_loop().run_in_executor(None, flush)
         return drained
 
     # ------------------------------------------------------------------

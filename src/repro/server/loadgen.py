@@ -60,13 +60,27 @@ class MutationMix:
     class_name: str = "cargo"
     values: Dict[str, Any] = field(default_factory=dict)
     unique_attributes: Sequence[str] = ()
+    #: Rows per write request: 1 sends single ``insert`` RPCs, larger
+    #: values send ``insert_many`` batches (one WAL commit per batch).
+    rows: int = 1
 
-    def row_for(self, client_index: int, number: int) -> Dict[str, Any]:
+    def row_for(
+        self, client_index: int, number: int, suffix: str = ""
+    ) -> Dict[str, Any]:
         """The values object client ``client_index``'s request ``number`` inserts."""
         row = dict(self.values)
         for attribute in self.unique_attributes:
-            row[attribute] = f"{row.get(attribute, 'w')}-{client_index}-{number}"
+            row[attribute] = (
+                f"{row.get(attribute, 'w')}-{client_index}-{number}{suffix}"
+            )
         return row
+
+    def rows_for(self, client_index: int, number: int) -> List[Dict[str, Any]]:
+        """The batch a multi-row write request inserts (still unique rows)."""
+        return [
+            self.row_for(client_index, number, suffix=f"-{batch_index}")
+            for batch_index in range(max(self.rows, 1))
+        ]
 
 
 @dataclass
@@ -170,12 +184,18 @@ async def run_load(
     async def fire(
         client: AsyncGatewayClient,
         query: str,
-        mutation_row: Optional[Dict[str, Any]] = None,
+        mutation_rows: Optional[List[Dict[str, Any]]] = None,
     ) -> None:
         start = time.perf_counter()
         try:
-            if mutation_row is not None:
-                payload = await client.insert(mutations.class_name, mutation_row)
+            if mutation_rows is not None and len(mutation_rows) > 1:
+                payload = await client.insert_many(
+                    mutations.class_name, mutation_rows
+                )
+            elif mutation_rows is not None:
+                payload = await client.insert(
+                    mutations.class_name, mutation_rows[0]
+                )
             elif op == "optimize":
                 payload = await client.optimize(query, **options)
             else:
@@ -194,8 +214,8 @@ async def run_load(
             )
             report.error_codes[code] = report.error_codes.get(code, 0) + 1
         else:
-            if mutation_row is not None:
-                report.mutations += 1
+            if mutation_rows is not None:
+                report.mutations += len(mutation_rows)
             report.rows += payload.get("row_count", 0)
             if payload.get("coalesced"):
                 report.coalesced += 1
@@ -203,13 +223,13 @@ async def run_load(
             report.requests += 1
             report.latencies.append(time.perf_counter() - start)
 
-    def row_for(index: int, number: int) -> Optional[Dict[str, Any]]:
-        """The insert row for this request slot (``None`` = it is a read)."""
+    def rows_for(index: int, number: int) -> Optional[List[Dict[str, Any]]]:
+        """The insert batch for this request slot (``None`` = it is a read)."""
         if mutations is None or mutations.every < 1:
             return None
         if (index + number) % mutations.every != mutations.every - 1:
             return None
-        return mutations.row_for(index, number)
+        return mutations.rows_for(index, number)
 
     async def open_loop(index: int, client: AsyncGatewayClient) -> None:
         interval = 1.0 / rate
@@ -222,7 +242,7 @@ async def run_load(
                 await asyncio.sleep(delay)
             query = queries[(index + number) % len(queries)]
             tasks.append(
-                asyncio.ensure_future(fire(client, query, row_for(index, number)))
+                asyncio.ensure_future(fire(client, query, rows_for(index, number)))
             )
         await asyncio.gather(*tasks)
 
@@ -244,7 +264,7 @@ async def run_load(
             else:
                 offset = index + number
             await fire(
-                client, queries[offset % len(queries)], row_for(index, number)
+                client, queries[offset % len(queries)], rows_for(index, number)
             )
 
     def _update_barrier(event: asyncio.Event) -> None:

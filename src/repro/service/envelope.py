@@ -107,10 +107,14 @@ class ServiceStats:
     store_version: int = 0
     #: Writes applied through the service's mutation path since startup.
     mutations_applied: int = 0
+    #: Durability-layer counters when a WAL is attached (``None``
+    #: otherwise): data dir, fsync policy, WAL frame/commit/fsync
+    #: counts and the snapshot base version.
+    durability: Optional[Dict[str, Any]] = None
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-serializable form (the payload of the ``stats`` RPC)."""
-        return {
+        payload = {
             "cache": {
                 "result_hits": self.cache.result_hits,
                 "result_misses": self.cache.result_misses,
@@ -138,6 +142,9 @@ class ServiceStats:
             "store_version": self.store_version,
             "mutations_applied": self.mutations_applied,
         }
+        if self.durability is not None:
+            payload["durability"] = dict(self.durability)
+        return payload
 
 
 @dataclass
@@ -306,10 +313,15 @@ class MutationResult:
     generation: int = 0
     #: Wall-clock seconds spent applying the write (rule refresh included).
     mutate_time: float = 0.0
+    #: Durability metadata when the service runs with a WAL (``None``
+    #: otherwise): whether this batch's frames were fsynced, how many
+    #: commits still ride on the next group fsync, the WAL frame count
+    #: and the snapshot base version.
+    durability: Optional[Dict[str, Any]] = None
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-serializable form (the payload of the mutation RPCs)."""
-        return {
+        payload = {
             "op": self.op,
             "classes": list(self.classes),
             "oids": list(self.oids),
@@ -322,6 +334,9 @@ class MutationResult:
             "generation": self.generation,
             "mutate_time": self.mutate_time,
         }
+        if self.durability is not None:
+            payload["durability"] = dict(self.durability)
+        return payload
 
     def summary(self) -> str:
         """One-line human-readable mutation summary."""

@@ -144,6 +144,10 @@ class OptimizationService:
         # side, so a write never interleaves with an execution mid-plan.
         self._store_lock = ReadWriteLock()
         self._mutations_applied = 0
+        # Optional durability layer (attach_durability): when set, every
+        # mutation batch commits its WAL frames before the write lock is
+        # released, and MutationResult/ServiceStats carry its metadata.
+        self._durability = None
         # Dynamic (state-derived) rule maintenance: when enabled, a write
         # touching a tracked class re-derives only that class's rules.
         self._dynamic_config: Optional[DerivationConfig] = None
@@ -241,6 +245,11 @@ class OptimizationService:
             store_attached=self.store is not None,
             store_version=getattr(self.store, "version", 0) or 0,
             mutations_applied=self._mutations_applied,
+            durability=(
+                self._durability.stats()
+                if self._durability is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -365,6 +374,32 @@ class OptimizationService:
         self.store = store
         self._drop_executors()
 
+    def attach_durability(self, manager) -> None:
+        """Attach an opened durability manager to the write path.
+
+        ``manager`` is a :class:`~repro.durability.DurabilityManager`
+        whose :meth:`~repro.durability.DurabilityManager.open` already
+        adopted (or recovered) the attached store — from here on every
+        :meth:`mutate` / :meth:`mutate_many` batch calls its ``commit()``
+        under the store's write lock, so acked writes are in the WAL
+        before any reader can observe them.  Pass ``None`` to detach.
+        """
+        self._durability = manager
+
+    def flush_durability(self) -> None:
+        """Force every buffered WAL frame onto stable storage.
+
+        The drain path: the gateway calls this after it stops admitting
+        work, so acked-but-unfsynced mutations survive a shutdown even
+        under the batched fsync policy.  Takes the write lock to
+        serialize against an in-flight mutation batch; a no-op without
+        an attached durability manager.
+        """
+        if self._durability is None:
+            return
+        with self._store_lock.write():
+            self._durability.flush()
+
     def close(self) -> None:
         """Release execution resources (worker pools, cached executors).
 
@@ -374,6 +409,7 @@ class OptimizationService:
         waiting for garbage collection.  Also usable as a context manager:
         ``with OptimizationService(...) as service: ...``.
         """
+        self.flush_durability()
         self._drop_executors()
 
     def __enter__(self) -> "OptimizationService":
@@ -799,6 +835,7 @@ class OptimizationService:
         classes: set = set()
         shards: set = set()
         refreshed, changed = 0, False
+        durability: Optional[Dict] = None
         from ..engine.storage import StorageError
 
         with self._store_lock.write():
@@ -828,6 +865,11 @@ class OptimizationService:
                     shards.add(self.store.shard_of(spec_oid))
                     self._mutations_applied += 1
             finally:
+                # Commit the WAL even when the batch failed part-way:
+                # the applied prefix is real (there is no rollback) and
+                # must survive a crash like any other acked write.
+                if self._durability is not None:
+                    durability = self._durability.commit()
                 if classes and refresh_rules:
                     refreshed, changed = self._refresh_dynamic_rules(
                         self._tracked_classes(classes)
@@ -848,6 +890,7 @@ class OptimizationService:
                 self.repository.generation if self.repository is not None else 0
             ),
             mutate_time=time.perf_counter() - start,
+            durability=durability,
         )
 
     @staticmethod

@@ -1,0 +1,201 @@
+"""Snapshot atomicity/validation and the recovery decision tree."""
+
+import os
+
+import pytest
+
+from repro.data import build_evaluation_schema
+from repro.durability import (
+    DurabilityManager,
+    SnapshotError,
+    list_snapshots,
+    load_snapshot,
+    prune_snapshots,
+    recover,
+    write_snapshot,
+)
+from repro.engine.storage import ShardedObjectStore, StorageError
+
+
+@pytest.fixture()
+def schema():
+    return build_evaluation_schema()
+
+
+def _populated(schema, shard_count=3):
+    store = ShardedObjectStore(schema, shard_count=shard_count)
+    for index in range(9):
+        store.insert(
+            "cargo",
+            {"desc": f"snap row {index}", "quantity": 100 + index,
+             "code": f"S{index:04d}"},
+        )
+    store.update("cargo", 2, {"quantity": 999})
+    store.delete("cargo", 5)
+    return store
+
+
+# ----------------------------------------------------------------------
+# Snapshots
+# ----------------------------------------------------------------------
+def test_snapshot_round_trip_is_exact(tmp_path, schema):
+    store = _populated(schema)
+    path = write_snapshot(str(tmp_path), store)
+    assert os.path.basename(path) == f"snapshot-{store.version:012d}.ndjson"
+    loaded = load_snapshot(path, schema)
+    assert loaded.version == store.version
+    assert loaded.shard_versions() == store.shard_versions()
+    assert loaded.snapshot_header() == store.snapshot_header()
+    assert list(loaded.snapshot_rows()) == list(store.snapshot_rows())
+    # The restored journal floor is the restored version itself: exactly-
+    # at-version replicas bridge with [], older ones cannot bridge at all
+    # (nothing before the snapshot is journaled).
+    assert loaded.journal_since(loaded.version) == []
+    assert loaded.journal_since(loaded.version - 1) is None
+    # OID allocation continues where the snapshotted store would have.
+    assert loaded.insert("cargo", {"desc": "next"}).oid == store.insert(
+        "cargo", {"desc": "next"}
+    ).oid
+
+
+def test_equal_stores_snapshot_byte_identically(tmp_path, schema):
+    first = write_snapshot(str(tmp_path / "a"), _populated(schema))
+    second = write_snapshot(str(tmp_path / "b"), _populated(schema))
+    with open(first, "rb") as f, open(second, "rb") as g:
+        assert f.read() == g.read()
+
+
+def test_snapshot_validation_rejects_defects(tmp_path, schema):
+    store = _populated(schema)
+    path = write_snapshot(str(tmp_path), store)
+    with open(path, "rb") as handle:
+        data = handle.read()
+    lines = data.split(b"\n")
+
+    # Missing trailer: a partially written file must never half-load.
+    torn = tmp_path / "torn" / os.path.basename(path)
+    torn.parent.mkdir()
+    torn.write_bytes(b"\n".join(lines[:-2]) + b"\n")
+    with pytest.raises(SnapshotError):
+        load_snapshot(str(torn), schema)
+
+    # A flipped byte inside a row frame fails its checksum.
+    flipped = tmp_path / "flipped" / os.path.basename(path)
+    flipped.parent.mkdir()
+    flipped.write_bytes(data.replace(b"snap row 3", b"snap row X", 1))
+    with pytest.raises(SnapshotError):
+        load_snapshot(str(flipped), schema)
+
+    # File name / header version disagreement is rejected.
+    renamed = tmp_path / "renamed" / "snapshot-000000000001.ndjson"
+    renamed.parent.mkdir()
+    renamed.write_bytes(data)
+    with pytest.raises(SnapshotError):
+        load_snapshot(str(renamed), schema)
+
+
+def test_restore_validates_header_and_rows(schema):
+    store = _populated(schema)
+    header = store.snapshot_header()
+    rows = list(store.snapshot_rows())
+    with pytest.raises(StorageError):
+        ShardedObjectStore.restore(schema, {**header, "shard_count": 0}, rows)
+    with pytest.raises(StorageError):
+        ShardedObjectStore.restore(
+            schema, {**header, "shard_versions": [1]}, rows
+        )
+    with pytest.raises(StorageError):
+        ShardedObjectStore.restore(
+            schema, header, [("no_such_class", 1, {"a": 1})]
+        )
+    with pytest.raises(StorageError):
+        ShardedObjectStore.restore(schema, header, [("cargo", 0, {})])
+
+
+def test_prune_keeps_the_newest_two(tmp_path, schema):
+    store = ShardedObjectStore(schema)
+    paths = []
+    for index in range(4):
+        store.insert("cargo", {"desc": f"v{index}"})
+        paths.append(write_snapshot(str(tmp_path), store))
+    deleted = prune_snapshots(str(tmp_path))
+    assert sorted(deleted) == sorted(paths[:2])
+    kept = [path for _, path in list_snapshots(str(tmp_path))]
+    assert kept == [paths[3], paths[2]]
+
+
+# ----------------------------------------------------------------------
+# Recovery decision tree
+# ----------------------------------------------------------------------
+def test_recover_empty_directory_yields_fresh_store(tmp_path, schema):
+    store, report = recover(str(tmp_path), schema, shard_count=3)
+    assert store.version == 0 and store.shard_count == 3
+    assert report.clean and report.snapshot_path is None
+
+
+def test_recover_ignores_stray_tmp_files(tmp_path, schema):
+    store = _populated(schema)
+    write_snapshot(str(tmp_path), store)
+    # A crash mid-snapshot leaves a garbage .tmp; recovery must skip it.
+    (tmp_path / "snapshot-000000009999.ndjson.tmp").write_bytes(b"garbage")
+    recovered, report = recover(str(tmp_path), schema)
+    assert report.clean
+    assert recovered.version == store.version
+
+
+def test_recover_falls_back_past_a_corrupt_snapshot(tmp_path, schema):
+    store = ShardedObjectStore(schema, shard_count=2)
+    store.insert("cargo", {"desc": "old"})
+    write_snapshot(str(tmp_path), store)
+    store.insert("cargo", {"desc": "new"})
+    newest = write_snapshot(str(tmp_path), store)
+    with open(newest, "r+b") as handle:
+        handle.write(b"X")  # clobber the newest header
+    recovered, report = recover(str(tmp_path), schema)
+    assert len(report.rejected_snapshots) == 1
+    assert recovered.version == store.version - 1
+    assert report.snapshot_version == store.version - 1
+
+
+def test_recovery_survives_crash_between_snapshot_and_rotation(
+    tmp_path, schema
+):
+    # Build a data dir, then simulate "snapshot written, rotation never
+    # ran": the stale segments' records are all <= the snapshot version,
+    # so recovery must skip them silently, not double-apply them.
+    store = ShardedObjectStore(schema, shard_count=2)
+    manager = DurabilityManager(str(tmp_path), fsync_policy="off",
+                                snapshot_frames=10_000)
+    store, _ = manager.open(store)
+    for index in range(6):
+        store.insert("cargo", {"desc": f"pre {index}"})
+        manager.commit()
+    manager.flush()
+    write_snapshot(str(tmp_path), store)  # snapshot WITHOUT rotating
+    manager.close()
+    recovered, report = recover(str(tmp_path), schema)
+    assert report.clean, report.as_dict()
+    assert recovered.version == store.version
+    assert list(recovered.snapshot_rows()) == list(store.snapshot_rows())
+
+
+def test_reopening_manager_collapses_the_wal_tail(tmp_path, schema):
+    manager = DurabilityManager(str(tmp_path), fsync_policy="off")
+    store, report = manager.open(ShardedObjectStore(schema, shard_count=2))
+    assert report is None  # fresh dir adopts the provided store
+    for index in range(5):
+        store.insert("cargo", {"desc": f"row {index}"})
+        manager.commit()
+    manager.close()
+
+    second = DurabilityManager(str(tmp_path), fsync_policy="off")
+    recovered, report = second.open(ShardedObjectStore(schema, shard_count=2))
+    assert report is not None and report.replayed_frames == 5
+    assert recovered.version == 5
+    # The reopen re-snapshotted: the WAL tail is collapsed, so a third
+    # recovery replays nothing.
+    assert second.stats()["snapshot_version"] == 5
+    second.close()
+    third, report3 = recover(str(tmp_path), schema)
+    assert report3.snapshot_version == 5 and report3.replayed_frames == 0
+    assert third.version == 5

@@ -131,11 +131,40 @@ def test_journal_since_reports_unbridgeable_gaps():
     assert len(store.journal_since(store.version - 4)) == 4
     assert store.journal_since(0) is None  # bounded retention overflow
     # An index rebuild after un-journaled in-place repairs truncates the
-    # journal entirely: nothing since before it can be bridged.
+    # journal entirely: nothing since before it can be bridged — not even
+    # a replica at the *exact* post-rebuild version, whose rows may have
+    # diverged through the un-journaled repairs (regression: this used to
+    # return [] and silently keep stale rows).
     version = store.version
     store.rebuild_indexes()
     assert store.journal_since(version) is None
+    assert store.journal_since(store.version) is None
+
+
+def test_journal_since_rejects_future_versions():
+    # A replica *ahead* of the store (e.g. the primary lost un-fsynced WAL
+    # tail frames in a crash) must not be told it is caught up (regression:
+    # this used to return [] for version > store.version).
+    store = ObjectStore(build_evaluation_schema())
+    store.insert("cargo", {"desc": "row"})
     assert store.journal_since(store.version) == []
+    assert store.journal_since(store.version + 1) is None
+    assert store.journal_since(store.version + 100) is None
+
+
+def test_journal_boundary_after_eviction_stays_bridgeable():
+    # The eviction floor is *inclusive*: a replica at exactly the floor
+    # version can still catch up, because the record that advanced the
+    # store to the floor version was journaled before being popped.
+    store = ObjectStore(build_evaluation_schema(), journal_limit=4)
+    for i in range(8):
+        store.insert("cargo", {"desc": f"row {i}"})
+    floor = store.version - 4
+    delta = store.journal_since(floor)
+    assert [record.seq for record in delta] == list(
+        range(floor + 1, store.version + 1)
+    )
+    assert store.journal_since(floor - 1) is None
 
 
 def test_journal_replay_preserves_index_answers():
