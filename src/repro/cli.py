@@ -426,26 +426,34 @@ def run_serve(argv: List[str]) -> int:
             sigterm_installed = True
         except (NotImplementedError, RuntimeError):  # pragma: no cover
             pass  # non-POSIX event loop: KeyboardInterrupt still works
+        gateway_task = asyncio.ensure_future(gateway.serve_forever())
+        stop_task = asyncio.ensure_future(stop_requested.wait())
         try:
-            tasks = {
-                asyncio.ensure_future(gateway.serve_forever()),
-                asyncio.ensure_future(stop_requested.wait()),
-            }
-            _, pending = await asyncio.wait(
-                tasks, return_when=asyncio.FIRST_COMPLETED
+            done, _ = await asyncio.wait(
+                {gateway_task, stop_task},
+                return_when=asyncio.FIRST_COMPLETED,
             )
-            for task in pending:
-                task.cancel()
-            await asyncio.gather(*pending, return_exceptions=True)
         except asyncio.CancelledError:
-            pass
+            done = set()
         finally:
+            for task in (gateway_task, stop_task):
+                task.cancel()
+            # Retrieve both results (cancellations and the gateway's
+            # exception, if any) so nothing dies unobserved.
+            await asyncio.gather(
+                gateway_task, stop_task, return_exceptions=True
+            )
             if sigterm_installed:
                 loop.remove_signal_handler(signal.SIGTERM)
             drained = await gateway.stop()
             if manager is not None:
                 manager.close()
             print(f"gateway stopped (drained={drained})", flush=True)
+        if gateway_task in done:
+            # The gateway finished on its own — serve_forever only ever
+            # ends by raising, so re-raise here (after the drain above)
+            # rather than mask a server crash as a clean exit-0 stop.
+            gateway_task.result()
 
     try:
         asyncio.run(serve())

@@ -52,7 +52,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 from ..engine.storage import MutationRecord, ShardedObjectStore
 from .recovery import WAL_SUBDIR, RecoveryReport, recover
 from .snapshot import prune_snapshots, write_snapshot
-from .wal import FSYNC_POLICIES, WriteAheadLog
+from .wal import FSYNC_POLICIES, WriteAheadLog, purge_segments
 
 __all__ = ["DurabilityManager"]
 
@@ -164,6 +164,12 @@ class DurabilityManager:
         write_snapshot(self.data_dir, store)
         prune_snapshots(self.data_dir)
         self.snapshot_count += 1
+        # The snapshot supersedes every existing segment; purge them now
+        # rather than at the next rotation.  Frames discarded by recovery
+        # (stranded past a sequence gap) share seqs with the writes about
+        # to happen — left on disk, they could shadow the acked frames in
+        # a second recovery.
+        purge_segments(os.path.join(self.data_dir, WAL_SUBDIR))
         self._wal = WriteAheadLog(
             os.path.join(self.data_dir, WAL_SUBDIR),
             store.shard_count,

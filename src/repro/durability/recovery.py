@@ -9,8 +9,12 @@ Recovery rebuilds the exact pre-crash store in four steps:
    defective frame — a torn final append is the expected crash artifact
    and costs only that file's unreadable suffix.  Segment headers must
    agree with the file name; records must deserialize as mutation
-   records.  Every defect becomes a :class:`~.wal.FrameIssue` in the
-   report, never an exception.
+   records.  Segments are visited in ascending ``(base, shard)`` order,
+   and when the same ``seq`` appears under two bases — stale segments a
+   pre-purge build left behind — the frame from the newer base wins: it
+   was written after the newer snapshot, so it is the acked re-use of a
+   seq recovery previously discarded.  Every defect becomes a
+   :class:`~.wal.FrameIssue` in the report, never an exception.
 3. **Merge.**  Per-shard record streams are merged on ``seq`` and
    replayed only while contiguous from the snapshot version: the global
    mutation order interleaves across shard files, so a frame lost from
@@ -96,11 +100,20 @@ def _scan_wal(
     records: Dict[int, MutationRecord] = {}
     if not os.path.isdir(wal_dir):
         return records
-    for name in sorted(os.listdir(wal_dir)):
+    # Scan in ascending (base, shard) order so that when a seq appears in
+    # segments with different bases — stale pre-recovery segments left
+    # behind by an older build — the frame from the *newer* base (written
+    # after the newer snapshot, i.e. the acked re-use of a discarded seq)
+    # deterministically wins.
+    segments = []
+    for name in os.listdir(wal_dir):
         parsed = parse_segment_name(name)
         if parsed is None:
             continue
         shard, base = parsed
+        segments.append((base, shard, name))
+    origin_base: Dict[int, int] = {}
+    for base, shard, name in sorted(segments):
         path = os.path.join(wal_dir, name)
         frames, issue = read_segment(path)
         if not frames:
@@ -137,16 +150,30 @@ def _scan_wal(
                 )
                 break
             if record.seq in records:
-                report.wal_issues.append(
-                    FrameIssue(
-                        name,
-                        line_number,
-                        "duplicate-seq",
-                        f"seq {record.seq} already seen",
+                if base > origin_base[record.seq]:
+                    report.wal_issues.append(
+                        FrameIssue(
+                            name,
+                            line_number,
+                            "duplicate-seq",
+                            f"seq {record.seq} supersedes a stale "
+                            f"base-{origin_base[record.seq]} frame",
+                        )
                     )
-                )
+                    records[record.seq] = record
+                    origin_base[record.seq] = base
+                else:
+                    report.wal_issues.append(
+                        FrameIssue(
+                            name,
+                            line_number,
+                            "duplicate-seq",
+                            f"seq {record.seq} already seen",
+                        )
+                    )
                 continue
             records[record.seq] = record
+            origin_base[record.seq] = base
         if issue is not None:
             report.wal_issues.append(issue)
     return records

@@ -176,10 +176,29 @@ def load_snapshot(
         for frame in row_frames:
             if frame.get("kind") != "row":
                 raise SnapshotError(f"{path}: unexpected {frame.get('kind')!r} frame")
-            yield frame.get("class"), frame.get("oid"), frame.get("values")
+            class_name = frame.get("class")
+            values = frame.get("values")
+            # restore() validates oids and class membership, but a
+            # non-string class or non-object values would reach dict()/
+            # hashing first and raise TypeError — reject them here so a
+            # defective snapshot is always a SnapshotError the recovery
+            # fallback can catch.
+            if not isinstance(class_name, str):
+                raise SnapshotError(
+                    f"{path}: row frame 'class' must be a string, "
+                    f"got {type(class_name).__name__}"
+                )
+            if not isinstance(values, dict):
+                raise SnapshotError(
+                    f"{path}: row frame 'values' must be an object, "
+                    f"got {type(values).__name__}"
+                )
+            yield class_name, frame.get("oid"), values
 
     kwargs = {} if journal_limit is None else {"journal_limit": journal_limit}
     try:
         return ShardedObjectStore.restore(schema, header, rows(), **kwargs)
-    except StorageError as exc:
+    except SnapshotError:
+        raise
+    except (StorageError, TypeError, ValueError) as exc:
         raise SnapshotError(f"{path}: {exc}") from None

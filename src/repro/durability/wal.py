@@ -59,6 +59,7 @@ __all__ = [
     "FrameIssue",
     "WriteAheadLog",
     "parse_segment_name",
+    "purge_segments",
     "read_segment",
     "segment_name",
 ]
@@ -80,6 +81,27 @@ def parse_segment_name(name: str) -> Optional[Tuple[int, int]]:
     if match is None:
         return None
     return int(match.group(1)), int(match.group(2))
+
+
+def purge_segments(directory: str) -> List[str]:
+    """Delete every segment file in ``directory``; returns deleted paths.
+
+    Only valid once a snapshot has made all existing segments redundant:
+    at rotation, and when a manager opens over a recovered data dir.
+    The open-time purge is load-bearing, not housekeeping — recovery may
+    have discarded intact frames stranded past a sequence gap, and new
+    writes re-use those seqs, so a stale segment left on disk until the
+    next rotation could shadow the acked frames in a second recovery.
+    """
+    deleted: List[str] = []
+    if not os.path.isdir(directory):
+        return deleted
+    for name in sorted(os.listdir(directory)):
+        if parse_segment_name(name) is not None:
+            path = os.path.join(directory, name)
+            os.unlink(path)
+            deleted.append(path)
+    return deleted
 
 
 @dataclass(frozen=True)
@@ -225,9 +247,7 @@ class WriteAheadLog:
         for handle in self._handles:
             handle.flush()
             handle.close()
-        for name in sorted(os.listdir(self.directory)):
-            if parse_segment_name(name) is not None:
-                os.unlink(os.path.join(self.directory, name))
+        purge_segments(self.directory)
         self.appended_frames = 0
         self._open_segments(base_version)
 

@@ -124,3 +124,33 @@ def test_sigterm_drains_and_flushes_the_wal(tmp_path):
     descs = [i.values["desc"] for i in recovered.instances("cargo")]
     assert "sigterm survivor" in descs
     assert not report.rejected_snapshots
+
+
+def test_gateway_crash_propagates_out_of_run_serve(
+    tmp_path, monkeypatch, capsys
+):
+    # A crashing gateway must not be mistaken for a graceful stop:
+    # run_serve used to await FIRST_COMPLETED and fall through to the
+    # shutdown path with exit code 0, leaving the server's exception
+    # unretrieved.  The error must still drain/close (no data loss) and
+    # then surface, so `serve` exits non-zero.
+    from repro import cli
+    from repro.server import QueryGateway
+
+    async def crash(self):
+        raise RuntimeError("gateway exploded")
+
+    monkeypatch.setattr(QueryGateway, "serve_forever", crash)
+    with pytest.raises(RuntimeError, match="gateway exploded"):
+        cli.run_serve(
+            [
+                "--db",
+                "DB1",
+                "--port",
+                "0",
+                "--data-dir",
+                str(tmp_path / "data"),
+            ]
+        )
+    out = capsys.readouterr().out
+    assert "gateway stopped" in out  # the drain still ran first

@@ -8,12 +8,15 @@ from repro.data import build_evaluation_schema
 from repro.durability import (
     DurabilityManager,
     SnapshotError,
+    decode_frame,
+    encode_frame,
     list_snapshots,
     load_snapshot,
     prune_snapshots,
     recover,
     write_snapshot,
 )
+from repro.durability.wal import parse_segment_name, segment_name
 from repro.engine.storage import ShardedObjectStore, StorageError
 
 
@@ -92,6 +95,28 @@ def test_snapshot_validation_rejects_defects(tmp_path, schema):
     renamed.write_bytes(data)
     with pytest.raises(SnapshotError):
         load_snapshot(str(renamed), schema)
+
+
+def test_load_rejects_non_object_row_fields(tmp_path, schema):
+    # A row frame whose 'values' (or 'class') is valid JSON but not the
+    # right shape must be a SnapshotError the recovery fallback catches,
+    # never a raw TypeError out of restore().
+    store = _populated(schema)
+    for field, bogus in (("values", "not-an-object"), ("class", ["cargo"])):
+        directory = tmp_path / field
+        path = write_snapshot(str(directory), store)
+        with open(path, encoding="utf-8") as handle:
+            frames = [decode_frame(line) for line in handle]
+        row = next(f for f in frames if f.get("kind") == "row")
+        row[field] = bogus
+        with open(path, "w", encoding="utf-8", newline="\n") as handle:
+            for frame in frames:
+                handle.write(encode_frame(frame))
+        with pytest.raises(SnapshotError):
+            load_snapshot(path, schema)
+        recovered, report = recover(str(directory), schema)
+        assert len(report.rejected_snapshots) == 1
+        assert recovered.version == 0
 
 
 def test_restore_validates_header_and_rows(schema):
@@ -199,3 +224,98 @@ def test_reopening_manager_collapses_the_wal_tail(tmp_path, schema):
     third, report3 = recover(str(tmp_path), schema)
     assert report3.snapshot_version == 5 and report3.replayed_frames == 0
     assert third.version == 5
+
+
+def test_reopen_purges_stale_segments_beyond_a_gap(tmp_path, schema):
+    # Recovery past a sequence gap discards intact frames whose seqs the
+    # restarted server then re-uses.  The reopen must purge the old
+    # segments immediately — left until the next rotation, a second
+    # crash would merge both generations and the stale frames could
+    # shadow the acked ones.
+    wal_dir = tmp_path / "wal"
+    manager = DurabilityManager(str(tmp_path), fsync_policy="off")
+    store, _ = manager.open(ShardedObjectStore(schema, shard_count=2))
+    for index in range(6):
+        store.insert("cargo", {"desc": f"first {index}"})
+        manager.commit()
+    manager.close()
+
+    # Simulate the crash artifact: the frame for seq 5 (shard of oid 5)
+    # never hit disk, while seq 6 survives in the other shard — so
+    # recovery must stop at version 4 and discard the seq-6 frame.
+    victim = wal_dir / segment_name(store.shard_of(5), 0)
+    lines = victim.read_bytes().splitlines(keepends=True)
+    victim.write_bytes(b"".join(lines[:-1]))
+
+    second = DurabilityManager(str(tmp_path), fsync_policy="off")
+    store2, report = second.open(ShardedObjectStore(schema, shard_count=2))
+    assert report is not None and report.discarded_frames == 1
+    assert store2.version == 4
+    # Every surviving segment starts at the recovered version: the
+    # base-0 segments (still holding the discarded seq-6 frame) are gone.
+    bases = {
+        parse_segment_name(name)[1]
+        for name in os.listdir(wal_dir)
+        if parse_segment_name(name) is not None
+    }
+    assert bases == {4}
+
+    # New acked writes re-use seqs 5..7...
+    for index in range(3):
+        store2.insert("cargo", {"desc": f"second {index}"})
+        second.commit()
+    second.close()
+
+    # ...and a second recovery sees exactly them, not the stale seq 6.
+    final, report3 = recover(str(tmp_path), schema)
+    assert report3.clean, report3.as_dict()
+    assert final.version == store2.version == 7
+    assert list(final.snapshot_rows()) == list(store2.snapshot_rows())
+
+
+def test_scan_prefers_frames_from_newer_segment_bases(tmp_path, schema):
+    # Defense in depth for data dirs written by a pre-purge build: when
+    # the same seq survives under two segment bases, the newer base's
+    # frame (written after the newer snapshot, i.e. the acked re-use of
+    # a discarded seq) must win regardless of scan order.
+    def capture(build):
+        records = []
+        scratch = ShardedObjectStore(schema, shard_count=1)
+        scratch.set_mutation_sink(records.append)
+        build(scratch)
+        return records
+
+    stale = capture(
+        lambda s: (
+            s.insert("cargo", {"desc": "shared"}),
+            s.insert("cargo", {"desc": "stale"}),
+        )
+    )
+    acked = capture(
+        lambda s: (
+            s.insert("cargo", {"desc": "shared"}),
+            s.insert("cargo", {"desc": "acked"}),
+        )
+    )
+
+    wal_dir = tmp_path / "wal"
+    wal_dir.mkdir()
+    for base, records in ((0, stale), (1, [acked[1]])):
+        path = wal_dir / segment_name(0, base)
+        with open(path, "w", encoding="utf-8", newline="\n") as handle:
+            handle.write(
+                encode_frame({"kind": "segment", "shard": 0, "base": base})
+            )
+            for record in records:
+                handle.write(
+                    encode_frame(dict(record.as_dict(), kind="record"))
+                )
+
+    recovered, report = recover(str(tmp_path), schema, shard_count=1)
+    assert recovered.version == 2
+    rows = {oid: values for _, oid, values in recovered.snapshot_rows()}
+    assert rows[2]["desc"] == "acked"
+    assert any(
+        issue.reason == "duplicate-seq" and "supersedes" in issue.detail
+        for issue in report.wal_issues
+    )
