@@ -1,0 +1,286 @@
+"""Benchmark: read scale-out over a replicated fleet + replication lag.
+
+Boots the real CLI topology as subprocesses — a primary serving DB1 with
+``--replicate-on`` and two ``--follow`` read replicas — and measures:
+
+* **replicated_reads** — the same closed-loop read workload driven first
+  against the primary alone (baseline), then striped across the two
+  replicas.  With every process on its own core the replicated run
+  should scale reads; the ``speedup >= 2.0`` gate is enforced only on
+  hosts with at least :data:`MIN_CORES` cores (and never under
+  ``REPRO_BENCH_SMOKE=1``) — smaller machines still assert correctness
+  (zero errors on both legs) and record ``enforced: false``.
+* **replication_lag** — a burst of writes against the primary, then the
+  wall-clock time until both replicas report an applied version at least
+  the primary's final version (``catchup_ms``).
+
+Headline numbers land in ``BENCH_replication.json``; CI uploads them per
+matrix leg.
+"""
+
+import asyncio
+import os
+import re
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from _artifacts import record_bench
+
+from repro.server import AsyncGatewayClient, connect_clients, run_load
+
+ARTIFACT = "BENCH_replication.json"
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+CLIENTS = 8
+REQUESTS_PER_CLIENT = 4 if SMOKE else 30
+REPLICAS = 2
+#: The ≥2x read-throughput gate only makes sense when the primary and
+#: both replica processes can actually run in parallel.
+MIN_CORES = 4
+MIN_SPEEDUP = 2.0
+LAG_WRITES = 8 if SMOKE else 40
+
+SERVING = re.compile(r"serving DB1 on ([\d.]+):(\d+)")
+FEED = re.compile(r"replication feed on ([\d.]+):(\d+)")
+
+QUERIES = [
+    '(SELECT {cargo.code, cargo.quantity} { } {cargo.quantity >= 0} { } {cargo})',
+    '(SELECT {cargo.code} { } {cargo.quantity >= 1} { } {cargo})',
+    '(SELECT {cargo.desc} { } {cargo.quantity >= 2} { } {cargo})',
+    '(SELECT {cargo.category} { } {cargo.quantity >= 3} { } {cargo})',
+    '(SELECT {cargo.code, cargo.category} { } {cargo.quantity >= 4} { } {cargo})',
+    '(SELECT {cargo.desc, cargo.quantity} { } {cargo.quantity >= 5} { } {cargo})',
+]
+
+
+def _spawn(*extra_args):
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_dir + os.pathsep + existing if existing else src_dir
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--db", "DB1",
+         "--port", "0", *extra_args],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _await_patterns(proc, *patterns, timeout=120):
+    matches = {}
+    deadline = time.monotonic() + timeout
+    lines = []
+    while time.monotonic() < deadline and len(matches) < len(patterns):
+        line = proc.stdout.readline()
+        if not line:
+            pytest.fail("server exited early:\n" + "".join(lines))
+        lines.append(line)
+        for pattern in patterns:
+            if pattern not in matches:
+                found = pattern.search(line)
+                if found:
+                    matches[pattern] = found
+    if len(matches) < len(patterns):
+        pytest.fail("server never printed its endpoints:\n" + "".join(lines))
+    return [matches[pattern] for pattern in patterns]
+
+
+def _await_socket(host, port, timeout=60):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            socket.create_connection((host, port), 1).close()
+            return
+        except OSError:
+            time.sleep(0.25)
+    pytest.fail(f"{host}:{port} never accepted a connection")
+
+
+def _terminate(proc):
+    if proc is not None and proc.poll() is None:
+        proc.kill()
+        proc.wait(timeout=30)
+    if proc is not None and proc.stdout is not None:
+        proc.stdout.close()
+
+
+class _Fleet:
+    """A subprocess primary (+feed) and N subprocess read replicas."""
+
+    def __init__(self, replicas=REPLICAS):
+        self.procs = []
+        self.primary_endpoint = None
+        self.replica_endpoints = []
+        self._replica_count = replicas
+
+    def __enter__(self):
+        primary = _spawn("--replicate-on", "0")
+        self.procs.append(primary)
+        serving, feed = _await_patterns(primary, SERVING, FEED)
+        self.primary_endpoint = (serving.group(1), int(serving.group(2)))
+        follow = f"{feed.group(1)}:{feed.group(2)}"
+        for _ in range(self._replica_count):
+            replica = _spawn("--follow", follow)
+            self.procs.append(replica)
+            (serving_r,) = _await_patterns(replica, SERVING)
+            self.replica_endpoints.append(
+                (serving_r.group(1), int(serving_r.group(2)))
+            )
+        for host, port in [self.primary_endpoint, *self.replica_endpoints]:
+            _await_socket(host, port)
+        return self
+
+    def __exit__(self, *exc_info):
+        for proc in self.procs:
+            _terminate(proc)
+        return False
+
+
+async def _read_leg(endpoints):
+    """One closed-loop read run striped over ``endpoints``; its report."""
+    clients = await connect_clients(
+        endpoints, CLIENTS, client_prefix="repl-bench"
+    )
+    try:
+        return await run_load(
+            clients, QUERIES, requests_per_client=REQUESTS_PER_CLIENT
+        )
+    finally:
+        for client in clients:
+            await client.close()
+
+
+def test_replicated_read_throughput():
+    """Two read replicas: ≥2x read throughput over the primary alone."""
+
+    async def scenario(fleet):
+        baseline = await _read_leg([fleet.primary_endpoint])
+        replicated = await _read_leg(fleet.replica_endpoints)
+        return baseline, replicated
+
+    with _Fleet() as fleet:
+        baseline, replicated = asyncio.run(scenario(fleet))
+
+    assert baseline.errors == 0, (
+        f"baseline leg must be error-free: {baseline.error_codes}"
+    )
+    assert replicated.errors == 0, (
+        f"replicated leg must be error-free: {replicated.error_codes}"
+    )
+    assert baseline.requests == replicated.requests == CLIENTS * REQUESTS_PER_CLIENT
+    # Replicas answer from the same replicated state the primary serves.
+    assert replicated.rows == baseline.rows
+
+    speedup = (
+        replicated.requests_per_second / baseline.requests_per_second
+        if baseline.requests_per_second > 0
+        else 0.0
+    )
+    cpu_count = os.cpu_count() or 1
+    enforced = not SMOKE and cpu_count >= MIN_CORES
+    print()
+    print(f"reads on primary alone: {baseline.describe()}")
+    print(f"reads on {REPLICAS} replicas:  {replicated.describe()}")
+    print(f"read scale-out: {speedup:.2f}x ({cpu_count} cores, "
+          f"{'enforced' if enforced else 'not enforced'})")
+
+    record_bench(
+        ARTIFACT,
+        "replicated_reads",
+        {
+            "clients": CLIENTS,
+            "replicas": REPLICAS,
+            "requests_per_leg": baseline.requests,
+            "errors": baseline.errors + replicated.errors,
+            "baseline_requests_per_s": baseline.requests_per_second,
+            "replicated_requests_per_s": replicated.requests_per_second,
+            "baseline_p50_ms": baseline.p50 * 1000.0,
+            "baseline_p95_ms": baseline.p95 * 1000.0,
+            "replicated_p50_ms": replicated.p50 * 1000.0,
+            "replicated_p95_ms": replicated.p95 * 1000.0,
+            "speedup": speedup,
+            "threshold": MIN_SPEEDUP,
+            "enforced": enforced,
+        },
+    )
+    if enforced:
+        assert speedup >= MIN_SPEEDUP, (
+            f"read scale-out too low: {speedup:.2f}x < {MIN_SPEEDUP}x "
+            f"({replicated.requests_per_second:.0f} vs "
+            f"{baseline.requests_per_second:.0f} req/s)"
+        )
+
+
+def test_replication_catchup_lag():
+    """A write burst reaches both replicas; the catch-up time is bounded."""
+
+    async def scenario(fleet):
+        host, port = fleet.primary_endpoint
+        primary = await AsyncGatewayClient.connect(
+            host, port, client_id="lag-writer"
+        )
+        replicas = [
+            await AsyncGatewayClient.connect(
+                rhost, rport, client_id=f"lag-probe-{index}"
+            )
+            for index, (rhost, rport) in enumerate(fleet.replica_endpoints)
+        ]
+        try:
+            final_version = 0
+            for number in range(LAG_WRITES):
+                result = await primary.insert(
+                    "cargo",
+                    {"code": f"LAG-{number}", "desc": "lag probe",
+                     "quantity": number, "category": "general"},
+                )
+                final_version = result["store_version"]
+            burst_done = time.perf_counter()
+            deadline = burst_done + 60.0
+            pending = list(replicas)
+            while pending:
+                still_behind = []
+                for client in pending:
+                    status = await client.request({"op": "replica_status"})
+                    if status.get("applied_version", 0) < final_version:
+                        still_behind.append(client)
+                pending = still_behind
+                if pending:
+                    assert time.perf_counter() < deadline, (
+                        "replicas never caught up to "
+                        f"v{final_version}"
+                    )
+                    await asyncio.sleep(0.01)
+            catchup_ms = (time.perf_counter() - burst_done) * 1000.0
+            return final_version, catchup_ms
+        finally:
+            await primary.close()
+            for client in replicas:
+                await client.close()
+
+    with _Fleet() as fleet:
+        final_version, catchup_ms = asyncio.run(scenario(fleet))
+
+    assert final_version >= LAG_WRITES
+    print()
+    print(f"replication lag: {LAG_WRITES} writes to v{final_version}, "
+          f"both replicas caught up {catchup_ms:.1f} ms after the burst")
+
+    record_bench(
+        ARTIFACT,
+        "replication_lag",
+        {
+            "writes": LAG_WRITES,
+            "replicas": REPLICAS,
+            "final_primary_version": final_version,
+            "catchup_ms": catchup_ms,
+        },
+    )

@@ -4,9 +4,10 @@ The engines promise byte-identical answers across modes *and across
 processes* (the parallel engine forks workers, so ``PYTHONHASHSEED``
 differs between runs).  PR 5's ``HashIndex`` bug — insertion-order
 buckets leaking arrival order into rows — is the motivating incident.
-In ``engine/``, ``constraints/`` and ``durability/`` (recovery must
-rebuild byte-identical state, so the WAL/snapshot layer is held to the
-same standard) this pass flags:
+In ``engine/``, ``constraints/``, ``durability/`` and ``replication/``
+(recovery must rebuild byte-identical state, and replicas must converge
+to byte-identical stores, so the WAL/snapshot and frame-shipping layers
+are held to the same standard) this pass flags:
 
 * ``unseeded-random`` — module-level :mod:`random` functions (or
   ``random.Random()`` with no seed).  Any stochastic choice must thread
@@ -42,7 +43,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 from ..astutils import attr_chain, enclosing_function_index
 from ..framework import AnalysisContext, AnalysisPass, Finding
 
-SCOPE_PREFIXES = ("engine/", "constraints/", "durability/")
+SCOPE_PREFIXES = ("engine/", "constraints/", "durability/", "replication/")
 
 RANDOM_MODULE_FUNCS = frozenset(
     {

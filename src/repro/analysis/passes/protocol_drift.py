@@ -13,11 +13,14 @@ hits the gap.  Sub-checks:
   op lands it would silently fall into whatever the else does.
 * ``unknown-op-dispatch`` — the reverse drift: the gateway compares
   ``.op`` against a literal that is not in ``OPS`` (a typo or a removed
-  op whose branch survived).
+  op whose branch survived).  The same check audits ``replication/``:
+  every ``{"op": ...}`` literal the router sends, and every member of
+  its ``READ_OPS`` routing tuple, must be a declared op.
 * ``duplicate-error-code`` — two error classes claim the same wire code.
 * ``error-class-outside-registry`` — a ``GatewayError`` subclass (or any
-  class declaring a ``code`` string) defined in a server module other
-  than ``errors.py``; the taxonomy must stay in one reviewable file.
+  class declaring a ``code`` string) defined in a server or replication
+  module other than ``errors.py``; the taxonomy must stay in one
+  reviewable file.
 * ``op-undocumented`` / ``error-code-undocumented`` — every op and every
   registered code appears (backticked) in ``docs/operations.md``.  Doc
   checks only run when the analysis context has a docs root.
@@ -36,6 +39,11 @@ GATEWAY_MODULE = "server/gateway.py"
 ERRORS_MODULE = "server/errors.py"
 OPERATIONS_DOC = "operations.md"
 SERVER_PREFIX = "server/"
+ROUTER_MODULE = "replication/router.py"
+#: Directories audited for stray error classes and op literals.  The
+#: replication tier speaks the same wire protocol (the router forwards
+#: gateway frames and issues its own RPCs), so it drifts the same way.
+WIRE_PREFIXES = (SERVER_PREFIX, "replication/")
 
 
 class ProtocolDriftPass(AnalysisPass):
@@ -56,6 +64,7 @@ class ProtocolDriftPass(AnalysisPass):
 
         findings: List[Finding] = []
         findings.extend(self._check_dispatch(context, ops, mutation_ops))
+        findings.extend(self._check_router_ops(context, ops))
         codes = self._error_codes(context, findings)
         findings.extend(self._check_error_locations(context, set(codes)))
         findings.extend(self._check_docs(context, ops, sorted(codes)))
@@ -137,6 +146,63 @@ class ProtocolDriftPass(AnalysisPass):
         return findings
 
     # ------------------------------------------------------------------
+    # Replication tier
+    # ------------------------------------------------------------------
+    def _check_router_ops(
+        self, context: AnalysisContext, ops: List[str]
+    ) -> List[Finding]:
+        """Op literals the replication tier sends must be declared ops.
+
+        The router both classifies incoming frames (``READ_OPS``) and
+        issues its own RPCs (``{"op": "..."}`` literals); a typo in
+        either silently becomes an ``unknown_op`` error at runtime, so
+        the same ``unknown-op-dispatch`` drift check covers them.
+        """
+        findings = []
+        for info in context.in_dir("replication/"):
+            for node in ast.walk(info.tree):
+                if isinstance(node, ast.Dict):
+                    for key, value in zip(node.keys, node.values):
+                        if (
+                            isinstance(key, ast.Constant)
+                            and key.value == "op"
+                            and isinstance(value, ast.Constant)
+                            and isinstance(value.value, str)
+                            and value.value not in ops
+                        ):
+                            findings.append(
+                                self.finding(
+                                    check="unknown-op-dispatch",
+                                    file=info.relpath,
+                                    line=value.lineno,
+                                    symbol=value.value,
+                                    message=(
+                                        f"replication tier sends op"
+                                        f" {value.value!r} which is not"
+                                        " declared in protocol.OPS"
+                                    ),
+                                )
+                            )
+            if info.relpath == ROUTER_MODULE:
+                read_ops = string_tuple_assignment(info.tree, "READ_OPS") or []
+                for op in read_ops:
+                    if op not in ops:
+                        findings.append(
+                            self.finding(
+                                check="unknown-op-dispatch",
+                                file=info.relpath,
+                                line=0,
+                                symbol=op,
+                                message=(
+                                    f"router READ_OPS routes op {op!r}"
+                                    " which is not declared in"
+                                    " protocol.OPS"
+                                ),
+                            )
+                        )
+        return findings
+
+    # ------------------------------------------------------------------
     # Error registry
     # ------------------------------------------------------------------
     def _error_codes(
@@ -184,7 +250,20 @@ class ProtocolDriftPass(AnalysisPass):
                 if isinstance(node, ast.ClassDef)
             }
         findings = []
-        for info in context.in_dir(SERVER_PREFIX):
+        for prefix in WIRE_PREFIXES:
+            findings.extend(
+                self._scan_error_classes(context, prefix, error_class_names)
+            )
+        return findings
+
+    def _scan_error_classes(
+        self,
+        context: AnalysisContext,
+        prefix: str,
+        error_class_names: Set[str],
+    ) -> List[Finding]:
+        findings = []
+        for info in context.in_dir(prefix):
             if info.relpath == ERRORS_MODULE:
                 continue
             for node in ast.walk(info.tree):

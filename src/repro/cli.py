@@ -6,15 +6,22 @@ trace, the predicate classification and the transformed query.  It is a thin
 wrapper over the library — handy for poking at the optimizer without writing
 a script.
 
-Two subcommands wrap the serving layer:
+Three subcommands wrap the serving layer:
 
 * ``python -m repro serve`` — start the asyncio query gateway over a
   generated evaluation database (Table 4.1 spec selected with ``--db``).
-* ``python -m repro bench-client`` — drive a served gateway with the
-  multi-client load generator and report p50/p95 latency, rows/s and the
-  single-flight dedup rate (optionally persisting them as JSON).
+  ``--replicate-on PORT`` additionally streams WAL frames to read
+  replicas; ``--follow HOST:PORT`` starts a read-only replica of such a
+  primary instead of generating a database.
+* ``python -m repro route`` — start the consistent-hash query router
+  over one primary and N replica gateways (reads fan out by structural
+  query key, mutations go to the primary, read-your-writes enforced).
+* ``python -m repro bench-client`` — drive a served gateway (or several,
+  with ``--endpoints``) with the multi-client load generator and report
+  p50/p95 latency, rows/s and the single-flight dedup rate (optionally
+  persisting them as JSON).
 
-A third subcommand, ``python -m repro lint``, runs the static invariant
+A further subcommand, ``python -m repro lint``, runs the static invariant
 checker (:mod:`repro.analysis`) over the source tree — the same driver
 CI's ``static-analysis`` job gates on.
 
@@ -68,7 +75,9 @@ def build_parser() -> argparse.ArgumentParser:
             "optimize a query in the paper's five-part notation."
         ),
         epilog=(
-            "subcommands: 'repro serve' starts the async query gateway, "
+            "subcommands: 'repro serve' starts the async query gateway "
+            "(primary, replica, or standalone), 'repro route' starts the "
+            "consistent-hash query router over a replica fleet, "
             "'repro bench-client' load-tests a served gateway, "
             "'repro lint' runs the static invariant checker "
             "(each has its own --help)."
@@ -230,8 +239,16 @@ def run_query(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
-# serve / bench-client subcommands
+# serve / route / bench-client subcommands
 # ----------------------------------------------------------------------
+def _parse_endpoint(value: str):
+    """Split a ``HOST:PORT`` argument; raises ``ValueError`` when malformed."""
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
 def build_serve_parser() -> argparse.ArgumentParser:
     """Argument parser of the ``serve`` subcommand."""
     parser = argparse.ArgumentParser(
@@ -329,6 +346,29 @@ def build_serve_parser() -> argparse.ArgumentParser:
             "(default: REPRO_SNAPSHOT_AGE, else 0)"
         ),
     )
+    parser.add_argument(
+        "--replicate-on",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "primary mode: also listen on this port (0 = ephemeral) and "
+            "stream every applied mutation as checksummed WAL frames to "
+            "subscribed replicas (combine with --data-dir for durability; "
+            "the WAL sink keeps firing first)"
+        ),
+    )
+    parser.add_argument(
+        "--follow",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "replica mode: bootstrap the store from this primary's "
+            "replication feed (snapshot + live tail) instead of generating "
+            "a database, serve read-only, and ack applied versions back; "
+            "--db must match the primary's"
+        ),
+    )
     return parser
 
 
@@ -346,6 +386,16 @@ def run_serve(argv: List[str]) -> int:
     from .service import OptimizationService
 
     args = build_serve_parser().parse_args(argv)
+    if args.follow and (args.data_dir or args.replicate_on is not None):
+        build_serve_parser().error(
+            "--follow (replica mode) is mutually exclusive with --data-dir "
+            "and --replicate-on: replicas neither journal nor re-stream"
+        )
+    if args.follow:
+        try:
+            _parse_endpoint(args.follow)
+        except ValueError as exc:
+            build_serve_parser().error(f"--follow: {exc}")
 
     async def serve() -> None:
         # The server doesn't need a workload, only the database; the
@@ -355,6 +405,21 @@ def run_serve(argv: List[str]) -> int:
         )
         store = setup.store
         manager = None
+        follower = None
+        feed = None
+        if args.follow:
+            from .replication import ReplicaFollower
+
+            primary_host, primary_port = _parse_endpoint(args.follow)
+            follower = ReplicaFollower(setup.schema, primary_host, primary_port)
+            # The generated store is discarded: the replica's state is the
+            # primary's, rebuilt byte-identically from the snapshot stream.
+            store = await follower.bootstrap()
+            print(
+                f"replica synced from {args.follow}: store v{store.version} "
+                f"(epoch {follower.epoch})",
+                flush=True,
+            )
         if args.data_dir:
             from .durability import DurabilityManager
 
@@ -398,6 +463,28 @@ def run_serve(argv: List[str]) -> int:
         if args.dynamic_rules:
             derived = service.enable_dynamic_rules()
             print(f"dynamic rules enabled: {derived} derived", flush=True)
+        follower_task = None
+        if follower is not None:
+            follower.attach(service)
+            follower_task = follower.start()
+        if args.replicate_on is not None:
+            from .durability import SinkTee
+            from .replication import ReplicationFeed
+
+            feed = ReplicationFeed(service, host=args.host, port=args.replicate_on)
+            feed_host, feed_port = await feed.start()
+            tee = SinkTee()
+            if store.mutation_sink is not None:
+                # Keep the WAL sink first: a record is on disk before any
+                # replica can observe it.
+                tee.attach(store.mutation_sink)
+            tee.attach(feed.sink)
+            store.set_mutation_sink(tee)
+            print(
+                f"replication feed on {feed_host}:{feed_port} "
+                f"(epoch {feed.epoch})",
+                flush=True,
+            )
         gateway = QueryGateway(
             service,
             args.host,
@@ -405,6 +492,9 @@ def run_serve(argv: List[str]) -> int:
             worker_threads=args.worker_threads,
             max_in_flight=args.max_in_flight,
             request_timeout=args.request_timeout,
+            read_only=follower is not None,
+            replication=feed,
+            follower=follower,
         )
         host, port = await gateway.start()
         print(
@@ -428,24 +518,31 @@ def run_serve(argv: List[str]) -> int:
             pass  # non-POSIX event loop: KeyboardInterrupt still works
         gateway_task = asyncio.ensure_future(gateway.serve_forever())
         stop_task = asyncio.ensure_future(stop_requested.wait())
+        tasks = [gateway_task, stop_task]
+        if follower_task is not None:
+            # A follower whose reconnect budget is exhausted must take
+            # the replica down loudly, not leave it serving stale reads.
+            tasks.append(follower_task)
         try:
             done, _ = await asyncio.wait(
-                {gateway_task, stop_task},
+                tasks,
                 return_when=asyncio.FIRST_COMPLETED,
             )
         except asyncio.CancelledError:
             done = set()
         finally:
-            for task in (gateway_task, stop_task):
+            for task in tasks:
                 task.cancel()
-            # Retrieve both results (cancellations and the gateway's
+            # Retrieve every result (cancellations and the gateway's
             # exception, if any) so nothing dies unobserved.
-            await asyncio.gather(
-                gateway_task, stop_task, return_exceptions=True
-            )
+            await asyncio.gather(*tasks, return_exceptions=True)
             if sigterm_installed:
                 loop.remove_signal_handler(signal.SIGTERM)
             drained = await gateway.stop()
+            if feed is not None:
+                await feed.stop()
+            if follower is not None:
+                await follower.stop()
             if manager is not None:
                 manager.close()
             print(f"gateway stopped (drained={drained})", flush=True)
@@ -454,9 +551,116 @@ def run_serve(argv: List[str]) -> int:
             # ends by raising, so re-raise here (after the drain above)
             # rather than mask a server crash as a clean exit-0 stop.
             gateway_task.result()
+        if follower_task is not None and follower_task in done:
+            follower_task.result()
 
     try:
         asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def build_route_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``route`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro route",
+        description=(
+            "Start the consistent-hash query router over one primary and N "
+            "replica gateways.  Speaks the same NDJSON protocol as serve: "
+            "reads fan out across replicas by structural query key, "
+            "mutations forward to the primary, and each connection's reads "
+            "observe at least its own last write (read-your-writes)."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="listen address")
+    parser.add_argument(
+        "--port", type=int, default=7531, help="listen port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--primary",
+        required=True,
+        metavar="HOST:PORT",
+        help="the single-writer primary gateway (all mutations go here)",
+    )
+    parser.add_argument(
+        "--replica",
+        action="append",
+        default=[],
+        metavar="HOST:PORT",
+        help="a read replica gateway (repeat per replica; none = primary only)",
+    )
+    parser.add_argument(
+        "--retry-reads",
+        type=int,
+        default=5,
+        help="per-backend reconnect-and-retry budget for idempotent reads",
+    )
+    parser.add_argument(
+        "--pin-timeout",
+        type=float,
+        default=5.0,
+        help=(
+            "seconds a pinned read waits for a replica to catch up to the "
+            "connection's last written version before failing over"
+        ),
+    )
+    return parser
+
+
+def run_route(argv: List[str]) -> int:
+    """``python -m repro route``: run the query router until interrupted."""
+    import signal
+
+    from .replication import QueryRouter
+
+    args = build_route_parser().parse_args(argv)
+    for endpoint in [args.primary] + args.replica:
+        try:
+            _parse_endpoint(endpoint)
+        except ValueError as exc:
+            build_route_parser().error(str(exc))
+
+    async def route() -> None:
+        router = QueryRouter(
+            args.primary,
+            args.replica,
+            args.host,
+            args.port,
+            retry_reads=args.retry_reads,
+            pin_timeout=args.pin_timeout,
+        )
+        host, port = await router.start()
+        print(
+            f"repro router serving on {host}:{port} -> primary "
+            f"{args.primary}, {len(args.replica)} replica(s); Ctrl-C or "
+            "SIGTERM to stop",
+            flush=True,
+        )
+        stop_requested = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        sigterm_installed = False
+        try:
+            loop.add_signal_handler(signal.SIGTERM, stop_requested.set)
+            sigterm_installed = True
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+        try:
+            await stop_requested.wait()
+        finally:
+            if sigterm_installed:
+                loop.remove_signal_handler(signal.SIGTERM)
+            await router.stop()
+            status = router.status()
+            print(
+                f"router stopped ({status['requests']} requests, "
+                f"{status['failovers']} failovers, {status['stalls']} "
+                "read-your-writes stalls)",
+                flush=True,
+            )
+
+    try:
+        asyncio.run(route())
     except KeyboardInterrupt:
         pass
     return 0
@@ -473,6 +677,27 @@ def build_bench_client_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--host", default="127.0.0.1", help="gateway address")
     parser.add_argument("--port", type=int, default=7431, help="gateway port")
+    parser.add_argument(
+        "--endpoints",
+        default=None,
+        metavar="HOST:PORT,...",
+        help=(
+            "comma-separated gateway list; overrides --host/--port and "
+            "stripes the client connections round-robin across the "
+            "endpoints (e.g. a replica fleet).  Mixed read/write runs "
+            "need endpoints that accept writes — a router or the primary; "
+            "replicas answer mutations with the read_only code"
+        ),
+    )
+    parser.add_argument(
+        "--retry-reads",
+        type=int,
+        default=0,
+        help=(
+            "per-client reconnect-and-retry budget for idempotent reads "
+            "on dropped connections (0 = fail fast)"
+        ),
+    )
     parser.add_argument("--clients", type=int, default=16, help="client connections")
     parser.add_argument(
         "--requests", type=int, default=20, help="requests issued per client"
@@ -536,12 +761,25 @@ def run_bench_client(argv: List[str]) -> int:
     """``python -m repro bench-client``: load a served gateway and report."""
     from .data import TABLE_4_1_SPECS, build_evaluation_setup
     from .query import format_query
-    from .server import AsyncGatewayClient, MutationMix, run_load
+    from .server import MutationMix, connect_clients, run_load
 
     args = build_bench_client_parser().parse_args(argv)
 
     if args.clients < 1 or args.requests < 1:
         build_bench_client_parser().error("--clients and --requests must be >= 1")
+    if args.endpoints:
+        try:
+            endpoints = [
+                _parse_endpoint(item.strip())
+                for item in args.endpoints.split(",")
+                if item.strip()
+            ]
+        except ValueError as exc:
+            build_bench_client_parser().error(f"--endpoints: {exc}")
+        if not endpoints:
+            build_bench_client_parser().error("--endpoints: empty endpoint list")
+    else:
+        endpoints = [(args.host, args.port)]
 
     def mutation_mix(schema):
         """Schema-derived insert template: every value attribute populated.
@@ -589,12 +827,12 @@ def run_bench_client(argv: List[str]) -> int:
             options["execution_mode"] = args.engine
         clients = []
         try:
-            for index in range(args.clients):
-                clients.append(
-                    await AsyncGatewayClient.connect(
-                        args.host, args.port, client_id=f"bench-{index}"
-                    )
-                )
+            clients = await connect_clients(
+                endpoints,
+                args.clients,
+                retry_reads=args.retry_reads,
+                client_prefix="bench",
+            )
             mix = mutation_mix(setup.schema)
             report = await run_load(
                 clients,
@@ -629,6 +867,7 @@ def run_bench_client(argv: List[str]) -> int:
             "op": args.op,
             "db": args.db,
             "engine": args.engine or "default",
+            "endpoints": args.endpoints or f"{args.host}:{args.port}",
             "server_single_flight": dedup,
         }
         with open(args.artifact, "w") as handle:
@@ -644,6 +883,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return run_serve(argv[1:])
+    if argv and argv[0] == "route":
+        return run_route(argv[1:])
     if argv and argv[0] == "bench-client":
         return run_bench_client(argv[1:])
     if argv and argv[0] == "lint":

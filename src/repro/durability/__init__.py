@@ -20,6 +20,7 @@ from .snapshot import (
     prune_snapshots,
     write_snapshot,
 )
+from .tee import SinkTee
 from .wal import FSYNC_POLICIES, FrameIssue, WriteAheadLog, read_segment
 
 __all__ = [
@@ -28,6 +29,7 @@ __all__ = [
     "FrameError",
     "FrameIssue",
     "RecoveryReport",
+    "SinkTee",
     "SnapshotError",
     "WriteAheadLog",
     "checksum",

@@ -1,0 +1,43 @@
+"""Fan one mutation-sink hook out to several consumers.
+
+:class:`~repro.engine.storage.ShardedObjectStore` exposes exactly one
+mutation sink, and two subsystems want it on a replicating primary: the
+:class:`~repro.durability.manager.DurabilityManager` (WAL append) and
+the :class:`~repro.replication.feed.ReplicationFeed` (frame fan-out).
+:class:`SinkTee` composes them — sinks fire in attach order, so wiring
+the WAL first preserves the durability ordering guarantee (a record is
+on disk before any replica can see it).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Tuple
+
+__all__ = ["SinkTee"]
+
+
+class SinkTee:
+    """A mutation sink that forwards each record to every attached sink."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._sinks: Tuple[Callable, ...] = ()
+
+    def attach(self, sink: Callable) -> None:
+        """Append ``sink``; it fires after every previously attached one."""
+        with self._lock:
+            self._sinks = self._sinks + (sink,)
+
+    def detach(self, sink: Callable) -> None:
+        with self._lock:
+            self._sinks = tuple(s for s in self._sinks if s is not sink)
+
+    def __len__(self) -> int:
+        return len(self._sinks)
+
+    def __call__(self, record) -> None:
+        # Snapshot the tuple so attach/detach during iteration is safe;
+        # fires inside the store's write-lock span like any other sink.
+        for sink in self._sinks:
+            sink(record)

@@ -465,6 +465,27 @@ class ShardedObjectStore:
         """
         self._mutation_sink = sink
 
+    @property
+    def mutation_sink(self):
+        """The installed sink, or ``None``.
+
+        Exposed so a replicating server can tee an already-installed
+        durability sink with a replication feed
+        (:class:`~repro.durability.tee.SinkTee`) instead of silently
+        replacing it.
+        """
+        return self._mutation_sink
+
+    @property
+    def journal_floor(self) -> int:
+        """The lowest version :meth:`journal_since` can still bridge from.
+
+        Applied-version accounting for replication: a follower whose
+        acked version sits below this floor cannot tail and must take a
+        full snapshot resync.
+        """
+        return self._journal_floor
+
     def _record(
         self, op: str, class_name: str, oid: int, values: Optional[Dict[str, Any]]
     ) -> None:

@@ -1,0 +1,88 @@
+"""Consistent-hash ring over replica endpoints.
+
+The router keys ``optimize``/``execute`` traffic by the query's
+structural :func:`~repro.query.equivalence.equivalence_key` so repeated
+shapes land on the same replica and its result/single-flight caches stay
+hot.  Two properties matter and both are pinned here:
+
+* **cross-process stability** — the key must hash identically in every
+  router process.  ``equivalence_key`` is a tuple of frozensets, whose
+  iteration order (and builtin ``hash``) varies per process under hash
+  randomization, so :func:`route_key` canonicalizes each component by
+  *sorting* member reprs and the ring hashes with CRC-32, never
+  ``hash()``.
+* **minimal reshuffling** — each endpoint owns many virtual points on a
+  32-bit ring, so removing a replica moves only its own keys.
+"""
+
+from __future__ import annotations
+
+import zlib
+from bisect import bisect_right
+from typing import List, Sequence, Tuple
+
+__all__ = ["ConsistentHashRing", "route_key"]
+
+#: Virtual points per endpoint; enough to spread load within a few
+#: percent across a handful of replicas without a noticeable ring.
+DEFAULT_VNODES = 64
+
+
+def route_key(key: Tuple[frozenset, ...]) -> str:
+    """A deterministic string form of an ``equivalence_key`` tuple.
+
+    Sorting each frozenset's member reprs makes the string (and hence
+    the ring placement) identical across processes and Python runs.
+    """
+    return "|".join(
+        ";".join(sorted(repr(member) for member in part)) for part in key
+    )
+
+
+class ConsistentHashRing:
+    """Maps string keys to endpoints with CRC-32 virtual-node hashing."""
+
+    def __init__(self, endpoints: Sequence[str], vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.endpoints = list(endpoints)
+        self.vnodes = vnodes
+        points = []
+        for endpoint in self.endpoints:
+            for index in range(vnodes):
+                point = zlib.crc32(f"{endpoint}#{index}".encode("utf-8"))
+                points.append((point, endpoint))
+        # Sort by (point, endpoint) so hash collisions between distinct
+        # endpoints still order deterministically.
+        points.sort()
+        self._points = points
+        self._hashes = [point for point, _ in points]
+
+    def __len__(self) -> int:
+        return len(self.endpoints)
+
+    def node_for(self, key: str) -> str:
+        """The endpoint owning ``key`` (first clockwise virtual point)."""
+        nodes = self.nodes_for(key)
+        if not nodes:
+            raise ValueError("ring has no endpoints")
+        return nodes[0]
+
+    def nodes_for(self, key: str) -> List[str]:
+        """Every endpoint in failover order for ``key``.
+
+        Walks the ring clockwise from the key's position and yields each
+        distinct endpoint once — the preferred owner first, then the
+        fallbacks a router should try when the owner is unreachable.
+        """
+        if not self._points:
+            return []
+        start = bisect_right(self._hashes, zlib.crc32(key.encode("utf-8")))
+        seen = []
+        for offset in range(len(self._points)):
+            _, endpoint = self._points[(start + offset) % len(self._points)]
+            if endpoint not in seen:
+                seen.append(endpoint)
+                if len(seen) == len(self.endpoints):
+                    break
+        return seen

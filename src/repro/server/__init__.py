@@ -30,16 +30,19 @@ from .admission import AdmissionController, AdmissionStats
 from .client import AsyncGatewayClient
 from .errors import (
     AdmissionError,
+    BackupUnavailable,
     ClientQueueFull,
     GatewayDraining,
     GatewayError,
     GatewayRequestError,
     MutationError,
     ProtocolError,
+    ReadOnlyError,
+    ReplicationUnavailable,
     RequestTimeout,
 )
 from .gateway import QueryGateway
-from .loadgen import LoadReport, MutationMix, run_load
+from .loadgen import LoadReport, MutationMix, connect_clients, run_load
 from .protocol import PROTOCOL_VERSION, decode_frame, encode_frame, parse_request
 from .session import ClientSession
 
@@ -48,6 +51,7 @@ __all__ = [
     "AdmissionError",
     "AdmissionStats",
     "AsyncGatewayClient",
+    "BackupUnavailable",
     "ClientQueueFull",
     "ClientSession",
     "GatewayDraining",
@@ -59,7 +63,10 @@ __all__ = [
     "PROTOCOL_VERSION",
     "ProtocolError",
     "QueryGateway",
+    "ReadOnlyError",
+    "ReplicationUnavailable",
     "RequestTimeout",
+    "connect_clients",
     "decode_frame",
     "encode_frame",
     "parse_request",

@@ -16,6 +16,13 @@ transports behind one API:
 Successful responses return the ``result`` payload dict; error responses
 raise :class:`~repro.server.errors.GatewayRequestError` carrying the wire
 code (``protocol_error``, ``overloaded``, ``timeout``, ...).
+
+TCP clients opened with ``retry_reads=N`` additionally survive dropped
+connections for **idempotent read ops** (:data:`IDEMPOTENT_OPS`): a
+transport failure triggers a bounded reconnect-and-retry instead of an
+error, which is how the query router rides out a replica restart.
+Mutations and rule changes are never retried — the gateway's
+at-least-once timeout semantics already make blind write retries unsafe.
 """
 
 from __future__ import annotations
@@ -26,6 +33,17 @@ from typing import Any, Dict, List, Optional
 
 from .errors import GatewayError, GatewayRequestError
 from .protocol import decode_frame, encode_frame
+
+#: Ops a reconnecting client may safely retry on a transport failure:
+#: pure reads with no server-side effect beyond caching.
+IDEMPOTENT_OPS = (
+    "optimize",
+    "execute",
+    "execute_batch",
+    "stats",
+    "replica_status",
+    "subscribe_wal",
+)
 
 
 class AsyncGatewayClient:
@@ -42,24 +60,37 @@ class AsyncGatewayClient:
         writer: Optional[asyncio.StreamWriter] = None,
         gateway=None,
         client_id: str = "client",
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        retry_reads: int = 0,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self._gateway = gateway
         self.client_id = client_id
+        self._host = host
+        self._port = port
+        self._retry_reads = retry_reads
         self._ids = itertools.count(1)
         self._pending: Dict[int, asyncio.Future] = {}
         self._reader_task: Optional[asyncio.Task] = None
         self._closed = False
+        # Connection generation: bumped on every reconnect so a dying old
+        # read loop can never fail futures registered on the new
+        # connection, and so concurrent retries reconnect at most once.
+        self._conn_generation = 1
+        self._reconnect_lock: Optional[asyncio.Lock] = None
         if reader is not None:
-            self._reader_task = asyncio.ensure_future(self._read_loop())
+            self._reader_task = asyncio.ensure_future(
+                self._read_loop(reader, self._conn_generation)
+            )
 
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
     async def connect(
-        cls, host: str, port: int, client_id: str = "client"
+        cls, host: str, port: int, client_id: str = "client", retry_reads: int = 0
     ) -> "AsyncGatewayClient":
         """Open a TCP connection to a served gateway.
 
@@ -67,9 +98,20 @@ class AsyncGatewayClient:
         the TCP path the gateway identifies clients by peer address, so
         admission fairness and pending caps are **per connection**; only
         the in-process path (:meth:`in_process`) honors the id directly.
+
+        ``retry_reads`` bounds reconnect-and-retry attempts for
+        idempotent read ops after a transport failure (``0`` preserves
+        the fail-fast behaviour).
         """
         reader, writer = await asyncio.open_connection(host, port, limit=1 << 26)
-        return cls(reader=reader, writer=writer, client_id=client_id)
+        return cls(
+            reader=reader,
+            writer=writer,
+            client_id=client_id,
+            host=host,
+            port=port,
+            retry_reads=retry_reads,
+        )
 
     @classmethod
     def in_process(cls, gateway, client_id: str = "in-process") -> "AsyncGatewayClient":
@@ -137,9 +179,50 @@ class AsyncGatewayClient:
     # Transport
     # ------------------------------------------------------------------
     async def request(self, frame: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one request frame and await its ``result`` payload."""
+        """Send one request frame and await its ``result`` payload.
+
+        On the TCP path, a transport failure (dropped connection, reset)
+        is retried up to ``retry_reads`` times for idempotent read ops,
+        reconnecting between attempts.  Error *responses* — the gateway
+        answered — always raise immediately, and non-idempotent frames
+        (mutations, rules) are never resent.
+        """
         if self._closed:
             raise GatewayError("client is closed")
+        retries = (
+            self._retry_reads
+            if self._writer is not None
+            and self._host is not None
+            and frame.get("op") in IDEMPOTENT_OPS
+            else 0
+        )
+        delay = 0.05
+        for attempt in range(retries + 1):
+            generation = self._conn_generation
+            try:
+                return await self._request_once(frame)
+            except GatewayRequestError:
+                raise
+            except (GatewayError, ConnectionError, OSError):
+                if self._closed or attempt >= retries:
+                    raise
+                # Give a restarting backend a moment, then reconnect (or
+                # join a reconnect another coroutine already performed).
+                await asyncio.sleep(delay)
+                delay = min(delay * 2.0, 0.5)
+                try:
+                    await self._reconnect(generation)
+                except (ConnectionError, OSError):
+                    continue  # next attempt retries the reconnect
+        raise GatewayError("retry budget exhausted")  # pragma: no cover
+
+    async def _request_once(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        # A connection whose read loop has exited can never answer: a
+        # write might land in the dead transport's buffer without an
+        # error and the response future would hang forever.  Fail fast
+        # instead (retry-eligible callers reconnect and re-issue).
+        if self._reader_task is not None and self._reader_task.done():
+            raise GatewayError("connection closed")
         frame = dict(frame, id=next(self._ids))
         if self._gateway is not None:
             response = await self._gateway.dispatch(frame, self.client_id)
@@ -159,10 +242,49 @@ class AsyncGatewayClient:
             )
         return response["result"]
 
-    async def _read_loop(self) -> None:
+    async def _reconnect(self, observed_generation: int) -> None:
+        """Replace the dead connection (at most once per generation)."""
+        if self._reconnect_lock is None:
+            self._reconnect_lock = asyncio.Lock()
+        async with self._reconnect_lock:
+            if self._closed:
+                raise GatewayError("client is closed")
+            if self._conn_generation != observed_generation:
+                return  # another coroutine already reconnected
+            reader, writer = await asyncio.open_connection(
+                self._host, self._port, limit=1 << 26
+            )
+            # Bump the generation *before* touching the old connection so
+            # its read loop's cleanup (below) recognizes itself as stale.
+            self._conn_generation += 1
+            old_task, old_writer = self._reader_task, self._writer
+            self._reader, self._writer = reader, writer
+            self._reader_task = asyncio.ensure_future(
+                self._read_loop(reader, self._conn_generation)
+            )
+            # Requests still parked on the dead connection can never be
+            # answered; fail them so retry-eligible callers re-issue on
+            # the new connection.
+            for future in list(self._pending.values()):
+                if not future.done():
+                    future.set_exception(
+                        GatewayError("connection reset during reconnect")
+                    )
+            if old_task is not None:
+                old_task.cancel()
+                try:
+                    await old_task
+                except asyncio.CancelledError:
+                    pass
+            if old_writer is not None:
+                old_writer.close()
+
+    async def _read_loop(
+        self, reader: asyncio.StreamReader, generation: int
+    ) -> None:
         try:
             while True:
-                line = await self._reader.readline()
+                line = await reader.readline()
                 if not line:
                     break
                 if not line.strip():
@@ -177,11 +299,15 @@ class AsyncGatewayClient:
         except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
             pass
         finally:
-            for future in self._pending.values():
-                if not future.done():
-                    future.set_exception(
-                        GatewayError("connection closed before response")
-                    )
+            # Only the *current* connection's loop may fail the pending
+            # map: a stale loop dying mid-reconnect must not kill futures
+            # already registered against the replacement connection.
+            if generation == self._conn_generation:
+                for future in self._pending.values():
+                    if not future.done():
+                        future.set_exception(
+                            GatewayError("connection closed before response")
+                        )
 
     async def close(self) -> None:
         """Close the connection (no-op beyond bookkeeping when in-process)."""

@@ -78,6 +78,38 @@ class RequestTimeout(GatewayError):
     code = "timeout"
 
 
+class ReadOnlyError(GatewayError):
+    """A mutating op reached a read-only replica gateway.
+
+    Replicas apply writes only through the replication feed; direct
+    ``insert``/``update``/``delete``/``rules`` RPCs must go to the
+    primary (the router does this automatically).  The rejection is
+    per-request and the connection stays up.
+    """
+
+    code = "read_only"
+
+
+class ReplicationUnavailable(GatewayError):
+    """This gateway is not streaming WAL frames (``subscribe_wal``).
+
+    Returned when the server was started without ``--replicate-on``, so
+    there is no feed endpoint to hand out.
+    """
+
+    code = "replication_unavailable"
+
+
+class BackupUnavailable(GatewayError):
+    """The ``backup`` RPC needs durability and none is configured.
+
+    On-demand snapshots are written by the durability manager; a server
+    started without ``--data-dir`` has nowhere to put one.
+    """
+
+    code = "backup_unavailable"
+
+
 class GatewayRequestError(GatewayError):
     """Client-side image of an error response received from the gateway."""
 

@@ -39,10 +39,13 @@ from ..engine.storage import StorageError
 from ..query.equivalence import equivalence_key
 from .admission import AdmissionController
 from .errors import (
+    BackupUnavailable,
     GatewayDraining,
     GatewayError,
     MutationError,
     ProtocolError,
+    ReadOnlyError,
+    ReplicationUnavailable,
     RequestTimeout,
 )
 from .protocol import (
@@ -87,6 +90,12 @@ class QueryGateway:
         Default per-request budget in seconds, covering admission wait and
         computation.  Requests may lower (never raise) it with the
         ``timeout`` option.
+    read_only, replication, follower:
+        Replication wiring (:mod:`repro.replication`): ``read_only``
+        rejects mutation and ``rules`` frames with the ``read_only``
+        code, ``replication`` is the primary's feed (answers
+        ``subscribe_wal`` and reports per-replica lag), ``follower`` is
+        the replica's follower (reports sync progress).
 
     Examples
     --------
@@ -124,11 +133,21 @@ class QueryGateway:
         max_waiting: int = 256,
         max_pending_per_client: int = 64,
         request_timeout: float = 30.0,
+        read_only: bool = False,
+        replication=None,
+        follower=None,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
         self.request_timeout = request_timeout
+        # Replication wiring: a read-only replica rejects mutating RPCs
+        # (its store changes only through the feed); ``replication`` is
+        # the primary's ReplicationFeed (subscribe_wal / lag reporting),
+        # ``follower`` the replica's ReplicaFollower (progress reporting).
+        self._read_only = read_only
+        self._replication = replication
+        self._follower = follower
         self.admission = AdmissionController(
             max_in_flight=max_in_flight,
             max_waiting=max_waiting,
@@ -230,6 +249,16 @@ class QueryGateway:
             self._count(self._errors, exc.code)
             return error_response(request_id, exc)
         self._count(self._requests, request.op)
+        if self._read_only and (request.op in MUTATION_OPS or request.op == "rules"):
+            # A replica's store changes only through the replication
+            # feed; direct writes must go to the primary (the router
+            # forwards them there automatically).
+            error = ReadOnlyError(
+                f"this gateway is a read-only replica; send {request.op!r} "
+                "to the primary"
+            )
+            self._count(self._errors, error.code)
+            return error_response(request_id, error)
         if request.op == "stats":
             # Served inline and never queued: an overloaded or draining
             # gateway must still be observable.
@@ -237,6 +266,24 @@ class QueryGateway:
                 payload = self.stats_payload()
             except Exception as exc:
                 self._count(self._errors, "internal")
+                return error_response(request_id, exc)
+            self._responses += 1
+            return ok_response(request_id, payload)
+        if request.op == "replica_status":
+            # Inline like stats: the router polls this on every pinned
+            # read, so it must stay answerable under load and drain.
+            try:
+                payload = self.replica_status_payload()
+            except Exception as exc:
+                self._count(self._errors, "internal")
+                return error_response(request_id, exc)
+            self._responses += 1
+            return ok_response(request_id, payload)
+        if request.op == "subscribe_wal":
+            try:
+                payload = self._subscribe_wal_payload()
+            except GatewayError as exc:
+                self._count(self._errors, exc.code)
                 return error_response(request_id, exc)
             self._responses += 1
             return ok_response(request_id, payload)
@@ -294,6 +341,10 @@ class QueryGateway:
             return await self._run_in_pool(
                 lambda: batch_payload(self._execute_many(request)), timeout
             )
+        if request.op == "backup":
+            # An on-demand snapshot quiesces the store (write lock), so
+            # it runs on the pool under the normal timeout budget.
+            return await self._run_in_pool(lambda: self._backup_payload(), timeout)
         generation = (
             self.service.repository.generation
             if self.service.repository is not None
@@ -396,6 +447,48 @@ class QueryGateway:
             return execution_payload(service.execute(query, **options))
 
         return work
+
+    def _backup_payload(self) -> Dict[str, Any]:
+        """Serve the ``backup`` RPC: an on-demand durability snapshot."""
+        backup = getattr(self.service, "backup", None)
+        if backup is None:
+            raise BackupUnavailable("service does not support backups")
+        try:
+            return backup()
+        except ValueError as exc:
+            raise BackupUnavailable(str(exc)) from None
+
+    def replica_status_payload(self) -> Dict[str, Any]:
+        """Serve ``replica_status``: role, versions, and peer progress."""
+        version = getattr(self.service.store, "version", 0) or 0
+        payload: Dict[str, Any] = {
+            "read_only": self._read_only,
+            "store_version": version,
+            "applied_version": version,
+        }
+        if self._replication is not None:
+            payload["role"] = "primary"
+            payload.update(self._replication.status())
+        elif self._follower is not None:
+            payload["role"] = "replica"
+            status = self._follower.status()
+            payload.update(status)
+            # The follower's applied version is authoritative for the
+            # read-your-writes pin (it advances only after the record is
+            # visible to readers).
+            payload["applied_version"] = status.get("applied_version", version)
+        else:
+            payload["role"] = "standalone"
+        return payload
+
+    def _subscribe_wal_payload(self) -> Dict[str, Any]:
+        """Serve ``subscribe_wal``: where a replica should connect."""
+        if self._replication is None:
+            raise ReplicationUnavailable(
+                "this gateway does not stream WAL frames; start the "
+                "server with --replicate-on"
+            )
+        return self._replication.describe()
 
     def _execute_many(self, request: Request):
         options = {

@@ -30,6 +30,43 @@ from .client import AsyncGatewayClient
 from .errors import GatewayError
 
 
+async def connect_clients(
+    endpoints: Sequence[Any],
+    count: int,
+    *,
+    retry_reads: int = 0,
+    client_prefix: str = "load",
+) -> List[AsyncGatewayClient]:
+    """Connect ``count`` clients striped round-robin across ``endpoints``.
+
+    ``endpoints`` is a list of ``(host, port)`` pairs — one per gateway
+    process.  Client ``i`` connects to ``endpoints[i % len(endpoints)]``,
+    so a workload fans out evenly over a replica fleet without a router
+    in the measurement path.  ``retry_reads`` is forwarded to every
+    client (see :class:`AsyncGatewayClient.connect`).  On any connect
+    failure the already-opened clients are closed before re-raising.
+    """
+    if not endpoints:
+        raise ValueError("connect_clients requires at least one endpoint")
+    clients: List[AsyncGatewayClient] = []
+    try:
+        for index in range(count):
+            host, port = endpoints[index % len(endpoints)]
+            clients.append(
+                await AsyncGatewayClient.connect(
+                    host,
+                    port,
+                    client_id=f"{client_prefix}-{index}",
+                    retry_reads=retry_reads,
+                )
+            )
+    except BaseException:
+        for client in clients:
+            await client.close()
+        raise
+    return clients
+
+
 def percentile(samples: Sequence[float], fraction: float) -> float:
     """The ``fraction`` percentile (0..1) of ``samples`` (0.0 when empty).
 

@@ -38,6 +38,23 @@ connection).  ``op`` selects the RPC:
     that has not started, but a write already running commits even though
     the caller received the ``timeout`` error — retry only with values
     that are safe to re-apply.
+``subscribe_wal``
+    → the replication feed endpoint of this primary: ``host``/``port``
+    to connect a replica to, the feed ``epoch``, and the current store
+    ``version``/``shard_count``.  Servers started without
+    ``--replicate-on`` answer ``replication_unavailable``.
+``replica_status``
+    → this server's replication role and progress: ``role``
+    (``primary``/``replica``/``standalone``), ``store_version`` and
+    ``applied_version``, plus per-replica acked versions and lag on a
+    primary, or the followed primary endpoint and connection state on a
+    replica.  Served inline (never queued) so the router can poll it for
+    read-your-writes even under load.  On a read-only replica, mutation
+    and ``rules`` frames are rejected with the ``read_only`` code.
+``backup``
+    → write an on-demand atomic snapshot through the durability
+    manager; returns its ``path`` and store ``version``.  Servers
+    without ``--data-dir`` answer ``backup_unavailable``.
 
 Response frames are ``{"id": ..., "ok": true, "result": {...}}`` or
 ``{"id": ..., "ok": false, "error": {"code": ..., "message": ...}}`` with
@@ -77,6 +94,9 @@ OPS = (
     "insert_many",
     "update",
     "delete",
+    "subscribe_wal",
+    "replica_status",
+    "backup",
 )
 
 #: The subset of OPS that write to the store.

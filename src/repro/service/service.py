@@ -26,7 +26,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..caching import LruCache, ReadWriteLock, SingleFlightMap
 from ..constraints.dynamic import DerivationConfig, DynamicRuleDeriver
@@ -399,6 +399,113 @@ class OptimizationService:
             return
         with self._store_lock.write():
             self._durability.flush()
+
+    def backup(self) -> Dict[str, Any]:
+        """Write an on-demand atomic snapshot; returns ``{path, version}``.
+
+        Backs the ``backup`` RPC: the snapshot is taken under the
+        exclusive store lock (the durability manager requires a
+        quiescent store), rotates the WAL to the new base, and lands in
+        the data directory like any scheduled snapshot.  Raises
+        ``ValueError`` when no durability manager is attached (the
+        gateway maps this to the ``backup_unavailable`` wire code).
+        """
+        if self._durability is None:
+            raise ValueError(
+                "backup requires durability; start the server with --data-dir"
+            )
+        with self._store_lock.write():
+            path = self._durability.snapshot()
+            version = self.store.version if self.store is not None else 0
+        return {"path": path, "version": version}
+
+    def replication_capture(self, version, register=None) -> Dict[str, Any]:
+        """Capture a consistent sync point for a new replication subscriber.
+
+        Runs under the shared (read) side of the store lock — readers
+        exclude writers, so no mutation (and hence no sink callback) can
+        fire mid-capture.  Calling ``register`` *inside* the locked span
+        subscribes the caller to the live feed atomically with the
+        capture: every record after the captured version reaches the
+        subscriber through its queue, and none is duplicated or lost
+        between sync payload and tail.
+
+        With ``version`` set and bridgeable by the store's bounded
+        journal, returns ``{"mode": "tail", "records": [...]}`` — the
+        delta a lagging replica replays.  Otherwise returns
+        ``{"mode": "snapshot", "header": ..., "rows": [...]}`` — the
+        full state in deterministic snapshot order.
+        """
+        if self.store is None:
+            raise ValueError(
+                "replication requires an attached object store"
+            )
+        from ..durability.snapshot import SNAPSHOT_FORMAT
+
+        with self._store_lock.read():
+            records = (
+                self.store.journal_since(version) if version is not None else None
+            )
+            if register is not None:
+                register()
+            if records is not None:
+                return {
+                    "mode": "tail",
+                    "version": self.store.version,
+                    "shard_count": self.store.shard_count,
+                    "records": [record.as_dict() for record in records],
+                }
+            return {
+                "mode": "snapshot",
+                "version": self.store.version,
+                "shard_count": self.store.shard_count,
+                "format": SNAPSHOT_FORMAT,
+                "header": dict(self.store.snapshot_header()),
+                "rows": [
+                    (class_name, oid, dict(values))
+                    for class_name, oid, values in self.store.snapshot_rows()
+                ],
+            }
+
+    def apply_replication(self, records) -> int:
+        """Apply replicated mutation records on a replica; returns count.
+
+        The replica-side write path: records stream in from the
+        primary's feed and replay through the store's ``apply_journal``
+        under the exclusive lock — exactly how forked parallel workers
+        catch up — so shard versions advance like the original writes
+        and every shard-granular cache invalidates identically.
+        Dynamic rules of the touched classes are re-derived afterwards,
+        still under the lock, mirroring the primary's own write path.
+        """
+        if self.store is None:
+            raise ValueError(
+                "OptimizationService has no object store attached; pass "
+                "store= at construction or call attach_store()"
+            )
+        records = list(records)
+        with self._store_lock.write():
+            applied = self.store.apply_journal(records)
+            self._mutations_applied += applied
+            touched = {record.class_name for record in records}
+            self._refresh_dynamic_rules(self._tracked_classes(touched))
+        return applied
+
+    def adopt_replica_store(self, store) -> None:
+        """Swap in a fully resynced replica store (full snapshot resync).
+
+        Used when the primary's journal can no longer bridge this
+        replica's version (bounded retention, or a new feed epoch): the
+        follower rebuilds a complete store off-lock, and this swap —
+        plus a dynamic-rule refresh over every tracked class — happens
+        atomically with respect to readers.
+        """
+        with self._store_lock.write():
+            self.store = store
+            self._refresh_dynamic_rules(
+                self._tracked_classes(self.schema.class_names())
+            )
+        self._drop_executors()
 
     def close(self) -> None:
         """Release execution resources (worker pools, cached executors).

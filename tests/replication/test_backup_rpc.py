@@ -1,0 +1,72 @@
+"""The ``backup`` RPC: on-demand snapshots with a stable error code.
+
+With a durability manager attached, ``backup`` writes a point-in-time
+snapshot through the normal snapshot path (store write lock held, tmp +
+fsync + rename) and reports its path and version; the snapshot must
+load back byte-identically.  Without ``--data-dir`` the op answers the
+``backup_unavailable`` wire code — never a generic internal error.
+"""
+
+import asyncio
+from pathlib import Path
+
+import pytest
+
+from repro.durability import DurabilityManager
+from repro.durability.snapshot import load_snapshot
+from repro.engine.storage import ShardedObjectStore
+from repro.server import AsyncGatewayClient, QueryGateway, GatewayRequestError
+
+
+def test_backup_writes_a_loadable_snapshot(tmp_path, schema, make_service):
+    manager = DurabilityManager(str(tmp_path), fsync_policy="off")
+    store, _ = manager.open(ShardedObjectStore(schema, shard_count=2))
+    service = make_service(store)
+    service.attach_durability(manager)
+    try:
+        for i in range(5):
+            service.mutate(
+                "insert", "cargo",
+                values={"code": f"BK{i}", "desc": "frozen food",
+                        "quantity": i, "category": "general"},
+            )
+
+        async def scenario():
+            gateway = QueryGateway(service)
+            client = AsyncGatewayClient.in_process(gateway)
+            try:
+                return await client.request({"op": "backup"})
+            finally:
+                await gateway.stop()
+
+        result = asyncio.run(scenario())
+        assert result["version"] == store.version
+        path = Path(result["path"])
+        assert path.exists()
+        restored = load_snapshot(str(path), schema)
+        assert list(restored.snapshot_rows()) == list(store.snapshot_rows())
+        assert restored.shard_versions() == store.shard_versions()
+        assert dict(restored.snapshot_header()) == dict(store.snapshot_header())
+    finally:
+        service.close()
+        manager.close()
+
+
+def test_backup_without_durability_is_a_stable_error(schema, make_store,
+                                                     make_service):
+    service = make_service(make_store())
+    try:
+
+        async def scenario():
+            gateway = QueryGateway(service)
+            client = AsyncGatewayClient.in_process(gateway)
+            try:
+                with pytest.raises(GatewayRequestError) as excinfo:
+                    await client.request({"op": "backup"})
+                return excinfo.value.code
+            finally:
+                await gateway.stop()
+
+        assert asyncio.run(scenario()) == "backup_unavailable"
+    finally:
+        service.close()

@@ -1,0 +1,166 @@
+"""Kill a replica mid-stream: router failover + full resync on restart.
+
+Boots the real CLI topology as subprocesses — a primary with
+``--replicate-on`` and two ``--follow`` replicas — routes reads through
+an in-process :class:`QueryRouter`, SIGKILLs one replica under traffic,
+and requires (a) zero client-visible errors across the kill, and (b) a
+restarted replica resyncing from the feed (snapshot + live tail) and
+serving again.
+"""
+
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+SERVING = re.compile(r"serving DB1 on ([\d.]+):(\d+)")
+FEED = re.compile(r"replication feed on ([\d.]+):(\d+)")
+SYNCED = re.compile(r"replica synced from [\d.:]+: store v(\d+)")
+
+QUERIES = [
+    '(SELECT {cargo.code, cargo.quantity} { } {cargo.quantity >= 0} { } {cargo})',
+    '(SELECT {cargo.code} { } {cargo.quantity >= 1} { } {cargo})',
+    '(SELECT {cargo.desc} { } {cargo.quantity >= 2} { } {cargo})',
+    '(SELECT {cargo.category} { } {cargo.quantity >= 3} { } {cargo})',
+]
+
+
+def _spawn(*extra_args):
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir + os.pathsep + existing if existing else src_dir
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--db", "DB1",
+         "--port", "0", *extra_args],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _await_patterns(proc, *patterns, timeout=120):
+    """Read the child's stdout until every pattern matched once."""
+    matches = {}
+    deadline = time.monotonic() + timeout
+    lines = []
+    while time.monotonic() < deadline and len(matches) < len(patterns):
+        line = proc.stdout.readline()
+        if not line:
+            pytest.fail("server exited early:\n" + "".join(lines))
+        lines.append(line)
+        for pattern in patterns:
+            if pattern not in matches:
+                found = pattern.search(line)
+                if found:
+                    matches[pattern] = found
+    if len(matches) < len(patterns):
+        pytest.fail("server never printed its endpoints:\n" + "".join(lines))
+    return [matches[pattern] for pattern in patterns]
+
+
+def _await_socket(host, port, timeout=60):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            socket.create_connection((host, port), 1).close()
+            return
+        except OSError:
+            time.sleep(0.25)
+    pytest.fail(f"{host}:{port} never accepted a connection")
+
+
+def _terminate(proc):
+    if proc is not None and proc.poll() is None:
+        proc.kill()
+        proc.wait(timeout=30)
+    if proc is not None and proc.stdout is not None:
+        proc.stdout.close()
+
+
+def test_router_survives_a_replica_kill_and_restart():
+    primary = replica_a = replica_b = restarted = None
+    try:
+        primary = _spawn("--replicate-on", "0")
+        (serving, feed) = _await_patterns(primary, SERVING, FEED)
+        primary_endpoint = f"{serving.group(1)}:{serving.group(2)}"
+        feed_endpoint = (feed.group(1), int(feed.group(2)))
+
+        follow = f"{feed_endpoint[0]}:{feed_endpoint[1]}"
+        replica_a = _spawn("--follow", follow)
+        replica_b = _spawn("--follow", follow)
+        (serving_a,) = _await_patterns(replica_a, SERVING)
+        (serving_b,) = _await_patterns(replica_b, SERVING)
+        endpoint_a = f"{serving_a.group(1)}:{serving_a.group(2)}"
+        endpoint_b = f"{serving_b.group(1)}:{serving_b.group(2)}"
+        for endpoint in (primary_endpoint, endpoint_a, endpoint_b):
+            host, _, port = endpoint.rpartition(":")
+            _await_socket(host, int(port))
+
+        import asyncio
+
+        from repro.replication import QueryRouter
+        from repro.server import AsyncGatewayClient
+
+        async def drive(replicas, rounds=2, mutate=False):
+            """Reads (and optionally one write) through a fresh router."""
+            router = QueryRouter(
+                primary_endpoint, list(replicas), retry_reads=1,
+                pin_timeout=10.0,
+            )
+            host, port = await router.start()
+            client = await AsyncGatewayClient.connect(host, port)
+            errors = []
+            try:
+                if mutate:
+                    await client.insert(
+                        "cargo", {"desc": "killed-replica survivor",
+                                  "quantity": 31337},
+                    )
+                for _ in range(rounds):
+                    for text in QUERIES:
+                        try:
+                            await client.execute(text)
+                        except Exception as exc:  # noqa: BLE001
+                            errors.append(repr(exc))
+            finally:
+                await client.close()
+                await router.stop()
+            return errors, router.status()
+
+        # Healthy fleet: mixed traffic, read-your-writes across the write.
+        errors, _ = asyncio.run(drive([endpoint_a, endpoint_b], mutate=True))
+        assert errors == []
+
+        # SIGKILL replica A mid-stream; traffic must keep flowing.
+        replica_a.send_signal(signal.SIGKILL)
+        replica_a.wait(timeout=30)
+        errors, status = asyncio.run(drive([endpoint_a, endpoint_b]))
+        assert errors == [], f"reads failed across the kill: {errors}"
+        assert status["errors"] == 0
+
+        # A restarted replica resyncs (snapshot + tail) and serves again:
+        # its bootstrap version must include the post-kill write.
+        restarted = _spawn("--follow", follow)
+        (synced, serving_r) = _await_patterns(restarted, SYNCED, SERVING)
+        assert int(synced.group(1)) >= 1
+        endpoint_r = f"{serving_r.group(1)}:{serving_r.group(2)}"
+        host, _, port = endpoint_r.rpartition(":")
+        _await_socket(host, int(port))
+        errors, status = asyncio.run(drive([endpoint_r, endpoint_b]))
+        assert errors == []
+        assert status["errors"] == 0
+    finally:
+        for proc in (primary, replica_a, replica_b, restarted):
+            _terminate(proc)

@@ -1,0 +1,121 @@
+"""Client reconnect-and-retry: reads survive a gateway restart, writes don't.
+
+``AsyncGatewayClient.connect(..., retry_reads=N)`` turns a transport
+failure on an idempotent read into a bounded reconnect + re-issue — the
+behaviour the query router leans on to ride out a replica restart.  The
+contracts pinned here:
+
+* an idempotent read issued across a gateway stop/start succeeds
+  transparently (and the answer is correct);
+* a mutation on a dead connection fails fast — it is **never** resent,
+  because the gateway's at-least-once timeout semantics make blind
+  write retries unsafe;
+* an error *response* (the server answered) is raised immediately, not
+  retried;
+* with ``retry_reads=0`` the old fail-fast behaviour is unchanged.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.server import (
+    AsyncGatewayClient,
+    GatewayError,
+    GatewayRequestError,
+    QueryGateway,
+)
+
+QUERY = '(SELECT {cargo.code} { } {cargo.quantity >= 0} { } {cargo})'
+
+
+async def _restart(gateway_ref, service, port):
+    """Stop the current gateway and bind a fresh one on the same port."""
+    await gateway_ref[0].stop()
+    gateway_ref[0] = QueryGateway(service, port=port)
+    await gateway_ref[0].start()
+
+
+def test_idempotent_reads_survive_gateway_restart(build_service):
+    async def scenario():
+        service = build_service()
+        gateway_ref = [QueryGateway(service)]
+        host, port = await gateway_ref[0].start()
+        client = await AsyncGatewayClient.connect(
+            host, port, client_id="retry", retry_reads=5
+        )
+        try:
+            before = await client.execute(QUERY)
+            await _restart(gateway_ref, service, port)
+            after = await client.execute(QUERY)  # reconnects under the hood
+            stats = await client.stats()  # the new connection is healthy
+            return before["row_count"], after["row_count"], stats
+        finally:
+            await client.close()
+            await gateway_ref[0].stop()
+
+    before, after, stats = asyncio.run(scenario())
+    assert after == before
+    assert stats["gateway"]["requests"].get("execute") == 1
+
+
+def test_mutations_never_retry_across_a_dead_connection(build_service):
+    async def scenario():
+        service = build_service()
+        gateway_ref = [QueryGateway(service)]
+        host, port = await gateway_ref[0].start()
+        client = await AsyncGatewayClient.connect(
+            host, port, client_id="no-write-retry", retry_reads=5
+        )
+        try:
+            version_before = service.store.version
+            await _restart(gateway_ref, service, port)
+            with pytest.raises((GatewayError, ConnectionError, OSError)):
+                await client.insert("cargo", {"desc": "must not apply"})
+            # The write was neither applied nor silently re-issued.
+            return version_before, service.store.version
+        finally:
+            await client.close()
+            await gateway_ref[0].stop()
+
+    version_before, version_after = asyncio.run(scenario())
+    assert version_after == version_before
+
+
+def test_error_responses_are_not_retried(build_service):
+    async def scenario():
+        service = build_service()
+        gateway = QueryGateway(service)
+        host, port = await gateway.start()
+        client = await AsyncGatewayClient.connect(
+            host, port, client_id="err", retry_reads=5
+        )
+        try:
+            with pytest.raises(GatewayRequestError) as excinfo:
+                await client.execute("(not a query")
+            return excinfo.value.code, gateway.stats_payload()
+        finally:
+            await client.close()
+            await gateway.stop()
+
+    code, stats = asyncio.run(scenario())
+    assert code == "protocol_error"
+    # Exactly one attempt reached the gateway: the error response was
+    # final, not treated as a retryable transport failure.
+    assert stats["gateway"]["errors"].get("protocol_error") == 1
+
+
+def test_retry_disabled_preserves_fail_fast(build_service):
+    async def scenario():
+        service = build_service()
+        gateway = QueryGateway(service)
+        host, port = await gateway.start()
+        client = await AsyncGatewayClient.connect(host, port)  # retry_reads=0
+        try:
+            await gateway.stop()
+            with pytest.raises((GatewayError, ConnectionError, OSError)):
+                await client.execute(QUERY)
+        finally:
+            await client.close()
+
+    asyncio.run(scenario())
