@@ -1,0 +1,186 @@
+"""Benchmark: diff-push subscriptions vs naive per-write re-execution.
+
+The subscription layer's performance claim: keeping N standing queries
+live costs a *classification* per write — compiled single-class kernels
+deciding which views could possibly change — plus a re-execution for
+only the affected views, instead of re-executing all N queries after
+every write (what a client polling for freshness would do).
+
+The workload models a dashboard fleet: 32 watchers, each standing on a
+selective predicate, over a few-hundred-row store taking a mixed write
+stream where most writes matter to at most one watcher.  Both legs pay
+the same mutation cost; the naive leg re-executes all 32 queries per
+write, the diff leg pumps the registry.  The folded diff streams are
+asserted byte-identical to fresh execution before any timing gate.
+
+Numbers land in ``BENCH_subscribe.json``; the ≥ 3x speedup gate runs on
+≥ 4-core hosts outside smoke mode.
+"""
+
+import json
+import os
+import random
+import time
+
+from _artifacts import record_bench
+
+from repro.constraints import ConstraintRepository
+from repro.core import OptimizerConfig
+from repro.data import build_evaluation_constraints, build_evaluation_schema
+from repro.engine import ObjectStore
+from repro.query import parse_query
+from repro.service import OptimizationService
+from repro.subscriptions import apply_changes
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+STANDING_QUERIES = 32
+WRITES = 64
+DESCS = ["frozen food", "textiles", "machinery"]
+
+
+def _build_service():
+    schema = build_evaluation_schema()
+    store = ObjectStore(schema, shard_count=2)
+    rng = random.Random(7)
+    for i in range(3):
+        store.insert(
+            "supplier", {"name": f"S{i}", "region": "west", "rating": 1 + i}
+        )
+    for i in range(3):
+        store.insert(
+            "vehicle",
+            {"vehicle_no": f"V{i}", "desc": "van", "class": 2, "capacity": 4000},
+        )
+    for i in range(400):
+        store.insert(
+            "cargo",
+            {"code": f"C{i}", "desc": DESCS[i % 3],
+             "quantity": rng.randint(5, 90), "category": "general"},
+        )
+    repository = ConstraintRepository(schema)
+    repository.add_all(build_evaluation_constraints())
+    service = OptimizationService(
+        schema,
+        repository=repository,
+        config=OptimizerConfig(record_access_statistics=False),
+        store=store,
+    )
+    return schema, store, service
+
+
+def _watch_queries(schema):
+    """32 selective watchers, one per dashboard entity."""
+    queries = []
+    for i in range(STANDING_QUERIES):
+        text = (
+            '(SELECT {cargo.code, cargo.quantity} { } '
+            f'{{cargo.code = "W{i}", cargo.quantity >= 0}} {{ }} {{cargo}})'
+        )
+        query = parse_query(text, name=f"watch-{i}")
+        query.validate(schema)
+        queries.append(query)
+    return queries
+
+
+def _write_stream(offset=0):
+    """The mixed write stream: every 8th write hits exactly one watcher."""
+    rng = random.Random(31 + offset)
+    writes = []
+    for i in range(WRITES):
+        if i % 8 == 0:
+            code = f"W{(i + offset) % STANDING_QUERIES}"
+        else:
+            code = f"X{offset}-{i}"
+        writes.append(
+            {"code": code, "desc": rng.choice(DESCS),
+             "quantity": rng.randint(5, 120), "category": "general"}
+        )
+    return writes
+
+
+def _dump(rows):
+    return json.dumps(rows, separators=(",", ":"), default=repr)
+
+
+def test_diff_push_beats_naive_reexecution():
+    schema, _store, service = _build_service()
+    try:
+        queries = _watch_queries(schema)
+
+        # Naive leg first (the store grows leg over leg; running naive on
+        # the smaller store biases the comparison *against* the diff leg).
+        for query in queries:  # warm the optimization cache for both legs
+            service.optimize(query)
+        naive_start = time.perf_counter()
+        for values in _write_stream(offset=1000):
+            service.mutate("insert", "cargo", values=values)
+            for query in queries:
+                service.execute(query)
+        naive_time = time.perf_counter() - naive_start
+
+        # Diff leg: the same write shape against 32 standing views.
+        registry = service.subscription_registry()
+        streams = {}
+        folded = {}
+        for query in queries:
+            frames = []
+            snapshot = registry.subscribe(
+                query, options={}, emit=frames.append
+            )
+            streams[snapshot["subscription"]] = frames
+            folded[snapshot["subscription"]] = (query, list(snapshot["rows"]))
+        diff_start = time.perf_counter()
+        for values in _write_stream(offset=2000):
+            service.mutate("insert", "cargo", values=values)
+            registry.pump()
+        diff_time = time.perf_counter() - diff_start
+
+        # Correctness before any timing claim: every folded stream is
+        # byte-identical to a fresh execution of its standing query.
+        diff_frames = 0
+        for sid, (query, rows) in folded.items():
+            for frame in streams[sid]:
+                diff_frames += 1
+                if frame["push"] == "diff":
+                    rows = apply_changes(rows, frame["changes"])
+                else:
+                    rows = [dict(row) for row in frame["rows"]]
+            fresh = service.execute(query).execution.rows
+            assert _dump(rows) == _dump(fresh), f"{sid} diverged after folding"
+        assert diff_frames >= WRITES // 8  # the watcher hits produced diffs
+        for sid in list(streams):
+            registry.unsubscribe(sid)
+
+        diff_ms = diff_time * 1000 / WRITES
+        naive_ms = naive_time * 1000 / WRITES
+        speedup = naive_ms / diff_ms if diff_ms > 0 else 0.0
+        enforced = not SMOKE and (os.cpu_count() or 1) >= 4
+        print(
+            f"\ndiff-push {diff_ms:.2f} ms/write vs naive re-execute "
+            f"{naive_ms:.2f} ms/write ({speedup:.1f}x, "
+            f"{diff_frames} diff frames over {WRITES} writes)"
+        )
+        record_bench(
+            "BENCH_subscribe.json",
+            "diff_push_vs_reexecute",
+            {
+                "workload": f"{STANDING_QUERIES} watchers, 400-row store, "
+                            f"{WRITES} mixed writes",
+                "diff_ms_per_write": round(diff_ms, 3),
+                "naive_ms_per_write": round(naive_ms, 3),
+                "speedup": round(speedup, 2),
+                "standing_queries": STANDING_QUERIES,
+                "writes": WRITES,
+                "diff_frames": diff_frames,
+                "required_speedup": 3.0,
+                "enforced": enforced,
+            },
+        )
+        if enforced:
+            assert speedup >= 3.0, (
+                f"diff push at {speedup:.2f}x of naive re-execution "
+                f"({diff_ms:.2f} vs {naive_ms:.2f} ms/write)"
+            )
+    finally:
+        service.close()

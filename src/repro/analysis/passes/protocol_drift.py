@@ -24,6 +24,13 @@ hits the gap.  Sub-checks:
 * ``op-undocumented`` / ``error-code-undocumented`` — every op and every
   registered code appears (backticked) in ``docs/operations.md``.  Doc
   checks only run when the analysis context has a docs root.
+* ``push-frame-outside-protocol`` / ``unknown-push-kind`` — the
+  server-initiated push frames (subscription diffs) are part of the wire
+  surface too: a ``{"push": ...}`` dict literal anywhere in the audited
+  tiers outside ``protocol.py`` bypasses the one reviewable set of frame
+  builders, and inside ``protocol.py`` the kind must be declared in
+  ``PUSH_KINDS``.  ``push-kind-undocumented`` holds the docs to the same
+  standard as ops and error codes.
 """
 
 from __future__ import annotations
@@ -42,8 +49,9 @@ SERVER_PREFIX = "server/"
 ROUTER_MODULE = "replication/router.py"
 #: Directories audited for stray error classes and op literals.  The
 #: replication tier speaks the same wire protocol (the router forwards
-#: gateway frames and issues its own RPCs), so it drifts the same way.
-WIRE_PREFIXES = (SERVER_PREFIX, "replication/")
+#: gateway frames and issues its own RPCs), and the subscriptions tier
+#: emits the push frames, so both drift the same way the server does.
+WIRE_PREFIXES = (SERVER_PREFIX, "replication/", "subscriptions/")
 
 
 class ProtocolDriftPass(AnalysisPass):
@@ -62,12 +70,17 @@ class ProtocolDriftPass(AnalysisPass):
         if ops is None:
             return []
 
+        push_kinds = string_tuple_assignment(protocol.tree, "PUSH_KINDS") or []
+
         findings: List[Finding] = []
         findings.extend(self._check_dispatch(context, ops, mutation_ops))
         findings.extend(self._check_router_ops(context, ops))
+        findings.extend(self._check_push_frames(context, push_kinds))
         codes = self._error_codes(context, findings)
         findings.extend(self._check_error_locations(context, set(codes)))
-        findings.extend(self._check_docs(context, ops, sorted(codes)))
+        findings.extend(
+            self._check_docs(context, ops, sorted(codes), push_kinds)
+        )
         return findings
 
     # ------------------------------------------------------------------
@@ -203,6 +216,71 @@ class ProtocolDriftPass(AnalysisPass):
         return findings
 
     # ------------------------------------------------------------------
+    # Push frames
+    # ------------------------------------------------------------------
+    def _check_push_frames(
+        self, context: AnalysisContext, push_kinds: List[str]
+    ) -> List[Finding]:
+        """Push-frame dict literals stay in protocol.py with known kinds.
+
+        Push frames are server-initiated and carry no correlation id, so
+        clients demultiplex them purely by shape: every producer must go
+        through the builders in ``protocol.py``, and each builder's
+        ``push`` value must be declared in ``PUSH_KINDS``.
+        """
+        findings = []
+        for prefix in WIRE_PREFIXES:
+            for info in context.in_dir(prefix):
+                for node in ast.walk(info.tree):
+                    if not isinstance(node, ast.Dict):
+                        continue
+                    for key, value in zip(node.keys, node.values):
+                        if not (
+                            isinstance(key, ast.Constant)
+                            and key.value == "push"
+                        ):
+                            continue
+                        if info.relpath != PROTOCOL_MODULE:
+                            findings.append(
+                                self.finding(
+                                    check="push-frame-outside-protocol",
+                                    file=info.relpath,
+                                    line=node.lineno,
+                                    symbol="push",
+                                    message=(
+                                        "push-frame dict literal built"
+                                        " outside server/protocol.py — use"
+                                        " the frame builders so the push"
+                                        " surface stays in one reviewable"
+                                        " file"
+                                    ),
+                                )
+                            )
+                        elif not (
+                            isinstance(value, ast.Constant)
+                            and isinstance(value.value, str)
+                            and value.value in push_kinds
+                        ):
+                            kind = (
+                                value.value
+                                if isinstance(value, ast.Constant)
+                                else ast.dump(value)
+                            )
+                            findings.append(
+                                self.finding(
+                                    check="unknown-push-kind",
+                                    file=info.relpath,
+                                    line=node.lineno,
+                                    symbol=str(kind),
+                                    message=(
+                                        f"push frame kind {kind!r} is not"
+                                        " declared in protocol.PUSH_KINDS"
+                                    ),
+                                )
+                            )
+        return findings
+
+    # ------------------------------------------------------------------
     # Error registry
     # ------------------------------------------------------------------
     def _error_codes(
@@ -308,7 +386,11 @@ class ProtocolDriftPass(AnalysisPass):
     # Docs
     # ------------------------------------------------------------------
     def _check_docs(
-        self, context: AnalysisContext, ops: List[str], codes: List[str]
+        self,
+        context: AnalysisContext,
+        ops: List[str],
+        codes: List[str],
+        push_kinds: List[str] = (),
     ) -> List[Finding]:
         doc = context.doc_text(OPERATIONS_DOC)
         if doc is None:
@@ -340,6 +422,21 @@ class ProtocolDriftPass(AnalysisPass):
                         message=(
                             f"wire error code {code!r} is registered in"
                             " server/errors.py but not documented in"
+                            " docs/operations.md"
+                        ),
+                    )
+                )
+        for kind in push_kinds:
+            if f"`{kind}`" not in doc:
+                findings.append(
+                    self.finding(
+                        check="push-kind-undocumented",
+                        file=doc_path,
+                        line=0,
+                        symbol=kind,
+                        message=(
+                            f"push frame kind {kind!r} is declared in"
+                            " protocol.PUSH_KINDS but not documented in"
                             " docs/operations.md"
                         ),
                     )

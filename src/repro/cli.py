@@ -287,6 +287,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--max-in-flight", type=int, default=64, help="admission: max active requests"
     )
     parser.add_argument(
+        "--max-subscriptions",
+        type=int,
+        default=64,
+        help=(
+            "cap on live subscriptions (standing views) this gateway "
+            "will hold; further subscribe RPCs answer subscription_limit"
+        ),
+    )
+    parser.add_argument(
         "--request-timeout",
         type=float,
         default=30.0,
@@ -491,6 +500,7 @@ def run_serve(argv: List[str]) -> int:
             args.port,
             worker_threads=args.worker_threads,
             max_in_flight=args.max_in_flight,
+            max_subscriptions=args.max_subscriptions,
             request_timeout=args.request_timeout,
             read_only=follower is not None,
             replication=feed,
@@ -750,6 +760,16 @@ def build_bench_client_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--subscribe",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "make the first N clients each hold a live subscription for "
+            "the whole run and count the diff frames they receive"
+        ),
+    )
+    parser.add_argument(
         "--artifact",
         default=None,
         help="merge the report into this JSON file (e.g. benchmarks/BENCH_gateway.json)",
@@ -842,6 +862,7 @@ def run_bench_client(argv: List[str]) -> int:
                 options=options,
                 rate=args.rate,
                 mutations=mix,
+                subscribe=max(args.subscribe, 0),
             )
             stats = await clients[0].stats()
         finally:

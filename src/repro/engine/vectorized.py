@@ -304,6 +304,26 @@ class VectorizedExecutor:
         plan = planner.plan(query)
         return self.execute_plan(plan)
 
+    def apply_delta(
+        self, query: Query, records: Sequence[Any]
+    ) -> Tuple[ExecutionResult, Tuple[int, ...]]:
+        """Re-evaluate ``query`` after a journal batch; shard-granular cost.
+
+        The incremental-view-maintenance entry point: ``records`` is the
+        journal slice since the caller's last known version.  Row output
+        is identical to :meth:`execute` — the plan is re-derived from
+        *current* statistics, because physical plan choice (and therefore
+        row order) is stats-dependent and a retained stale plan could
+        order rows differently from a fresh execution.  The incremental
+        win is in the caches: ``_sync_caches`` drops pointer/fragment
+        state only for the shards the batch actually touched, so the
+        re-probe pays per *touched shard*, not per store.  Returns the
+        result plus the touched shard ids (sorted), which the standing-
+        view layer surfaces for observability and tests pin.
+        """
+        touched = sorted({self.store.shard_of(record.oid) for record in records})
+        return self.execute(query), tuple(touched)
+
     # ------------------------------------------------------------------
     # Node evaluation
     # ------------------------------------------------------------------

@@ -254,6 +254,13 @@ class ReplicaFollower:
                 None, self.service.apply_replication, [record]
             )
             self.records_applied += applied
+            # Replicas host live subscriptions too: their standing views
+            # advance off the applied WAL frames, so pump after each
+            # apply (still off the event loop — the pump executes
+            # queries).  The ack goes out regardless of pump outcome.
+            registry = getattr(self.service, "subscriptions", None)
+            if registry is not None and registry.active:
+                await loop.run_in_executor(None, registry.pump)
             await self._ack()
 
     async def _ack(self) -> None:

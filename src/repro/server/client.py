@@ -73,6 +73,12 @@ class AsyncGatewayClient:
         self._retry_reads = retry_reads
         self._ids = itertools.count(1)
         self._pending: Dict[int, asyncio.Future] = {}
+        # Server-initiated push frames (subscriptions), demultiplexed by
+        # subscription id into per-subscription queues.  Queues are
+        # created on first touch from either side, so a diff frame that
+        # races ahead of the subscribe() caller is never dropped.
+        self._pushes: Dict[str, asyncio.Queue] = {}
+        self.push_frames = 0
         self._reader_task: Optional[asyncio.Task] = None
         self._closed = False
         # Connection generation: bumped on every reconnect so a dying old
@@ -175,6 +181,33 @@ class AsyncGatewayClient:
         """Remove a declared constraint by name."""
         return await self.request({"op": "rules", "action": "remove", "name": name})
 
+    async def subscribe(self, query: str, **options: Any) -> Dict[str, Any]:
+        """Open a live view of ``query``; returns the initial snapshot.
+
+        The payload carries the ``subscription`` id and the initial
+        ``rows``; from then on the server pushes diff frames, consumed
+        with :meth:`next_push` and folded client-side with
+        :func:`repro.subscriptions.apply_changes`.
+        """
+        return await self.request(
+            {"op": "subscribe", "query": query, "options": options}
+        )
+
+    async def unsubscribe(self, subscription: str) -> Dict[str, Any]:
+        """Drop a live view previously opened with :meth:`subscribe`."""
+        return await self.request(
+            {"op": "unsubscribe", "subscription": subscription}
+        )
+
+    async def next_push(
+        self, subscription: str, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Await the next push frame of one subscription (FIFO order)."""
+        queue = self._pushes.setdefault(subscription, asyncio.Queue())
+        if timeout is None:
+            return await queue.get()
+        return await asyncio.wait_for(queue.get(), timeout)
+
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
@@ -225,7 +258,9 @@ class AsyncGatewayClient:
             raise GatewayError("connection closed")
         frame = dict(frame, id=next(self._ids))
         if self._gateway is not None:
-            response = await self._gateway.dispatch(frame, self.client_id)
+            response = await self._gateway.dispatch(
+                frame, self.client_id, subscriber=self
+            )
         else:
             future: asyncio.Future = asyncio.get_running_loop().create_future()
             self._pending[frame["id"]] = future
@@ -293,6 +328,11 @@ class AsyncGatewayClient:
                     response = decode_frame(line)
                 except GatewayError:
                     continue  # server never sends malformed frames; skip
+                if "push" in response:
+                    # Server-initiated frames carry no correlation id;
+                    # route them by subscription before id demux.
+                    self._route_push(response)
+                    continue
                 future = self._pending.get(response.get("id"))
                 if future is not None and not future.done():
                     future.set_result(response)
@@ -309,11 +349,28 @@ class AsyncGatewayClient:
                             GatewayError("connection closed before response")
                         )
 
+    def _route_push(self, frame: Dict[str, Any]) -> None:
+        subscription = frame.get("subscription")
+        if not isinstance(subscription, str):
+            return
+        self.push_frames += 1
+        self._pushes.setdefault(subscription, asyncio.Queue()).put_nowait(frame)
+
+    async def push_frame(self, payload: Dict[str, Any]) -> None:
+        """Receive one push frame (the in-process gateway calls this)."""
+        self._route_push(payload)
+
     async def close(self) -> None:
         """Close the connection (no-op beyond bookkeeping when in-process)."""
         if self._closed:
             return
         self._closed = True
+        if self._gateway is not None:
+            # The in-process path has no session close to free standing
+            # views; release them here like a TCP disconnect would.
+            release = getattr(self._gateway, "release_subscriber", None)
+            if release is not None:
+                release(self)
         if self._reader_task is not None:
             self._reader_task.cancel()
             try:

@@ -110,6 +110,28 @@ class BackupUnavailable(GatewayError):
     code = "backup_unavailable"
 
 
+class SubscriptionUnknown(GatewayError):
+    """An ``unsubscribe`` named a subscription this gateway is not serving.
+
+    Either the id never existed here, or the view was already dropped —
+    by an earlier unsubscribe, a slow-consumer disconnect, or the
+    connection that owned it going away.  Per-request, as always.
+    """
+
+    code = "subscription_unknown"
+
+
+class SubscriptionLimit(GatewayError):
+    """The gateway is at its standing-view cap (``--max-subscriptions``).
+
+    Each live subscription retains an optimized plan and a result
+    snapshot and is re-checked after every write, so the gateway bounds
+    how many it will hold.  Free one (``unsubscribe``) or raise the cap.
+    """
+
+    code = "subscription_limit"
+
+
 class GatewayRequestError(GatewayError):
     """Client-side image of an error response received from the gateway."""
 

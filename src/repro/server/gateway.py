@@ -37,6 +37,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from ..engine.storage import StorageError
 from ..query.equivalence import equivalence_key
+from ..subscriptions.queue import DEFAULT_QUEUE_LIMIT, PushChannel
 from .admission import AdmissionController
 from .errors import (
     BackupUnavailable,
@@ -47,6 +48,8 @@ from .errors import (
     ReadOnlyError,
     ReplicationUnavailable,
     RequestTimeout,
+    SubscriptionLimit,
+    SubscriptionUnknown,
 )
 from .protocol import (
     MUTATION_OPS,
@@ -136,6 +139,8 @@ class QueryGateway:
         read_only: bool = False,
         replication=None,
         follower=None,
+        max_subscriptions: int = 64,
+        subscription_queue_limit: int = DEFAULT_QUEUE_LIMIT,
     ) -> None:
         self.service = service
         self.host = host
@@ -158,6 +163,12 @@ class QueryGateway:
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self._sessions: set = set()
+        # Live subscriptions this gateway is pushing to: sid -> (channel,
+        # subscriber).  Touched only on the event loop.
+        self._max_subscriptions = max_subscriptions
+        self._subscription_queue_limit = subscription_queue_limit
+        self._channels: Dict[str, Tuple[PushChannel, Any]] = {}
+        self._subscription_overflows = 0
         self._started = time.monotonic()
         self._requests: Dict[str, int] = {}
         self._errors: Dict[str, int] = {}
@@ -207,6 +218,12 @@ class QueryGateway:
             self._server.close()
             await self._server.wait_closed()
         drained = await self.admission.drain(timeout if drain else 0.0)
+        for sid in list(self._channels):
+            self._drop_channel(sid)
+        registry = getattr(self.service, "subscriptions", None)
+        if registry is not None:
+            for view in registry.stats()["views"]:
+                registry.unsubscribe(view["subscription"])
         for session in list(self._sessions):
             await session.close()
         # Never block the event loop on worker threads: a drained pool is
@@ -224,17 +241,23 @@ class QueryGateway:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    async def dispatch_line(self, line: bytes, client_id: str) -> Dict[str, Any]:
+    async def dispatch_line(
+        self, line: bytes, client_id: str, subscriber=None
+    ) -> Dict[str, Any]:
         """Decode one wire line and dispatch it (sessions' entry point)."""
         try:
             frame = decode_frame(line)
         except ProtocolError as exc:
             self._count(self._errors, exc.code)
             return error_response(None, exc)
-        return await self.dispatch(frame, client_id)
+        return await self.dispatch(frame, client_id, subscriber=subscriber)
 
     async def dispatch(
-        self, frame: Dict[str, Any], client_id: str = "in-process"
+        self,
+        frame: Dict[str, Any],
+        client_id: str = "in-process",
+        *,
+        subscriber=None,
     ) -> Dict[str, Any]:
         """Handle one request frame; always returns a response frame.
 
@@ -295,7 +318,7 @@ class QueryGateway:
             # holding a slot abandons the wait on the shared flight, which
             # keeps running for everyone else.
             payload = await asyncio.wait_for(
-                self._admitted(request, client_id, timeout), timeout
+                self._admitted(request, client_id, timeout, subscriber), timeout
             )
         except asyncio.TimeoutError:
             error = RequestTimeout(f"request did not complete within {timeout:g}s")
@@ -318,14 +341,33 @@ class QueryGateway:
         return timeout
 
     async def _admitted(
-        self, request: Request, client_id: str, timeout: float
+        self, request: Request, client_id: str, timeout: float, subscriber=None
     ) -> Dict[str, Any]:
         async with self.admission.slot(client_id):
-            return await self._handle(request, timeout)
+            return await self._handle(request, timeout, subscriber)
 
-    async def _handle(self, request: Request, timeout: float) -> Dict[str, Any]:
+    async def _handle(
+        self, request: Request, timeout: float, subscriber=None
+    ) -> Dict[str, Any]:
         if request.op == "rules":
-            return self._handle_rules(request)
+            payload = self._handle_rules(request)
+            # Dynamic-rule churn invalidates every standing view touching
+            # the rule set: flag them and pump so subscribers receive
+            # their ``resync`` frames (re-optimized against the new
+            # rules) before this RPC answers.  A pump failure self-heals
+            # on the next write; it never fails the rules RPC itself.
+            registry = getattr(self.service, "subscriptions", None)
+            if registry is not None and registry.active:
+                registry.note_rule_churn()
+                try:
+                    await self._run_in_pool(registry.pump, timeout)
+                except GatewayError:
+                    pass
+            return payload
+        if request.op == "subscribe":
+            return await self._subscribe(request, subscriber, timeout)
+        if request.op == "unsubscribe":
+            return self._unsubscribe_payload(request)
         if request.op in MUTATION_OPS:
             # Writes are never coalesced — every mutation frame is distinct
             # work — but they run on the same bounded pool, under the same
@@ -333,7 +375,7 @@ class QueryGateway:
             # cancels the write if it has not started; once running it
             # commits (at-least-once semantics, see the protocol docs).
             return await self._run_in_pool(
-                lambda: mutation_payload(self._mutate(request)),
+                lambda: self._mutate_and_pump(request),
                 timeout,
                 cancel_on_timeout=True,
             )
@@ -425,6 +467,120 @@ class QueryGateway:
             return service.mutate("delete", request.class_name, oid=request.oid)
         except StorageError as exc:
             raise MutationError(str(exc)) from None
+
+    def _mutate_and_pump(self, request: Request) -> Dict[str, Any]:
+        """Apply one mutation, then advance standing views (worker thread).
+
+        The pump runs strictly *after* ``service.mutate`` returns, and the
+        WAL commit happens inside the mutation's write-lock span — so a
+        diff frame is only ever emitted for a write that is already
+        durable.  Pump problems never fail the mutation RPC: affected
+        views self-heal with a resync on the next write.
+        """
+        payload = mutation_payload(self._mutate(request))
+        self._pump_subscriptions()
+        return payload
+
+    def _pump_subscriptions(self) -> None:
+        registry = getattr(self.service, "subscriptions", None)
+        if registry is not None and registry.active:
+            registry.pump()
+
+    # ------------------------------------------------------------------
+    # Subscriptions
+    # ------------------------------------------------------------------
+    async def _subscribe(
+        self, request: Request, subscriber, timeout: float
+    ) -> Dict[str, Any]:
+        """Serve ``subscribe``: bind a standing view pushing to ``subscriber``.
+
+        The initial optimize + execute runs on the worker pool; the
+        resulting diff frames flow through a bounded :class:`PushChannel`
+        whose overflow handler unsubscribes and disconnects the consumer
+        (the replication feed's slow-subscriber discipline).
+        """
+        if subscriber is None:
+            raise ProtocolError(
+                "subscribe requires a connection that can receive push frames"
+            )
+        if len(self._channels) >= self._max_subscriptions:
+            raise SubscriptionLimit(
+                f"gateway already holds {len(self._channels)} standing "
+                f"views (--max-subscriptions {self._max_subscriptions})"
+            )
+        registry = self.service.subscription_registry()
+        loop = asyncio.get_running_loop()
+        channel = PushChannel(
+            loop, subscriber.push_frame, limit=self._subscription_queue_limit
+        )
+        # The subscription id is only known once the registry binds the
+        # view, so the overflow handler resolves it through this cell.
+        cell: Dict[str, Any] = {"sid": None}
+
+        async def on_overflow() -> None:
+            self._subscription_overflows += 1
+            sid = cell["sid"]
+            if sid is not None:
+                self._drop_channel(sid)
+            closer = getattr(subscriber, "close", None)
+            if closer is not None:
+                await closer()
+
+        channel.on_overflow = on_overflow
+        options = {
+            name: value
+            for name, value in request.options.items()
+            if name != "timeout"
+        }
+        try:
+            payload = await self._run_in_pool(
+                lambda: registry.subscribe(
+                    request.query,
+                    options=options,
+                    emit=channel.push,
+                    owner=subscriber,
+                ),
+                timeout,
+            )
+        except ValueError as exc:
+            channel.close()
+            raise ProtocolError(str(exc)) from None
+        except Exception:
+            # A timed-out subscribe may still have registered the view on
+            # the worker thread; it stays owned by ``subscriber`` and is
+            # freed by release_subscriber() when the connection closes.
+            channel.close()
+            raise
+        sid = payload["subscription"]
+        cell["sid"] = sid
+        self._channels[sid] = (channel, subscriber)
+        return payload
+
+    def _unsubscribe_payload(self, request: Request) -> Dict[str, Any]:
+        """Serve ``unsubscribe``: drop one standing view by id."""
+        registry = getattr(self.service, "subscriptions", None)
+        sid = request.subscription
+        self._drop_channel(sid)
+        if registry is None or not registry.unsubscribe(sid):
+            raise SubscriptionUnknown(
+                f"this gateway is not serving subscription {sid!r}"
+            )
+        return {"subscription": sid, "active": registry.active}
+
+    def release_subscriber(self, owner) -> int:
+        """Free every standing view owned by a disconnecting consumer."""
+        registry = getattr(self.service, "subscriptions", None)
+        if registry is None:
+            return 0
+        sids = registry.release(owner)
+        for sid in sids:
+            self._drop_channel(sid)
+        return len(sids)
+
+    def _drop_channel(self, sid: str) -> None:
+        entry = self._channels.pop(sid, None)
+        if entry is not None:
+            entry[0].close()
 
     def _optimize_work(self, request: Request):
         service, query = self.service, request.query
@@ -588,9 +744,24 @@ class QueryGateway:
     def stats_payload(self) -> Dict[str, Any]:
         """The ``stats`` RPC payload: service + gateway counters, one view."""
         admission = self.admission.snapshot()
+        registry = getattr(self.service, "subscriptions", None)
+        subscriptions: Dict[str, Any] = {
+            "active": 0,
+            "created": 0,
+            "closed": 0,
+            "diffs": 0,
+            "resyncs": 0,
+            "errors": 0,
+            "views": [],
+        }
+        if registry is not None:
+            subscriptions.update(registry.stats())
+        subscriptions["channels"] = len(self._channels)
+        subscriptions["overflows"] = self._subscription_overflows
         return {
             "protocol_version": PROTOCOL_VERSION,
             "service": self.service.stats().as_dict(),
+            "subscriptions": subscriptions,
             "gateway": {
                 "requests": dict(self._requests),
                 "responses": self._responses,

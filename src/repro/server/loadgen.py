@@ -133,6 +133,10 @@ class LoadReport:
     error_codes: Dict[str, int] = field(default_factory=dict)
     coalesced: int = 0
     mutations: int = 0
+    #: Standing subscriptions held open for the duration of the run, and
+    #: the diff/resync push frames they received while the load ran.
+    subscriptions: int = 0
+    push_frames: int = 0
 
     @property
     def p50(self) -> float:
@@ -175,6 +179,8 @@ class LoadReport:
             "coalesced": self.coalesced,
             "coalesced_rate": self.coalesced_rate,
             "mutations": self.mutations,
+            "subscriptions": self.subscriptions,
+            "push_frames": self.push_frames,
             "error_codes": dict(self.error_codes),
         }
 
@@ -187,6 +193,8 @@ class LoadReport:
             f"{self.requests_per_second:.0f} req/s, "
             f"{self.rows_per_second:.0f} rows/s, "
             f"{self.coalesced_rate:.0%} coalesced, {self.mutations} writes, "
+            f"{self.subscriptions} subscriptions, "
+            f"{self.push_frames} push frames, "
             f"{self.errors} errors"
         )
 
@@ -201,6 +209,7 @@ async def run_load(
     rate: Optional[float] = None,
     lockstep: bool = False,
     mutations: Optional[MutationMix] = None,
+    subscribe: int = 0,
 ) -> LoadReport:
     """Drive ``queries`` through ``clients`` and aggregate a report.
 
@@ -211,7 +220,11 @@ async def run_load(
     loop; ``None`` the closed loop.  ``mutations`` opens the mixed
     read/write mode: every :attr:`MutationMix.every`-th request of a
     client becomes an insert, deterministically placed so the mix is
-    reproducible run over run.
+    reproducible run over run.  ``subscribe=N`` makes the first ``N``
+    clients each hold a live subscription (client ``i`` on query ``i``)
+    for the whole run; the diff/resync push frames they receive are
+    counted into :attr:`LoadReport.push_frames` after delivery settles,
+    and the views are unsubscribed before the report returns.
     """
     report = LoadReport(clients=len(clients))
     options = options or {}
@@ -308,6 +321,23 @@ async def run_load(
         nonlocal barrier_event
         barrier_event = event
 
+    def count_failure(exc: Exception) -> None:
+        report.errors += 1
+        code = exc.code if isinstance(exc, GatewayError) else type(exc).__name__
+        report.error_codes[code] = report.error_codes.get(code, 0) + 1
+
+    subscribed: List[tuple] = []
+    for index, client in enumerate(clients[: max(subscribe, 0)]):
+        try:
+            payload = await client.subscribe(queries[index % len(queries)])
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            count_failure(exc)
+        else:
+            subscribed.append((client, payload["subscription"]))
+    report.subscriptions = len(subscribed)
+
     if lockstep:
         barrier_event = asyncio.Event()
     start = time.perf_counter()
@@ -316,4 +346,25 @@ async def run_load(
         *(runner(index, client) for index, client in enumerate(clients))
     )
     report.duration = time.perf_counter() - start
+
+    if subscribed:
+        # Push frames trail the mutations that caused them; wait for the
+        # counters to go quiet before reading them off.
+        settled = -1
+        for _ in range(40):
+            total = sum(client.push_frames for client, _sid in subscribed)
+            if total == settled:
+                break
+            settled = total
+            await asyncio.sleep(0.05)
+        report.push_frames = sum(
+            client.push_frames for client, _sid in subscribed
+        )
+        for client, sid in subscribed:
+            try:
+                await client.unsubscribe(sid)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                count_failure(exc)
     return report

@@ -55,10 +55,37 @@ connection).  ``op`` selects the RPC:
     → write an on-demand atomic snapshot through the durability
     manager; returns its ``path`` and store ``version``.  Servers
     without ``--data-dir`` answer ``backup_unavailable``.
+``subscribe``
+    ``query`` (+ ``options``) → register a standing live view of the
+    query: the result payload carries the ``subscription`` id, the
+    initial ``rows`` snapshot and the store ``version`` it reflects.
+    From then on the server pushes diff frames (below) on this
+    connection after every write that affects the view.  Works on
+    read-only replicas too (views are fed by applied WAL frames).
+    Gateways cap live views (``--max-subscriptions``); beyond the cap
+    the request answers ``subscription_limit``.
+``unsubscribe``
+    ``subscription`` (the id) → drop the standing view; an unknown id
+    answers ``subscription_unknown``.  Disconnecting frees every view
+    of the connection implicitly.
 
 Response frames are ``{"id": ..., "ok": true, "result": {...}}`` or
 ``{"id": ..., "ok": false, "error": {"code": ..., "message": ...}}`` with
 codes from :mod:`repro.server.errors`.
+
+**Push frames** are the one server-initiated frame kind: they carry a
+``push`` field (a :data:`PUSH_KINDS` value) instead of an ``id``, so a
+pipelining client demultiplexes them before correlation-id matching.
+``{"push": "diff", "subscription": ..., "version": ..., "changes":
+[...]}`` updates a view's rows — each change is ``{"kind": "added" |
+"removed" | "changed", "index": ..., "row": ...}``, applied
+sequentially (see :func:`repro.subscriptions.diff.apply_changes`) —
+and ``{"push": "resync", "subscription": ..., "version": ...,
+"rows": [...], "reason": ...}`` replaces them wholesale (rule churn
+re-optimized the standing query, or the view lagged past the bounded
+journal).  ``version`` is the store version the frame reflects; frames
+of one subscription arrive in strictly increasing version order, and a
+frame is only emitted after its mutation's WAL commit is durable.
 
 Option values accepted by ``optimize``/``execute``/``execute_batch``:
 ``optimize`` (bool), ``use_cache`` (bool), ``execution_mode``
@@ -97,10 +124,15 @@ OPS = (
     "subscribe_wal",
     "replica_status",
     "backup",
+    "subscribe",
+    "unsubscribe",
 )
 
 #: The subset of OPS that write to the store.
 MUTATION_OPS = ("insert", "insert_many", "update", "delete")
+
+#: Kinds of server-initiated push frames (the ``push`` field's values).
+PUSH_KINDS = ("diff", "resync")
 
 #: Upper bound on the rows of one ``insert_many`` frame.
 MAX_MUTATION_ROWS = 10_000
@@ -171,6 +203,7 @@ class Request:
     oid: int = 0
     values: Dict[str, Any] = field(default_factory=dict)
     rows: List[Dict[str, Any]] = field(default_factory=list)
+    subscription: str = ""
 
     @property
     def query(self) -> Query:
@@ -358,9 +391,16 @@ def parse_request(frame: Dict[str, Any], schema: Schema) -> Request:
                 for index, row in enumerate(rows)
             ]
         return request
-    if op in ("optimize", "execute"):
+    if op in ("optimize", "execute", "subscribe"):
         request.queries = [_parse_query_text(frame.get("query"), schema, "query")]
         request.options = _parse_options(frame.get("options"))
+    elif op == "unsubscribe":
+        subscription = frame.get("subscription")
+        if not isinstance(subscription, str) or not subscription:
+            raise ProtocolError(
+                "unsubscribe requires a non-empty 'subscription' id"
+            )
+        request.subscription = subscription
     elif op == "execute_batch":
         queries = frame.get("queries")
         if not isinstance(queries, list) or not queries:
@@ -462,6 +502,31 @@ def batch_payload(batch) -> Dict[str, Any]:
             "execution_mode": batch.stats.execution_mode,
             "throughput": batch.stats.throughput,
         },
+    }
+
+
+def diff_frame(
+    subscription: str, version: int, changes: List[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """A server-initiated ``diff`` push frame (ordered sequential edits)."""
+    return {
+        "push": "diff",
+        "subscription": subscription,
+        "version": version,
+        "changes": changes,
+    }
+
+
+def resync_frame(
+    subscription: str, version: int, rows: List[Dict[str, Any]], reason: str
+) -> Dict[str, Any]:
+    """A server-initiated ``resync`` push frame (full row replacement)."""
+    return {
+        "push": "resync",
+        "subscription": subscription,
+        "version": version,
+        "rows": rows,
+        "reason": reason,
     }
 
 

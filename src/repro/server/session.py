@@ -91,8 +91,14 @@ class ClientSession:
             await self.close(flush=clean_eof)
 
     async def _respond(self, line: bytes) -> None:
-        response = await self.gateway.dispatch_line(line, self.client_id)
+        response = await self.gateway.dispatch_line(
+            line, self.client_id, subscriber=self
+        )
         await self._send(response)
+
+    async def push_frame(self, payload: dict) -> None:
+        """Write one server-initiated push frame (subscription diffs)."""
+        await self._send(payload)
 
     async def _send(self, response: dict) -> None:
         if self._closed:
@@ -120,6 +126,9 @@ class ClientSession:
         if flush and self._tasks:
             await asyncio.gather(*list(self._tasks), return_exceptions=True)
         self._closed = True
+        # A disconnect frees every standing subscription this connection
+        # owned — the server must not keep maintaining views nobody reads.
+        self.gateway.release_subscriber(self)
         for task in list(self._tasks):
             task.cancel()
         if self._tasks:

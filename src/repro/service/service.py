@@ -168,6 +168,11 @@ class OptimizationService:
         #: map (and one dedup counter set) covers both layers.  Safe to
         #: drive from threads and from an event loop alike.
         self.single_flight: SingleFlightMap = SingleFlightMap()
+        #: Standing-view registry (:meth:`subscription_registry`), built
+        #: lazily on the first ``subscribe`` so services that never serve
+        #: live views pay nothing.  The write path flags it on dynamic-
+        #: rule churn; the gateway (or a follower) pumps it after writes.
+        self.subscriptions = None
 
     @property
     def repository(self) -> Optional[ConstraintRepository]:
@@ -488,8 +493,26 @@ class OptimizationService:
             applied = self.store.apply_journal(records)
             self._mutations_applied += applied
             touched = {record.class_name for record in records}
-            self._refresh_dynamic_rules(self._tracked_classes(touched))
+            refreshed, changed = self._refresh_dynamic_rules(
+                self._tracked_classes(touched)
+            )
+            if changed and self.subscriptions is not None:
+                self.subscriptions.note_rule_churn(touched)
         return applied
+
+    def subscription_registry(self):
+        """The lazily-built standing-view registry of this service.
+
+        Replicas host subscriptions too (views are advanced by the
+        follower after each applied WAL frame), so the registry lives on
+        the service, not on the gateway.
+        """
+        with self._executor_lock:
+            if self.subscriptions is None:
+                from ..subscriptions import SubscriptionRegistry
+
+                self.subscriptions = SubscriptionRegistry(self)
+            return self.subscriptions
 
     def adopt_replica_store(self, store) -> None:
         """Swap in a fully resynced replica store (full snapshot resync).
@@ -981,6 +1004,11 @@ class OptimizationService:
                     refreshed, changed = self._refresh_dynamic_rules(
                         self._tracked_classes(classes)
                     )
+                    if changed and self.subscriptions is not None:
+                        # Flag (never pump) under the exclusive lock: the
+                        # standing views touching these classes must
+                        # resync against the re-derived rule set.
+                        self.subscriptions.note_rule_churn(classes)
             store_version = self.store.version
             shard_versions = self.store.shard_versions()
         return MutationResult(

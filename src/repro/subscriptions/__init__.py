@@ -1,0 +1,31 @@
+"""Live query subscriptions: incremental view maintenance over the journal.
+
+The paper's optimizer produces *standing* optimized queries; this package
+keeps their results standing too.  A subscription retains the optimized
+query (and its physical plan), classifies every mutation-journal record
+against the plan's scan classes and compiled single-class predicates, and
+pushes ordered row-level diff frames — ``added`` / ``removed`` /
+``changed``, tagged with the store version they reflect — instead of
+making clients re-execute after every write.
+
+Layers: :mod:`~repro.subscriptions.diff` (positional diff + client-side
+fold), :mod:`~repro.subscriptions.view` (per-subscription state and delta
+classification), :mod:`~repro.subscriptions.registry` (the delta engine
+under the service's readers-writer lock), and
+:mod:`~repro.subscriptions.queue` (the bounded push channel with the
+replication feed's slow-consumer disconnect discipline).
+"""
+
+from .diff import apply_changes, diff_rows
+from .queue import DEFAULT_QUEUE_LIMIT, PushChannel
+from .registry import SubscriptionRegistry
+from .view import StandingView
+
+__all__ = [
+    "apply_changes",
+    "diff_rows",
+    "DEFAULT_QUEUE_LIMIT",
+    "PushChannel",
+    "SubscriptionRegistry",
+    "StandingView",
+]

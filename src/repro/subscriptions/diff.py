@@ -1,0 +1,106 @@
+"""Positional row-stream diffs: compute, and fold back.
+
+A standing view's result is an *ordered* row list (engines are pinned to
+byte-identical row order), so the minimal honest delta between two
+executions is a positional edit script.  :func:`diff_rows` lowers the
+old/new row lists through :class:`difflib.SequenceMatcher` over their
+serialized forms and emits a flat change list of ``added`` / ``removed``
+/ ``changed`` entries whose indices refer to the *new* row order and are
+meant to be applied **sequentially** — exactly what :func:`apply_changes`
+does, and what a subscribed client must do to maintain its copy.
+
+The serialization key deliberately does **not** sort keys: attribute
+order is part of the byte-identity contract the engines (and the
+replication snapshots) already honor, so two rows that differ only in
+key order are different rows here too.
+
+>>> old = [{"a": 1}, {"a": 2}, {"a": 3}]
+>>> new = [{"a": 1}, {"a": 9}, {"a": 3}, {"a": 4}]
+>>> changes = diff_rows(old, new)
+>>> changes == [
+...     {"kind": "changed", "index": 1, "row": {"a": 9}},
+...     {"kind": "added", "index": 3, "row": {"a": 4}},
+... ]
+True
+>>> apply_changes(old, changes) == new
+True
+"""
+
+from __future__ import annotations
+
+import json
+from difflib import SequenceMatcher
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["diff_rows", "apply_changes"]
+
+
+def _key(row: Dict[str, Any]) -> str:
+    """The byte-identity serialization of one answer row."""
+    return json.dumps(row, separators=(",", ":"), default=repr)
+
+
+def diff_rows(
+    old: Sequence[Dict[str, Any]], new: Sequence[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """The sequential edit script turning ``old`` into ``new``.
+
+    Empty when (and only when) the serialized row streams are identical.
+    Replaced spans prefer ``changed`` entries (index-stable in-place
+    updates) over a remove/add pair; surplus rows on either side become
+    ``removed`` / ``added`` entries.
+    """
+    matcher = SequenceMatcher(
+        None, [_key(row) for row in old], [_key(row) for row in new],
+        autojunk=False,
+    )
+    changes: List[Dict[str, Any]] = []
+    for tag, i1, i2, j1, j2 in matcher.get_opcodes():
+        if tag == "equal":
+            continue
+        old_span, new_span = i2 - i1, j2 - j1
+        shared = min(old_span, new_span)
+        for offset in range(shared):
+            changes.append(
+                {"kind": "changed", "index": j1 + offset, "row": new[j1 + offset]}
+            )
+        for _ in range(old_span - shared):
+            changes.append({"kind": "removed", "index": j1 + shared})
+        for offset in range(shared, new_span):
+            changes.append(
+                {"kind": "added", "index": j1 + offset, "row": new[j1 + offset]}
+            )
+    return changes
+
+
+def apply_changes(
+    rows: Sequence[Dict[str, Any]], changes: Sequence[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Fold one diff frame's ``changes`` into a row list (client side).
+
+    Entries apply strictly in order against the evolving list; the input
+    is not mutated.  Raises ``ValueError`` on an unknown kind or an
+    out-of-range index — a client must treat that as a desync and
+    re-subscribe rather than guess.
+    """
+    folded = list(rows)
+    for change in changes:
+        kind = change.get("kind")
+        index = change.get("index")
+        if not isinstance(index, int) or index < 0:
+            raise ValueError(f"malformed diff index {index!r}")
+        if kind == "added":
+            if index > len(folded):
+                raise ValueError(f"added index {index} beyond {len(folded)} rows")
+            folded.insert(index, change["row"])
+        elif kind == "removed":
+            if index >= len(folded):
+                raise ValueError(f"removed index {index} beyond {len(folded)} rows")
+            del folded[index]
+        elif kind == "changed":
+            if index >= len(folded):
+                raise ValueError(f"changed index {index} beyond {len(folded)} rows")
+            folded[index] = change["row"]
+        else:
+            raise ValueError(f"unknown diff kind {kind!r}")
+    return folded

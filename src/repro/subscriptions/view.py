@@ -1,0 +1,169 @@
+"""One standing query: retained plan, kernels, and delta classification.
+
+A :class:`StandingView` is the server-side state of one subscription:
+the original query, the optimized query it currently executes
+(re-derived on rule churn), the retained physical plan, the last pushed
+row list with the store version it reflects, and — the part that makes
+incremental maintenance cheap — per-class *candidate* state compiled
+from the optimized query's single-class predicates.
+
+Delta classification (:meth:`consume`) decides, per journal record,
+whether the view's rows can possibly have changed.  The rules are
+conservative in exactly one direction (they may say "relevant" for a
+record that turns out not to change the answer, never the reverse):
+
+* a record on a class the optimized query does not bind is irrelevant;
+* an ``insert`` failing any of the class's single-class predicates can
+  never join into a result row (conjunctive semantics) — irrelevant;
+* a ``delete`` of an instance that was not a candidate is irrelevant;
+* an ``update`` is irrelevant only when the instance was not a candidate
+  before **and** still fails the predicates after (checked against the
+  live store row, since update records carry partial values).
+
+Classes with no single-class predicates skip candidate tracking: every
+record on them is relevant.  Candidate sets are maintained as records
+stream through, so classification stays O(changed rows), not O(data).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from ..engine import compile_for_class
+
+__all__ = ["StandingView"]
+
+
+class StandingView:
+    """Server-side state of one live subscription."""
+
+    def __init__(
+        self,
+        subscription_id: str,
+        query,
+        *,
+        options: Optional[Dict[str, Any]] = None,
+        emit: Optional[Callable[[dict], None]] = None,
+        owner: Any = None,
+    ):
+        self.subscription_id = subscription_id
+        self.query = query  # the original (pre-optimization) query
+        self.options = dict(options or {})
+        self.emit = emit
+        self.owner = owner
+        self.active = True
+        #: Set under the service write lock when dynamic rules touching
+        #: this view's classes changed; the next pump re-optimizes and
+        #: pushes a ``resync`` frame instead of a diff.
+        self.resync_reason: Optional[str] = None
+        # Bound state (rebind() after each optimize + execute).
+        self.target = None  # the optimized query actually executed
+        self.plan = None  # retained physical plan (observability)
+        self.rows: List[Dict[str, Any]] = []
+        self.version = 0  # store version the rows reflect
+        self._class_set: Set[str] = set()
+        self._kernels: Dict[str, List[Callable]] = {}
+        self._candidates: Dict[str, Set[int]] = {}
+        # Counters (surfaced through registry/gateway stats).
+        self.diffs = 0
+        self.resyncs = 0
+        self.skipped = 0  # records on classes the view does not bind
+        self.filtered = 0  # records filtered by the compiled kernels
+
+    # ------------------------------------------------------------------
+    # Binding.
+    # ------------------------------------------------------------------
+    def rebind(self, target, plan, rows, version, store) -> None:
+        """Adopt a (re)optimized query, its plan and a fresh result.
+
+        Compiles the per-class single-class predicate kernels of
+        ``target`` and seeds the candidate OID sets from the store's
+        current extents.  Must run inside a service read span so the
+        rows, the version and the candidate sets are one atomic cut.
+        """
+        self.target = target
+        self.plan = plan
+        self.rows = list(rows)
+        self.version = version
+        self._class_set = set(target.classes)
+        self._kernels = {}
+        self._candidates = {}
+        for class_name in target.classes:
+            kernels = [
+                compile_for_class(predicate, class_name)
+                for predicate in target.predicates()
+                if predicate.referenced_classes() == {class_name}
+            ]
+            if not kernels:
+                continue  # unpredicated class: every record is relevant
+            self._kernels[class_name] = kernels
+            self._candidates[class_name] = {
+                instance.oid
+                for instance in store.instances(class_name)
+                if self._passes(kernels, instance.values)
+            }
+
+    @staticmethod
+    def _passes(kernels, values) -> bool:
+        column = [values]
+        return all(kernel(column)[0] for kernel in kernels)
+
+    # ------------------------------------------------------------------
+    # Delta classification.
+    # ------------------------------------------------------------------
+    def consume(self, record, store) -> bool:
+        """True when ``record`` can affect this view's rows.
+
+        Maintains the candidate sets as a side effect, so it must see
+        every journal record the view advances over, in order, with
+        ``store`` already reflecting the whole batch.
+        """
+        if record.class_name not in self._class_set:
+            self.skipped += 1
+            return False
+        kernels = self._kernels.get(record.class_name)
+        if kernels is None:
+            return True
+        candidates = self._candidates[record.class_name]
+        if record.op == "insert":
+            if self._passes(kernels, record.values or {}):
+                candidates.add(record.oid)
+                return True
+            self.filtered += 1
+            return False
+        if record.op == "delete":
+            if record.oid in candidates:
+                candidates.discard(record.oid)
+                return True
+            self.filtered += 1
+            return False
+        # update: the record carries only the changed attributes, so the
+        # post-state is read from the live store row.
+        was = record.oid in candidates
+        instance = store.get(record.class_name, record.oid)
+        now = instance is not None and self._passes(kernels, instance.values)
+        if now:
+            candidates.add(record.oid)
+        else:
+            candidates.discard(record.oid)
+        if was or now:
+            return True
+        self.filtered += 1
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """The per-view stats row (gateway ``stats`` payload)."""
+        return {
+            "subscription": self.subscription_id,
+            "query": self.query.name,
+            "classes": sorted(self._class_set),
+            "version": self.version,
+            "rows": len(self.rows),
+            "diffs": self.diffs,
+            "resyncs": self.resyncs,
+            "skipped": self.skipped,
+            "filtered": self.filtered,
+        }

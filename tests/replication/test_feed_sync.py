@@ -126,6 +126,51 @@ def test_journal_gap_forces_snapshot_resync(make_harness, state_fingerprint):
     assert primary == replica
 
 
+def test_queue_overflow_during_inflight_snapshot_sync(
+    make_harness, state_fingerprint
+):
+    # The subscriber is registered *inside* the capture, before the
+    # snapshot payload ships — so a write burst landing while the
+    # snapshot is still in flight queues against a subscriber whose
+    # pump has not started yet.  With a tiny queue the burst overflows
+    # mid-handshake: the feed must still ship the complete snapshot,
+    # then disconnect (never skip), and the follower must resync to
+    # byte-identical state.
+    async def scenario():
+        # Thousands of snapshot rows keep the handshake in flight long
+        # enough to observe; journal_limit=4 forces the post-overflow
+        # reconnect onto the snapshot path.
+        harness = make_harness(journal_limit=4, queue_limit=3, cargo_rows=4000)
+        await harness.start()
+        task = asyncio.ensure_future(harness.add_replica())
+        try:
+            # Registration happens inside the capture's read span, so a
+            # non-empty replica list means the sync is under way.
+            while not harness.feed.status()["replicas"]:
+                await asyncio.sleep(0.001)
+            # Synchronous burst on the loop thread: neither the
+            # handshake coroutine nor a pump can drain between frames —
+            # deterministic overflow, whatever phase the sync is in.
+            for i in range(12):
+                harness.service.mutate(
+                    "insert", "cargo", values={"desc": f"mid-sync {i}"}
+                )
+            follower, _, _ = await task
+            await harness.wait_applied()
+            assert harness.feed.status()["disconnects"] >= 1
+            assert follower.resyncs >= 1
+            assert follower.last_sync_mode == "snapshot"
+            return (
+                state_fingerprint(harness.store),
+                state_fingerprint(follower._store),
+            )
+        finally:
+            await harness.stop()
+
+    primary, replica = asyncio.run(scenario())
+    assert primary == replica
+
+
 def test_epoch_change_forces_snapshot_resync(make_harness, state_fingerprint):
     # A restarted primary process has a fresh feed epoch; a follower
     # carrying the old epoch must full-resync even if its version looks

@@ -224,3 +224,70 @@ def test_router_pin_falls_back_to_primary_when_replicas_lag(make_harness):
     assert status["errors"] == 0
     assert status["failovers"] >= 1
     assert primary_requests.get("execute", 0) >= 1
+
+
+def test_router_pin_expiry_with_dead_primary_is_a_stable_error(make_harness):
+    # The worst case of read-your-writes: the pinned replica never
+    # catches up (frozen follower) *and* the primary fallback is gone.
+    # The pin must expire into a stable wire error within bounded
+    # wall-clock — never a hang, never a stale read — and the router
+    # connection must survive to answer the next request.
+    import time
+
+    READ = '(SELECT {cargo.code} { } {cargo.quantity >= 999999} { } {cargo})'
+
+    async def scenario():
+        harness = make_harness()
+        await harness.start()
+        f1, s1, _ = await harness.add_replica()
+        primary_gw = QueryGateway(harness.service, replication=harness.feed)
+        replica_gw = QueryGateway(s1, read_only=True, follower=f1)
+        router = None
+        client = None
+        try:
+            await primary_gw.start()
+            await replica_gw.start()
+            router = QueryRouter(
+                f"127.0.0.1:{primary_gw.port}",
+                [f"127.0.0.1:{replica_gw.port}"],
+                pin_timeout=0.3,
+                pin_poll_interval=0.02,
+                retry_reads=1,  # keep the doomed primary retry bounded
+            )
+            host, port = await router.start()
+            client = await AsyncGatewayClient.connect(host, port)
+            # Freeze the replica (its gateway still answers
+            # replica_status, so the pin poll runs its full course),
+            # pin the connection with a write, then kill the primary.
+            await f1.stop()
+            await client.insert(
+                "cargo",
+                {"code": "DOOM", "desc": "frozen food", "quantity": 999999,
+                 "category": "general", "collects": 1},
+            )
+            await primary_gw.stop()
+            started = time.monotonic()
+            codes = []
+            for _ in range(2):  # the second read proves the session lives
+                try:
+                    await client.execute(READ)
+                except GatewayRequestError as exc:
+                    codes.append(exc.code)
+            elapsed = time.monotonic() - started
+            return codes, elapsed, router.status()
+        finally:
+            if client is not None:
+                await client.close()
+            if router is not None:
+                await router.stop()
+            await replica_gw.stop()
+            await primary_gw.stop()
+            await harness.stop()
+
+    codes, elapsed, status = asyncio.run(scenario())
+    # Both reads answered (no hang) with the stable backend-failure code.
+    assert codes == ["internal", "internal"]
+    assert elapsed < 5.0
+    assert status["errors"] == 2
+    assert status["stalls"] >= 1
+    assert status["failovers"] >= 1
