@@ -43,7 +43,13 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 from ..astutils import attr_chain, enclosing_function_index
 from ..framework import AnalysisContext, AnalysisPass, Finding
 
-SCOPE_PREFIXES = ("engine/", "constraints/", "durability/", "replication/")
+SCOPE_PREFIXES = (
+    "engine/",
+    "constraints/",
+    "durability/",
+    "replication/",
+    "tuning/",
+)
 
 RANDOM_MODULE_FUNCS = frozenset(
     {

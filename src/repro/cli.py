@@ -49,6 +49,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -311,6 +312,16 @@ def build_serve_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--self-tune",
+        action="store_true",
+        help=(
+            "enable the self-tuning feedback loop: measured-cost weight "
+            "calibration, workload-driven auto-indexing and learned rule "
+            "profitability (equivalent to REPRO_TUNING=1; the env var can "
+            "also select components, e.g. REPRO_TUNING=calibrate,index)"
+        ),
+    )
+    parser.add_argument(
         "--data-dir",
         default=None,
         help=(
@@ -472,6 +483,33 @@ def run_serve(argv: List[str]) -> int:
         if args.dynamic_rules:
             derived = service.enable_dynamic_rules()
             print(f"dynamic rules enabled: {derived} derived", flush=True)
+        from .tuning import TuningConfig
+
+        tuning_config = None
+        if args.self_tune:
+            tuning_config = TuningConfig()
+        else:
+            try:
+                tuning_config = TuningConfig.from_env(
+                    os.environ.get("REPRO_TUNING")
+                )
+            except ValueError as exc:
+                print(f"ignoring REPRO_TUNING: {exc}", flush=True)
+        if tuning_config is not None:
+            manager_t = service.enable_self_tuning(tuning_config)
+            enabled = [
+                name
+                for name, on in (
+                    ("calibrate", manager_t.config.calibrate),
+                    ("index", manager_t.config.auto_index),
+                    ("rules", manager_t.config.learn_rules),
+                )
+                if on
+            ]
+            print(
+                f"self-tuning enabled: {', '.join(enabled)}",
+                flush=True,
+            )
         follower_task = None
         if follower is not None:
             follower.attach(service)
@@ -890,6 +928,7 @@ def run_bench_client(argv: List[str]) -> int:
             "engine": args.engine or "default",
             "endpoints": args.endpoints or f"{args.host}:{args.port}",
             "server_single_flight": dedup,
+            "server_tuning": stats["service"].get("tuning"),
         }
         with open(args.artifact, "w") as handle:
             json.dump(data, handle, indent=2, sort_keys=True)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..constraints.groups import RetrievalStats
 from ..constraints.horn_clause import SemanticConstraint
@@ -141,6 +141,7 @@ class SemanticQueryOptimizer:
         constraints: Optional[Sequence[SemanticConstraint]] = None,
         cost_model: Optional["CostModel"] = None,
         config: Optional[OptimizerConfig] = None,
+        index_probe: Optional[Callable[[str, str], Optional[bool]]] = None,
     ) -> None:
         if repository is None and constraints is None:
             raise ValueError(
@@ -152,6 +153,15 @@ class SemanticQueryOptimizer:
         self.explicit_constraints = list(constraints) if constraints else None
         self.cost_model = cost_model
         self.config = config or OptimizerConfig()
+        # Live index availability for profitability decisions; the static
+        # schema is only the fallback (see ProfitabilityAnalyzer).
+        self.index_probe = index_probe
+        # Optional predicate over retrieved constraints; a service wires a
+        # rule-payoff tracker here so demoted rules sit out of
+        # transformation without being undeclared from the repository.
+        self.rule_filter: Optional[
+            Callable[[SemanticConstraint], bool]
+        ] = None
 
     # ------------------------------------------------------------------
     # Constraint retrieval
@@ -159,22 +169,27 @@ class SemanticQueryOptimizer:
     def _retrieve(self, query: Query):
         """Fetch the relevant constraints for ``query``."""
         if self.repository is not None:
-            return self.repository.retrieve_relevant(
+            relevant, stats = self.repository.retrieve_relevant(
                 query.classes,
                 query_relationships=query.relationships,
                 record_access=self.config.record_access_statistics,
             )
-        assert self.explicit_constraints is not None
-        relevant = [
-            c
-            for c in self.explicit_constraints
-            if c.is_relevant_to(query.referenced_classes(), query.relationships)
-        ]
-        stats = RetrievalStats(
-            groups_touched=0,
-            fetched=len(self.explicit_constraints),
-            relevant=len(relevant),
-        )
+        else:
+            assert self.explicit_constraints is not None
+            relevant = [
+                c
+                for c in self.explicit_constraints
+                if c.is_relevant_to(
+                    query.referenced_classes(), query.relationships
+                )
+            ]
+            stats = RetrievalStats(
+                groups_touched=0,
+                fetched=len(self.explicit_constraints),
+                relevant=len(relevant),
+            )
+        if self.rule_filter is not None:
+            relevant = [c for c in relevant if self.rule_filter(c)]
         return relevant, stats
 
     # ------------------------------------------------------------------
@@ -214,7 +229,11 @@ class SemanticQueryOptimizer:
         timings.transformation = time.perf_counter() - start
 
         start = time.perf_counter()
-        analyzer = ProfitabilityAnalyzer(self.schema, cost_model=self.cost_model)
+        analyzer = ProfitabilityAnalyzer(
+            self.schema,
+            cost_model=self.cost_model,
+            index_probe=self.index_probe,
+        )
         formulator = QueryFormulator(
             self.schema,
             analyzer=analyzer,

@@ -20,7 +20,7 @@ that decision procedure:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from ..constraints.predicate import Predicate
 from ..query.query import Query
@@ -57,10 +57,30 @@ class ProfitabilityAnalyzer:
         schema: Schema,
         cost_model: Optional["CostModel"] = None,
         epsilon: float = 1e-9,
+        index_probe: Optional[Callable[[str, str], Optional[bool]]] = None,
     ) -> None:
         self.schema = schema
         self.cost_model = cost_model
         self.epsilon = epsilon
+        # Live index availability (e.g. the store's IndexManager).  The
+        # static schema only records the *declared* index set; runtime
+        # create/drop (the auto-indexer, operators) must steer the
+        # heuristic too, or a dropped index keeps attracting predicates
+        # that no longer pay off.
+        self.index_probe = index_probe
+
+    def _is_indexed(self, class_name: str, attribute_name: str) -> bool:
+        if self.index_probe is not None:
+            try:
+                known = self.index_probe(class_name, attribute_name)
+            except Exception:
+                known = None
+            if known is not None:
+                return bool(known)
+        try:
+            return self.schema.is_indexed(class_name, attribute_name)
+        except Exception:
+            return False
 
     # ------------------------------------------------------------------
     # Optional predicates
@@ -103,11 +123,7 @@ class ProfitabilityAnalyzer:
         if predicate.is_selection:
             class_name = predicate.left.class_name
             attribute_name = predicate.left.attribute_name
-            try:
-                indexed = self.schema.is_indexed(class_name, attribute_name)
-            except Exception:
-                indexed = False
-            if indexed:
+            if self._is_indexed(class_name, attribute_name):
                 return ProfitabilityDecision(
                     profitable=True,
                     reason="selection on an indexed attribute enables an index scan",

@@ -76,7 +76,17 @@ class CostEstimate:
 
 
 class CostModel:
-    """Cardinality/selectivity-based cost estimation for five-part queries."""
+    """Cardinality/selectivity-based cost estimation for five-part queries.
+
+    Statistics can be **bound to a provider** (:meth:`bind_statistics`,
+    typically a :class:`~repro.engine.statistics.StatisticsCache`'s ``get``)
+    so every estimate reads statistics current for the store's version
+    instead of whatever was collected at attach time.  Weights can be
+    **swapped at runtime** (:meth:`set_weights`, the tuning calibrator's
+    entry point); every swap bumps :attr:`weights_generation`, which cache
+    keys fold in so results priced under old weights are not served as
+    current.
+    """
 
     def __init__(
         self,
@@ -85,8 +95,37 @@ class CostModel:
         weights: Optional[CostWeights] = None,
     ) -> None:
         self.schema = schema
-        self.statistics = statistics
+        self._statistics = statistics
+        self._statistics_provider = None
         self.weights = weights or CostWeights()
+        #: Bumped by every :meth:`set_weights`; cache epochs embed it.
+        self.weights_generation = 0
+
+    @property
+    def statistics(self) -> DatabaseStatistics:
+        """The statistics estimates read (live when a provider is bound)."""
+        if self._statistics_provider is not None:
+            return self._statistics_provider()
+        return self._statistics
+
+    @statistics.setter
+    def statistics(self, value: DatabaseStatistics) -> None:
+        self._statistics = value
+        self._statistics_provider = None
+
+    def bind_statistics(self, provider) -> None:
+        """Read statistics through ``provider()`` from now on.
+
+        Pass a :class:`~repro.engine.statistics.StatisticsCache`'s ``get``
+        so estimates always price against the store's current contents;
+        pass ``None`` to fall back to the last explicitly set snapshot.
+        """
+        self._statistics_provider = provider
+
+    def set_weights(self, weights: CostWeights) -> None:
+        """Swap in new weights (calibration), bumping the generation."""
+        self.weights = weights
+        self.weights_generation += 1
 
     # ------------------------------------------------------------------
     # Helpers
@@ -100,13 +139,25 @@ class CostModel:
             if p.referenced_classes() == frozenset({class_name})
         ]
 
+    def _is_indexed(self, class_name: str, attribute_name: str) -> bool:
+        """Whether an index scan is available for the attribute *now*.
+
+        Prefers the statistics' live-index set (which tracks runtime index
+        creation/drops) over the schema's static flags, so auto-managed
+        indexes steer estimates the moment statistics refresh.
+        """
+        known = self.statistics.is_indexed(class_name, attribute_name)
+        if known is not None:
+            return known
+        return self.schema.is_indexed(class_name, attribute_name)
+
     def _indexed_predicate(
         self, class_name: str, predicates: Sequence[Predicate]
     ) -> Optional[Predicate]:
         for predicate in predicates:
             if not predicate.is_selection:
                 continue
-            if self.schema.is_indexed(class_name, predicate.left.attribute_name):
+            if self._is_indexed(class_name, predicate.left.attribute_name):
                 return predicate
         return None
 

@@ -163,6 +163,45 @@ class IndexManager:
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
+    def create(
+        self, class_name: str, attribute_name: str, instances=()
+    ) -> bool:
+        """Create an index pair at runtime, backfilled from ``instances``.
+
+        The runtime half of the schema's ``indexed`` flag: the tuning
+        advisor creates indexes on attributes the schema never declared.
+        Returns ``False`` (and changes nothing) when the pair already
+        carries an index.  ``instances`` must be the current extent slice
+        this manager covers, in ascending-OID order — backfilled buckets
+        then satisfy the same determinism contract insert-maintained ones
+        do.  Both indexes are built completely before either is installed,
+        so a backfill failure (incomparable values) leaves the manager
+        untouched.
+        """
+        key = (class_name, attribute_name)
+        if key in self._hash:
+            return False
+        hash_index = HashIndex()
+        sorted_index = SortedIndex()
+        for instance in instances:
+            value = instance.values.get(attribute_name)
+            if value is None:
+                continue
+            hash_index.insert(value, instance.oid)
+            sorted_index.insert(value, instance.oid)
+        self._hash[key] = hash_index
+        self._sorted[key] = sorted_index
+        return True
+
+    def drop(self, class_name: str, attribute_name: str) -> bool:
+        """Drop the index pair for one attribute (``False`` if absent)."""
+        key = (class_name, attribute_name)
+        if key not in self._hash:
+            return False
+        del self._hash[key]
+        del self._sorted[key]
+        return True
+
     def indexed_attributes(self) -> List[Tuple[str, str]]:
         """All (class, attribute) pairs that carry an index."""
         return sorted(self._hash)

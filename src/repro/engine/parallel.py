@@ -64,7 +64,7 @@ from ..schema.schema import Schema
 from .executor import ExecutionMetrics, ExecutionResult, ShardReport
 from .modes import ExecutionMode, resolve_worker_count
 from .plan import ProjectNode, QueryPlan, ScanNode
-from .statistics import DatabaseStatistics
+from .statistics import DatabaseStatistics, StatisticsCache
 from .storage import ObjectStore
 from .vectorized import BindingBatch, VectorizedExecutor, _PlanContext
 
@@ -243,6 +243,7 @@ class ParallelExecutor:
         join_strategy: str = "hash",
         workers: Optional[int] = None,
         min_partition_rows: int = DEFAULT_MIN_PARTITION_ROWS,
+        statistics_cache: Optional[StatisticsCache] = None,
     ) -> None:
         if join_strategy not in ("hash", "nested_loop"):
             raise ValueError("join_strategy must be 'hash' or 'nested_loop'")
@@ -251,9 +252,19 @@ class ParallelExecutor:
         self.join_strategy = join_strategy
         self.workers = resolve_worker_count(workers)
         self.min_partition_rows = min_partition_rows
+        # Version-keyed statistics, shared with the in-process half (and
+        # with the owning service when it passes its own cache).
+        self.statistics_cache = statistics_cache or StatisticsCache(
+            schema, store
+        )
         # The in-process half: runs the driver scan, the fallback path and
         # the final materialization, sharing its version-keyed caches.
-        self._local = VectorizedExecutor(schema, store, join_strategy=join_strategy)
+        self._local = VectorizedExecutor(
+            schema,
+            store,
+            join_strategy=join_strategy,
+            statistics_cache=self.statistics_cache,
+        )
         # One single-process pool per worker slot (partition ``p`` is owned
         # by slot ``p % workers``).  Addressing each worker through its own
         # pool is what makes targeted journal catch-up possible: a store
@@ -390,13 +401,18 @@ class ParallelExecutor:
             self._dispatch(prepared, max(1, plans_per_task))
         return [self._merge(item) for item in prepared]
 
+    def statistics(self) -> DatabaseStatistics:
+        """Statistics current for the store's version (cached)."""
+        return self.statistics_cache.get()
+
     def execute(self, query: Query) -> ExecutionResult:
         """Plan and execute ``query`` in one call."""
         from .planner import ConventionalPlanner
 
-        statistics = DatabaseStatistics.collect(self.schema, self.store)
         planner = ConventionalPlanner(
-            self.schema, statistics, execution_mode=ExecutionMode.PARALLEL
+            self.schema,
+            self.statistics(),
+            execution_mode=ExecutionMode.PARALLEL,
         )
         plan = planner.plan(query)
         return self.execute_plan(plan)

@@ -83,6 +83,18 @@ class ConventionalPlanner:
                 cross.append(predicate)
         return local, cross
 
+    def _is_indexed(self, class_name: str, attribute_name: str) -> bool:
+        """Live index availability: statistics first, schema as fallback.
+
+        Statistics collected from a store carry the store's *current*
+        index set, so runtime-created indexes attract index scans (and
+        dropped ones stop doing so) without any schema change.
+        """
+        known = self.statistics.is_indexed(class_name, attribute_name)
+        if known is not None:
+            return known
+        return self.schema.is_indexed(class_name, attribute_name)
+
     def _index_predicate(
         self, class_name: str, predicates: Sequence[Predicate]
     ) -> Optional[Predicate]:
@@ -91,7 +103,7 @@ class ConventionalPlanner:
             p
             for p in predicates
             if p.is_selection
-            and self.schema.is_indexed(class_name, p.left.attribute_name)
+            and self._is_indexed(class_name, p.left.attribute_name)
         ]
         if not candidates:
             return None

@@ -11,8 +11,9 @@ offers textbook selectivity estimates for predicates.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..constraints.predicate import ComparisonOperator, Predicate
 from ..schema.schema import Schema
@@ -44,15 +45,38 @@ class DatabaseStatistics:
     attributes: Dict[Tuple[str, str], AttributeStatistics] = field(
         default_factory=dict
     )
+    #: The ``(class, attribute)`` pairs that carried a *live* secondary
+    #: index when these statistics were collected.  ``None`` means the
+    #: statistics were built without a store (tests constructing them by
+    #: hand), in which case consumers fall back to the static schema.
+    #: Runtime index creation/drops (the tuning advisor) are only visible
+    #: through this set — the schema's ``indexed`` flags never change.
+    indexed: Optional[FrozenSet[Tuple[str, str]]] = None
 
     # ------------------------------------------------------------------
     # Collection
     # ------------------------------------------------------------------
     @staticmethod
-    def collect(schema: Schema, store: ObjectStore) -> "DatabaseStatistics":
-        """Gather statistics from the current contents of ``store``."""
+    def collect(
+        schema: Schema,
+        store: ObjectStore,
+        class_names: Optional[Iterable[str]] = None,
+    ) -> "DatabaseStatistics":
+        """Gather statistics from the current contents of ``store``.
+
+        ``class_names`` restricts collection to a subset of classes (the
+        :class:`StatisticsCache` recollects only journal-touched classes);
+        per-class statistics are independent, so a restricted collect is
+        byte-identical to the matching slice of a full collect.
+        """
         stats = DatabaseStatistics()
-        for class_name in schema.class_names():
+        stats.indexed = frozenset(store.indexes.indexed_attributes())
+        if class_names is None:
+            names: List[str] = list(schema.class_names())
+        else:
+            wanted = set(class_names)
+            names = [name for name in schema.class_names() if name in wanted]
+        for class_name in names:
             extent = store.instances(class_name)
             stats.cardinalities[class_name] = len(extent)
             cls = schema.object_class(class_name)
@@ -90,6 +114,18 @@ class DatabaseStatistics:
         if stats is None or stats.distinct_values == 0:
             return None
         return stats.distinct_values
+
+    def is_indexed(
+        self, class_name: str, attribute_name: str
+    ) -> Optional[bool]:
+        """Whether the attribute carried a live index at collect time.
+
+        ``None`` when these statistics were built without a store — the
+        caller should then fall back to the schema's static flags.
+        """
+        if self.indexed is None:
+            return None
+        return (class_name, attribute_name) in self.indexed
 
     # ------------------------------------------------------------------
     # Selectivity estimation
@@ -168,3 +204,110 @@ class DatabaseStatistics:
             if p.referenced_classes() == frozenset({class_name})
         ]
         return self.cardinality(class_name) * self.combined_selectivity(local)
+
+
+class StatisticsCache:
+    """Versioned statistics over one ``(schema, store)`` pair.
+
+    Collecting :class:`DatabaseStatistics` walks every extent, which is the
+    single most expensive per-request step once executors and plans are
+    warm.  The cache keys one collected snapshot on the store's global
+    mutation counter: while the version stands still, every consumer —
+    executors planning queries, the service's batch path, the optimizer's
+    cost model — reads the same object and **no collection runs at all**.
+
+    When the version moves, the store's bounded mutation journal decides
+    how much work the refresh costs:
+
+    * the journal bridges the delta → only the journal-touched classes are
+      recollected (per-class statistics are independent, so the merged
+      snapshot is byte-identical to a full collect);
+    * the delta contains only index lifecycle ops → data statistics are
+      reused verbatim and just the live-index set is refreshed;
+    * the journal cannot bridge (bounded retention, an index rebuild's
+      floor) → a full collect runs.
+
+    Snapshots are never mutated in place — consumers holding a reference
+    (a plan under execution) keep a consistent view while later requests
+    read the refreshed one.  ``get`` is thread-safe; collection runs at
+    most once per observed store version (the regression contract pinned
+    by ``tests/service/test_statistics_staleness.py``).
+    """
+
+    #: Journal ops that change data statistics (index lifecycle ops don't).
+    _DATA_OPS = ("insert", "update", "delete")
+
+    def __init__(self, schema: Schema, store: ObjectStore) -> None:
+        self.schema = schema
+        self.store = store
+        self._lock = threading.Lock()
+        self._stats: Optional[DatabaseStatistics] = None
+        self._version: Optional[int] = None
+        #: Full store walks performed (cache misses the journal couldn't
+        #: soften).  Exposed for regression tests and tuning stats.
+        self.full_collects = 0
+        #: Journal-guided partial recollects (touched classes only).
+        self.partial_collects = 0
+
+    @property
+    def collects(self) -> int:
+        """Total collection passes, full or partial."""
+        return self.full_collects + self.partial_collects
+
+    def invalidate(self) -> None:
+        """Drop the cached snapshot (the next ``get`` collects fresh)."""
+        with self._lock:
+            self._stats = None
+            self._version = None
+
+    def get(self) -> DatabaseStatistics:
+        """Statistics current for the store's present version."""
+        with self._lock:
+            version = self.store.version
+            if self._stats is not None and version == self._version:
+                return self._stats
+            previous = self._stats
+            records = (
+                self.store.journal_since(self._version)
+                if previous is not None and self._version is not None
+                else None
+            )
+            if records is None:
+                stats = DatabaseStatistics.collect(self.schema, self.store)
+                self.full_collects += 1
+            else:
+                touched = sorted(
+                    {
+                        record.class_name
+                        for record in records
+                        if record.op in self._DATA_OPS
+                    }
+                )
+                if touched:
+                    fresh = DatabaseStatistics.collect(
+                        self.schema, self.store, class_names=touched
+                    )
+                    cardinalities = dict(previous.cardinalities)
+                    cardinalities.update(fresh.cardinalities)
+                    attributes = dict(previous.attributes)
+                    attributes.update(fresh.attributes)
+                    stats = DatabaseStatistics(
+                        cardinalities=cardinalities,
+                        attributes=attributes,
+                        indexed=fresh.indexed,
+                    )
+                    self.partial_collects += 1
+                else:
+                    # Index-only delta: the data statistics are unchanged;
+                    # refresh just the live-index set (no extent is walked,
+                    # so this does not count as a collection pass).
+                    stats = DatabaseStatistics(
+                        cardinalities=previous.cardinalities,
+                        attributes=previous.attributes,
+                        indexed=frozenset(
+                            self.store.indexes.indexed_attributes()
+                        ),
+                    )
+            self._stats = stats
+            self._version = version
+            return stats

@@ -37,6 +37,16 @@ from .instance import ObjectInstance
 #: Default number of mutation records the store's journal retains.
 DEFAULT_JOURNAL_LIMIT = 512
 
+#: Journaled index lifecycle ops (``values`` carries the attribute name).
+#: They ride the same journal/WAL/replication path as data mutations, so
+#: forked parallel workers, replicas and crash recovery all converge on the
+#: same live index set.  Consumers that only care about row changes (e.g.
+#: subscription delta classification) skip them by op.
+INDEX_OPS = ("create_index", "drop_index")
+
+#: Row-changing journal ops (everything that is not index lifecycle).
+DATA_OPS = ("insert", "update", "delete")
+
 
 class StorageError(Exception):
     """Raised on inconsistent store operations."""
@@ -50,7 +60,9 @@ class MutationRecord:
     so a replica at version ``v`` catches up by applying every record with
     ``seq > v`` in order.  ``values`` carries the inserted attribute values
     (``op == "insert"``) or the applied update delta (``op == "update"``);
-    deletes carry ``None``.
+    deletes carry ``None``.  Index lifecycle ops (``create_index`` /
+    ``drop_index``) carry ``oid == 0`` (no instance is involved) and
+    ``values == {"attribute": name}``.
     """
 
     seq: int
@@ -88,10 +100,22 @@ class MutationRecord:
         values = payload.get("values")
         if not isinstance(seq, int) or isinstance(seq, bool) or seq < 1:
             raise StorageError(f"mutation record has invalid seq {seq!r}")
-        if op not in ("insert", "update", "delete"):
+        if op not in DATA_OPS + INDEX_OPS:
             raise StorageError(f"mutation record has unknown op {op!r}")
         if not isinstance(class_name, str) or not class_name:
             raise StorageError("mutation record has no class name")
+        if op in INDEX_OPS:
+            if oid != 0:
+                raise StorageError(
+                    f"index record must carry oid 0, got {oid!r}"
+                )
+            if not isinstance(values, dict) or not isinstance(
+                values.get("attribute"), str
+            ):
+                raise StorageError(
+                    "index record values must name an 'attribute'"
+                )
+            return cls(seq, op, class_name, oid, values)
         if not isinstance(oid, int) or isinstance(oid, bool) or oid < 1:
             raise StorageError(f"mutation record has invalid oid {oid!r}")
         if values is not None and not isinstance(values, dict):
@@ -156,9 +180,22 @@ class StoreShard:
         self.version += 1
         return instance
 
-    def rebuild_indexes(self) -> None:
-        """Rebuild this shard's secondary indexes from its extents."""
+    def rebuild_indexes(self, index_overrides: Optional[Dict] = None) -> None:
+        """Rebuild this shard's secondary indexes from its extents.
+
+        ``index_overrides`` maps ``(class, attribute)`` to ``True`` (a
+        runtime-created index to re-create) or ``False`` (a dropped
+        schema index to leave absent), so a rebuild preserves the store's
+        live index set instead of resetting it to the schema baseline.
+        """
         self.indexes = IndexManager(self.schema)
+        for (class_name, attribute_name), present in sorted(
+            (index_overrides or {}).items()
+        ):
+            if present:
+                self.indexes.create(class_name, attribute_name)
+            else:
+                self.indexes.drop(class_name, attribute_name)
         for class_name, extent in self.extents.items():
             for instance in extent:
                 self.indexes.on_insert(class_name, instance.oid, instance.values)
@@ -287,6 +324,11 @@ class ShardedObjectStore:
         self._merged_extents: Dict[str, List[ObjectInstance]] = {}
         self._merged_oid_maps: Dict[str, Dict[int, ObjectInstance]] = {}
         self._index_view = _ShardedIndexView(self) if shard_count > 1 else None
+        # Runtime index lifecycle (the tuning advisor's lever), applied on
+        # top of the schema baseline: (class, attribute) -> True means a
+        # runtime-created index, False a dropped schema-declared one.
+        # Rebuilds, snapshots and restores preserve these overrides.
+        self._index_overrides: Dict[Tuple[str, str], bool] = {}
         # Bounded mutation journal: lets forked replicas (the parallel
         # engine's live workers) catch up by replaying the delta instead of
         # being re-forked wholesale.  ``_journal_floor`` is exclusive: the
@@ -430,6 +472,122 @@ class ShardedObjectStore:
         self._record("update", class_name, oid, dict(values))
         return instance
 
+    # ------------------------------------------------------------------
+    # Index lifecycle (runtime create/drop, journaled)
+    # ------------------------------------------------------------------
+    def index_overrides(self) -> Dict[Tuple[str, str], bool]:
+        """The live deviations from the schema's index baseline (a copy).
+
+        ``True`` marks a runtime-created index, ``False`` a dropped
+        schema-declared one.  Empty when the live index set equals the
+        schema's.
+        """
+        return dict(self._index_overrides)
+
+    def _index_attribute(self, class_name: str, attribute_name: str):
+        """Resolve and validate the target attribute of an index op."""
+        if class_name not in self._next_oid:
+            raise StorageError(f"unknown object class {class_name!r}")
+        cls = self.schema.object_class(class_name)
+        attribute = next(
+            (a for a in cls.attributes if a.name == attribute_name), None
+        )
+        if attribute is None:
+            raise StorageError(
+                f"class {class_name!r} has no attribute {attribute_name!r}"
+            )
+        if attribute.is_pointer:
+            raise StorageError(
+                f"cannot index pointer attribute {class_name}.{attribute_name}"
+            )
+        return attribute
+
+    def _set_index_state(self, class_name: str, attribute, present: bool) -> None:
+        """Apply one index create/drop to every shard plus the bookkeeping."""
+        key = (class_name, attribute.name)
+        for shard in self.shards:
+            if present:
+                # Per-shard extent slices are in ascending-OID order, so the
+                # backfilled buckets satisfy the HashIndex determinism
+                # contract exactly like insert-maintained ones.
+                shard.indexes.create(
+                    class_name, attribute.name, shard.extents[class_name]
+                )
+            else:
+                shard.indexes.drop(class_name, attribute.name)
+        if present:
+            self._indexed_domains[class_name][attribute.name] = attribute.domain
+        else:
+            self._indexed_domains[class_name].pop(attribute.name, None)
+        baseline = attribute.indexed and not attribute.is_pointer
+        if present == baseline:
+            self._index_overrides.pop(key, None)
+        else:
+            self._index_overrides[key] = present
+
+    def create_index(self, class_name: str, attribute_name: str) -> bool:
+        """Create a secondary index on a value attribute at runtime.
+
+        Backfills from the stored extents, journals a ``create_index``
+        record (so replicas, forked parallel workers and crash recovery
+        converge on the same index set) and returns ``True``.  A no-op —
+        the index already exists — returns ``False`` *without journaling*,
+        so replayers never see a record whose application would not
+        advance their version.
+
+        The journal/WAL seq-density invariant: every journaled record must
+        move the global version by exactly one (recovery replays only a
+        contiguous seq prefix).  Index state changed on *every* shard, but
+        only shard 0's counter is bumped — the global version is the shard
+        sum, and a per-shard bump would open a seq gap.  That is safe
+        because per-shard version keys only guard *data-derived* caches
+        (pointer lists, row fragments), which an index change cannot
+        invalidate; everything access-path-dependent keys on the global
+        version, which does move.
+        """
+        attribute = self._index_attribute(class_name, attribute_name)
+        if self.indexes.is_indexed(class_name, attribute_name):
+            return False
+        # Validate every stored value against the attribute's domain before
+        # any shard changes: sorted-index backfill compares values, and a
+        # mixed-type extent must surface as a clean StorageError, never a
+        # half-installed index.
+        domain = attribute.domain
+        for shard in self.shards:
+            for instance in shard.extents[class_name]:
+                value = instance.values.get(attribute_name)
+                if value is None:
+                    continue
+                if domain is DomainType.STRING and not isinstance(value, str):
+                    raise StorageError(
+                        f"cannot index {class_name}.{attribute_name}: stored "
+                        f"value {value!r} is not a string"
+                    )
+                if domain.is_numeric and not isinstance(value, (int, float)):
+                    raise StorageError(
+                        f"cannot index {class_name}.{attribute_name}: stored "
+                        f"value {value!r} is not a number"
+                    )
+        self._set_index_state(class_name, attribute, True)
+        self.shards[0].version += 1
+        self._record("create_index", class_name, 0, {"attribute": attribute_name})
+        return True
+
+    def drop_index(self, class_name: str, attribute_name: str) -> bool:
+        """Drop a live secondary index (schema-declared or runtime-created).
+
+        Journals a ``drop_index`` record with the same one-version-bump
+        discipline as :meth:`create_index`; returns ``False`` without
+        journaling when no index exists.
+        """
+        attribute = self._index_attribute(class_name, attribute_name)
+        if not self.indexes.is_indexed(class_name, attribute_name):
+            return False
+        self._set_index_state(class_name, attribute, False)
+        self.shards[0].version += 1
+        self._record("drop_index", class_name, 0, {"attribute": attribute_name})
+        return True
+
     def rebuild_indexes(self) -> None:
         """Rebuild every shard's secondary indexes from the stored extents.
 
@@ -446,7 +604,7 @@ class ShardedObjectStore:
         must report the gap too, not an empty delta.
         """
         for shard in self.shards:
-            shard.rebuild_indexes()
+            shard.rebuild_indexes(self._index_overrides)
         self._journal.clear()
         self._journal_floor = self.version + 1
 
@@ -549,6 +707,23 @@ class ShardedObjectStore:
                     self.update(record.class_name, record.oid, record.values or {})
                 elif record.op == "delete":
                     self.delete(record.class_name, record.oid)
+                elif record.op in INDEX_OPS:
+                    attribute = (record.values or {}).get("attribute", "")
+                    changed = (
+                        self.create_index(record.class_name, attribute)
+                        if record.op == "create_index"
+                        else self.drop_index(record.class_name, attribute)
+                    )
+                    if not changed:
+                        # The op advanced the journaling store's version; a
+                        # no-op here would leave this replica permanently
+                        # one version behind — that is divergence, not a
+                        # skippable duplicate (those were filtered by seq).
+                        raise StorageError(
+                            f"replayed {record.op} of "
+                            f"{record.class_name}.{attribute} was a no-op; "
+                            "index state diverged from the journaling store"
+                        )
                 else:  # pragma: no cover - future-proofing
                     raise StorageError(f"unknown journal op {record.op!r}")
                 applied += 1
@@ -577,12 +752,20 @@ class ShardedObjectStore:
         counters differently, and version-keyed caches (executors, forked
         worker pools) would diverge from an uninterrupted run.
         """
-        return {
+        header = {
             "shard_count": self.shard_count,
             "version": self.version,
             "shard_versions": list(self.shard_versions()),
             "next_oid": dict(self._next_oid),
         }
+        if self._index_overrides:
+            header["index_overrides"] = [
+                [class_name, attribute_name, present]
+                for (class_name, attribute_name), present in sorted(
+                    self._index_overrides.items()
+                )
+            ]
+        return header
 
     def snapshot_rows(self) -> Iterable[Tuple[str, int, Dict[str, Any]]]:
         """Every stored instance as ``(class_name, oid, values)``.
@@ -616,6 +799,23 @@ class ShardedObjectStore:
         if not isinstance(shard_count, int) or shard_count < 1:
             raise StorageError(f"snapshot has invalid shard_count {shard_count!r}")
         store = cls(schema, shard_count=shard_count, journal_limit=journal_limit)
+        # Apply index overrides before the rows land, so per-shard insert
+        # maintenance covers runtime-created indexes (and skips dropped
+        # ones) exactly as it did on the snapshotted store.
+        for entry in header.get("index_overrides") or []:
+            if (
+                not isinstance(entry, (list, tuple))
+                or len(entry) != 3
+                or not isinstance(entry[0], str)
+                or not isinstance(entry[1], str)
+                or not isinstance(entry[2], bool)
+            ):
+                raise StorageError(
+                    f"snapshot has invalid index override {entry!r}"
+                )
+            class_name, attribute_name, present = entry
+            attribute = store._index_attribute(class_name, attribute_name)
+            store._set_index_state(class_name, attribute, present)
         for class_name, oid, values in rows:
             if class_name not in store._next_oid:
                 raise StorageError(

@@ -58,7 +58,7 @@ from .executor import ExecutionMetrics, ExecutionResult
 from .instance import ObjectInstance
 from .modes import ExecutionMode
 from .plan import FilterNode, PlanNode, ProjectNode, QueryPlan, ScanNode, TraverseNode
-from .statistics import DatabaseStatistics
+from .statistics import DatabaseStatistics, StatisticsCache
 from .storage import ObjectStore
 
 
@@ -231,12 +231,18 @@ class VectorizedExecutor:
         schema: Schema,
         store: ObjectStore,
         join_strategy: str = "hash",
+        statistics_cache: Optional[StatisticsCache] = None,
     ) -> None:
         if join_strategy not in ("hash", "nested_loop"):
             raise ValueError("join_strategy must be 'hash' or 'nested_loop'")
         self.schema = schema
         self.store = store
         self.join_strategy = join_strategy
+        # Version-keyed statistics shared with the service when provided
+        # (one collect per store version across every consumer).
+        self.statistics_cache = statistics_cache or StatisticsCache(
+            schema, store
+        )
         # Store-derived caches: normalized pointer lists per (instance,
         # attribute) and qualified row fragments per instance.  Both are
         # pure functions of stored state, so reuse across executions cannot
@@ -293,13 +299,18 @@ class VectorizedExecutor:
             shard[key] = oids
         return oids
 
+    def statistics(self) -> DatabaseStatistics:
+        """Statistics current for the store's version (cached)."""
+        return self.statistics_cache.get()
+
     def execute(self, query: Query) -> ExecutionResult:
         """Plan and execute ``query`` in one call."""
         from .planner import ConventionalPlanner
 
-        statistics = DatabaseStatistics.collect(self.schema, self.store)
         planner = ConventionalPlanner(
-            self.schema, statistics, execution_mode=ExecutionMode.VECTORIZED
+            self.schema,
+            self.statistics(),
+            execution_mode=ExecutionMode.VECTORIZED,
         )
         plan = planner.plan(query)
         return self.execute_plan(plan)

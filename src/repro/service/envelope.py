@@ -111,6 +111,11 @@ class ServiceStats:
     #: otherwise): data dir, fsync policy, WAL frame/commit/fsync
     #: counts and the snapshot base version.
     durability: Optional[Dict[str, Any]] = None
+    #: Self-tuning counters when the feedback loop is on (``None``
+    #: otherwise): tuning generation, calibration reservoir/fit state,
+    #: index-advisor heat and managed indexes, rule-payoff evidence and
+    #: the demoted-rule set.
+    tuning: Optional[Dict[str, Any]] = None
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-serializable form (the payload of the ``stats`` RPC)."""
@@ -144,6 +149,8 @@ class ServiceStats:
         }
         if self.durability is not None:
             payload["durability"] = dict(self.durability)
+        if self.tuning is not None:
+            payload["tuning"] = dict(self.tuning)
         return payload
 
 

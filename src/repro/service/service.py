@@ -173,6 +173,22 @@ class OptimizationService:
         #: live views pay nothing.  The write path flags it on dynamic-
         #: rule churn; the gateway (or a follower) pumps it after writes.
         self.subscriptions = None
+        #: Shared version-keyed statistics cache over the attached store.
+        #: Every executor, the batch path and the optimizer's cost model
+        #: read through it, so the whole service performs at most one
+        #: full statistics collect per store version.
+        self._stats_cache = None
+        #: Self-tuning manager (:meth:`enable_self_tuning`); ``None`` when
+        #: the feedback loop is off.
+        self._tuning = None
+        self._bind_store_caches()
+        # Profitability heuristics consult the store's live index set
+        # (runtime-created and dropped indexes included), falling back to
+        # the static schema only without a store.
+        self.optimizer.index_probe = self._live_index_probe
+        # Demoted rules sit out of retrieval; a no-op until self-tuning
+        # with rule learning is enabled.
+        self.optimizer.rule_filter = self._rule_filter
 
     @property
     def repository(self) -> Optional[ConstraintRepository]:
@@ -182,6 +198,61 @@ class OptimizationService:
         never diverge from the repository the optimizer actually uses.
         """
         return self.optimizer.repository
+
+    # ------------------------------------------------------------------
+    # Store-derived caches (statistics, live index probe)
+    # ------------------------------------------------------------------
+    def _bind_store_caches(self) -> None:
+        """(Re)build the statistics cache for the current store.
+
+        Called at construction and on every store swap.  Binds the
+        optimizer's cost model to the cache so profitability estimates
+        price against the store's *current* contents instead of whatever
+        snapshot the model was constructed with.
+        """
+        from ..engine.statistics import StatisticsCache
+
+        if self.store is None:
+            self._stats_cache = None
+            if self.optimizer.cost_model is not None:
+                self.optimizer.cost_model.bind_statistics(None)
+            return
+        self._stats_cache = StatisticsCache(self.schema, self.store)
+        if self.optimizer.cost_model is not None:
+            self.optimizer.cost_model.bind_statistics(self._stats_cache.get)
+
+    def _statistics(self):
+        """Statistics current for the store's version, via the shared cache."""
+        if self._stats_cache is None:
+            raise ValueError(
+                "OptimizationService has no object store attached; pass "
+                "store= at construction or call attach_store()"
+            )
+        return self._stats_cache.get()
+
+    @property
+    def statistics_cache(self):
+        """The shared statistics cache (``None`` without a store)."""
+        return self._stats_cache
+
+    def _live_index_probe(
+        self, class_name: str, attribute_name: str
+    ) -> Optional[bool]:
+        """The store's live index set; ``None`` (= unknown) without a store."""
+        store = self.store
+        if store is None:
+            return None
+        try:
+            return store.indexes.is_indexed(class_name, attribute_name)
+        except Exception:
+            return None
+
+    def _rule_filter(self, constraint) -> bool:
+        """Whether ``constraint`` may participate in optimization."""
+        tuning = self._tuning
+        if tuning is None or not tuning.config.learn_rules:
+            return True
+        return not tuning.is_demoted(constraint.name)
 
     # ------------------------------------------------------------------
     # Cache plumbing
@@ -254,6 +325,9 @@ class OptimizationService:
                 self._durability.stats()
                 if self._durability is not None
                 else None
+            ),
+            tuning=(
+                self._tuning.snapshot() if self._tuning is not None else None
             ),
         )
 
@@ -335,10 +409,27 @@ class OptimizationService:
         because a constraint's referenced classes are always a subset of
         the classes of any query it is relevant to, so any relevant
         constraint change moves at least one counter in this tuple.
+
+        Two tuning counters ride along: the cost model's weights
+        generation (calibration swaps reprice profitability decisions)
+        and the tuning manager's generation (index create/drop and rule
+        demotions change what the optimizer would produce).  Both are 0
+        until the corresponding feature activates, so the epoch shape is
+        stable.
         """
-        if self.repository is None:
-            return ()
-        return self.repository.class_generations(query.classes)
+        generations: Tuple[int, ...] = (
+            self.repository.class_generations(query.classes)
+            if self.repository is not None
+            else ()
+        )
+        cost_model = self.optimizer.cost_model
+        weights_generation = (
+            cost_model.weights_generation if cost_model is not None else 0
+        )
+        tuning_generation = (
+            self._tuning.generation if self._tuning is not None else 0
+        )
+        return generations + (weights_generation, tuning_generation)
 
     def _optimize_keyed(
         self, query: Query, eq_key: Optional[Tuple]
@@ -377,6 +468,7 @@ class OptimizationService:
     def attach_store(self, store) -> None:
         """Attach (or replace) the object store used by :meth:`execute`."""
         self.store = store
+        self._bind_store_caches()
         self._drop_executors()
 
     def attach_durability(self, manager) -> None:
@@ -525,6 +617,7 @@ class OptimizationService:
         """
         with self._store_lock.write():
             self.store = store
+            self._bind_store_caches()
             self._refresh_dynamic_rules(
                 self._tracked_classes(self.schema.class_names())
             )
@@ -601,6 +694,7 @@ class OptimizationService:
                     join_strategy=join_strategy,
                     workers=width or None,
                     min_partition_rows=self.engine_min_partition_rows,
+                    statistics_cache=self._stats_cache,
                 )
                 self._executors[key] = executor
         return executor
@@ -626,6 +720,7 @@ class OptimizationService:
         """
         envelope: Optional[ServiceResult] = None
         target = query
+        baseline = None
         # One read-lock span covers the optimize half too: dynamic rules
         # derived from store state feed the optimization, so a rule
         # re-derivation (a write) must not land between transforming the
@@ -638,11 +733,27 @@ class OptimizationService:
             executor = self._executor(execution_mode, join_strategy, workers)
             start = time.perf_counter()
             execution = executor.execute(target)
+            elapsed = time.perf_counter() - start
+            if (
+                self._tuning is not None
+                and envelope is not None
+                and envelope.result.trace.constraints_used()
+                and self._tuning.should_sample_ab()
+            ):
+                # Sampled A/B leg: the *original* query on the same
+                # engine, inside the same lock span so both legs observe
+                # one store/rule epoch.  Its measured cost is the ground
+                # truth the rule-payoff tracker scores rewrites against.
+                baseline = executor.execute(query)
+        if self._tuning is not None:
+            self._tuning_feedback(
+                executor, query, execution, elapsed, envelope, baseline
+            )
         return ExecutionEnvelope(
             query=query,
             execution=execution,
             execution_mode=executor.mode.value,
-            execute_time=time.perf_counter() - start,
+            execute_time=elapsed,
             optimization=envelope,
         )
 
@@ -711,6 +822,15 @@ class OptimizationService:
         # back to the batch mean otherwise — queries overlap on one pool,
         # so an exclusive per-query wall clock does not exist there.
         mean_time = execute_time / len(batch) if batch else 0.0
+        if self._tuning is not None and batch:
+            for query, (execution, elapsed) in zip(batch, timed_executions):
+                self._tuning.observe_execution(
+                    resolved.value,
+                    query,
+                    execution.metrics,
+                    elapsed if elapsed is not None else mean_time,
+                )
+            self._tuning_maintenance(resolved.value)
         results = [
             ExecutionEnvelope(
                 query=query,
@@ -741,12 +861,14 @@ class OptimizationService:
         ``None`` for inline ones.
         """
         from ..engine.planner import ConventionalPlanner
-        from ..engine.statistics import DatabaseStatistics
 
         executor = self._executor("parallel", join_strategy, workers)
         if not targets:
             return [], executor.workers
-        statistics = DatabaseStatistics.collect(self.schema, self.store)
+        # One shared version-keyed snapshot: batch after batch at the same
+        # store version plans against the same collected statistics
+        # instead of re-walking every extent per batch.
+        statistics = self._statistics()
         planner = ConventionalPlanner(
             self.schema, statistics, execution_mode=executor.mode
         )
@@ -808,6 +930,7 @@ class OptimizationService:
                     self.store,
                     mode=resolved,
                     join_strategy=join_strategy,
+                    statistics_cache=self._stats_cache,
                 )
             try:
                 return timed(executor, target)
@@ -816,6 +939,170 @@ class OptimizationService:
 
         with ThreadPoolExecutor(max_workers=pool_size) as pool:
             return list(pool.map(run, targets)), pool_size
+
+    # ------------------------------------------------------------------
+    # Self-tuning (measured-cost calibration, auto-indexing, rule payoff)
+    # ------------------------------------------------------------------
+    def enable_self_tuning(self, config=None):
+        """Turn on the measured-feedback loop; returns the manager.
+
+        ``config`` is a :class:`~repro.tuning.TuningConfig` (``None`` =
+        defaults: calibration, auto-indexing and rule learning all on).
+        Requires an attached store.  When the optimizer has no cost
+        model, one is created and bound to the shared statistics cache —
+        calibrated weights have to land somewhere.
+
+        From here on every :meth:`execute` / :meth:`execute_many` feeds
+        the calibrator and the index advisor; calibration refits, index
+        create/drop and rule demotions each bump the tuning generation,
+        which rides in every cache epoch, so no cached result priced
+        under the old tuning state is ever served as current.
+        """
+        from ..tuning import SelfTuningManager, TuningConfig
+
+        if self.store is None or self._stats_cache is None:
+            raise ValueError(
+                "self-tuning needs an attached object store; pass store= "
+                "at construction or call attach_store()"
+            )
+        if config is None:
+            config = TuningConfig()
+        if self.optimizer.cost_model is not None:
+            self.optimizer.cost_model.bind_statistics(self._stats_cache.get)
+        else:
+            from ..engine.cost_model import CostModel as EngineCostModel
+
+            model = EngineCostModel(self.schema, self._stats_cache.get())
+            model.bind_statistics(self._stats_cache.get)
+            self.optimizer.cost_model = model
+        self._tuning = SelfTuningManager(config)
+        return self._tuning
+
+    @property
+    def self_tuning(self):
+        """The tuning manager (``None`` when self-tuning is off)."""
+        return self._tuning
+
+    def _tuning_feedback(
+        self, executor, query, execution, wall_time, envelope=None, baseline=None
+    ) -> None:
+        """Post-execution hook: observe, score A/B, run due maintenance."""
+        tuning = self._tuning
+        if tuning is None:
+            return
+        mode = executor.mode.value
+        tuning.observe_execution(mode, query, execution.metrics, wall_time)
+        cost_model = self.optimizer.cost_model
+        if (
+            baseline is not None
+            and envelope is not None
+            and cost_model is not None
+        ):
+            tuning.observe_ab(
+                self._rule_generations(
+                    envelope.result.trace.constraints_used()
+                ),
+                cost_model.measured_cost(execution.metrics),
+                cost_model.measured_cost(baseline.metrics),
+            )
+        self._tuning_maintenance(mode)
+
+    def _rule_generations(
+        self, names: Iterable[str]
+    ) -> List[Tuple[str, Tuple[int, ...]]]:
+        """Each rule paired with its referenced classes' generations."""
+        unique = list(dict.fromkeys(names))
+        if self.repository is None:
+            return [(name, ()) for name in unique]
+        declared = {c.name: c for c in self.repository.declared()}
+        rules: List[Tuple[str, Tuple[int, ...]]] = []
+        for name in unique:
+            constraint = declared.get(name)
+            generations = (
+                self.repository.class_generations(
+                    sorted(constraint.referenced_classes())
+                )
+                if constraint is not None
+                else ()
+            )
+            rules.append((name, generations))
+        return rules
+
+    def _tuning_maintenance(self, mode: str) -> None:
+        """Apply any due calibration refit or index advice.
+
+        Must be called WITHOUT the store lock held: index advice takes
+        the exclusive side.
+        """
+        tuning = self._tuning
+        if tuning is None:
+            return
+        cost_model = self.optimizer.cost_model
+        if cost_model is not None and tuning.due_calibration(mode):
+            report = tuning.calibrate(mode, base=cost_model.weights)
+            if report is not None:
+                # The swap bumps weights_generation, which every cache
+                # epoch embeds — stale-priced results age out, cached
+                # plans stay valid (plan shape is weight-independent).
+                cost_model.set_weights(report.weights)
+        if tuning.due_advice():
+            self._apply_index_advice()
+
+    def _apply_index_advice(self) -> List:
+        """Create/drop the indexes the advisor's heat justifies.
+
+        Index ops go through the store's journaled write path under the
+        exclusive lock — exactly like data writes — so replicas, the WAL
+        and parallel workers all converge on the same index set.
+        """
+        tuning = self._tuning
+        store = self.store
+        if tuning is None or store is None:
+            return []
+        from ..engine.storage import StorageError
+
+        def is_indexed(class_name: str, attribute_name: str) -> bool:
+            try:
+                return store.indexes.is_indexed(class_name, attribute_name)
+            except Exception:
+                return False
+
+        def cardinality(class_name: str) -> int:
+            try:
+                return store.count(class_name)
+            except Exception:
+                return 0
+
+        def indexable(class_name: str, attribute_name: str) -> bool:
+            try:
+                store._index_attribute(class_name, attribute_name)
+            except Exception:
+                return False
+            return True
+
+        actions = tuning.advise(is_indexed, cardinality, indexable)
+        if not actions:
+            return []
+        applied = []
+        with self._store_lock.write():
+            for action in actions:
+                try:
+                    if action.op == "create":
+                        ok = store.create_index(
+                            action.class_name, action.attribute_name
+                        )
+                    else:
+                        ok = store.drop_index(
+                            action.class_name, action.attribute_name
+                        )
+                except StorageError:
+                    # E.g. stored values failing the index's domain check;
+                    # skip — the heat will re-propose or decay.
+                    ok = False
+                if ok:
+                    tuning.index_applied(action)
+                    applied.append(action)
+        return applied
 
     # ------------------------------------------------------------------
     # Mutation API (the live write path)

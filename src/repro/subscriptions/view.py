@@ -121,6 +121,10 @@ class StandingView:
         if record.class_name not in self._class_set:
             self.skipped += 1
             return False
+        if record.op in ("create_index", "drop_index"):
+            # Index lifecycle changes access paths, never row membership.
+            self.skipped += 1
+            return False
         kernels = self._kernels.get(record.class_name)
         if kernels is None:
             return True

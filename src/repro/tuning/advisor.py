@@ -1,0 +1,191 @@
+"""Workload-driven index advice.
+
+Index introduction — the paper's headline transformation — only pays off
+when the introduced predicate lands on an attribute that actually has an
+index.  The static schema declares a fixed index set at design time; this
+module watches the *workload* instead: every executed query contributes its
+selective predicates' ``(class, attribute)`` targets to exponentially
+decayed frequency counters, and :meth:`IndexAdvisor.advise` turns the
+counters into create/drop actions.
+
+The advisor is deliberately pure: it never touches a store.  It reports
+actions against a caller-supplied ``is_indexed`` probe and ``cardinality``
+lookup, and the owning :class:`~repro.tuning.manager.SelfTuningManager`
+(under the service's write lock) applies them through
+``ShardedObjectStore.create_index`` / ``drop_index`` so replicas and
+parallel workers converge through the mutation journal like any other
+write.
+
+Safety rails:
+
+* extents below ``min_cardinality`` are never indexed (a full scan of a
+  tiny extent is cheaper than maintaining an index);
+* only indexes the advisor itself created are ever dropped — declared
+  schema indexes and operator-created ones are out of bounds;
+* counters decay by halving every ``decay_interval`` observations, so a
+  workload shift ages old heat out instead of pinning stale indexes
+  forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Set, Tuple
+
+from ..query.query import Query
+
+
+@dataclass(frozen=True)
+class IndexAction:
+    """One piece of advice: create or drop an index."""
+
+    op: str  # "create" | "drop"
+    class_name: str
+    attribute_name: str
+    heat: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view for stats payloads."""
+        return {
+            "op": self.op,
+            "class": self.class_name,
+            "attribute": self.attribute_name,
+            "heat": round(self.heat, 3),
+        }
+
+
+class IndexAdvisor:
+    """Access-frequency counters over selective predicates, with advice.
+
+    Parameters
+    ----------
+    create_threshold:
+        Decayed heat at which an unindexed attribute earns an index.
+    drop_threshold:
+        Decayed heat below which an advisor-created index is retired.
+        Must be below ``create_threshold`` (hysteresis — a flapping
+        attribute must cool well past the create point before its index
+        is dropped).
+    decay_interval:
+        Observations between halvings of every counter.
+    min_cardinality:
+        Extents smaller than this are never indexed.
+    """
+
+    def __init__(
+        self,
+        create_threshold: float = 16.0,
+        drop_threshold: float = 2.0,
+        decay_interval: int = 64,
+        min_cardinality: int = 64,
+    ) -> None:
+        if drop_threshold >= create_threshold:
+            raise ValueError(
+                "drop_threshold must be below create_threshold (hysteresis)"
+            )
+        self.create_threshold = create_threshold
+        self.drop_threshold = drop_threshold
+        self.decay_interval = max(1, decay_interval)
+        self.min_cardinality = min_cardinality
+        self._heat: Dict[Tuple[str, str], float] = {}
+        self._observations = 0
+        #: Indexes this advisor created (the only ones it may drop).
+        self.created: Set[Tuple[str, str]] = set()
+        self.creates = 0
+        self.drops = 0
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def observe(self, query: Query) -> None:
+        """Fold one executed query's selective predicates into the heat."""
+        self._observations += 1
+        for predicate in query.predicates():
+            if not predicate.is_selection:
+                continue
+            key = (predicate.left.class_name, predicate.left.attribute_name)
+            self._heat[key] = self._heat.get(key, 0.0) + 1.0
+        if self._observations % self.decay_interval == 0:
+            self._decay()
+
+    def _decay(self) -> None:
+        cold = []
+        for key in self._heat:
+            self._heat[key] *= 0.5
+            if self._heat[key] < 0.125 and key not in self.created:
+                cold.append(key)
+        for key in cold:
+            del self._heat[key]
+
+    def heat(self, class_name: str, attribute_name: str) -> float:
+        """Current decayed heat of one attribute."""
+        return self._heat.get((class_name, attribute_name), 0.0)
+
+    # ------------------------------------------------------------------
+    # Advice
+    # ------------------------------------------------------------------
+    def advise(
+        self,
+        is_indexed: Callable[[str, str], bool],
+        cardinality: Callable[[str], int],
+        indexable: Callable[[str, str], bool],
+    ) -> List[IndexAction]:
+        """Actions the current heat justifies.
+
+        ``is_indexed`` must reflect the store's *live* index set,
+        ``cardinality`` the live extent sizes, and ``indexable`` whether an
+        index on the attribute is structurally possible (exists, not a
+        pointer).  The caller applies the returned actions and then calls
+        :meth:`applied` for each one that took effect.
+        """
+        actions: List[IndexAction] = []
+        for (class_name, attribute_name), heat in sorted(self._heat.items()):
+            key = (class_name, attribute_name)
+            if heat >= self.create_threshold:
+                if is_indexed(class_name, attribute_name):
+                    continue
+                if not indexable(class_name, attribute_name):
+                    continue
+                if cardinality(class_name) < self.min_cardinality:
+                    continue
+                actions.append(
+                    IndexAction("create", class_name, attribute_name, heat)
+                )
+            elif heat <= self.drop_threshold and key in self.created:
+                if is_indexed(class_name, attribute_name):
+                    actions.append(
+                        IndexAction("drop", class_name, attribute_name, heat)
+                    )
+        return actions
+
+    def applied(self, action: IndexAction) -> None:
+        """Record that ``action`` actually took effect on the store."""
+        key = (action.class_name, action.attribute_name)
+        if action.op == "create":
+            self.created.add(key)
+            self.creates += 1
+        else:
+            self.created.discard(key)
+            self._heat.pop(key, None)
+            self.drops += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Counters and the hottest attributes, for stats payloads."""
+        hottest = sorted(
+            self._heat.items(), key=lambda item: (-item[1], item[0])
+        )[:8]
+        return {
+            "observations": self._observations,
+            "creates": self.creates,
+            "drops": self.drops,
+            "managed": sorted(
+                f"{cls}.{attr}" for cls, attr in self.created
+            ),
+            "hottest": [
+                {"attribute": f"{cls}.{attr}", "heat": round(heat, 3)}
+                for (cls, attr), heat in hottest
+            ],
+        }

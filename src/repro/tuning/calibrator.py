@@ -1,0 +1,254 @@
+"""Measured-cost calibration.
+
+The cost model prices a query in abstract units by weighting the executor's
+primitive-operation counters (instances retrieved, predicates evaluated,
+pointer traversals, index lookups, rows output).  The hand-picked default
+weights encode era-appropriate assumptions — I/O two orders of magnitude
+above CPU — but nothing guarantees they match the machine the service is
+actually running on.
+
+:class:`CostCalibrator` closes that gap by regression: every execution
+contributes one ``(counter vector, wall seconds)`` sample, and a ridge
+regularized least-squares fit recovers per-operation weights denominated in
+observed seconds.  Fits are per engine mode, because the modes really do
+have different per-operation costs (a compiled vectorized predicate is far
+cheaper per row than a re-interpreted one), and the resulting weights are
+normalized so ``instance_retrieval == 1.0`` — the cost model's contract is
+*relative* weights, and normalizing keeps the untouched batch/parallel
+weights in comparable units.
+
+Determinism: the sample reservoir uses Vitter's algorithm R driven by a
+seeded generator, and the normal-equation solve is exact Gaussian
+elimination, so identical observation streams yield identical weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from random import Random
+from typing import Dict, List, Optional, Tuple
+
+from ..engine.cost_model import CostWeights
+from ..engine.executor import ExecutionMetrics
+
+#: The counter fields regressed on, in :class:`CostWeights` field order.
+FEATURES: Tuple[str, ...] = (
+    "instances_retrieved",
+    "predicate_evaluations",
+    "pointer_traversals",
+    "index_lookups",
+    "rows_output",
+)
+
+#: The weight fields the fit produces, aligned with :data:`FEATURES`.
+WEIGHT_FIELDS: Tuple[str, ...] = (
+    "instance_retrieval",
+    "predicate_evaluation",
+    "pointer_traversal",
+    "index_lookup",
+    "result_construction",
+)
+
+
+def _features(metrics: ExecutionMetrics) -> Tuple[float, ...]:
+    return tuple(float(getattr(metrics, name)) for name in FEATURES)
+
+
+def _solve(matrix: List[List[float]], rhs: List[float]) -> Optional[List[float]]:
+    """Gaussian elimination with partial pivoting; ``None`` when singular."""
+    n = len(rhs)
+    a = [row[:] + [rhs[i]] for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot = max(range(col, n), key=lambda r: abs(a[r][col]))
+        if abs(a[pivot][col]) < 1e-12:
+            return None
+        a[col], a[pivot] = a[pivot], a[col]
+        for row in range(col + 1, n):
+            factor = a[row][col] / a[col][col]
+            for k in range(col, n + 1):
+                a[row][k] -= factor * a[col][k]
+    solution = [0.0] * n
+    for row in range(n - 1, -1, -1):
+        acc = a[row][n] - sum(a[row][k] * solution[k] for k in range(row + 1, n))
+        solution[row] = acc / a[row][row]
+    return solution
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Outcome of one calibration fit."""
+
+    mode: str
+    sample_count: int
+    weights: CostWeights
+    #: Raw (seconds-denominated) weights before normalization.
+    raw: Tuple[float, ...]
+    #: Fraction of wall-time variance the fit explains (1.0 = perfect).
+    r_squared: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view for stats payloads."""
+        return {
+            "mode": self.mode,
+            "samples": self.sample_count,
+            "r_squared": round(self.r_squared, 6),
+            "weights": {
+                field: getattr(self.weights, field)
+                for field in WEIGHT_FIELDS
+            },
+        }
+
+
+class CostCalibrator:
+    """Accumulates execution samples and fits cost weights from them.
+
+    Parameters
+    ----------
+    reservoir_size:
+        Samples retained per engine mode.  Once full, replacement follows
+        seeded reservoir sampling, so the retained set stays a uniform
+        sample of everything observed and old workload phases age out.
+    min_samples:
+        Fits are refused below this many samples (under-determined fits
+        produce garbage weights).
+    ridge:
+        Tikhonov regularization strength.  Query workloads produce heavily
+        collinear counters (rows output tracks instances retrieved), and
+        the ridge term keeps the solve stable without distorting the
+        dominant weights.
+    seed:
+        Seeds the reservoir's generator; fits are exact, so the seed is
+        the only source of variation between runs.
+    """
+
+    def __init__(
+        self,
+        reservoir_size: int = 256,
+        min_samples: int = 24,
+        ridge: float = 1e-3,
+        seed: int = 0,
+    ) -> None:
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be positive")
+        self.reservoir_size = reservoir_size
+        self.min_samples = min_samples
+        self.ridge = ridge
+        self._random = Random(seed)
+        self._samples: Dict[str, List[Tuple[Tuple[float, ...], float]]] = {}
+        self._observed: Dict[str, int] = {}
+        self.fits = 0
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def observe(
+        self, mode: str, metrics: ExecutionMetrics, wall_time: float
+    ) -> None:
+        """Record one execution's counters and wall-clock seconds."""
+        if wall_time < 0:
+            return
+        sample = (_features(metrics), float(wall_time))
+        reservoir = self._samples.setdefault(mode, [])
+        seen = self._observed.get(mode, 0) + 1
+        self._observed[mode] = seen
+        if len(reservoir) < self.reservoir_size:
+            reservoir.append(sample)
+        else:
+            slot = self._random.randrange(seen)
+            if slot < self.reservoir_size:
+                reservoir[slot] = sample
+
+    def sample_count(self, mode: str) -> int:
+        """Samples currently retained for ``mode``."""
+        return len(self._samples.get(mode, ()))
+
+    def observed_count(self, mode: str) -> int:
+        """Total executions ever observed for ``mode``."""
+        return self._observed.get(mode, 0)
+
+    def ready(self, mode: str) -> bool:
+        """Whether a fit for ``mode`` would be accepted."""
+        return self.sample_count(mode) >= self.min_samples
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def calibrate(
+        self, mode: str, base: Optional[CostWeights] = None
+    ) -> Optional[CalibrationReport]:
+        """Fit weights for ``mode``; ``None`` when not enough signal.
+
+        ``base`` supplies the weight fields the fit does not touch (the
+        batch/parallel shape parameters); defaults to :class:`CostWeights`
+        defaults.
+        """
+        samples = self._samples.get(mode, [])
+        if len(samples) < self.min_samples:
+            return None
+        n = len(FEATURES)
+        xtx = [[0.0] * n for _ in range(n)]
+        xty = [0.0] * n
+        for features, wall in samples:
+            for i in range(n):
+                xty[i] += features[i] * wall
+                for j in range(n):
+                    xtx[i][j] += features[i] * features[j]
+        # Ridge term scaled per-feature (standardized ridge): each diagonal
+        # grows in proportion to its own magnitude, so features counted in
+        # thousands and features counted in tens are shrunk evenly.
+        floor = max(xtx[i][i] for i in range(n)) or 1.0
+        for i in range(n):
+            xtx[i][i] = xtx[i][i] * (1.0 + self.ridge) + self.ridge * floor * 1e-9
+        raw = _solve(xtx, xty)
+        if raw is None:
+            return None
+        # Negative weights are artifacts of collinearity, not evidence that
+        # an operation has negative cost; clip before normalizing.
+        clipped = [max(0.0, w) for w in raw]
+        anchor = clipped[0] if clipped[0] > 0 else max(clipped)
+        if anchor <= 0:
+            return None
+        normalized = [w / anchor for w in clipped]
+        base = base or CostWeights()
+        weights = replace(
+            base, **{f: normalized[i] for i, f in enumerate(WEIGHT_FIELDS)}
+        )
+        self.fits += 1
+        return CalibrationReport(
+            mode=mode,
+            sample_count=len(samples),
+            weights=weights,
+            raw=tuple(raw),
+            r_squared=self._r_squared(samples, raw),
+        )
+
+    @staticmethod
+    def _r_squared(
+        samples: List[Tuple[Tuple[float, ...], float]], raw: List[float]
+    ) -> float:
+        mean = sum(wall for _, wall in samples) / len(samples)
+        total = sum((wall - mean) ** 2 for _, wall in samples)
+        residual = sum(
+            (wall - sum(f * w for f, w in zip(features, raw))) ** 2
+            for features, wall in samples
+        )
+        if total <= 0:
+            return 1.0 if residual <= 1e-18 else 0.0
+        return max(0.0, 1.0 - residual / total)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Per-mode sample counts for stats payloads."""
+        return {
+            "reservoir_size": self.reservoir_size,
+            "fits": self.fits,
+            "modes": {
+                mode: {
+                    "retained": len(reservoir),
+                    "observed": self._observed.get(mode, 0),
+                }
+                for mode, reservoir in sorted(self._samples.items())
+            },
+        }

@@ -1,0 +1,249 @@
+"""The self-tuning manager: one feedback loop, one generation counter.
+
+:class:`SelfTuningManager` owns the three tuning components and presents
+the service with a small surface:
+
+* :meth:`observe_execution` — called after every service execution with
+  the engine mode, the measured metrics and the wall time; feeds the
+  calibrator and the index advisor and decides (counter-based, so
+  deterministic) when a calibration refit or an advice pass is due;
+* :meth:`due_calibration` / :meth:`due_advice` — polled by the service at
+  points where it holds the right locks to act;
+* :meth:`should_sample_ab` — deterministic 1-in-N sampling of transformed
+  queries for original-vs-optimized A/B execution;
+* :meth:`observe_ab` — folds an A/B outcome into the rule payoff tracker;
+* :attr:`generation` — bumped on **every externally visible tuning
+  change** (weight swap applied, index created/dropped, demotion set
+  changed).  The service folds it into its cache epochs, so plans and
+  cached results priced under the old tuning state are never served as
+  current.
+
+The manager is thread-safe: the service calls into it from executor
+threads (observations) and from the mutation path (advice application),
+and a single internal lock keeps the counters consistent.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..engine.cost_model import CostWeights
+from ..engine.executor import ExecutionMetrics
+from ..query.query import Query
+from .advisor import IndexAction, IndexAdvisor
+from .calibrator import CalibrationReport, CostCalibrator
+from .payoff import RulePayoffTracker
+
+
+@dataclass(frozen=True)
+class TuningConfig:
+    """Switches and thresholds of the self-tuning loop.
+
+    ``REPRO_TUNING`` accepts ``1``/``on``/``all`` (everything), ``0`` /
+    ``off`` / empty (nothing), or a comma-separated subset of
+    ``calibrate``, ``index``, ``rules``.
+    """
+
+    calibrate: bool = True
+    auto_index: bool = True
+    learn_rules: bool = True
+    #: Executions between calibration refits (per process, not per mode).
+    calibrate_interval: int = 64
+    #: Executions between index-advice passes.
+    advice_interval: int = 32
+    #: One transformed query in this many is A/B executed.
+    ab_interval: int = 8
+    reservoir_size: int = 256
+    min_samples: int = 24
+    create_threshold: float = 16.0
+    drop_threshold: float = 2.0
+    decay_interval: int = 64
+    min_cardinality: int = 64
+    min_trials: int = 5
+    demote_threshold: float = 0.25
+    seed: int = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any component is on."""
+        return self.calibrate or self.auto_index or self.learn_rules
+
+    @staticmethod
+    def from_env(value: Optional[str]) -> Optional["TuningConfig"]:
+        """Parse a ``REPRO_TUNING`` value; ``None`` means disabled."""
+        if value is None:
+            return None
+        text = value.strip().lower()
+        if text in ("", "0", "off", "false", "no", "none"):
+            return None
+        if text in ("1", "on", "true", "yes", "all"):
+            return TuningConfig()
+        parts = {part.strip() for part in text.split(",") if part.strip()}
+        known = {"calibrate", "index", "rules"}
+        unknown = parts - known
+        if unknown:
+            raise ValueError(
+                f"REPRO_TUNING: unknown component(s) {sorted(unknown)!r}; "
+                f"expected a subset of {sorted(known)!r} or 'all'/'off'"
+            )
+        return TuningConfig(
+            calibrate="calibrate" in parts,
+            auto_index="index" in parts,
+            learn_rules="rules" in parts,
+        )
+
+
+class SelfTuningManager:
+    """Bundles calibrator, advisor and payoff tracker for a service."""
+
+    def __init__(self, config: Optional[TuningConfig] = None) -> None:
+        self.config = config or TuningConfig()
+        self.calibrator = CostCalibrator(
+            reservoir_size=self.config.reservoir_size,
+            min_samples=self.config.min_samples,
+            seed=self.config.seed,
+        )
+        self.advisor = IndexAdvisor(
+            create_threshold=self.config.create_threshold,
+            drop_threshold=self.config.drop_threshold,
+            decay_interval=self.config.decay_interval,
+            min_cardinality=self.config.min_cardinality,
+        )
+        self.payoff = RulePayoffTracker(
+            min_trials=self.config.min_trials,
+            demote_threshold=self.config.demote_threshold,
+        )
+        self._lock = threading.Lock()
+        self._executions = 0
+        self._transformed = 0
+        #: Bumped on every externally visible tuning change.
+        self.generation = 0
+        self.last_calibration: Optional[CalibrationReport] = None
+        self.weight_swaps = 0
+
+    # ------------------------------------------------------------------
+    # Observation hooks (called on the execute path)
+    # ------------------------------------------------------------------
+    def observe_execution(
+        self,
+        mode: str,
+        query: Query,
+        metrics: ExecutionMetrics,
+        wall_time: float,
+    ) -> None:
+        """Fold one execution into the calibrator and the advisor."""
+        with self._lock:
+            self._executions += 1
+            if self.config.calibrate:
+                self.calibrator.observe(mode, metrics, wall_time)
+            if self.config.auto_index:
+                self.advisor.observe(query)
+
+    def due_calibration(self, mode: str) -> bool:
+        """Whether a refit for ``mode`` is due at this point."""
+        if not self.config.calibrate:
+            return False
+        with self._lock:
+            return (
+                self._executions > 0
+                and self._executions % self.config.calibrate_interval == 0
+                and self.calibrator.ready(mode)
+            )
+
+    def due_advice(self) -> bool:
+        """Whether an index-advice pass is due at this point."""
+        if not self.config.auto_index:
+            return False
+        with self._lock:
+            return (
+                self._executions > 0
+                and self._executions % self.config.advice_interval == 0
+            )
+
+    # ------------------------------------------------------------------
+    # Actions (called by the service under its own locks)
+    # ------------------------------------------------------------------
+    def calibrate(
+        self, mode: str, base: CostWeights
+    ) -> Optional[CalibrationReport]:
+        """Refit weights for ``mode``; bumps the generation on success."""
+        with self._lock:
+            report = self.calibrator.calibrate(mode, base=base)
+            if report is not None:
+                self.last_calibration = report
+                self.weight_swaps += 1
+                self.generation += 1
+            return report
+
+    def advise(self, is_indexed, cardinality, indexable) -> List[IndexAction]:
+        """Index actions the current heat justifies (see IndexAdvisor)."""
+        with self._lock:
+            return self.advisor.advise(is_indexed, cardinality, indexable)
+
+    def index_applied(self, action: IndexAction) -> None:
+        """Record an applied index action; bumps the generation."""
+        with self._lock:
+            self.advisor.applied(action)
+            self.generation += 1
+
+    # ------------------------------------------------------------------
+    # Rule payoff (A/B)
+    # ------------------------------------------------------------------
+    def should_sample_ab(self) -> bool:
+        """Deterministic 1-in-``ab_interval`` sampling of rewrites."""
+        if not self.config.learn_rules:
+            return False
+        with self._lock:
+            self._transformed += 1
+            return self._transformed % self.config.ab_interval == 1
+
+    def observe_ab(
+        self,
+        rules: List[Tuple[str, Tuple[int, ...]]],
+        optimized_cost: float,
+        original_cost: float,
+    ) -> bool:
+        """Fold one A/B outcome in; True when the demotion set changed.
+
+        ``rules`` pairs each fired rule with the generation tuple of its
+        referenced classes (see :meth:`RulePayoffTracker.observe`).
+        """
+        won = optimized_cost < original_cost
+        ratio = (
+            original_cost / optimized_cost if optimized_cost > 0 else 1.0
+        )
+        with self._lock:
+            changed = self.payoff.observe(rules, won, cost_ratio=ratio)
+            if changed:
+                self.generation += 1
+            return changed
+
+    def is_demoted(self, rule_name: str) -> bool:
+        """Whether ``rule_name`` is currently demoted."""
+        with self._lock:
+            return self.payoff.is_demoted(rule_name)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """The ``tuning`` block of the service stats payload."""
+        with self._lock:
+            payload: Dict[str, object] = {
+                "enabled": {
+                    "calibrate": self.config.calibrate,
+                    "index": self.config.auto_index,
+                    "rules": self.config.learn_rules,
+                },
+                "generation": self.generation,
+                "executions_observed": self._executions,
+                "weight_swaps": self.weight_swaps,
+                "calibrator": self.calibrator.snapshot(),
+                "advisor": self.advisor.snapshot(),
+                "rules": self.payoff.snapshot(),
+            }
+            if self.last_calibration is not None:
+                payload["last_calibration"] = self.last_calibration.as_dict()
+            return payload

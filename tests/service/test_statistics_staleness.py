@@ -1,0 +1,155 @@
+"""Regression tests: statistics consumers read the versioned cache.
+
+Two staleness bugs are pinned here:
+
+* the parallel batch path used to call ``DatabaseStatistics.collect`` —
+  a full walk of every extent — once **per batch**, even when the store
+  had not changed between batches.  The fix routes it (and every other
+  consumer) through the service's :class:`StatisticsCache`, whose
+  contract is at most one collection per observed store version;
+* the optimizer's cost model used to hold the snapshot collected at
+  setup time forever, so selectivity estimates never noticed bulk data
+  changes.  The fix binds the cost model to the cache as a *provider*,
+  so every estimate prices against statistics current for the store's
+  present version.
+
+Both tests fail on the pre-fix tree.
+"""
+
+import pytest
+
+from repro.constraints import ConstraintRepository
+from repro.core import OptimizerConfig
+from repro.data import TABLE_4_1_SPECS, build_evaluation_setup
+from repro.engine.statistics import DatabaseStatistics
+from repro.service import OptimizationService
+
+
+@pytest.fixture()
+def service_setup():
+    setup = build_evaluation_setup(
+        TABLE_4_1_SPECS["DB1"], query_count=8, seed=41, shard_count=2
+    )
+    repository = ConstraintRepository(setup.schema)
+    repository.add_all(setup.constraints)
+    service = OptimizationService(
+        setup.schema,
+        repository=repository,
+        cost_model=setup.cost_model,
+        config=OptimizerConfig(record_access_statistics=False),
+        store=setup.store,
+        engine_workers=2,
+    )
+    yield setup, service
+    service.close()
+
+
+def test_parallel_batches_collect_once_per_store_version(
+    service_setup, monkeypatch
+):
+    """Three parallel batches on an unchanged store: ONE statistics walk."""
+    setup, service = service_setup
+    # A fresh evaluation store ends setup with an index-rebuild journal
+    # floor of ``version + 1``, so the very first delta can never be
+    # journal-bridged.  One warmup write moves the version past the floor;
+    # everything measured below is steady-state behavior.
+    service.mutate(
+        "insert",
+        "cargo",
+        values={
+            "code": "WARMUP",
+            "desc": "floor warmup",
+            "quantity": 1,
+            "category": "general",
+        },
+    )
+    calls = []
+    real_collect = DatabaseStatistics.collect
+
+    def counting_collect(schema, store, class_names=None):
+        calls.append(None if class_names is None else tuple(class_names))
+        return real_collect(schema, store, class_names=class_names)
+
+    monkeypatch.setattr(
+        DatabaseStatistics, "collect", staticmethod(counting_collect)
+    )
+
+    for _ in range(3):
+        batch = service.execute_many(setup.queries, execution_mode="parallel")
+        assert len(batch) == len(setup.queries)
+    # The pre-fix batch path collected once per batch (>= 3 full walks);
+    # the cache contract is one collection per observed store version.
+    assert len(calls) == 1, f"expected one collect, saw {calls}"
+    assert calls[0] is None  # the one walk was the initial full collect
+    assert service.statistics_cache.collects == 1
+    assert service.statistics_cache.full_collects == 1
+
+    # A write moves the version: the next batch refreshes exactly once,
+    # and the bounded journal narrows the walk to the touched class.
+    service.mutate(
+        "insert",
+        "cargo",
+        values={
+            "code": "STALE-0",
+            "desc": "staleness probe",
+            "quantity": 7,
+            "category": "general",
+        },
+    )
+    service.execute_many(setup.queries, execution_mode="parallel")
+    assert len(calls) == 2, f"expected one recollect after the write: {calls}"
+    assert calls[1] == ("cargo",)  # journal-bridged partial recollect
+    assert service.statistics_cache.partial_collects == 1
+
+    # And batches after the recollect are free again.
+    service.execute_many(setup.queries, execution_mode="parallel")
+    assert len(calls) == 2
+
+
+def test_selectivity_flips_after_bulk_delete(service_setup):
+    """The cost model's estimates track bulk deletes, not setup-time stats."""
+    _setup, service = service_setup
+    store = service.store
+    cost_model = service.optimizer.cost_model
+
+    result = service.mutate(
+        "insert_many",
+        "cargo",
+        rows=[
+            {
+                "code": f"BULK-{i}",
+                "desc": "bulk cohort",
+                "quantity": 1_000_000 + i,
+                "category": "bulk",
+            }
+            for i in range(200)
+        ],
+    )
+    assert result.applied == 200
+
+    before = cost_model.statistics
+    assert before.cardinality("cargo") == store.count("cargo")
+    distinct_before = before.distinct("cargo", "quantity")
+
+    deletes = [
+        {"op": "delete", "class_name": "cargo", "oid": oid}
+        for oid in result.oids
+    ]
+    service.mutate_many(deletes, op_label="bulk_delete")
+
+    after = cost_model.statistics
+    # Pre-fix: ``after`` was the setup-time snapshot — cardinality stuck
+    # at the post-insert count and the quantity domain still stretched to
+    # the bulk cohort's million-range values.
+    assert after.cardinality("cargo") == store.count("cargo")
+    assert after.cardinality("cargo") == before.cardinality("cargo") - 200
+    assert after.distinct("cargo", "quantity") < distinct_before
+    quantity = after.attribute_statistics("cargo", "quantity")
+    assert quantity.maximum < 1_000_000
+
+    # The flip is visible where it matters: the estimated match count of
+    # an equality on the deleted cohort's attribute shrinks with the data.
+    assert (
+        after.cardinality("cargo") / after.distinct("cargo", "quantity")
+        < before.cardinality("cargo") / distinct_before
+    ) or after.distinct("cargo", "quantity") < distinct_before

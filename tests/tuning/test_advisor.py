@@ -1,0 +1,141 @@
+"""Unit tests for the workload-driven index advisor."""
+
+import pytest
+
+from repro.query import parse_query
+from repro.tuning import IndexAction, IndexAdvisor
+
+
+def _query(n=0):
+    return parse_query(
+        "(SELECT {cargo.code} { } {cargo.quantity = 110} { } {cargo})",
+        name=f"hot-{n}",
+    )
+
+
+def _mixed_query():
+    return parse_query(
+        '(SELECT {cargo.desc} { } '
+        '{cargo.category = "general", vehicle.desc = "van"} '
+        "{collects} {cargo, vehicle})",
+        name="mixed",
+    )
+
+
+def test_hot_attribute_earns_a_create_action():
+    advisor = IndexAdvisor(create_threshold=16.0, decay_interval=1000)
+    for i in range(20):
+        advisor.observe(_query(i))
+    assert advisor.heat("cargo", "quantity") == 20.0
+    actions = advisor.advise(
+        is_indexed=lambda c, a: False,
+        cardinality=lambda c: 1000,
+        indexable=lambda c, a: True,
+    )
+    assert actions == [IndexAction("create", "cargo", "quantity", 20.0)]
+
+
+def test_guards_suppress_advice():
+    advisor = IndexAdvisor(create_threshold=4.0, decay_interval=1000)
+    for i in range(8):
+        advisor.observe(_query(i))
+    hot = dict(
+        cardinality=lambda c: 1000, indexable=lambda c, a: True
+    )
+    # Already indexed: nothing to do.
+    assert advisor.advise(is_indexed=lambda c, a: True, **hot) == []
+    # Tiny extent: a scan is cheaper than index maintenance.
+    assert (
+        advisor.advise(
+            is_indexed=lambda c, a: False,
+            cardinality=lambda c: 10,
+            indexable=lambda c, a: True,
+        )
+        == []
+    )
+    # Structurally un-indexable (pointer, unknown attribute).
+    assert (
+        advisor.advise(
+            is_indexed=lambda c, a: False,
+            cardinality=lambda c: 1000,
+            indexable=lambda c, a: False,
+        )
+        == []
+    )
+
+
+def test_decay_ages_out_cold_attributes():
+    advisor = IndexAdvisor(decay_interval=4)
+    advisor.observe(_mixed_query())
+    assert advisor.heat("cargo", "category") == 1.0
+    for i in range(15):
+        advisor.observe(_query(i))  # only quantity stays hot
+    assert advisor.heat("cargo", "quantity") > 0.0
+    # Four halvings pull the one-hit counter under the prune floor.
+    assert advisor.heat("cargo", "category") == 0.0
+
+
+def test_only_advisor_created_indexes_are_dropped():
+    advisor = IndexAdvisor(
+        create_threshold=4.0, drop_threshold=2.0, decay_interval=8
+    )
+    for i in range(8):
+        advisor.observe(_query(i))
+    assert advisor.heat("cargo", "quantity") == 4.0  # 8 hits, one halving
+    (create,) = advisor.advise(
+        is_indexed=lambda c, a: False,
+        cardinality=lambda c: 1000,
+        indexable=lambda c, a: True,
+    )
+    advisor.applied(create)
+    assert advisor.created == {("cargo", "quantity")}
+
+    # The workload moves on: decay pulls the heat under drop_threshold.
+    for _ in range(8):
+        advisor.observe(_mixed_query())
+    assert advisor.heat("cargo", "quantity") <= 2.0
+    actions = advisor.advise(
+        is_indexed=lambda c, a: (c, a) == ("cargo", "quantity"),
+        cardinality=lambda c: 1000,
+        indexable=lambda c, a: True,
+    )
+    assert [a.op for a in actions if a.attribute_name == "quantity"] == ["drop"]
+
+    # A schema-declared index at the same heat is never touched: advise
+    # against an advisor that did not create it.
+    fresh = IndexAdvisor(create_threshold=4.0, drop_threshold=2.0)
+    fresh.observe(_query(0))
+    assert (
+        fresh.advise(
+            is_indexed=lambda c, a: True,
+            cardinality=lambda c: 1000,
+            indexable=lambda c, a: True,
+        )
+        == []
+    )
+
+
+def test_applied_drop_clears_bookkeeping():
+    advisor = IndexAdvisor()
+    advisor.applied(IndexAction("create", "cargo", "quantity", 20.0))
+    advisor.applied(IndexAction("drop", "cargo", "quantity", 1.0))
+    assert advisor.created == set()
+    assert advisor.creates == 1 and advisor.drops == 1
+    assert advisor.heat("cargo", "quantity") == 0.0
+
+
+def test_hysteresis_is_enforced():
+    with pytest.raises(ValueError):
+        IndexAdvisor(create_threshold=2.0, drop_threshold=2.0)
+
+
+def test_snapshot_reports_hottest():
+    advisor = IndexAdvisor()
+    for i in range(3):
+        advisor.observe(_query(i))
+    snapshot = advisor.snapshot()
+    assert snapshot["observations"] == 3
+    assert snapshot["hottest"][0] == {
+        "attribute": "cargo.quantity",
+        "heat": 3.0,
+    }

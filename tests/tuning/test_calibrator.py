@@ -1,0 +1,104 @@
+"""Unit tests for the measured-cost calibrator."""
+
+import random
+
+import pytest
+
+from repro.engine.cost_model import CostWeights
+from repro.engine.executor import ExecutionMetrics
+from repro.tuning import CostCalibrator
+
+#: Ground-truth per-operation seconds a synthetic workload is priced with.
+TRUTH = {
+    "instances_retrieved": 5e-6,
+    "predicate_evaluations": 1e-7,
+    "pointer_traversals": 1.5e-6,
+    "index_lookups": 2.5e-7,
+    "rows_output": 2.5e-7,
+}
+
+
+def _synthetic_samples(count, seed):
+    """(metrics, wall_time) pairs whose wall time IS the weighted counters."""
+    rng = random.Random(seed)
+    samples = []
+    for _ in range(count):
+        metrics = ExecutionMetrics(
+            instances_retrieved=rng.randrange(50, 5000),
+            predicate_evaluations=rng.randrange(100, 20000),
+            pointer_traversals=rng.randrange(0, 2000),
+            index_lookups=rng.randrange(0, 500),
+            rows_output=rng.randrange(1, 1000),
+        )
+        wall = sum(
+            TRUTH[name] * getattr(metrics, name) for name in TRUTH
+        )
+        samples.append((metrics, wall))
+    return samples
+
+
+def test_recovers_ground_truth_ratios():
+    calibrator = CostCalibrator(seed=7)
+    for metrics, wall in _synthetic_samples(200, seed=5):
+        calibrator.observe("rowwise", metrics, wall)
+    report = calibrator.calibrate("rowwise")
+    assert report is not None
+    assert report.r_squared > 0.999
+    weights = report.weights
+    # Normalized contract: instance retrieval anchors at 1.0 and every
+    # other weight lands on its true ratio.
+    assert weights.instance_retrieval == 1.0
+    truth_ratio = TRUTH["pointer_traversals"] / TRUTH["instances_retrieved"]
+    assert weights.pointer_traversal == pytest.approx(truth_ratio, rel=0.05)
+    truth_ratio = TRUTH["predicate_evaluations"] / TRUTH["instances_retrieved"]
+    assert weights.predicate_evaluation == pytest.approx(truth_ratio, rel=0.1)
+
+
+def test_identical_streams_calibrate_identically():
+    runs = []
+    for _ in range(2):
+        calibrator = CostCalibrator(seed=3, reservoir_size=64)
+        for metrics, wall in _synthetic_samples(300, seed=9):
+            calibrator.observe("vectorized", metrics, wall)
+        runs.append(calibrator.calibrate("vectorized").weights)
+    assert runs[0] == runs[1]
+
+
+def test_refuses_underdetermined_fits():
+    calibrator = CostCalibrator(min_samples=24)
+    for metrics, wall in _synthetic_samples(23, seed=1):
+        calibrator.observe("rowwise", metrics, wall)
+    assert not calibrator.ready("rowwise")
+    assert calibrator.calibrate("rowwise") is None
+    calibrator.observe(
+        "rowwise", ExecutionMetrics(instances_retrieved=10), 1e-4
+    )
+    assert calibrator.ready("rowwise")
+    assert calibrator.calibrate("rowwise") is not None
+
+
+def test_reservoir_stays_bounded_and_counts_everything():
+    calibrator = CostCalibrator(reservoir_size=32, seed=0)
+    for metrics, wall in _synthetic_samples(500, seed=2):
+        calibrator.observe("parallel", metrics, wall)
+    assert calibrator.sample_count("parallel") == 32
+    assert calibrator.observed_count("parallel") == 500
+    snapshot = calibrator.snapshot()
+    assert snapshot["modes"]["parallel"] == {"retained": 32, "observed": 500}
+
+
+def test_negative_samples_and_modes_are_isolated():
+    calibrator = CostCalibrator()
+    calibrator.observe("rowwise", ExecutionMetrics(instances_retrieved=5), -1.0)
+    assert calibrator.sample_count("rowwise") == 0  # clock skew discarded
+    calibrator.observe("rowwise", ExecutionMetrics(instances_retrieved=5), 1e-5)
+    assert calibrator.sample_count("vectorized") == 0
+
+
+def test_untouched_weight_fields_come_from_base():
+    calibrator = CostCalibrator(seed=4)
+    for metrics, wall in _synthetic_samples(100, seed=11):
+        calibrator.observe("rowwise", metrics, wall)
+    base = CostWeights(predicate_compilation=0.123)
+    report = calibrator.calibrate("rowwise", base=base)
+    assert report.weights.predicate_compilation == 0.123

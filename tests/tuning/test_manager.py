@@ -1,0 +1,124 @@
+"""Unit tests for TuningConfig parsing and the SelfTuningManager loop."""
+
+import pytest
+
+from repro.engine.cost_model import CostWeights
+from repro.engine.executor import ExecutionMetrics
+from repro.query import parse_query
+from repro.tuning import SelfTuningManager, TuningConfig
+
+
+def _query():
+    return parse_query(
+        "(SELECT {cargo.code} { } {cargo.quantity = 110} { } {cargo})",
+        name="tuning-unit",
+    )
+
+
+# ----------------------------------------------------------------------
+# REPRO_TUNING parsing
+# ----------------------------------------------------------------------
+def test_from_env_full_and_off_forms():
+    for text in ("1", "on", "true", "yes", "all"):
+        config = TuningConfig.from_env(text)
+        assert config is not None and config.enabled
+        assert config.calibrate and config.auto_index and config.learn_rules
+    for text in (None, "", "0", "off", "false", "no", "none", "  "):
+        assert TuningConfig.from_env(text) is None
+
+
+def test_from_env_component_subsets():
+    config = TuningConfig.from_env("calibrate,rules")
+    assert config.calibrate and config.learn_rules and not config.auto_index
+    config = TuningConfig.from_env(" index ")
+    assert config.auto_index and not config.calibrate and not config.learn_rules
+
+
+def test_from_env_rejects_unknown_components():
+    with pytest.raises(ValueError, match="unknown component"):
+        TuningConfig.from_env("calibrate,turbo")
+
+
+# ----------------------------------------------------------------------
+# Cadence and generation discipline
+# ----------------------------------------------------------------------
+def test_calibration_cadence_is_counter_based():
+    manager = SelfTuningManager(
+        TuningConfig(calibrate_interval=8, min_samples=4)
+    )
+    metrics = ExecutionMetrics(instances_retrieved=100, rows_output=10)
+    query = _query()
+    for i in range(1, 17):
+        manager.observe_execution("rowwise", query, metrics, 1e-4)
+        due = manager.due_calibration("rowwise")
+        assert due is (i % 8 == 0)  # deterministic, no wall clock involved
+    assert manager.due_advice() is False or True  # interval-driven below
+
+
+def test_calibrate_swaps_weights_and_bumps_generation():
+    manager = SelfTuningManager(TuningConfig(min_samples=4))
+    query = _query()
+    for i in range(24):
+        metrics = ExecutionMetrics(
+            instances_retrieved=50 + 13 * i,
+            predicate_evaluations=10 * i,
+            rows_output=5 + i,
+        )
+        wall = 5e-6 * metrics.instances_retrieved + 2.5e-7 * metrics.rows_output
+        manager.observe_execution("rowwise", query, metrics, wall)
+    generation = manager.generation
+    report = manager.calibrate("rowwise", CostWeights())
+    assert report is not None
+    assert manager.generation == generation + 1
+    assert manager.weight_swaps == 1
+    assert manager.last_calibration is report
+    # A mode with no samples refuses to fit and leaves the generation be.
+    assert manager.calibrate("parallel", CostWeights()) is None
+    assert manager.generation == generation + 1
+
+
+def test_ab_sampling_is_one_in_n():
+    manager = SelfTuningManager(TuningConfig(ab_interval=4))
+    picks = [manager.should_sample_ab() for _ in range(12)]
+    assert picks == [True, False, False, False] * 3
+
+
+def test_ab_sampling_disabled_without_learn_rules():
+    manager = SelfTuningManager(TuningConfig(learn_rules=False))
+    assert not any(manager.should_sample_ab() for _ in range(10))
+
+
+def test_observe_ab_bumps_generation_on_demotion_change():
+    manager = SelfTuningManager(
+        TuningConfig(min_trials=2, demote_threshold=0.5)
+    )
+    generation = manager.generation
+    assert manager.observe_ab([("c1", (1,))], 10.0, 5.0) is False
+    assert manager.generation == generation
+    assert manager.observe_ab([("c1", (1,))], 10.0, 5.0) is True
+    assert manager.generation == generation + 1
+    assert manager.is_demoted("c1")
+
+
+def test_index_applied_bumps_generation():
+    from repro.tuning import IndexAction
+
+    manager = SelfTuningManager(TuningConfig())
+    generation = manager.generation
+    manager.index_applied(IndexAction("create", "cargo", "quantity", 20.0))
+    assert manager.generation == generation + 1
+
+
+def test_snapshot_shape():
+    manager = SelfTuningManager(TuningConfig(auto_index=False))
+    manager.observe_execution(
+        "rowwise", _query(), ExecutionMetrics(instances_retrieved=1), 1e-6
+    )
+    snapshot = manager.snapshot()
+    assert snapshot["enabled"] == {
+        "calibrate": True,
+        "index": False,
+        "rules": True,
+    }
+    assert snapshot["executions_observed"] == 1
+    assert set(snapshot) >= {"generation", "calibrator", "advisor", "rules"}

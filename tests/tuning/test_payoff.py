@@ -1,0 +1,66 @@
+"""Unit tests for learned rule profitability (the payoff tracker)."""
+
+from repro.tuning import RulePayoffTracker
+
+
+def test_losing_rule_is_demoted_after_min_trials():
+    tracker = RulePayoffTracker(min_trials=5, demote_threshold=0.25)
+    generations = (3, 7)
+    for i in range(4):
+        changed = tracker.observe([("c1", generations)], won=False)
+        assert not changed  # evidence still below min_trials
+        assert not tracker.is_demoted("c1")
+    assert tracker.observe([("c1", generations)], won=False) is True
+    assert tracker.is_demoted("c1")
+    assert tracker.demoted() == ["c1"]
+    assert tracker.demotions == 1
+
+
+def test_winning_rule_is_never_demoted():
+    tracker = RulePayoffTracker(min_trials=3, demote_threshold=0.25)
+    for _ in range(10):
+        tracker.observe([("c2", (1,))], won=True, cost_ratio=4.0)
+    assert not tracker.is_demoted("c2")
+    record = tracker.record("c2")
+    assert record.win_rate == 1.0
+    assert record.weighted_wins == 40.0
+
+
+def test_generation_move_resets_evidence_and_reinstates():
+    tracker = RulePayoffTracker(min_trials=3, demote_threshold=0.5)
+    for _ in range(3):
+        tracker.observe([("c3", (1, 1))], won=False)
+    assert tracker.is_demoted("c3")
+
+    # The referenced classes' data changed: old evidence is void and the
+    # demotion lifts — the rule gets a fresh hearing.
+    changed = tracker.observe([("c3", (1, 2))], won=True)
+    assert changed
+    assert not tracker.is_demoted("c3")
+    assert tracker.reinstatements == 1
+    record = tracker.record("c3")
+    assert record.trials == 1 and record.wins == 1
+
+
+def test_recovery_reinstates_without_generation_move():
+    tracker = RulePayoffTracker(min_trials=2, demote_threshold=0.5)
+    tracker.observe([("c4", (1,))], won=False)
+    tracker.observe([("c4", (1,))], won=False)
+    assert tracker.is_demoted("c4")
+    # Wins pull the rate back over the threshold: demotion lifts in place.
+    for _ in range(3):
+        tracker.observe([("c4", (1,))], won=True)
+    assert not tracker.is_demoted("c4")
+
+
+def test_rules_are_scored_independently():
+    tracker = RulePayoffTracker(min_trials=2, demote_threshold=0.5)
+    for _ in range(4):
+        tracker.observe([("loser", (1,)), ("winner", (2,))], won=False)
+        tracker.observe([("winner", (2,))], won=True)
+        tracker.observe([("winner", (2,))], won=True)
+    assert tracker.is_demoted("loser")
+    assert not tracker.is_demoted("winner")
+    snapshot = tracker.snapshot()
+    assert snapshot["demoted"] == ["loser"]
+    assert snapshot["rules"]["winner"]["win_rate"] > 0.6
